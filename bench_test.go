@@ -1,0 +1,237 @@
+package kona_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark regenerates its artifact through
+// internal/experiments, prints the same rows/series the paper reports
+// (once, on the first iteration), and reports the headline quantity as a
+// custom benchmark metric so regressions are visible in benchstat output.
+//
+//	go test -bench=. -benchmem ./...
+//
+// regenerates everything; see EXPERIMENTS.md for the paper-vs-measured
+// record.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kona/internal/experiments"
+)
+
+// benchCfg runs the full-scale experiment on the first iteration and the
+// quick variant afterwards (b.N > 1 only when -benchtime demands it).
+func benchCfg(i int) experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = i > 0
+	return cfg
+}
+
+var printOnce sync.Map
+
+// runArtifact executes one artifact b.N times, printing the full-scale
+// result once per process.
+func runArtifact(b *testing.B, id string, metric func(*experiments.Result) (float64, string)) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchCfg(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last = res
+		}
+	}
+	if _, printed := printOnce.LoadOrStore(id, true); !printed {
+		fmt.Printf("\n%s\n", last.String())
+	}
+	if metric != nil {
+		v, unit := metric(last)
+		b.ReportMetric(v, unit)
+	}
+}
+
+// ratioAt computes seriesA(x)/seriesB(x) for headline metrics.
+func ratioAt(res *experiments.Result, a, bName string, x float64) float64 {
+	var av, bv float64
+	for _, s := range res.Series {
+		if s.Name == a {
+			av, _ = s.YAt(x)
+		}
+		if s.Name == bName {
+			bv, _ = s.YAt(x)
+		}
+	}
+	if bv == 0 {
+		return 0
+	}
+	return av / bv
+}
+
+// BenchmarkTable2Amplification regenerates Table 2 (dirty data
+// amplification across nine workloads and three granularities).
+func BenchmarkTable2Amplification(b *testing.B) {
+	runArtifact(b, "table2", nil)
+}
+
+// BenchmarkFig2SpatialLocality regenerates Fig 2 (CDF of accessed
+// cache-lines per page, Redis).
+func BenchmarkFig2SpatialLocality(b *testing.B) {
+	runArtifact(b, "fig2", nil)
+}
+
+// BenchmarkFig3Contiguity regenerates Fig 3 (CDF of contiguous accessed
+// segments, Redis).
+func BenchmarkFig3Contiguity(b *testing.B) {
+	runArtifact(b, "fig3", nil)
+}
+
+// BenchmarkFig7Microbenchmark regenerates Fig 7 (Kona vs Kona-VM with
+// 1/2/4 threads and the NoEvict/NoWP variants). The reported metric is the
+// 1-thread Kona-VM/Kona ratio (paper: 6.6).
+func BenchmarkFig7Microbenchmark(b *testing.B) {
+	runArtifact(b, "fig7", func(r *experiments.Result) (float64, string) {
+		return ratioAt(r, "Kona-VM", "Kona", 1), "x-speedup@1T"
+	})
+}
+
+// BenchmarkFig8aAMATRedis regenerates Fig 8a (AMAT vs cache size for
+// Redis-Rand). The metric is LegoOS/Kona at 25% cache (paper: ~1.7).
+func BenchmarkFig8aAMATRedis(b *testing.B) {
+	runArtifact(b, "fig8a", func(r *experiments.Result) (float64, string) {
+		return ratioAt(r, "LegoOS", "Kona", 25), "x-LegoOS/Kona@25%"
+	})
+}
+
+// BenchmarkFig8bAMATLinReg regenerates Fig 8b (Linear Regression).
+func BenchmarkFig8bAMATLinReg(b *testing.B) {
+	runArtifact(b, "fig8b", nil)
+}
+
+// BenchmarkFig8cAMATGraphCol regenerates Fig 8c (Graph Coloring).
+func BenchmarkFig8cAMATGraphCol(b *testing.B) {
+	runArtifact(b, "fig8c", nil)
+}
+
+// BenchmarkFig8dBlockSize regenerates Fig 8d (AMAT vs fetch block size).
+func BenchmarkFig8dBlockSize(b *testing.B) {
+	runArtifact(b, "fig8d", nil)
+}
+
+// BenchmarkFig9AmplificationWindows regenerates Fig 9 (per-window 4KB vs
+// cache-line amplification ratio).
+func BenchmarkFig9AmplificationWindows(b *testing.B) {
+	runArtifact(b, "fig9", nil)
+}
+
+// BenchmarkFig10TrackingSpeedup regenerates Fig 10 (dirty-tracking speedup
+// vs write-protection). The metric is the Redis-Rand speedup (paper: 35%).
+func BenchmarkFig10TrackingSpeedup(b *testing.B) {
+	runArtifact(b, "fig10", func(r *experiments.Result) (float64, string) {
+		if len(r.Series) > 0 && len(r.Series[0].Points) > 0 {
+			return r.Series[0].Points[0].Y, "%speedup-RedisRand"
+		}
+		return 0, "%speedup-RedisRand"
+	})
+}
+
+// BenchmarkFig11aGoodputContig regenerates Fig 11a. The metric is the CL
+// log's goodput over Kona-VM at 1 contiguous dirty line (paper: 4-5).
+func BenchmarkFig11aGoodputContig(b *testing.B) {
+	runArtifact(b, "fig11a", func(r *experiments.Result) (float64, string) {
+		for _, s := range r.Series {
+			if s.Name == "Kona's CL log" {
+				v, _ := s.YAt(1)
+				return v, "x-goodput@1CL"
+			}
+		}
+		return 0, "x-goodput@1CL"
+	})
+}
+
+// BenchmarkFig11bGoodputAlt regenerates Fig 11b (alternate dirty lines).
+func BenchmarkFig11bGoodputAlt(b *testing.B) {
+	runArtifact(b, "fig11b", nil)
+}
+
+// BenchmarkFig11cBreakdown regenerates Fig 11c (eviction time breakdown).
+func BenchmarkFig11cBreakdown(b *testing.B) {
+	runArtifact(b, "fig11c", nil)
+}
+
+// BenchmarkSec21Latency regenerates the §2.1 motivation numbers.
+func BenchmarkSec21Latency(b *testing.B) {
+	runArtifact(b, "sec21", nil)
+}
+
+// Ablation benchmarks: design-choice studies the paper discusses in prose
+// (see EXPERIMENTS.md "Ablations").
+
+// BenchmarkAblationPrefetch toggles the FPGA's sequential prefetcher.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	runArtifact(b, "abl-prefetch", nil)
+}
+
+// BenchmarkAblationScatterGather compares the cache-line log against NIC
+// scatter-gather eviction (§6.4's discarded alternative).
+func BenchmarkAblationScatterGather(b *testing.B) {
+	runArtifact(b, "abl-sg", nil)
+}
+
+// BenchmarkAblationReplicas sweeps the replication factor (§4.5).
+func BenchmarkAblationReplicas(b *testing.B) {
+	runArtifact(b, "abl-replicas", nil)
+}
+
+// BenchmarkAblationFlushThreshold sweeps the eviction-log flush threshold.
+func BenchmarkAblationFlushThreshold(b *testing.B) {
+	runArtifact(b, "abl-flush", nil)
+}
+
+// BenchmarkAblationAssociativity sweeps DRAM-cache associativity (§6.2).
+func BenchmarkAblationAssociativity(b *testing.B) {
+	runArtifact(b, "abl-assoc", nil)
+}
+
+// BenchmarkAblationTracking compares write-protect, Intel PML and
+// coherence-based dirty tracking.
+func BenchmarkAblationTracking(b *testing.B) {
+	runArtifact(b, "abl-tracking", nil)
+}
+
+// BenchmarkAblationHugePages quantifies the huge-page amplification /
+// TLB-reach trade-off (§2.1, §3).
+func BenchmarkAblationHugePages(b *testing.B) {
+	runArtifact(b, "abl-hugepages", nil)
+}
+
+// BenchmarkAblationHWPrefetch quantifies hardware prefetching into the
+// DRAM cache — the margin Fig 8 left on the table for Kona (§3).
+func BenchmarkAblationHWPrefetch(b *testing.B) {
+	runArtifact(b, "abl-hwprefetch", nil)
+}
+
+// BenchmarkExtE2EReplay replays workload traces end to end on both
+// runtimes (the §5/§6.1 methodology at whole-application scope).
+func BenchmarkExtE2EReplay(b *testing.B) {
+	runArtifact(b, "ext-e2e", nil)
+}
+
+// BenchmarkExtLeapPrefetch exercises the Leap-style adaptive stride
+// prefetcher on a stride-2 workload the next-page prefetcher cannot see.
+func BenchmarkExtLeapPrefetch(b *testing.B) {
+	runArtifact(b, "ext-leap", nil)
+}
+
+// BenchmarkExtAMATAll extends the Fig 8 AMAT comparison to all nine
+// workloads.
+func BenchmarkExtAMATAll(b *testing.B) {
+	runArtifact(b, "ext-amat", nil)
+}
+
+// BenchmarkAblationFetchGranularity sweeps the runtime's remote fetch
+// granularity (§4.4's data-movement-size choice).
+func BenchmarkAblationFetchGranularity(b *testing.B) {
+	runArtifact(b, "abl-fetchgran", nil)
+}

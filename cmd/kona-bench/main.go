@@ -1,0 +1,70 @@
+// Command kona-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	kona-bench -list
+//	kona-bench -run table2
+//	kona-bench -run fig8a,fig8b -quick -plot
+//	kona-bench -run all -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kona/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated artifact ids, or 'all'")
+		list  = flag.Bool("list", false, "list available artifacts and exit")
+		quick = flag.Bool("quick", false, "reduced trace lengths for fast runs")
+		plot  = flag.Bool("plot", false, "render each figure as an ASCII chart too")
+		out   = flag.String("out", "", "also write results to this file")
+		seed  = flag.Int64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Describe(id)
+			fmt.Printf("%-8s %s\n", id, title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	var sinks []io.Writer
+	sinks = append(sinks, os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kona-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	w := io.MultiWriter(sinks...)
+	for _, id := range ids {
+		res, err := experiments.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kona-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, res.String())
+		if *plot {
+			if c := res.Chart(); c != "" {
+				fmt.Fprintln(w, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Command kona-controller runs the rack controller as a TCP daemon.
+// Memory nodes register with it (see cmd/kona-memnode); compute-side
+// clients request slabs from it.
+//
+// Usage:
+//
+//	kona-controller -listen 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"kona/internal/cluster"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+	flag.Parse()
+
+	ctrl := cluster.NewController()
+	srv, err := cluster.ServeController(ctrl, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kona-controller: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("kona-controller: serving on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("kona-controller: shutting down")
+}

@@ -1,0 +1,49 @@
+// Command kona-memnode runs one disaggregated-memory node as a TCP
+// daemon: it registers its offered capacity with the rack controller and
+// serves remote reads, remote writes and the cache-line log receiver.
+//
+// Usage:
+//
+//	kona-memnode -id 0 -capacity 67108864 -controller 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"kona/internal/cluster"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "node identifier (unique per rack)")
+		capacity = flag.Uint64("capacity", 64<<20, "offered memory in bytes")
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		ctrlAddr = flag.String("controller", "", "controller address to register with (optional)")
+	)
+	flag.Parse()
+
+	node := cluster.NewMemoryNode(*id, *capacity)
+	srv, err := cluster.ServeMemoryNode(node, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kona-memnode: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("kona-memnode: node %d serving %d bytes on %s\n", *id, *capacity, srv.Addr())
+
+	if *ctrlAddr != "" {
+		if err := cluster.DialController(*ctrlAddr).RegisterNode(*id, *capacity, srv.Addr()); err != nil {
+			fmt.Fprintf(os.Stderr, "kona-memnode: registration failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kona-memnode: registered with controller %s\n", *ctrlAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("kona-memnode: shutting down")
+}

@@ -1,0 +1,177 @@
+// Command kona-trace generates and inspects workload memory-access traces
+// in the repository's KTR1 binary format.
+//
+// Usage:
+//
+//	kona-trace -list
+//	kona-trace -workload Redis-Rand -out redis.ktr
+//	kona-trace -inspect redis.ktr
+//	kona-trace -replay redis.ktr -footprint 67108864
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kona/internal/cluster"
+	"kona/internal/core"
+	"kona/internal/trace"
+	"kona/internal/workload"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available workloads")
+		name      = flag.String("workload", "", "workload to generate (see -list)")
+		out       = flag.String("out", "", "output trace file")
+		inspect   = flag.String("inspect", "", "trace file to summarize")
+		replay    = flag.String("replay", "", "trace file to replay against both runtimes")
+		footprint = flag.Uint64("footprint", 64<<20, "replay footprint in bytes")
+		cachePct  = flag.Float64("cache", 25, "replay local cache as % of footprint")
+		seed      = flag.Int64("seed", 42, "deterministic seed")
+		max       = flag.Int("max", 0, "cap on records generated/replayed (0 = all)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, w := range append(workload.All(), workload.Extras()...) {
+			fmt.Printf("%-22s footprint %4dMB  windows %3d  (paper: %gGB)\n",
+				w.Name, w.Footprint>>20, w.Windows, w.PaperFootprintGB)
+		}
+	case *inspect != "":
+		if err := inspectTrace(*inspect); err != nil {
+			fatal(err)
+		}
+	case *replay != "":
+		if err := replayTrace(*replay, *footprint, *cachePct, *max); err != nil {
+			fatal(err)
+		}
+	case *name != "":
+		if *out == "" {
+			fatal(errors.New("-out required with -workload"))
+		}
+		if err := generate(*name, *out, *seed, *max); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kona-trace: %v\n", err)
+	os.Exit(1)
+}
+
+func generate(name, out string, seed int64, max int) error {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (see -list)", name)
+	}
+	tw, closer, err := trace.CreateFile(out)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	src := w.TrackingStream(seed)
+	n := 0
+	for {
+		a, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := tw.Write(a); err != nil {
+			return err
+		}
+		n++
+		if max > 0 && n >= max {
+			break
+		}
+	}
+	if err := closer.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("kona-trace: wrote %d records to %s\n", n, out)
+	return nil
+}
+
+// replayTrace drives both runtimes with a captured trace and reports the
+// end-to-end comparison (the §5 instrumented-execution methodology).
+func replayTrace(path string, footprint uint64, cachePct float64, max int) error {
+	run := func(vm bool) (core.ReplayResult, error) {
+		tr, closer, err := trace.OpenFile(path)
+		if err != nil {
+			return core.ReplayResult{}, err
+		}
+		defer closer.Close()
+		ctrl := cluster.NewController()
+		for i := 0; i < 2; i++ {
+			if err := ctrl.Register(cluster.NewMemoryNode(i, 2*footprint)); err != nil {
+				return core.ReplayResult{}, err
+			}
+		}
+		cacheBytes := uint64(cachePct / 100 * float64(footprint))
+		if cacheBytes < 4*4096 {
+			cacheBytes = 4 * 4096
+		}
+		cfg := core.DefaultConfig(cacheBytes / (4 * 4096) * (4 * 4096))
+		cfg.SlabSize = footprint
+		var rt core.Replayer
+		if vm {
+			rt = core.NewKonaVM(cfg, ctrl)
+		} else {
+			rt = core.NewKona(cfg, ctrl)
+		}
+		return core.ReplayTrace(rt, tr, footprint, max)
+	}
+	kres, err := run(false)
+	if err != nil {
+		return err
+	}
+	vres, err := run(true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d accesses (%d B read, %d B written), %.0f%% local cache\n",
+		path, kres.Accesses, kres.BytesRead, kres.BytesWritten, cachePct)
+	fmt.Printf("  Kona    : %v\n  Kona-VM : %v\n  speedup : %.2fx\n",
+		kres.Elapsed, vres.Elapsed, float64(vres.Elapsed)/float64(kres.Elapsed))
+	return nil
+}
+
+func inspectTrace(path string) error {
+	r, closer, err := trace.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	var records, reads, writes, bytesRead, bytesWritten uint64
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		records++
+		if a.Kind == trace.Write {
+			writes++
+			bytesWritten += uint64(a.Size)
+		} else {
+			reads++
+			bytesRead += uint64(a.Size)
+		}
+	}
+	fmt.Printf("%s: %d records (%d reads / %d writes), %d bytes read, %d bytes written\n",
+		path, records, reads, writes, bytesRead, bytesWritten)
+	return nil
+}

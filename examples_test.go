@@ -1,0 +1,69 @@
+package kona_test
+
+// Smoke tests for the runnable examples: each must build and run to
+// completion. Guarded by -short because `go run` compiles on every
+// invocation.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exampleChecks maps each example to a string its output must contain.
+var exampleChecks = map[string]string{
+	"quickstart":  "dirty lines in first page",
+	"kvstore":     "speedup",
+	"graph":       "highest-ranked vertex",
+	"replication": "data intact",
+	"tracking":    "mean amplification",
+	"coherent":    "no page fault",
+	"distributed": "the rack is real",
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs every example")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(exampleChecks) {
+		t.Fatalf("examples/ has %d entries, checks cover %d — update exampleChecks", len(entries), len(exampleChecks))
+	}
+	for _, e := range entries {
+		name := e.Name()
+		want, ok := exampleChecks[name]
+		if !ok {
+			t.Errorf("no output check for example %q", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			ctxCmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			ctxCmd.Env = os.Environ()
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = ctxCmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = ctxCmd.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+			if runErr != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, runErr, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

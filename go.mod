@@ -1,0 +1,3 @@
+module kona
+
+go 1.22

@@ -1,0 +1,224 @@
+// Package cachesim implements a set-associative, multi-level cache
+// simulator. It plays the role Cachegrind plays in the paper's KCacheSim
+// (§5): given an application access stream it produces per-level hit/miss
+// counts, from which the average memory access time (AMAT) is computed for
+// each remote-memory system under study.
+//
+// The last level of a hierarchy typically models the software-managed DRAM
+// cache — CMem for the virtual-memory baselines, FMem for Kona — whose
+// block size (the remote fetch granularity) and capacity are the
+// experiment's sweep parameters (Fig 8).
+package cachesim
+
+import (
+	"fmt"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the level in reports ("L1", "L3", "FMem"...).
+	Name string
+	// Size is the capacity in bytes.
+	Size uint64
+	// BlockSize is the line/block size in bytes (a power of two).
+	BlockSize uint64
+	// Assoc is the number of ways per set. Assoc*BlockSize must divide
+	// Size evenly.
+	Assoc int
+	// HitLatency is the access time when the block is present.
+	HitLatency simclock.Duration
+	// PrefetchNext enables a next-block prefetcher: every demand miss
+	// also installs the following block (if absent) without charging the
+	// access. Page-based remote memory cannot use this across a fault
+	// boundary; Kona can (§3) — the abl-hwprefetch experiment relies on
+	// the distinction.
+	PrefetchNext bool
+}
+
+// Stats accumulates accesses and hits for one level.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	// Evictions counts blocks displaced by fills.
+	Evictions uint64
+	// DirtyEvictions counts displaced blocks that had been written.
+	DirtyEvictions uint64
+	// Prefetches counts next-block prefetch fills.
+	Prefetches uint64
+}
+
+// Misses returns the miss count.
+func (s Stats) Misses() uint64 { return s.Accesses - s.Hits }
+
+// MissRatio returns misses/accesses, or 0 with no accesses.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(s.Accesses)
+}
+
+// way is one cached block.
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse orders ways for LRU replacement.
+	lastUse uint64
+}
+
+// Cache is a single set-associative level with LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  [][]way
+	nsets uint64
+	clock uint64
+	stats Stats
+}
+
+// New builds a cache level. It panics on inconsistent geometry, which is a
+// programming error in experiment setup.
+func New(cfg Config) *Cache {
+	if cfg.BlockSize == 0 || cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		panic(fmt.Sprintf("cachesim: %s block size %d not a power of two", cfg.Name, cfg.BlockSize))
+	}
+	if cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cachesim: %s associativity %d", cfg.Name, cfg.Assoc))
+	}
+	waysBytes := cfg.BlockSize * uint64(cfg.Assoc)
+	if cfg.Size == 0 || cfg.Size%waysBytes != 0 {
+		panic(fmt.Sprintf("cachesim: %s size %d not a multiple of assoc*block %d", cfg.Name, cfg.Size, waysBytes))
+	}
+	nsets := cfg.Size / waysBytes
+	sets := make([][]way, nsets)
+	for i := range sets {
+		sets[i] = make([]way, cfg.Assoc)
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the level's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = way{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Access looks up the block containing addr, filling it on a miss, and
+// reports whether it hit. On a miss that displaces a valid block, evicted
+// reports the victim's dirtiness.
+func (c *Cache) Access(addr mem.Addr, write bool) (hit bool) {
+	hit, _, _ = c.AccessEvict(addr, write)
+	return hit
+}
+
+// AccessEvict is Access plus victim information: evicted is true when a
+// valid block was displaced, evictedDirty when that block was dirty.
+func (c *Cache) AccessEvict(addr mem.Addr, write bool) (hit, evicted, evictedDirty bool) {
+	c.clock++
+	c.stats.Accesses++
+	block := uint64(addr) / c.cfg.BlockSize
+	set := c.sets[block%c.nsets]
+	tag := block / c.nsets
+	var victim *way
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.lastUse = c.clock
+			if write {
+				w.dirty = true
+			}
+			c.stats.Hits++
+			return true, false, false
+		}
+		if victim == nil || !w.valid || (victim.valid && w.lastUse < victim.lastUse) {
+			if victim == nil || victim.valid {
+				victim = w
+			}
+		}
+	}
+	// Miss: fill, displacing the LRU way.
+	if victim.valid {
+		evicted = true
+		evictedDirty = victim.dirty
+		c.stats.Evictions++
+		if victim.dirty {
+			c.stats.DirtyEvictions++
+		}
+	}
+	*victim = way{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	if c.cfg.PrefetchNext {
+		c.Install(mem.Addr((block + 1) * c.cfg.BlockSize))
+	}
+	return false, evicted, evictedDirty
+}
+
+// Install places the block holding addr without counting an access or a
+// hit — the prefetch fill path. Present blocks are left untouched.
+func (c *Cache) Install(addr mem.Addr) {
+	block := uint64(addr) / c.cfg.BlockSize
+	set := c.sets[block%c.nsets]
+	tag := block / c.nsets
+	victim := &set[0]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			return // already present
+		}
+		if !w.valid {
+			victim = w
+			continue
+		}
+		if victim.valid && w.lastUse < victim.lastUse {
+			victim = w
+		}
+	}
+	if victim.valid {
+		c.stats.Evictions++
+		if victim.dirty {
+			c.stats.DirtyEvictions++
+		}
+	}
+	c.stats.Prefetches++
+	*victim = way{tag: tag, valid: true, lastUse: c.clock}
+}
+
+// Contains reports whether the block holding addr is currently cached,
+// without disturbing LRU state or counters.
+func (c *Cache) Contains(addr mem.Addr) bool {
+	block := uint64(addr) / c.cfg.BlockSize
+	set := c.sets[block%c.nsets]
+	tag := block / c.nsets
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid blocks.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, w := range set {
+			if w.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

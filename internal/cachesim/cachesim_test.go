@@ -1,0 +1,295 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kona/internal/mem"
+	"kona/internal/trace"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways x 64B blocks = 512B.
+	return New(Config{Name: "T", Size: 512, BlockSize: 64, Assoc: 2, HitLatency: 1})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := smallCache()
+	if c.Access(0, false) {
+		t.Fatalf("cold access hit")
+	}
+	if !c.Access(0, false) {
+		t.Fatalf("second access missed")
+	}
+	if !c.Access(63, false) {
+		t.Fatalf("same-block access missed")
+	}
+	if c.Access(64, false) {
+		t.Fatalf("next block hit cold")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := smallCache()
+	// Three blocks mapping to set 0: block numbers 0, 4, 8 (4 sets).
+	a0, a4, a8 := mem.Addr(0), mem.Addr(4*64), mem.Addr(8*64)
+	c.Access(a0, false)
+	c.Access(a4, false)
+	c.Access(a0, false) // a0 now MRU, a4 LRU
+	c.Access(a8, false) // evicts a4
+	if !c.Contains(a0) {
+		t.Errorf("a0 evicted, expected a4")
+	}
+	if c.Contains(a4) {
+		t.Errorf("a4 survived, expected eviction")
+	}
+	if !c.Contains(a8) {
+		t.Errorf("a8 not filled")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := smallCache()
+	a0, a4, a8 := mem.Addr(0), mem.Addr(4*64), mem.Addr(8*64)
+	c.Access(a0, true) // dirty
+	c.Access(a4, false)
+	_, ev, dirty := c.AccessEvict(a8, false) // evicts a0 (LRU, dirty)
+	if !ev || !dirty {
+		t.Errorf("expected dirty eviction, got ev=%v dirty=%v", ev, dirty)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.DirtyEvictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Write hit marks dirty.
+	c.Reset()
+	c.Access(a0, false)
+	c.Access(a0, true)
+	c.Access(a4, false)
+	_, ev, dirty = c.AccessEvict(a8, false)
+	if !ev || !dirty {
+		t.Errorf("write-hit dirtiness lost: ev=%v dirty=%v", ev, dirty)
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Size: 512, BlockSize: 63, Assoc: 2}, // non power-of-two block
+		{Size: 512, BlockSize: 64, Assoc: 0}, // zero assoc
+		{Size: 500, BlockSize: 64, Assoc: 2}, // size not multiple
+		{Size: 0, BlockSize: 64, Assoc: 2},   // zero size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v: expected panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: occupancy never exceeds capacity and equals the number of
+// distinct blocks touched when that number fits.
+func TestOccupancyQuick(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := smallCache()
+		distinct := map[uint64]struct{}{}
+		for _, a := range addrs {
+			addr := mem.Addr(a)
+			c.Access(addr, false)
+			distinct[uint64(addr)/64] = struct{}{}
+		}
+		occ := c.Occupancy()
+		if occ > 8 { // capacity in blocks
+			return false
+		}
+		if len(distinct) <= 2 && occ != len(distinct) {
+			// With at most 2 distinct blocks nothing can be evicted
+			// (assoc 2), so occupancy must be exact.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a direct-mapped cache of N blocks accessed with a cyclic
+// working set of N+1 conflicting blocks always misses (LRU pathological
+// case) while a working set of N always hits after warmup.
+func TestLRUCyclic(t *testing.T) {
+	c := New(Config{Name: "DM", Size: 4 * 64, BlockSize: 64, Assoc: 4, HitLatency: 1})
+	// Fully associative with 4 ways: 4-block cycle hits after warmup.
+	for round := 0; round < 3; round++ {
+		for b := 0; b < 4; b++ {
+			c.Access(mem.Addr(b*64), false)
+		}
+	}
+	st := c.Stats()
+	if st.Misses() != 4 {
+		t.Errorf("4-block cycle: misses = %d, want 4 (cold only)", st.Misses())
+	}
+	// 5-block cycle with LRU: always misses.
+	c.Reset()
+	for round := 0; round < 3; round++ {
+		for b := 0; b < 5; b++ {
+			c.Access(mem.Addr(b*64), false)
+		}
+	}
+	if st := c.Stats(); st.Hits != 0 {
+		t.Errorf("5-block cycle over 4-way LRU: hits = %d, want 0", st.Hits)
+	}
+}
+
+func TestHierarchyAMAT(t *testing.T) {
+	h := NewHierarchy(100*time.Nanosecond,
+		Config{Name: "L1", Size: 128, BlockSize: 64, Assoc: 2, HitLatency: 1 * time.Nanosecond},
+		Config{Name: "L2", Size: 512, BlockSize: 64, Assoc: 2, HitLatency: 4 * time.Nanosecond},
+	)
+	// First access: miss everywhere => 1+4+100 = 105ns.
+	if got := h.Access(0, false); got != 105*time.Nanosecond {
+		t.Errorf("cold access = %v, want 105ns", got)
+	}
+	// Now resident in L1: 1ns.
+	if got := h.Access(0, false); got != 1*time.Nanosecond {
+		t.Errorf("L1 hit = %v, want 1ns", got)
+	}
+	if got := h.AMAT(); got != 53*time.Nanosecond {
+		t.Errorf("AMAT = %v, want 53ns", got)
+	}
+	if h.Accesses() != 2 {
+		t.Errorf("accesses = %d", h.Accesses())
+	}
+}
+
+func TestHierarchyL2HitAfterL1Evict(t *testing.T) {
+	h := NewHierarchy(100*time.Nanosecond,
+		// L1: 1 set x 1 way. L2: large enough to keep everything.
+		Config{Name: "L1", Size: 64, BlockSize: 64, Assoc: 1, HitLatency: 1 * time.Nanosecond},
+		Config{Name: "L2", Size: 4096, BlockSize: 64, Assoc: 4, HitLatency: 4 * time.Nanosecond},
+	)
+	h.Access(0, false)        // cold
+	h.Access(64, false)       // evicts 0 from L1, fills L2
+	got := h.Access(0, false) // L1 miss, L2 hit: 1+4 = 5ns
+	if got != 5*time.Nanosecond {
+		t.Errorf("L2 hit = %v, want 5ns", got)
+	}
+}
+
+func TestAccessRangeSplitsBlocks(t *testing.T) {
+	h := NewHierarchy(100*time.Nanosecond,
+		Config{Name: "L1", Size: 4096, BlockSize: 64, Assoc: 4, HitLatency: 1 * time.Nanosecond},
+	)
+	// 128 bytes starting at offset 32 touches 3 blocks.
+	h.AccessRange(mem.Range{Start: 32, Len: 128}, false)
+	if h.Accesses() != 3 {
+		t.Errorf("accesses = %d, want 3", h.Accesses())
+	}
+	if h.AccessRange(mem.Range{Start: 0, Len: 0}, false) != 0 {
+		t.Errorf("empty range cost nonzero")
+	}
+}
+
+func TestHierarchyRun(t *testing.T) {
+	h := NewHierarchy(100*time.Nanosecond,
+		Config{Name: "L1", Size: 4096, BlockSize: 64, Assoc: 4, HitLatency: 1 * time.Nanosecond},
+	)
+	s := trace.NewSliceStream([]trace.Access{
+		{Addr: 0, Size: 64, Kind: trace.Read},
+		{Addr: 0, Size: 64, Kind: trace.Write},
+	})
+	amat, err := h.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 101 + 1 over 2 accesses = 51ns.
+	if amat != 51*time.Nanosecond {
+		t.Errorf("AMAT = %v, want 51ns", amat)
+	}
+}
+
+// Streaming (no reuse) through a small cache gives ~100% misses; zipf
+// (heavy reuse) gives a high hit ratio. This is the mechanism behind the
+// Fig 8 curve shapes.
+func TestReuseSeparation(t *testing.T) {
+	mkCache := func() *Cache {
+		return New(Config{Name: "C", Size: 1 << 16, BlockSize: 64, Assoc: 4, HitLatency: 1})
+	}
+	stream := mkCache()
+	for i := 0; i < 100000; i++ {
+		stream.Access(mem.Addr(i*64), false)
+	}
+	if r := stream.Stats().MissRatio(); r < 0.99 {
+		t.Errorf("streaming miss ratio = %.3f, want ~1", r)
+	}
+	zipfC := mkCache()
+	rng := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(rng, 1.2, 16, 1<<20)
+	for i := 0; i < 100000; i++ {
+		zipfC.Access(mem.Addr(z.Uint64()*64), false)
+	}
+	if r := zipfC.Stats().MissRatio(); r > 0.5 {
+		t.Errorf("zipf miss ratio = %.3f, want well under 0.5", r)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(100,
+		Config{Name: "L1", Size: 4096, BlockSize: 64, Assoc: 4, HitLatency: 1})
+	h.Access(0, true)
+	h.Reset()
+	if h.Accesses() != 0 || h.AMAT() != 0 {
+		t.Errorf("reset failed")
+	}
+	if h.Levels()[0].Occupancy() != 0 {
+		t.Errorf("level not cleared")
+	}
+}
+
+func TestPrefetchNextInstalls(t *testing.T) {
+	c := New(Config{Name: "PF", Size: 4096, BlockSize: 64, Assoc: 4, HitLatency: 1, PrefetchNext: true})
+	if c.Access(0, false) {
+		t.Fatalf("cold access hit")
+	}
+	// The next block was installed by the prefetcher: it hits.
+	if !c.Access(64, false) {
+		t.Errorf("prefetched block missed")
+	}
+	st := c.Stats()
+	if st.Prefetches == 0 {
+		t.Errorf("no prefetches counted")
+	}
+	// Install is idempotent on present blocks.
+	before := c.Occupancy()
+	c.Install(0)
+	if c.Occupancy() != before {
+		t.Errorf("Install duplicated a present block")
+	}
+}
+
+func TestInstallEvictsLRU(t *testing.T) {
+	// Single-set cache: Install displaces the LRU valid block.
+	c := New(Config{Name: "I", Size: 256, BlockSize: 64, Assoc: 4, HitLatency: 1})
+	for i := 0; i < 4; i++ {
+		c.Access(mem.Addr(i*64), true)
+	}
+	c.Install(mem.Addr(4 * 64))
+	if c.Contains(0) {
+		t.Errorf("LRU block survived Install")
+	}
+	if !c.Contains(mem.Addr(4 * 64)) {
+		t.Errorf("installed block absent")
+	}
+	if c.Stats().DirtyEvictions != 1 {
+		t.Errorf("dirty eviction by Install not counted")
+	}
+}

@@ -1,0 +1,105 @@
+package cachesim
+
+import (
+	"errors"
+	"io"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+	"kona/internal/trace"
+)
+
+// Hierarchy is an inclusive-lookup cache hierarchy: an access probes each
+// level in order until it hits; every missed level is filled. The final
+// backing store (remote memory, for our experiments) has a fixed latency.
+type Hierarchy struct {
+	levels []*Cache
+	// BackingLatency is paid when every level misses (e.g. the remote
+	// fetch latency of the system under study).
+	BackingLatency simclock.Duration
+	// accesses counts memory operations (not level probes).
+	accesses uint64
+	// totalTime accumulates modeled access time for AMAT.
+	totalTime simclock.Duration
+}
+
+// NewHierarchy builds a hierarchy from level configs, ordered from the
+// innermost (L1) outward.
+func NewHierarchy(backing simclock.Duration, cfgs ...Config) *Hierarchy {
+	h := &Hierarchy{BackingLatency: backing}
+	for _, cfg := range cfgs {
+		h.levels = append(h.levels, New(cfg))
+	}
+	return h
+}
+
+// Levels exposes the constituent caches for stats collection.
+func (h *Hierarchy) Levels() []*Cache { return h.levels }
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	for _, l := range h.levels {
+		l.Reset()
+	}
+	h.accesses = 0
+	h.totalTime = 0
+}
+
+// Access performs one memory operation and returns its modeled latency:
+// the hit latency of the first level that hits, or the sum of the misses'
+// traversal plus the backing latency. Missed levels are filled on the way.
+func (h *Hierarchy) Access(addr mem.Addr, write bool) simclock.Duration {
+	h.accesses++
+	var t simclock.Duration
+	for _, l := range h.levels {
+		t += l.cfg.HitLatency
+		if l.Access(addr, write) {
+			h.totalTime += t
+			return t
+		}
+	}
+	t += h.BackingLatency
+	h.totalTime += t
+	return t
+}
+
+// AccessRange splits a multi-byte operation into block-grained accesses at
+// the innermost level's block size, modeling an application-level operation
+// that touches several cache lines.
+func (h *Hierarchy) AccessRange(r mem.Range, write bool) simclock.Duration {
+	if r.Len == 0 {
+		return 0
+	}
+	bs := h.levels[0].cfg.BlockSize
+	var t simclock.Duration
+	for a := r.Start.AlignDown(bs); a < r.End(); a += mem.Addr(bs) {
+		t += h.Access(a, write)
+	}
+	return t
+}
+
+// Run consumes an entire access stream and returns the AMAT.
+func (h *Hierarchy) Run(s trace.Stream) (simclock.Duration, error) {
+	for {
+		a, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		h.AccessRange(a.Range(), a.Kind == trace.Write)
+	}
+	return h.AMAT(), nil
+}
+
+// AMAT returns the average access time over all operations so far.
+func (h *Hierarchy) AMAT() simclock.Duration {
+	if h.accesses == 0 {
+		return 0
+	}
+	return h.totalTime / simclock.Duration(h.accesses)
+}
+
+// Accesses returns the number of memory operations simulated.
+func (h *Hierarchy) Accesses() uint64 { return h.accesses }

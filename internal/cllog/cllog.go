@@ -1,0 +1,99 @@
+// Package cllog defines Kona's cache-line log: the ring-buffer wire format
+// (inspired by FaRM, §4.4) that the Eviction Handler uses to aggregate
+// dirty cache lines — contiguous or not, even from different pages — into
+// one large RDMA write, and that the Cache-line Log Receiver on the memory
+// node unpacks back into place.
+//
+// Layout: a sequence of entries, each
+//
+//	[8B remote offset][2B length][payload bytes]
+//
+// terminated by an offset of all-ones. Lengths are multiples of 64 in
+// normal operation (whole cache lines, possibly coalesced segments), but
+// the codec accepts any length for generality.
+package cllog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderSize is the per-entry header length.
+const HeaderSize = 10
+
+// terminator marks the end of the packed log.
+const terminator = ^uint64(0)
+
+// Entry is one dirty segment destined for remote memory.
+type Entry struct {
+	// RemoteOff is the byte offset within the target memory region.
+	RemoteOff uint64
+	// Data is the segment payload.
+	Data []byte
+}
+
+// ErrTruncated reports a log that ends mid-entry.
+var ErrTruncated = errors.New("cllog: truncated log")
+
+// PackedSize returns the buffer space entries require when packed.
+func PackedSize(entries []Entry) int {
+	n := 8 // terminator
+	for _, e := range entries {
+		n += HeaderSize + len(e.Data)
+	}
+	return n
+}
+
+// Pack serializes entries into buf and returns the bytes used. It fails if
+// buf is too small or an entry exceeds the 2-byte length field.
+func Pack(entries []Entry, buf []byte) (int, error) {
+	need := PackedSize(entries)
+	if len(buf) < need {
+		return 0, fmt.Errorf("cllog: buffer %d too small for %d bytes", len(buf), need)
+	}
+	off := 0
+	for i, e := range entries {
+		if len(e.Data) > 0xFFFF {
+			return 0, fmt.Errorf("cllog: entry %d payload %d exceeds 64KB", i, len(e.Data))
+		}
+		if e.RemoteOff == terminator {
+			return 0, fmt.Errorf("cllog: entry %d uses reserved offset", i)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], e.RemoteOff)
+		binary.LittleEndian.PutUint16(buf[off+8:], uint16(len(e.Data)))
+		copy(buf[off+HeaderSize:], e.Data)
+		off += HeaderSize + len(e.Data)
+	}
+	binary.LittleEndian.PutUint64(buf[off:], terminator)
+	return off + 8, nil
+}
+
+// Unpack parses a packed log, invoking apply for each entry in order. The
+// callback receives the entry's payload aliased into buf; implementations
+// must copy if they retain it. Unpack returns the number of entries.
+func Unpack(buf []byte, apply func(Entry) error) (int, error) {
+	off, n := 0, 0
+	for {
+		if off+8 > len(buf) {
+			return n, ErrTruncated
+		}
+		remoteOff := binary.LittleEndian.Uint64(buf[off:])
+		if remoteOff == terminator {
+			return n, nil
+		}
+		if off+HeaderSize > len(buf) {
+			return n, ErrTruncated
+		}
+		length := int(binary.LittleEndian.Uint16(buf[off+8:]))
+		if off+HeaderSize+length > len(buf) {
+			return n, ErrTruncated
+		}
+		e := Entry{RemoteOff: remoteOff, Data: buf[off+HeaderSize : off+HeaderSize+length]}
+		if err := apply(e); err != nil {
+			return n, err
+		}
+		off += HeaderSize + length
+		n++
+	}
+}

@@ -1,0 +1,147 @@
+package cllog
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{RemoteOff: 0, Data: bytes.Repeat([]byte{1}, 64)},
+		{RemoteOff: 4096, Data: bytes.Repeat([]byte{2}, 128)},
+		{RemoteOff: 1 << 30, Data: []byte{9}},
+	}
+	buf := make([]byte, PackedSize(entries))
+	n, err := Pack(entries, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("packed %d bytes, PackedSize said %d", n, len(buf))
+	}
+	var got []Entry
+	cnt, err := Unpack(buf, func(e Entry) error {
+		got = append(got, Entry{RemoteOff: e.RemoteOff, Data: append([]byte(nil), e.Data...)})
+		return nil
+	})
+	if err != nil || cnt != 3 {
+		t.Fatalf("unpack: cnt=%d err=%v", cnt, err)
+	}
+	for i := range entries {
+		if got[i].RemoteOff != entries[i].RemoteOff || !bytes.Equal(got[i].Data, entries[i].Data) {
+			t.Errorf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	buf := make([]byte, PackedSize(nil))
+	if _, err := Pack(nil, buf); err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := Unpack(buf, func(Entry) error { t.Fatal("callback on empty log"); return nil })
+	if err != nil || cnt != 0 {
+		t.Errorf("empty unpack: %d %v", cnt, err)
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	if _, err := Pack([]Entry{{Data: make([]byte, 64)}}, make([]byte, 10)); err == nil {
+		t.Errorf("small buffer accepted")
+	}
+	if _, err := Pack([]Entry{{Data: make([]byte, 70000)}}, make([]byte, 80000)); err == nil {
+		t.Errorf("oversized payload accepted")
+	}
+	if _, err := Pack([]Entry{{RemoteOff: ^uint64(0), Data: []byte{1}}}, make([]byte, 64)); err == nil {
+		t.Errorf("reserved offset accepted")
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	entries := []Entry{{RemoteOff: 10, Data: make([]byte, 64)}}
+	buf := make([]byte, PackedSize(entries))
+	if _, err := Pack(entries, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, 9, 50, len(buf) - 9} {
+		if _, err := Unpack(buf[:cut], func(Entry) error { return nil }); !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut=%d: err=%v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestUnpackCallbackError(t *testing.T) {
+	entries := []Entry{{RemoteOff: 1, Data: []byte{1}}, {RemoteOff: 2, Data: []byte{2}}}
+	buf := make([]byte, PackedSize(entries))
+	if _, err := Pack(entries, buf); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	n, err := Unpack(buf, func(e Entry) error {
+		if e.RemoteOff == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Errorf("n=%d err=%v", n, err)
+	}
+}
+
+// Property: pack→unpack is the identity for arbitrary entry sets.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count) % 32
+		entries := make([]Entry, n)
+		for i := range entries {
+			sz := rng.Intn(256) + 1
+			d := make([]byte, sz)
+			rng.Read(d)
+			entries[i] = Entry{RemoteOff: rng.Uint64() >> 1, Data: d}
+		}
+		buf := make([]byte, PackedSize(entries))
+		if _, err := Pack(entries, buf); err != nil {
+			return false
+		}
+		i := 0
+		cnt, err := Unpack(buf, func(e Entry) error {
+			if e.RemoteOff != entries[i].RemoteOff || !bytes.Equal(e.Data, entries[i].Data) {
+				return errors.New("mismatch")
+			}
+			i++
+			return nil
+		})
+		return err == nil && cnt == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzUnpack exercises the decoder against arbitrary bytes: it must never
+// panic and must account every reported entry within bounds.
+func FuzzUnpack(f *testing.F) {
+	entries := []Entry{{RemoteOff: 64, Data: []byte("seed-payload")}}
+	buf := make([]byte, PackedSize(entries))
+	if _, err := Pack(entries, buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Unpack(data, func(e Entry) error {
+			if len(e.Data) > 0xFFFF {
+				t.Fatalf("oversized entry surfaced: %d", len(e.Data))
+			}
+			return nil
+		})
+		if err == nil && n < 0 {
+			t.Fatalf("negative entry count")
+		}
+	})
+}

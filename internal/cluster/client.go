@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+
+	"kona/internal/slab"
+)
+
+// ControllerClient talks to a remote controller daemon.
+type ControllerClient struct {
+	addr string
+}
+
+// DialController returns a client for the controller at addr.
+func DialController(addr string) *ControllerClient {
+	return &ControllerClient{addr: addr}
+}
+
+// RegisterNode announces a memory node's capacity and TCP address.
+func (c *ControllerClient) RegisterNode(id int, capacity uint64, nodeAddr string) error {
+	_, err := roundTrip(c.addr, &Request{
+		Kind: msgRegisterNode, NodeID: id, Capacity: capacity, Addr: nodeAddr,
+	})
+	return err
+}
+
+// AllocSlab requests one slab and returns it with the hosting node's
+// address.
+func (c *ControllerClient) AllocSlab(size uint64) (slab.Slab, string, error) {
+	resp, err := roundTrip(c.addr, &Request{Kind: msgAllocSlab, Size: size})
+	if err != nil {
+		return slab.Slab{}, "", err
+	}
+	if len(resp.Slabs) != 1 {
+		return slab.Slab{}, "", fmt.Errorf("cluster: controller returned %d slabs", len(resp.Slabs))
+	}
+	s := resp.Slabs[0]
+	return s, resp.Addrs[s.Node], nil
+}
+
+// AllocReplicatedSlab requests a slab placed on `replicas` distinct nodes.
+func (c *ControllerClient) AllocReplicatedSlab(size uint64, replicas int) ([]slab.Slab, map[int]string, error) {
+	resp, err := roundTrip(c.addr, &Request{Kind: msgAllocSlab, Size: size, Replicas: replicas})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Slabs, resp.Addrs, nil
+}
+
+// ReleaseSlab returns a slab's memory to its node.
+func (c *ControllerClient) ReleaseSlab(s slab.Slab) error {
+	_, err := roundTrip(c.addr, &Request{
+		Kind: msgReleaseSlab, NodeID: s.Node, Offset: s.RemoteOff, Size: s.Size,
+	})
+	return err
+}
+
+// Ping checks liveness.
+func (c *ControllerClient) Ping() error {
+	_, err := roundTrip(c.addr, &Request{Kind: msgPing})
+	return err
+}
+
+// MemoryNodeClient talks to a remote memory-node daemon.
+type MemoryNodeClient struct {
+	addr string
+}
+
+// DialMemoryNode returns a client for the node at addr.
+func DialMemoryNode(addr string) *MemoryNodeClient {
+	return &MemoryNodeClient{addr: addr}
+}
+
+// Read fetches length bytes at offset from the node's pool.
+func (c *MemoryNodeClient) Read(offset uint64, length int) ([]byte, error) {
+	resp, err := roundTrip(c.addr, &Request{Kind: msgRead, Offset: offset, Length: length})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Write stores data at offset in the node's pool.
+func (c *MemoryNodeClient) Write(offset uint64, data []byte) error {
+	_, err := roundTrip(c.addr, &Request{Kind: msgWrite, Offset: offset, Data: data})
+	return err
+}
+
+// WriteLog ships a packed cache-line log and returns the number of entries
+// the receiver applied.
+func (c *MemoryNodeClient) WriteLog(packed []byte) (int, error) {
+	resp, err := roundTrip(c.addr, &Request{Kind: msgWriteLog, Data: packed})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Entries, nil
+}
+
+// Ping checks liveness.
+func (c *MemoryNodeClient) Ping() error {
+	_, err := roundTrip(c.addr, &Request{Kind: msgPing})
+	return err
+}

@@ -1,0 +1,422 @@
+package cluster
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"kona/internal/cllog"
+	"kona/internal/mem"
+	"kona/internal/slab"
+)
+
+func TestControllerRoundRobin(t *testing.T) {
+	c := NewController()
+	if _, err := c.AllocSlab(1 << 20); err == nil {
+		t.Fatalf("alloc with no nodes succeeded")
+	}
+	n0 := NewMemoryNode(0, 64<<20)
+	n1 := NewMemoryNode(1, 64<<20)
+	if err := c.Register(n0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(n0); err == nil {
+		t.Fatalf("duplicate registration accepted")
+	}
+	if err := c.Register(n1); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c.AllocSlab(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.AllocSlab(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Node == s2.Node {
+		t.Errorf("round-robin placed both slabs on node %d", s1.Node)
+	}
+	if s1.Base < VFMemBase || s2.Base < VFMemBase {
+		t.Errorf("slab bases below VFMemBase")
+	}
+	if s1.Range().Overlaps(s2.Range()) {
+		t.Errorf("slab address ranges overlap: %v %v", s1.Range(), s2.Range())
+	}
+	if s1.ID == s2.ID {
+		t.Errorf("duplicate slab ids")
+	}
+}
+
+func TestControllerSkipsFullAndFailedNodes(t *testing.T) {
+	c := NewController()
+	small := NewMemoryNode(0, 1<<20)
+	big := NewMemoryNode(1, 64<<20)
+	if err := c.Register(small); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(big); err != nil {
+		t.Fatal(err)
+	}
+	// 8MB slab only fits on the big node, repeatedly.
+	for i := 0; i < 3; i++ {
+		s, err := c.AllocSlab(8 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Node != 1 {
+			t.Errorf("slab landed on full node")
+		}
+	}
+	big.Fail()
+	if _, err := c.AllocSlab(8 << 20); err == nil {
+		t.Errorf("allocation on failed node succeeded")
+	}
+	// Oversized request fails cleanly.
+	if _, err := c.AllocSlab(1 << 40); err == nil {
+		t.Errorf("oversized slab succeeded")
+	}
+	if _, err := c.AllocSlab(0); err == nil {
+		t.Errorf("zero slab succeeded")
+	}
+}
+
+func TestReplicatedSlabPlacement(t *testing.T) {
+	c := NewController()
+	for i := 0; i < 3; i++ {
+		if err := c.Register(NewMemoryNode(i, 64<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slabs, err := c.AllocReplicatedSlab(8<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slabs) != 2 {
+		t.Fatalf("replicas = %d", len(slabs))
+	}
+	if slabs[0].Node == slabs[1].Node {
+		t.Errorf("replicas co-located on node %d", slabs[0].Node)
+	}
+	if slabs[0].Base != slabs[1].Base {
+		t.Errorf("replica bases differ: %v vs %v", slabs[0].Base, slabs[1].Base)
+	}
+	if _, err := c.AllocReplicatedSlab(8<<20, 4); err == nil {
+		t.Errorf("4 replicas on 3 nodes succeeded")
+	}
+	if _, err := c.AllocReplicatedSlab(8<<20, 0); err == nil {
+		t.Errorf("0 replicas succeeded")
+	}
+}
+
+func TestControllerRemove(t *testing.T) {
+	c := NewController()
+	if err := c.Register(NewMemoryNode(0, 8<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(NewMemoryNode(1, 8<<20)); err != nil {
+		t.Fatal(err)
+	}
+	c.Remove(0)
+	if c.Nodes() != 1 {
+		t.Fatalf("nodes = %d", c.Nodes())
+	}
+	for i := 0; i < 2; i++ {
+		s, err := c.AllocSlab(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Node != 1 {
+			t.Errorf("slab placed on removed node")
+		}
+	}
+}
+
+func TestMemoryNodeCarve(t *testing.T) {
+	n := NewMemoryNode(3, 4<<20)
+	off1, err := n.CarveSlab(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := n.CarveSlab(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 == off2 {
+		t.Errorf("slabs overlap")
+	}
+	if _, err := n.CarveSlab(8 << 20); err == nil {
+		t.Errorf("over-capacity carve succeeded")
+	}
+	total, used := n.Capacity()
+	if total != 4<<20 || used != 2<<20 {
+		t.Errorf("capacity = %d/%d", used, total)
+	}
+}
+
+func TestLogReceiverScatters(t *testing.T) {
+	n := NewMemoryNode(0, 1<<20)
+	entries := []cllog.Entry{
+		{RemoteOff: 0, Data: bytes.Repeat([]byte{0xAA}, mem.CacheLineSize)},
+		{RemoteOff: 4096, Data: bytes.Repeat([]byte{0xBB}, 2*mem.CacheLineSize)},
+	}
+	packed, err := cllog.Pack(entries, n.logMR.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, service, err := n.UnpackLog(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 || service <= 0 {
+		t.Fatalf("applied=%d service=%v", applied, service)
+	}
+	pool := n.PoolBytes()
+	if pool[0] != 0xAA || pool[63] != 0xAA || pool[64] == 0xAA {
+		t.Errorf("entry 0 misplaced")
+	}
+	if pool[4096] != 0xBB || pool[4096+127] != 0xBB {
+		t.Errorf("entry 1 misplaced")
+	}
+	logs, lines := n.ReceiverStats()
+	if logs != 1 || lines != 2 {
+		t.Errorf("receiver stats = %d/%d", logs, lines)
+	}
+	// Out-of-range entry is rejected.
+	bad := []cllog.Entry{{RemoteOff: 1 << 20, Data: make([]byte, 64)}}
+	packed, err = cllog.Pack(bad, n.logMR.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.UnpackLog(packed); err == nil {
+		t.Errorf("out-of-pool entry accepted")
+	}
+	n.Fail()
+	if _, _, err := n.UnpackLog(packed); err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Errorf("failed node accepted log: %v", err)
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	// Controller daemon.
+	ctrl := NewController()
+	cs, err := ServeController(ctrl, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+
+	// Two memory-node daemons; note the controller holds its own node
+	// objects (registered via RPC) — the daemons serve the data plane.
+	var nodeSrvs []*MemoryNodeServer
+	cc := DialController(cs.Addr())
+	for i := 0; i < 2; i++ {
+		n := NewMemoryNode(i, 8<<20)
+		ns, err := ServeMemoryNode(n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ns.Close()
+		nodeSrvs = append(nodeSrvs, ns)
+		if err := cc.RegisterNode(i, 8<<20, ns.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Allocate a slab; write and read back through the hosting node.
+	s, nodeAddr, err := cc.AllocSlab(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodeAddr == "" {
+		t.Fatalf("controller returned no node address")
+	}
+	mc := DialMemoryNode(nodeAddr)
+	if err := mc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 4096)
+	if err := mc.Write(s.RemoteOff, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mc.Read(s.RemoteOff, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("TCP read-back mismatch")
+	}
+
+	// Ship a cache-line log over TCP.
+	entries := []cllog.Entry{{RemoteOff: s.RemoteOff + 8192, Data: bytes.Repeat([]byte{3}, 64)}}
+	packed := make([]byte, cllog.PackedSize(entries))
+	if _, err := cllog.Pack(entries, packed); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := mc.WriteLog(packed)
+	if err != nil || applied != 1 {
+		t.Fatalf("WriteLog: %d %v", applied, err)
+	}
+	got, err = mc.Read(s.RemoteOff+8192, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, entries[0].Data) {
+		t.Fatalf("log entry not scattered over TCP")
+	}
+
+	// Replicated allocation over TCP.
+	slabs, addrs, err := cc.AllocReplicatedSlab(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slabs) != 2 || len(addrs) != 2 {
+		t.Fatalf("replicated alloc: %d slabs, %d addrs", len(slabs), len(addrs))
+	}
+
+	// Error paths over the wire.
+	if _, err := mc.Read(1<<40, 10); err == nil {
+		t.Errorf("out-of-range TCP read succeeded")
+	}
+	if _, _, err := cc.AllocSlab(1 << 40); err == nil {
+		t.Errorf("oversized TCP alloc succeeded")
+	}
+	_ = nodeSrvs
+}
+
+func TestHealthSweep(t *testing.T) {
+	c := NewController()
+	for i := 0; i < 3; i++ {
+		if err := c.Register(NewMemoryNode(i, 8<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dead := c.HealthSweep(); len(dead) != 0 {
+		t.Fatalf("healthy rack reported dead nodes: %v", dead)
+	}
+	n1, _ := c.Node(1)
+	n1.Fail()
+	dead := c.HealthSweep()
+	if len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("sweep = %v, want [1]", dead)
+	}
+	if c.Nodes() != 2 {
+		t.Errorf("nodes after sweep = %d", c.Nodes())
+	}
+	// Allocation no longer lands on the removed node.
+	for i := 0; i < 4; i++ {
+		s, err := c.AllocSlab(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Node == 1 {
+			t.Errorf("slab placed on swept node")
+		}
+	}
+}
+
+func TestTCPProtocolRobustness(t *testing.T) {
+	ctrl := NewController()
+	if err := ctrl.Register(NewMemoryNode(0, 8<<20)); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ServeController(ctrl, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+
+	// Unknown request kind gets a clean error, not a hang.
+	resp, err := roundTrip(cs.Addr(), &Request{Kind: "bogus"})
+	if err == nil {
+		t.Errorf("unknown kind accepted: %+v", resp)
+	}
+	// Raw garbage on the socket must not wedge the server.
+	conn, err := net.Dial("tcp", cs.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = conn.Write([]byte("this is not gob")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// The server still answers afterwards.
+	if _, err := roundTrip(cs.Addr(), &Request{Kind: msgPing}); err != nil {
+		t.Fatalf("server wedged after garbage: %v", err)
+	}
+	// Release of an unknown node errors cleanly over the wire.
+	cc := DialController(cs.Addr())
+	if err := cc.ReleaseSlab(slab.Slab{Node: 99, Size: 1}); err == nil {
+		t.Errorf("release for unknown node accepted")
+	}
+	// Release round trip.
+	s, _, err := cc.AllocSlab(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.ReleaseSlab(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	ctrl := NewController()
+	for i := 0; i < 2; i++ {
+		if err := ctrl.Register(NewMemoryNode(i, 64<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, err := ServeController(ctrl, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	cc := DialController(cs.Addr())
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := cc.AllocSlab(1 << 20); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent alloc: %v", err)
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	n := NewMemoryNode(7, 1<<20)
+	if n.Endpoint() == nil {
+		t.Errorf("nil endpoint")
+	}
+	if n.LogKey() == n.PoolKey() {
+		t.Errorf("log and pool share a key")
+	}
+	if n.ID() != 7 {
+		t.Errorf("id = %d", n.ID())
+	}
+	// Released extents are reused exactly.
+	off, err := n.CarveSlab(1 << 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ReleaseSlab(off, 1<<19)
+	off2, err := n.CarveSlab(1 << 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off2 != off {
+		t.Errorf("released extent not reused: %d vs %d", off2, off)
+	}
+}

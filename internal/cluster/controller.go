@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"kona/internal/mem"
+	"kona/internal/slab"
+)
+
+// Controller is the centralized rack controller (§4.1): memory nodes
+// register their offered capacity with it, and compute nodes request
+// coarse slabs from it, off the application's critical path.
+type Controller struct {
+	mu sync.Mutex
+
+	nodes      map[int]*MemoryNode
+	nextSlabID uint64
+	nextVA     mem.Addr
+	// rr rotates slab placement across nodes.
+	rr  []int
+	pos int
+}
+
+// VFMemBase is the fake-physical base address at which the controller
+// hands out slab mappings: high enough to never collide with CMem
+// allocations in the simulated process layout.
+const VFMemBase mem.Addr = 1 << 40
+
+// NewController returns an empty controller.
+func NewController() *Controller {
+	return &Controller{nodes: make(map[int]*MemoryNode), nextVA: VFMemBase}
+}
+
+// Register adds a memory node's offered memory to the pool.
+func (c *Controller) Register(n *MemoryNode) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.nodes[n.ID()]; dup {
+		return fmt.Errorf("controller: node %d already registered", n.ID())
+	}
+	c.nodes[n.ID()] = n
+	c.rr = append(c.rr, n.ID())
+	return nil
+}
+
+// Remove expels a node (e.g. after failure detection). Existing slabs on
+// it become unreachable; the runtime's replication layer handles that.
+func (c *Controller) Remove(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.nodes, id)
+	for i, nid := range c.rr {
+		if nid == id {
+			c.rr = append(c.rr[:i], c.rr[i+1:]...)
+			break
+		}
+	}
+	if len(c.rr) > 0 {
+		c.pos %= len(c.rr)
+	}
+}
+
+// Node returns a registered node by id.
+func (c *Controller) Node(id int) (*MemoryNode, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// Nodes returns the registered node count.
+func (c *Controller) Nodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// ReleaseSlab returns a slab's memory to its node for reuse.
+func (c *Controller) ReleaseSlab(s slab.Slab) error {
+	c.mu.Lock()
+	n, ok := c.nodes[s.Node]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("controller: slab %d's node %d not registered", s.ID, s.Node)
+	}
+	n.ReleaseSlab(s.RemoteOff, s.Size)
+	return nil
+}
+
+// HealthSweep checks every registered node and removes the failed ones,
+// returning their ids — the controller-side half of §4.5's failure
+// handling (the runtime's replication handles the data).
+func (c *Controller) HealthSweep() []int {
+	c.mu.Lock()
+	var dead []int
+	for id, n := range c.nodes {
+		if n.Failed() {
+			dead = append(dead, id)
+		}
+	}
+	c.mu.Unlock()
+	for _, id := range dead {
+		c.Remove(id)
+	}
+	return dead
+}
+
+// AllocSlab places a slab of the given size on a memory node (round-robin
+// over nodes with room, skipping failed ones) and returns the slab
+// descriptor. The returned slab's Base is a fresh VFMem-space address.
+func (c *Controller) AllocSlab(size uint64) (slab.Slab, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size == 0 {
+		return slab.Slab{}, fmt.Errorf("controller: zero-size slab")
+	}
+	if len(c.rr) == 0 {
+		return slab.Slab{}, fmt.Errorf("controller: no memory nodes registered")
+	}
+	for tries := 0; tries < len(c.rr); tries++ {
+		id := c.rr[c.pos]
+		c.pos = (c.pos + 1) % len(c.rr)
+		n := c.nodes[id]
+		off, err := n.CarveSlab(size)
+		if err != nil {
+			continue // node full or failed; try the next
+		}
+		c.nextSlabID++
+		s := slab.Slab{
+			ID:        c.nextSlabID,
+			Base:      c.nextVA,
+			Size:      size,
+			Node:      id,
+			RemoteKey: n.PoolKey(),
+			RemoteOff: off,
+		}
+		c.nextVA += mem.Addr(size)
+		return s, nil
+	}
+	return slab.Slab{}, fmt.Errorf("controller: no node can host %d bytes", size)
+}
+
+// AllocReplicatedSlab places the same logical slab on `replicas` distinct
+// nodes and returns one descriptor per replica; all share the same Base
+// (the compute node addresses them identically). Used by the §4.5
+// replication path.
+func (c *Controller) AllocReplicatedSlab(size uint64, replicas int) ([]slab.Slab, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if replicas <= 0 {
+		return nil, fmt.Errorf("controller: replicas must be positive")
+	}
+	if len(c.rr) < replicas {
+		return nil, fmt.Errorf("controller: %d replicas requested, %d nodes registered", replicas, len(c.rr))
+	}
+	var out []slab.Slab
+	base := c.nextVA
+	placed := map[int]bool{}
+	for tries := 0; tries < len(c.rr) && len(out) < replicas; tries++ {
+		id := c.rr[c.pos]
+		c.pos = (c.pos + 1) % len(c.rr)
+		if placed[id] {
+			continue
+		}
+		n := c.nodes[id]
+		off, err := n.CarveSlab(size)
+		if err != nil {
+			continue
+		}
+		c.nextSlabID++
+		out = append(out, slab.Slab{
+			ID:        c.nextSlabID,
+			Base:      base,
+			Size:      size,
+			Node:      id,
+			RemoteKey: n.PoolKey(),
+			RemoteOff: off,
+		})
+		placed[id] = true
+	}
+	if len(out) < replicas {
+		return nil, fmt.Errorf("controller: only %d of %d replicas placeable", len(out), replicas)
+	}
+	c.nextVA += mem.Addr(size)
+	return out, nil
+}

@@ -1,0 +1,179 @@
+// Package cluster implements the rack-level pieces of Kona's architecture
+// (§4.1): memory nodes that register disaggregated memory and run the
+// Cache-line Log Receiver, and the centralized rack controller that
+// allocates that memory to compute nodes in coarse slabs.
+//
+// Two transports exist: the in-process simulated RDMA fabric (package
+// rdma) used by the runtime and experiments, and a real TCP wire protocol
+// (protocol.go/server.go) used by the cmd/kona-controller and
+// cmd/kona-memnode daemons.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"kona/internal/cllog"
+	"kona/internal/rdma"
+	"kona/internal/simclock"
+)
+
+// MemoryNode hosts a pool of disaggregated memory, exposed as one large
+// registered region carved into slabs, plus a log-receive region.
+type MemoryNode struct {
+	mu sync.Mutex
+
+	id       int
+	endpoint *rdma.Endpoint
+	pool     *rdma.MR
+	capacity uint64
+	used     uint64
+
+	// logMR receives packed cache-line logs from compute nodes.
+	logMR *rdma.MR
+
+	// freed holds released slab extents for reuse.
+	freed []freedExtent
+
+	// failed simulates a crashed node: all operations error.
+	failed bool
+
+	linesUnpacked uint64
+	logsUnpacked  uint64
+}
+
+// freedExtent is a released slab awaiting reuse.
+type freedExtent struct{ off, size uint64 }
+
+// LogRegionSize is the receive buffer for cache-line logs.
+const LogRegionSize = 4 << 20
+
+// NewMemoryNode registers capacity bytes of offerable memory.
+func NewMemoryNode(id int, capacity uint64) *MemoryNode {
+	ep := rdma.NewEndpoint(fmt.Sprintf("memnode-%d", id))
+	return &MemoryNode{
+		id:       id,
+		endpoint: ep,
+		pool:     ep.RegisterMR(int(capacity)),
+		capacity: capacity,
+		logMR:    ep.RegisterMR(LogRegionSize),
+	}
+}
+
+// ID returns the node identifier.
+func (n *MemoryNode) ID() int { return n.id }
+
+// Endpoint exposes the node's RDMA endpoint for queue-pair setup.
+func (n *MemoryNode) Endpoint() *rdma.Endpoint { return n.endpoint }
+
+// PoolKey returns the rkey of the node's memory pool.
+func (n *MemoryNode) PoolKey() uint32 { return n.pool.Key() }
+
+// LogKey returns the rkey of the node's log-receive region.
+func (n *MemoryNode) LogKey() uint32 { return n.logMR.Key() }
+
+// Capacity returns total and used bytes.
+func (n *MemoryNode) Capacity() (total, used uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.capacity, n.used
+}
+
+// CarveSlab reserves size bytes from the pool and returns its offset.
+func (n *MemoryNode) CarveSlab(size uint64) (offset uint64, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return 0, fmt.Errorf("memnode %d: failed", n.id)
+	}
+	// Reuse a released extent of the exact size first (slabs are uniform
+	// in practice, so exact-fit reuse suffices).
+	for i, f := range n.freed {
+		if f.size == size {
+			n.freed = append(n.freed[:i], n.freed[i+1:]...)
+			return f.off, nil
+		}
+	}
+	if n.used+size > n.capacity {
+		return 0, fmt.Errorf("memnode %d: %d bytes requested, %d free", n.id, size, n.capacity-n.used)
+	}
+	offset = n.used
+	n.used += size
+	return offset, nil
+}
+
+// ReleaseSlab returns a carved extent to the node for reuse.
+func (n *MemoryNode) ReleaseSlab(offset, size uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.freed = append(n.freed, freedExtent{off: offset, size: size})
+}
+
+// Fail marks the node crashed; subsequent operations error. Used by the
+// failure-injection tests (§4.5).
+func (n *MemoryNode) Fail() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed = true
+}
+
+// Failed reports the failure flag.
+func (n *MemoryNode) Failed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failed
+}
+
+// Recover clears the failure flag — the operator restored the node or the
+// network outage ended (§4.5's "wait until the network delay or outage is
+// resolved"). The pool contents are as they were.
+func (n *MemoryNode) Recover() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed = false
+}
+
+// UnpackLog runs the Cache-line Log Receiver once (§4.4): it parses the
+// packed log that a compute node RDMA-wrote into the log region and
+// scatters each entry to its home offset in the pool. It returns the
+// number of entries applied and the modeled service time (a few memory
+// reads and writes per line — "the overhead of the remote thread is
+// small").
+func (n *MemoryNode) UnpackLog(logBytes int) (entries int, service simclock.Duration, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return 0, 0, fmt.Errorf("memnode %d: failed", n.id)
+	}
+	if logBytes > len(n.logMR.Bytes()) {
+		return 0, 0, fmt.Errorf("memnode %d: log of %d bytes exceeds region", n.id, logBytes)
+	}
+	pool := n.pool.Bytes()
+	var payload int
+	entries, err = cllog.Unpack(n.logMR.Bytes()[:logBytes], func(e cllog.Entry) error {
+		if e.RemoteOff+uint64(len(e.Data)) > uint64(len(pool)) {
+			return fmt.Errorf("memnode %d: entry at %d overruns pool", n.id, e.RemoteOff)
+		}
+		copy(pool[e.RemoteOff:], e.Data)
+		payload += len(e.Data)
+		return nil
+	})
+	if err != nil {
+		return entries, 0, err
+	}
+	// Cost model: read the log sequentially and write each line home.
+	service = simclock.Memcpy(payload) + simclock.Duration(entries)*20
+	n.linesUnpacked += uint64(entries)
+	n.logsUnpacked++
+	return entries, service, nil
+}
+
+// ReceiverStats returns logs and entries processed by the log receiver.
+func (n *MemoryNode) ReceiverStats() (logs, entries uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.logsUnpacked, n.linesUnpacked
+}
+
+// PoolBytes exposes the raw pool for verification in tests.
+func (n *MemoryNode) PoolBytes() []byte { return n.pool.Bytes() }

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+
+	"kona/internal/slab"
+)
+
+// TCP wire protocol for the standalone daemons (cmd/kona-controller and
+// cmd/kona-memnode). Messages are gob-encoded, one request/response pair
+// per round trip. The in-process runtime does not use this path; it exists
+// so the rack pieces can run as real networked processes.
+
+// Request tags.
+const (
+	msgRegisterNode = "register-node"
+	msgAllocSlab    = "alloc-slab"
+	msgNodeAddr     = "node-addr"
+	msgRead         = "read"
+	msgWrite        = "write"
+	msgWriteLog     = "write-log"
+	msgReleaseSlab  = "release-slab"
+	msgPing         = "ping"
+)
+
+// Request is the single envelope for every RPC.
+type Request struct {
+	Kind string
+
+	// RegisterNode
+	NodeID   int
+	Capacity uint64
+	Addr     string
+
+	// AllocSlab
+	Size     uint64
+	Replicas int
+
+	// Read/Write/WriteLog/ReleaseSlab
+	Offset uint64
+	Length int
+	Data   []byte
+}
+
+// Response is the single envelope for every reply.
+type Response struct {
+	Err string
+
+	// AllocSlab
+	Slabs []slab.Slab
+	// NodeAddr lookups
+	Addrs map[int]string
+
+	// Read
+	Data []byte
+	// WriteLog
+	Entries int
+}
+
+// errOf converts a Response error field back to error.
+func (r *Response) errOf() error {
+	if r.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("%s", r.Err)
+}
+
+// roundTrip sends one request and decodes one response over a fresh
+// connection. The daemons are request-scoped; connection pooling is left
+// to callers that need throughput.
+func roundTrip(addr string, req *Request) (*Response, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return nil, fmt.Errorf("cluster: encode: %w", err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: decode: %w", err)
+	}
+	if err := resp.errOf(); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// serve accepts connections and dispatches them to handle until the
+// listener closes.
+func serve(l net.Listener, handle func(*Request) *Response) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			var req Request
+			if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+				if err != io.EOF {
+					_ = gob.NewEncoder(conn).Encode(&Response{Err: err.Error()})
+				}
+				return
+			}
+			_ = gob.NewEncoder(conn).Encode(handle(&req))
+		}(conn)
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"kona/internal/slab"
+)
+
+// ControllerServer exposes a Controller over TCP.
+type ControllerServer struct {
+	ctrl *Controller
+	l    net.Listener
+
+	mu    sync.Mutex
+	addrs map[int]string // node id -> TCP address
+}
+
+// ServeController starts a controller daemon on addr (":0" for ephemeral)
+// and returns the server. Close stops it.
+func ServeController(ctrl *Controller, addr string) (*ControllerServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &ControllerServer{ctrl: ctrl, l: l, addrs: make(map[int]string)}
+	go serve(l, s.handle)
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *ControllerServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server.
+func (s *ControllerServer) Close() error { return s.l.Close() }
+
+func (s *ControllerServer) handle(req *Request) *Response {
+	switch req.Kind {
+	case msgRegisterNode:
+		n := NewMemoryNode(req.NodeID, req.Capacity)
+		if err := s.ctrl.Register(n); err != nil {
+			return &Response{Err: err.Error()}
+		}
+		s.mu.Lock()
+		s.addrs[req.NodeID] = req.Addr
+		s.mu.Unlock()
+		return &Response{}
+	case msgAllocSlab:
+		if req.Replicas > 1 {
+			slabs, err := s.ctrl.AllocReplicatedSlab(req.Size, req.Replicas)
+			if err != nil {
+				return &Response{Err: err.Error()}
+			}
+			return &Response{Slabs: slabs, Addrs: s.snapshotAddrs()}
+		}
+		sl, err := s.ctrl.AllocSlab(req.Size)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Slabs: []slab.Slab{sl}, Addrs: s.snapshotAddrs()}
+	case msgReleaseSlab:
+		err := s.ctrl.ReleaseSlab(slab.Slab{Node: req.NodeID, RemoteOff: req.Offset, Size: req.Size})
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{}
+	case msgNodeAddr:
+		return &Response{Addrs: s.snapshotAddrs()}
+	case msgPing:
+		return &Response{}
+	default:
+		return &Response{Err: fmt.Sprintf("controller: unknown request %q", req.Kind)}
+	}
+}
+
+func (s *ControllerServer) snapshotAddrs() map[int]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]string, len(s.addrs))
+	for k, v := range s.addrs {
+		out[k] = v
+	}
+	return out
+}
+
+// MemoryNodeServer exposes a MemoryNode's pool over TCP: remote reads,
+// remote writes, and the cache-line log receiver.
+type MemoryNodeServer struct {
+	node *MemoryNode
+	l    net.Listener
+}
+
+// ServeMemoryNode starts a memory-node daemon on addr.
+func ServeMemoryNode(node *MemoryNode, addr string) (*MemoryNodeServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &MemoryNodeServer{node: node, l: l}
+	go serve(l, s.handle)
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *MemoryNodeServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server.
+func (s *MemoryNodeServer) Close() error { return s.l.Close() }
+
+func (s *MemoryNodeServer) handle(req *Request) *Response {
+	pool := s.node.PoolBytes()
+	switch req.Kind {
+	case msgRead:
+		if req.Offset+uint64(req.Length) > uint64(len(pool)) {
+			return &Response{Err: "memnode: read out of range"}
+		}
+		data := make([]byte, req.Length)
+		copy(data, pool[req.Offset:])
+		return &Response{Data: data}
+	case msgWrite:
+		if req.Offset+uint64(len(req.Data)) > uint64(len(pool)) {
+			return &Response{Err: "memnode: write out of range"}
+		}
+		copy(pool[req.Offset:], req.Data)
+		return &Response{}
+	case msgWriteLog:
+		logBuf := s.node.logMR.Bytes()
+		if len(req.Data) > len(logBuf) {
+			return &Response{Err: "memnode: log too large"}
+		}
+		copy(logBuf, req.Data)
+		entries, _, err := s.node.UnpackLog(len(req.Data))
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{Entries: entries}
+	case msgPing:
+		return &Response{}
+	default:
+		return &Response{Err: fmt.Sprintf("memnode: unknown request %q", req.Kind)}
+	}
+}

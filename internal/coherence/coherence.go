@@ -1,0 +1,304 @@
+// Package coherence implements a MESI directory cache-coherence protocol
+// over 64-byte lines. It is the mechanism Kona's hardware primitives are
+// derived from (§2.3, §4): a memory agent (the FPGA's VFMem directory)
+// observes every line fill the CPU requests and every dirty writeback the
+// CPU caches emit, and that visibility — not page faults — is what drives
+// remote fetching and cache-line dirty tracking.
+//
+// The simulator models N CPU caches (cores) attached to one directory.
+// Set-associative capacity forces evictions, which is exactly how the real
+// system learns about dirty data: "the FPGA only finds out about dirty
+// data when the data is evicted from CPU caches and reaches memory"
+// (§4.4). The directory can also snoop a line out of the caches on demand,
+// the operation Kona's eviction path uses before writing a page out.
+package coherence
+
+import (
+	"fmt"
+
+	"kona/internal/mem"
+)
+
+// State is a MESI line state.
+type State uint8
+
+const (
+	// Invalid: the cache does not hold the line.
+	Invalid State = iota
+	// Shared: read-only copy, possibly held by several caches.
+	Shared
+	// Exclusive: sole clean copy.
+	Exclusive
+	// Modified: sole dirty copy.
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "I"
+	}
+}
+
+// EventKind classifies the directory traffic an attached memory agent
+// (the FPGA) observes.
+type EventKind uint8
+
+const (
+	// FillRead: a cache requested a line for reading (home must supply
+	// data — for VFMem lines this triggers a remote fetch).
+	FillRead EventKind = iota
+	// FillRFO: a cache requested a line for writing (read-for-ownership).
+	FillRFO
+	// Writeback: a modified line left the caches and reached home — the
+	// dirty-tracking signal.
+	Writeback
+	// SnoopClean: a clean line was dropped from a cache (silent at home in
+	// real protocols; surfaced here for observability in tests).
+	SnoopClean
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case FillRead:
+		return "fill-read"
+	case FillRFO:
+		return "fill-rfo"
+	case Writeback:
+		return "writeback"
+	default:
+		return "snoop-clean"
+	}
+}
+
+// Event is one observable protocol action at the home directory.
+type Event struct {
+	Kind EventKind
+	// Line is the cache-line index (address / 64).
+	Line uint64
+	// Cache is the requesting/evicting cache id.
+	Cache int
+}
+
+// Observer receives home-directory events. The FPGA model registers one.
+type Observer func(Event)
+
+// dirEntry is the directory's view of one line.
+type dirEntry struct {
+	// owner is the cache id holding the line E/M, or -1.
+	owner int
+	// sharers is a bitmask of caches holding the line S.
+	sharers uint64
+}
+
+// System is a directory plus its attached CPU caches.
+type System struct {
+	dir      map[uint64]dirEntry
+	caches   []*Cache
+	observer Observer
+	// home supplies/absorbs line payloads (nil = state-only simulation).
+	home Home
+	// homeErr latches the first home-memory failure; Load/Store surface it.
+	homeErr error
+}
+
+// Cache is one core's private cache, set-associative with LRU replacement.
+type Cache struct {
+	id    int
+	sys   *System
+	assoc int
+	nsets uint64
+	sets  [][]cacheLine
+	clock uint64
+
+	hits, misses, writebacks uint64
+}
+
+type cacheLine struct {
+	line    uint64
+	state   State
+	lastUse uint64
+	data    [mem.CacheLineSize]byte
+}
+
+// NewSystem builds a coherence domain with nCaches private caches, each of
+// capacityLines lines with the given associativity.
+func NewSystem(nCaches, capacityLines, assoc int, obs Observer) *System {
+	if nCaches <= 0 || nCaches > 64 {
+		panic("coherence: cache count must be in 1..64")
+	}
+	if assoc <= 0 || capacityLines%assoc != 0 {
+		panic(fmt.Sprintf("coherence: capacity %d not divisible by assoc %d", capacityLines, assoc))
+	}
+	s := &System{dir: make(map[uint64]dirEntry), observer: obs}
+	nsets := uint64(capacityLines / assoc)
+	for i := 0; i < nCaches; i++ {
+		sets := make([][]cacheLine, nsets)
+		for j := range sets {
+			sets[j] = make([]cacheLine, assoc)
+		}
+		s.caches = append(s.caches, &Cache{id: i, sys: s, assoc: assoc, nsets: nsets, sets: sets})
+	}
+	return s
+}
+
+// Cache returns core i's cache.
+func (s *System) Cache(i int) *Cache { return s.caches[i] }
+
+// emit delivers an event to the observer, if any.
+func (s *System) emit(e Event) {
+	if s.observer != nil {
+		s.observer(e)
+	}
+}
+
+// entry fetches the directory entry for a line.
+func (s *System) entry(line uint64) dirEntry {
+	if e, ok := s.dir[line]; ok {
+		return e
+	}
+	return dirEntry{owner: -1}
+}
+
+// Read performs a load of addr by cache id and reports whether it hit.
+func (c *Cache) Read(addr mem.Addr) bool {
+	line := addr.Line()
+	if cl := c.find(line); cl != nil {
+		cl.lastUse = c.touch()
+		c.hits++
+		return true
+	}
+	c.misses++
+	c.sys.fillRead(c, line)
+	return false
+}
+
+// Write performs a store to addr by cache id and reports whether it hit
+// (hit means no directory transaction was needed or only an upgrade).
+func (c *Cache) Write(addr mem.Addr) bool {
+	line := addr.Line()
+	if cl := c.find(line); cl != nil {
+		cl.lastUse = c.touch()
+		switch cl.state {
+		case Modified:
+			c.hits++
+			return true
+		case Exclusive:
+			cl.state = Modified // silent upgrade
+			c.hits++
+			return true
+		case Shared:
+			// Upgrade: invalidate other sharers via the directory.
+			c.sys.upgrade(c, line)
+			cl.state = Modified
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	c.sys.fillRFO(c, line)
+	return false
+}
+
+// find locates a resident line.
+func (c *Cache) find(line uint64) *cacheLine {
+	set := c.sets[line%c.nsets]
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (c *Cache) touch() uint64 {
+	c.clock++
+	return c.clock
+}
+
+// install places a line in state st with the given payload, evicting the
+// LRU victim if needed.
+func (c *Cache) install(line uint64, st State, data []byte) {
+	set := c.sets[line%c.nsets]
+	victim := &set[0]
+	for i := range set {
+		w := &set[i]
+		if w.state == Invalid {
+			victim = w
+			break
+		}
+		if w.lastUse < victim.lastUse {
+			victim = w
+		}
+	}
+	if victim.state != Invalid {
+		c.evictLine(victim)
+	}
+	*victim = cacheLine{line: line, state: st, lastUse: c.touch()}
+	copy(victim.data[:], data)
+}
+
+// evictLine removes a resident line, writing back if modified.
+func (c *Cache) evictLine(cl *cacheLine) {
+	switch cl.state {
+	case Modified:
+		c.writebacks++
+		c.sys.writebackData(cl.line, cl.data[:])
+		c.sys.writeback(c, cl.line)
+	case Exclusive, Shared:
+		c.sys.dropClean(c, cl.line)
+	}
+	cl.state = Invalid
+}
+
+// invalidate drops a line without writeback bookkeeping at the cache (the
+// directory collected the data if it was modified).
+func (c *Cache) invalidate(line uint64) (wasModified bool) {
+	if cl := c.find(line); cl != nil {
+		wasModified = cl.state == Modified
+		cl.state = Invalid
+	}
+	return wasModified
+}
+
+// downgrade moves a line to Shared, reporting whether it was modified.
+func (c *Cache) downgrade(line uint64) (wasModified bool) {
+	if cl := c.find(line); cl != nil {
+		wasModified = cl.state == Modified
+		cl.state = Shared
+	}
+	return wasModified
+}
+
+// State returns the cache's state for a line (Invalid when absent).
+func (c *Cache) State(addr mem.Addr) State {
+	if cl := c.find(addr.Line()); cl != nil {
+		return cl.state
+	}
+	return Invalid
+}
+
+// Stats returns hit/miss/writeback counters.
+func (c *Cache) Stats() (hits, misses, writebacks uint64) {
+	return c.hits, c.misses, c.writebacks
+}
+
+// FlushAll evicts every resident line (modified lines write back). Used by
+// tests and by eviction-time snooping of whole pages.
+func (c *Cache) FlushAll() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].state != Invalid {
+				c.evictLine(&c.sets[si][wi])
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"kona/internal/mem"
+)
+
+// collector accumulates events for assertions.
+type collector struct{ events []Event }
+
+func (c *collector) obs(e Event) { c.events = append(c.events, e) }
+
+func (c *collector) count(k EventKind) int {
+	n := 0
+	for _, e := range c.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func newSys(n int, obs Observer) *System {
+	// 64-line caches, 4-way.
+	return NewSystem(n, 64, 4, obs)
+}
+
+func TestReadGrantsExclusiveThenShared(t *testing.T) {
+	var col collector
+	s := newSys(2, col.obs)
+	c0, c1 := s.Cache(0), s.Cache(1)
+	if c0.Read(0) {
+		t.Fatalf("cold read hit")
+	}
+	if got := c0.State(0); got != Exclusive {
+		t.Fatalf("sole reader state = %v, want E", got)
+	}
+	c1.Read(0)
+	if c0.State(0) != Shared || c1.State(0) != Shared {
+		t.Fatalf("states after second reader: %v/%v, want S/S", c0.State(0), c1.State(0))
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	if col.count(FillRead) != 2 {
+		t.Errorf("fill-read events = %d, want 2", col.count(FillRead))
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	s := newSys(3, nil)
+	c0, c1, c2 := s.Cache(0), s.Cache(1), s.Cache(2)
+	c0.Read(0)
+	c1.Read(0)
+	c2.Read(0)
+	c0.Write(0) // S->M upgrade invalidates c1, c2
+	if c0.State(0) != Modified {
+		t.Fatalf("writer state = %v, want M", c0.State(0))
+	}
+	if c1.State(0) != Invalid || c2.State(0) != Invalid {
+		t.Fatalf("sharers not invalidated: %v/%v", c1.State(0), c2.State(0))
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestExclusiveSilentUpgrade(t *testing.T) {
+	var col collector
+	s := newSys(1, col.obs)
+	c := s.Cache(0)
+	c.Read(0)
+	before := len(col.events)
+	if !c.Write(0) {
+		t.Fatalf("E->M write counted as miss")
+	}
+	if len(col.events) != before {
+		t.Errorf("E->M upgrade generated %d directory events, want 0 (silent)", len(col.events)-before)
+	}
+	if c.State(0) != Modified {
+		t.Errorf("state = %v", c.State(0))
+	}
+}
+
+func TestDirtyReadAfterRemoteWrite(t *testing.T) {
+	var col collector
+	s := newSys(2, col.obs)
+	c0, c1 := s.Cache(0), s.Cache(1)
+	c0.Write(0) // c0 holds M
+	c1.Read(0)  // must pull data home (writeback event) and share
+	if c0.State(0) != Shared || c1.State(0) != Shared {
+		t.Fatalf("states = %v/%v, want S/S", c0.State(0), c1.State(0))
+	}
+	if col.count(Writeback) != 1 {
+		t.Errorf("writebacks = %d, want 1 (owner's dirty data collected)", col.count(Writeback))
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestRFOStealsModified(t *testing.T) {
+	var col collector
+	s := newSys(2, col.obs)
+	c0, c1 := s.Cache(0), s.Cache(1)
+	c0.Write(0)
+	c1.Write(0) // RFO: c0's M copy written back, invalidated
+	if c0.State(0) != Invalid || c1.State(0) != Modified {
+		t.Fatalf("states = %v/%v, want I/M", c0.State(0), c1.State(0))
+	}
+	if col.count(Writeback) != 1 {
+		t.Errorf("writebacks = %d, want 1", col.count(Writeback))
+	}
+}
+
+func TestCapacityEvictionEmitsWriteback(t *testing.T) {
+	var col collector
+	// Tiny cache: 4 lines, direct... 4-way single set.
+	s := NewSystem(1, 4, 4, col.obs)
+	c := s.Cache(0)
+	for i := 0; i < 4; i++ {
+		c.Write(mem.LineBase(uint64(i)))
+	}
+	if col.count(Writeback) != 0 {
+		t.Fatalf("premature writebacks")
+	}
+	c.Write(mem.LineBase(4)) // evicts LRU (line 0, modified)
+	if col.count(Writeback) != 1 {
+		t.Errorf("writebacks = %d, want 1 — this is the FPGA's dirty signal", col.count(Writeback))
+	}
+	if c.State(0) != Invalid {
+		t.Errorf("line 0 still resident")
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestSnoopCollectsDirtyLines(t *testing.T) {
+	var col collector
+	s := newSys(2, col.obs)
+	s.Cache(0).Write(0)
+	s.Cache(0).Write(64)
+	s.Cache(1).Read(128)
+	dirty := s.Snoop(mem.Range{Start: 0, Len: 3 * 64})
+	if dirty != 2 {
+		t.Errorf("snoop collected %d dirty lines, want 2", dirty)
+	}
+	for _, c := range []*Cache{s.Cache(0), s.Cache(1)} {
+		for l := uint64(0); l < 3; l++ {
+			if c.State(mem.LineBase(l)) != Invalid {
+				t.Errorf("cache %v line %d still resident after snoop", c.id, l)
+			}
+		}
+	}
+	if s.Snoop(mem.Range{}) != 0 {
+		t.Errorf("empty snoop returned dirty lines")
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	var col collector
+	s := newSys(1, col.obs)
+	c := s.Cache(0)
+	c.Write(0)
+	c.Read(64)
+	c.FlushAll()
+	if col.count(Writeback) != 1 || col.count(SnoopClean) != 1 {
+		t.Errorf("flush events: wb=%d clean=%d, want 1/1", col.count(Writeback), col.count(SnoopClean))
+	}
+	if c.State(0) != Invalid || c.State(64) != Invalid {
+		t.Errorf("lines survive flush")
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSystem(0, 64, 4, nil) },
+		func() { NewSystem(65, 64, 4, nil) },
+		func() { NewSystem(1, 63, 4, nil) },
+		func() { NewSystem(1, 64, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: under random concurrent-looking traffic from 4 cores, MESI
+// safety invariants always hold and every dirty line eventually produces
+// exactly one writeback when snooped.
+func TestProtocolInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var col collector
+	s := NewSystem(4, 32, 4, col.obs)
+	const lines = 64
+	for step := 0; step < 20000; step++ {
+		c := s.Cache(rng.Intn(4))
+		addr := mem.LineBase(uint64(rng.Intn(lines)))
+		if rng.Intn(2) == 0 {
+			c.Read(addr)
+		} else {
+			c.Write(addr)
+		}
+		if step%500 == 0 {
+			if msg := s.CheckInvariants(); msg != "" {
+				t.Fatalf("step %d: %s", step, msg)
+			}
+		}
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	// Snoop everything: all remaining modified lines drain exactly once.
+	before := col.count(Writeback)
+	var modified int
+	for i := 0; i < 4; i++ {
+		for l := uint64(0); l < lines; l++ {
+			if s.Cache(i).State(mem.LineBase(l)) == Modified {
+				modified++
+			}
+		}
+	}
+	got := s.Snoop(mem.Range{Start: 0, Len: lines * 64})
+	if got != modified {
+		t.Errorf("snoop drained %d, expected %d modified lines", got, modified)
+	}
+	if col.count(Writeback)-before != modified {
+		t.Errorf("writeback events %d, want %d", col.count(Writeback)-before, modified)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := newSys(1, nil)
+	c := s.Cache(0)
+	c.Read(0)
+	c.Read(0)
+	c.Write(0)
+	hits, misses, _ := c.Stats()
+	if misses != 1 || hits != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}

@@ -1,0 +1,130 @@
+package coherence
+
+import "kona/internal/mem"
+
+// Data-carrying protocol. The base simulator tracks MESI state; this file
+// adds the payload movement that makes the full §4.3 stack runnable:
+// caches hold real 64-byte lines, fills obtain data from the modified
+// owner or from home memory, and writebacks deliver data back to home.
+//
+// Home is whatever sits behind the directory — in Kona's architecture the
+// FPGA's VFMem (which in turn is backed by remote memory); in tests a
+// plain map.
+
+// Home supplies and absorbs line data at the directory.
+type Home interface {
+	// ReadLine fills buf (CacheLineSize bytes) with the line's current
+	// home value.
+	ReadLine(line uint64, buf []byte) error
+	// WriteLine accepts a modified line arriving at home.
+	WriteLine(line uint64, data []byte) error
+}
+
+// MapHome is a trivial in-memory Home for tests and self-contained use.
+type MapHome struct {
+	lines map[uint64][]byte
+}
+
+// NewMapHome returns an empty home memory (all lines zero).
+func NewMapHome() *MapHome { return &MapHome{lines: make(map[uint64][]byte)} }
+
+// ReadLine implements Home.
+func (h *MapHome) ReadLine(line uint64, buf []byte) error {
+	if d, ok := h.lines[line]; ok {
+		copy(buf, d)
+		return nil
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// WriteLine implements Home.
+func (h *MapHome) WriteLine(line uint64, data []byte) error {
+	d := make([]byte, mem.CacheLineSize)
+	copy(d, data)
+	h.lines[line] = d
+	return nil
+}
+
+// SetHome attaches home memory to the system. Without one, fills zero the
+// data (the state-only behavior of the base simulator).
+func (s *System) SetHome(h Home) { s.home = h }
+
+// Load copies bytes from the line containing addr into buf (the copy is
+// bounded by the line end) and reports whether the access hit. It drives
+// the same coherence transitions as Read.
+func (c *Cache) Load(addr mem.Addr, buf []byte) (hit bool, err error) {
+	hit = c.Read(addr)
+	cl := c.find(addr.Line())
+	if cl == nil {
+		// Read always installs; absence means an installation bug.
+		panic("coherence: line absent after Read")
+	}
+	off := int(uint64(addr) % mem.CacheLineSize)
+	copy(buf, cl.data[off:])
+	return hit, c.sys.err()
+}
+
+// Store copies data into the line containing addr (bounded by the line
+// end) and reports whether the access hit. It drives the same coherence
+// transitions as Write.
+func (c *Cache) Store(addr mem.Addr, data []byte) (hit bool, err error) {
+	hit = c.Write(addr)
+	cl := c.find(addr.Line())
+	if cl == nil {
+		panic("coherence: line absent after Write")
+	}
+	off := int(uint64(addr) % mem.CacheLineSize)
+	copy(cl.data[off:], data)
+	return hit, c.sys.err()
+}
+
+// err surfaces the first home-memory failure recorded during protocol
+// actions (which cannot return errors mid-transition).
+func (s *System) err() error {
+	e := s.homeErr
+	s.homeErr = nil
+	return e
+}
+
+// fillData obtains a line's current value for a requester: from the
+// modified/exclusive owner's cache if any, else from home.
+func (s *System) fillData(line uint64, except int, buf []byte) {
+	e := s.entry(line)
+	if e.owner >= 0 && e.owner != except {
+		if cl := s.caches[e.owner].find(line); cl != nil {
+			copy(buf, cl.data[:])
+			return
+		}
+	}
+	// Any sharer has a clean, current copy.
+	for id := 0; id < len(s.caches); id++ {
+		if e.sharers&(1<<uint(id)) != 0 && id != except {
+			if cl := s.caches[id].find(line); cl != nil {
+				copy(buf, cl.data[:])
+				return
+			}
+		}
+	}
+	if s.home != nil {
+		if err := s.home.ReadLine(line, buf); err != nil && s.homeErr == nil {
+			s.homeErr = err
+		}
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+
+// writebackData delivers a modified line's payload to home.
+func (s *System) writebackData(line uint64, data []byte) {
+	if s.home == nil {
+		return
+	}
+	if err := s.home.WriteLine(line, data); err != nil && s.homeErr == nil {
+		s.homeErr = err
+	}
+}

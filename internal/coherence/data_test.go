@@ -1,0 +1,150 @@
+package coherence
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"kona/internal/mem"
+)
+
+func newDataSys(n int) (*System, *MapHome) {
+	s := NewSystem(n, 64, 4, nil)
+	h := NewMapHome()
+	s.SetHome(h)
+	return s, h
+}
+
+func TestLoadSeesHomeData(t *testing.T) {
+	s, h := newDataSys(1)
+	if err := h.WriteLine(0, bytes.Repeat([]byte{7}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	hit, err := s.Cache(0).Load(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Errorf("cold load hit")
+	}
+	if !bytes.Equal(buf, bytes.Repeat([]byte{7}, 8)) {
+		t.Errorf("load = %v", buf)
+	}
+}
+
+func TestStoreThenCrossCacheLoad(t *testing.T) {
+	s, _ := newDataSys(2)
+	if _, err := s.Cache(0).Store(10, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := s.Cache(1).Load(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abc" {
+		t.Fatalf("cross-cache load = %q (dirty data not forwarded)", buf)
+	}
+}
+
+func TestEvictionWritesDataHome(t *testing.T) {
+	// Single-set cache: fifth line evicts the first (modified) one.
+	s := NewSystem(1, 4, 4, nil)
+	h := NewMapHome()
+	s.SetHome(h)
+	c := s.Cache(0)
+	if _, err := c.Store(0, []byte{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := c.Store(mem.LineBase(uint64(i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 1)
+	if err := h.ReadLine(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB {
+		t.Fatalf("home byte = %x, capacity writeback lost data", buf[0])
+	}
+}
+
+func TestSnoopDeliversDataHome(t *testing.T) {
+	s, h := newDataSys(2)
+	if _, err := s.Cache(1).Store(64, []byte{0xCD}); err != nil {
+		t.Fatal(err)
+	}
+	s.Snoop(mem.Range{Start: 64, Len: 64})
+	buf := make([]byte, 1)
+	if err := h.ReadLine(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xCD {
+		t.Fatalf("snoop lost data: %x", buf[0])
+	}
+}
+
+func TestRFOStealsData(t *testing.T) {
+	s, _ := newDataSys(2)
+	if _, err := s.Cache(0).Store(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// CPU 1 writes one byte in the middle: it must first obtain CPU 0's
+	// version (read-for-ownership), not a stale home copy.
+	if _, err := s.Cache(1).Store(1, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := s.Cache(1).Load(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{1, 9, 3}) {
+		t.Fatalf("RFO merged wrong: %v", buf)
+	}
+}
+
+// Model test: random single-byte loads/stores from 4 CPUs against a
+// reference array; coherence must deliver read-your-writes and
+// writer-serialization at every step.
+func TestDataCoherenceModel(t *testing.T) {
+	s, _ := newDataSys(4)
+	const lines = 32
+	model := make([]byte, lines*64)
+	rng := rand.New(rand.NewSource(77))
+	for step := 0; step < 30000; step++ {
+		cpu := rng.Intn(4)
+		addr := mem.Addr(rng.Intn(len(model)))
+		if rng.Intn(2) == 0 {
+			v := byte(rng.Intn(256))
+			if _, err := s.Cache(cpu).Store(addr, []byte{v}); err != nil {
+				t.Fatal(err)
+			}
+			model[addr] = v
+		} else {
+			buf := make([]byte, 1)
+			if _, err := s.Cache(cpu).Load(addr, buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf[0] != model[addr] {
+				t.Fatalf("step %d: cpu %d read %d at %v, model %d", step, cpu, buf[0], addr, model[addr])
+			}
+		}
+		if step%5000 == 0 {
+			if msg := s.CheckInvariants(); msg != "" {
+				t.Fatalf("step %d: %s", step, msg)
+			}
+		}
+	}
+}
+
+func TestMapHomeZeroFill(t *testing.T) {
+	h := NewMapHome()
+	buf := []byte{9, 9, 9}
+	if err := h.ReadLine(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 || buf[2] != 0 {
+		t.Errorf("unwritten line not zero: %v", buf)
+	}
+}

@@ -1,0 +1,190 @@
+package coherence
+
+import (
+	"fmt"
+
+	"kona/internal/mem"
+)
+
+// Directory-side transactions. Each keeps the dirEntry consistent with the
+// cache states and emits the events an attached memory agent observes.
+
+// fillRead services a read miss: downgrade a modified/exclusive owner to
+// Shared (collecting its data), record the requester as a sharer, install.
+func (s *System) fillRead(req *Cache, line uint64) {
+	var data [mem.CacheLineSize]byte
+	s.fillData(line, req.id, data[:])
+	e := s.entry(line)
+	if e.owner >= 0 && e.owner != req.id {
+		owner := s.caches[e.owner]
+		if owner.downgrade(line) {
+			// Owner had it Modified: its data reaches home now.
+			s.writebackData(line, data[:])
+			s.emit(Event{Kind: Writeback, Line: line, Cache: owner.id})
+		}
+		e.sharers |= 1 << uint(e.owner)
+		e.owner = -1
+	}
+	s.emit(Event{Kind: FillRead, Line: line, Cache: req.id})
+	if e.sharers == 0 && e.owner < 0 {
+		// No other copies: grant Exclusive.
+		e.owner = req.id
+		req.install(line, Exclusive, data[:])
+	} else {
+		e.sharers |= 1 << uint(req.id)
+		req.install(line, Shared, data[:])
+	}
+	s.dir[line] = e
+}
+
+// fillRFO services a write miss: invalidate every other copy (collecting
+// modified data), grant Modified to the requester.
+func (s *System) fillRFO(req *Cache, line uint64) {
+	var data [mem.CacheLineSize]byte
+	s.fillData(line, req.id, data[:])
+	e := s.entry(line)
+	if e.owner >= 0 && e.owner != req.id {
+		if s.caches[e.owner].invalidate(line) {
+			s.writebackData(line, data[:])
+			s.emit(Event{Kind: Writeback, Line: line, Cache: e.owner})
+		}
+	}
+	for id := 0; id < len(s.caches); id++ {
+		if e.sharers&(1<<uint(id)) != 0 && id != req.id {
+			s.caches[id].invalidate(line)
+		}
+	}
+	s.emit(Event{Kind: FillRFO, Line: line, Cache: req.id})
+	s.dir[line] = dirEntry{owner: req.id}
+	req.install(line, Modified, data[:])
+}
+
+// upgrade services a Shared->Modified transition: invalidate other sharers.
+func (s *System) upgrade(req *Cache, line uint64) {
+	e := s.entry(line)
+	for id := 0; id < len(s.caches); id++ {
+		if e.sharers&(1<<uint(id)) != 0 && id != req.id {
+			s.caches[id].invalidate(line)
+		}
+	}
+	s.emit(Event{Kind: FillRFO, Line: line, Cache: req.id})
+	s.dir[line] = dirEntry{owner: req.id}
+}
+
+// writeback records a modified line leaving cache c for home.
+func (s *System) writeback(c *Cache, line uint64) {
+	e := s.entry(line)
+	if e.owner == c.id {
+		e.owner = -1
+	}
+	e.sharers &^= 1 << uint(c.id)
+	if e.sharers == 0 && e.owner < 0 {
+		delete(s.dir, line)
+	} else {
+		s.dir[line] = e
+	}
+	s.emit(Event{Kind: Writeback, Line: line, Cache: c.id})
+}
+
+// dropClean records a clean line leaving cache c.
+func (s *System) dropClean(c *Cache, line uint64) {
+	e := s.entry(line)
+	if e.owner == c.id {
+		e.owner = -1
+	}
+	e.sharers &^= 1 << uint(c.id)
+	if e.sharers == 0 && e.owner < 0 {
+		delete(s.dir, line)
+	} else {
+		s.dir[line] = e
+	}
+	s.emit(Event{Kind: SnoopClean, Line: line, Cache: c.id})
+}
+
+// Snoop forces the latest copy of every line in r out of all CPU caches,
+// as Kona's eviction path must do before writing a page to remote memory
+// ("the FPGA ... has to snoop them from CPU caches, in case the CPU has a
+// newer copy of the data", §4.4). Modified lines generate Writeback
+// events; all copies are invalidated. It returns the number of modified
+// lines collected.
+func (s *System) Snoop(r mem.Range) int {
+	if r.Len == 0 {
+		return 0
+	}
+	dirty := 0
+	for line := r.Start.Line(); line <= (r.End() - 1).Line(); line++ {
+		e := s.entry(line)
+		if e.owner >= 0 {
+			owner := s.caches[e.owner]
+			var data []byte
+			if cl := owner.find(line); cl != nil {
+				data = cl.data[:]
+			}
+			if owner.invalidate(line) {
+				s.writebackData(line, data)
+				s.emit(Event{Kind: Writeback, Line: line, Cache: e.owner})
+				dirty++
+			}
+		}
+		for id := 0; id < len(s.caches); id++ {
+			if e.sharers&(1<<uint(id)) != 0 {
+				s.caches[id].invalidate(line)
+			}
+		}
+		delete(s.dir, line)
+	}
+	return dirty
+}
+
+// CheckInvariants validates MESI safety across the whole system:
+// single-writer (at most one E/M copy, with no other copies), and
+// directory bookkeeping matching cache states. It returns a description of
+// the first violation, or "" when consistent.
+func (s *System) CheckInvariants() string {
+	// Gather per-line cache states.
+	holders := map[uint64][]struct {
+		id int
+		st State
+	}{}
+	for _, c := range s.caches {
+		for si := range c.sets {
+			for _, cl := range c.sets[si] {
+				if cl.state != Invalid {
+					holders[cl.line] = append(holders[cl.line], struct {
+						id int
+						st State
+					}{c.id, cl.state})
+				}
+			}
+		}
+	}
+	for line, hs := range holders {
+		exclusive := 0
+		for _, h := range hs {
+			if h.st == Exclusive || h.st == Modified {
+				exclusive++
+			}
+		}
+		if exclusive > 1 || (exclusive == 1 && len(hs) > 1) {
+			return eFmt("line %d: single-writer violated: %v", line, hs)
+		}
+		e := s.entry(line)
+		for _, h := range hs {
+			switch h.st {
+			case Exclusive, Modified:
+				if e.owner != h.id {
+					return eFmt("line %d: owner %d not recorded (dir %d)", line, h.id, e.owner)
+				}
+			case Shared:
+				if e.sharers&(1<<uint(h.id)) == 0 {
+					return eFmt("line %d: sharer %d not recorded", line, h.id)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func eFmt(format string, args ...any) string {
+	return "coherence: " + fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+	"kona/internal/slab"
+)
+
+// AllocLib is KLib's allocation-interposition layer (§4.1): it stands in
+// for the interposed malloc/mmap of a real process. The §4.3 constraint it
+// implements: the FPGA can only track VFMem, so thread stacks, globals and
+// other small private allocations live in CPU-attached CMem, while bulk
+// data allocations are placed in disaggregated memory. The Threshold knob
+// is that placement policy.
+//
+// Reads and writes dispatch on the address: CMem accesses cost a local
+// DRAM access and never touch the FPGA; VFMem accesses go through the
+// runtime.
+type AllocLib struct {
+	k *Kona
+
+	// Threshold routes allocations: strictly smaller ones go to CMem.
+	Threshold uint64
+
+	cmem  *slab.Allocator
+	pages map[uint64][]byte // CMem backing store
+
+	cmemAllocs, remoteAllocs uint64
+}
+
+// cmemBase keeps CMem addresses disjoint from VFMem (which starts at
+// cluster.VFMemBase = 1<<40) and away from address zero.
+const cmemBase mem.Addr = 1 << 20
+
+// cmemCapacity is the modeled local heap size.
+const cmemCapacity = 64 << 20
+
+// DefaultAllocThreshold routes allocations of a page or more to
+// disaggregated memory.
+const DefaultAllocThreshold = mem.PageSize
+
+// NewAllocLib wraps a runtime with the interposition layer.
+func NewAllocLib(k *Kona, threshold uint64) *AllocLib {
+	if threshold == 0 {
+		threshold = DefaultAllocThreshold
+	}
+	a := &AllocLib{
+		k:         k,
+		Threshold: threshold,
+		cmem:      slab.NewAllocator(),
+		pages:     make(map[uint64][]byte),
+	}
+	// The CMem heap is a local grant, not a rack slab.
+	if err := a.cmem.Grant(slab.Slab{ID: 1, Base: cmemBase, Size: cmemCapacity}); err != nil {
+		panic(err) // static geometry cannot collide
+	}
+	return a
+}
+
+// isCMem reports whether addr belongs to the local heap.
+func (a *AllocLib) isCMem(addr mem.Addr) bool {
+	return addr >= cmemBase && addr < cmemBase+cmemCapacity
+}
+
+// Malloc places an allocation by size: small and private in CMem, bulk
+// data in disaggregated memory.
+func (a *AllocLib) Malloc(size uint64) (mem.Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("core: zero-size malloc")
+	}
+	if size < a.Threshold {
+		addr, err := a.cmem.Alloc(size)
+		if err != nil {
+			return 0, fmt.Errorf("core: cmem: %w", err)
+		}
+		a.cmemAllocs++
+		return addr, nil
+	}
+	a.remoteAllocs++
+	return a.k.Malloc(size)
+}
+
+// Mmap places a mapping; mappings are always bulk, hence disaggregated.
+func (a *AllocLib) Mmap(size uint64) (mem.Addr, error) {
+	a.remoteAllocs++
+	return a.k.Malloc(size)
+}
+
+// Free releases an allocation from whichever heap owns it.
+func (a *AllocLib) Free(addr mem.Addr) error {
+	if a.isCMem(addr) {
+		return a.cmem.Free(addr)
+	}
+	return a.k.Free(addr)
+}
+
+// Read dispatches a load on the address space it touches.
+func (a *AllocLib) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	if !a.isCMem(addr) {
+		return a.k.Read(now, addr, buf)
+	}
+	a.cmemCopy(addr, buf, false)
+	return now + simclock.DRAMAccess, nil
+}
+
+// Write dispatches a store on the address space it touches.
+func (a *AllocLib) Write(now simclock.Duration, addr mem.Addr, data []byte) (simclock.Duration, error) {
+	if !a.isCMem(addr) {
+		return a.k.Write(now, addr, data)
+	}
+	a.cmemCopy(addr, data, true)
+	return now + simclock.DRAMAccess, nil
+}
+
+// cmemCopy moves bytes to/from the lazily materialized CMem pages.
+func (a *AllocLib) cmemCopy(addr mem.Addr, buf []byte, write bool) {
+	off := 0
+	for off < len(buf) {
+		p := (addr + mem.Addr(off)).Page()
+		pg, ok := a.pages[p]
+		if !ok {
+			pg = make([]byte, mem.PageSize)
+			a.pages[p] = pg
+		}
+		pageOff := (addr + mem.Addr(off)).PageOffset()
+		if write {
+			off += copy(pg[pageOff:], buf[off:])
+		} else {
+			off += copy(buf[off:], pg[pageOff:])
+		}
+	}
+}
+
+// Stats returns the placement counts: how many allocations stayed local vs
+// went to disaggregated memory.
+func (a *AllocLib) Stats() (cmemAllocs, remoteAllocs uint64) {
+	return a.cmemAllocs, a.remoteAllocs
+}

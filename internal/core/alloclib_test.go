@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"kona/internal/mem"
+)
+
+func newAllocLib(t *testing.T) (*AllocLib, *Kona) {
+	t.Helper()
+	k := NewKona(smallConfig(), newCluster(1))
+	return NewAllocLib(k, 0), k
+}
+
+func TestAllocLibPlacement(t *testing.T) {
+	a, _ := newAllocLib(t)
+	small, err := a.Malloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.isCMem(small) {
+		t.Errorf("small allocation placed remotely at %v", small)
+	}
+	big, err := a.Malloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.isCMem(big) {
+		t.Errorf("bulk allocation placed in CMem at %v", big)
+	}
+	m, err := a.Mmap(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.isCMem(m) {
+		t.Errorf("mmap placed in CMem")
+	}
+	cm, rm := a.Stats()
+	if cm != 1 || rm != 2 {
+		t.Errorf("placement stats = %d/%d", cm, rm)
+	}
+	if _, err := a.Malloc(0); err == nil {
+		t.Errorf("zero malloc accepted")
+	}
+}
+
+func TestAllocLibCMemAccessesSkipFPGA(t *testing.T) {
+	a, k := newAllocLib(t)
+	addr, err := a.Malloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("stack-local data")
+	now, err := a.Write(0, addr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if now, err = a.Read(now, addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("CMem round trip: %q", buf)
+	}
+	if st := k.FPGAStats(); st.LineFills != 0 || st.Writebacks != 0 {
+		t.Errorf("CMem traffic reached the FPGA: %+v (the §4.3 limitation)", st)
+	}
+	// CMem access is a local DRAM access in the cost model.
+	if now > 10000 {
+		t.Errorf("CMem accesses too expensive: %v", now)
+	}
+}
+
+func TestAllocLibRemoteAccessesUseRuntime(t *testing.T) {
+	a, k := newAllocLib(t)
+	addr, err := a.Malloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("remote data")
+	if _, err := a.Write(0, addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := a.Read(0, addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("remote round trip: %q", buf)
+	}
+	if k.FPGAStats().RemoteFetches == 0 {
+		t.Errorf("remote allocation never reached the FPGA")
+	}
+}
+
+func TestAllocLibFreeDispatch(t *testing.T) {
+	a, _ := newAllocLib(t)
+	small, _ := a.Malloc(256)
+	big, _ := a.Malloc(64 << 10)
+	if err := a.Free(small); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(small); err == nil {
+		t.Errorf("double free of CMem accepted")
+	}
+	if err := a.Free(big); err == nil {
+		t.Errorf("double free of remote accepted")
+	}
+}
+
+func TestAllocLibCMemSpanningPages(t *testing.T) {
+	a, _ := newAllocLib(t)
+	addr, err := a.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write spanning a CMem page boundary (staying inside the heap even
+	// when the allocation itself is page-aligned).
+	span := addr.AlignUp(mem.PageSize) + mem.PageSize - 32
+	payload := bytes.Repeat([]byte{0xAD}, 64)
+	if _, err := a.Write(0, span, payload); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := a.Read(0, span, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("spanning CMem access corrupted")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"kona/internal/coherence"
+	"kona/internal/mem"
+)
+
+// CoherentDomain is the full §4.3 stack assembled: simulated CPU caches
+// speak MESI to a directory whose home memory is the Kona FPGA — so every
+// CPU miss becomes a VFMem line fill (remote fetch on FMem miss) and every
+// modified-line writeback lands in the FPGA's dirty bitmap, without the
+// runtime being told anything explicitly. It demonstrates the paper's
+// central claim mechanically: the unmodified local coherence protocol is
+// sufficient to drive transparent remote memory.
+//
+// The domain is functional (data-correct) rather than timed; the timed
+// experiments drive the FPGA directly.
+type CoherentDomain struct {
+	sys  *coherence.System
+	kona *Kona
+}
+
+// konaHome adapts the Kona FPGA to coherence.Home.
+type konaHome struct{ k *Kona }
+
+// ReadLine implements coherence.Home: a line request reaching home is
+// exactly the cache-remote-data primitive.
+func (h konaHome) ReadLine(line uint64, buf []byte) error {
+	_, err := h.k.Read(0, mem.LineBase(line), buf[:mem.CacheLineSize])
+	return err
+}
+
+// WriteLine implements coherence.Home: a modified line reaching home is
+// exactly the track-local-data primitive.
+func (h konaHome) WriteLine(line uint64, data []byte) error {
+	_, err := h.k.Write(0, mem.LineBase(line), data[:mem.CacheLineSize])
+	return err
+}
+
+// NewCoherentDomain attaches cpus simulated CPU caches (each capacityLines
+// lines, assoc-way) to the runtime.
+func (k *Kona) NewCoherentDomain(cpus, capacityLines, assoc int) *CoherentDomain {
+	d := &CoherentDomain{kona: k}
+	d.sys = coherence.NewSystem(cpus, capacityLines, assoc, nil)
+	d.sys.SetHome(konaHome{k})
+	return d
+}
+
+// CPU returns core i's cache for direct protocol-level access.
+func (d *CoherentDomain) CPU(i int) *coherence.Cache { return d.sys.Cache(i) }
+
+// System exposes the coherence domain (for snooping and invariant checks).
+func (d *CoherentDomain) System() *coherence.System { return d.sys }
+
+// Load reads len(buf) bytes at addr through cpu's cache, line by line.
+func (d *CoherentDomain) Load(cpu int, addr mem.Addr, buf []byte) error {
+	c := d.sys.Cache(cpu)
+	off := 0
+	for off < len(buf) {
+		a := addr + mem.Addr(off)
+		n := int(mem.CacheLineSize - uint64(a)%mem.CacheLineSize)
+		if rem := len(buf) - off; n > rem {
+			n = rem
+		}
+		if _, err := c.Load(a, buf[off:off+n]); err != nil {
+			return fmt.Errorf("core: coherent load at %v: %w", a, err)
+		}
+		off += n
+	}
+	return nil
+}
+
+// Store writes data at addr through cpu's cache, line by line.
+func (d *CoherentDomain) Store(cpu int, addr mem.Addr, data []byte) error {
+	c := d.sys.Cache(cpu)
+	off := 0
+	for off < len(data) {
+		a := addr + mem.Addr(off)
+		n := int(mem.CacheLineSize - uint64(a)%mem.CacheLineSize)
+		if rem := len(data) - off; n > rem {
+			n = rem
+		}
+		if _, err := c.Store(a, data[off:off+n]); err != nil {
+			return fmt.Errorf("core: coherent store at %v: %w", a, err)
+		}
+		off += n
+	}
+	return nil
+}
+
+// Drain snoops every CPU cache line in r back to the FPGA (the eviction
+// path's snoop, §4.4) so remote memory can be made current with Sync.
+func (d *CoherentDomain) Drain(r mem.Range) int {
+	return d.sys.Snoop(r)
+}

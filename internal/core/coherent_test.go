@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"kona/internal/mem"
+)
+
+func TestCoherentDomainEndToEnd(t *testing.T) {
+	ctrl := newCluster(1)
+	k := NewKona(smallConfig(), ctrl)
+	addr, err := k.Malloc(16 * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := k.NewCoherentDomain(2, 256, 4)
+
+	// CPU 0 stores through its cache; the store misses, triggering an RFO
+	// that the FPGA serves (remote fetch), and the data lives Modified in
+	// the CPU cache.
+	payload := []byte("through the whole stack")
+	if err := d.Store(0, addr+100, payload); err != nil {
+		t.Fatal(err)
+	}
+	if k.FPGAStats().RemoteFetches == 0 {
+		t.Fatalf("store did not reach the FPGA")
+	}
+	// CPU 1 loads the same bytes: the protocol pulls the modified lines
+	// from CPU 0 (and writes them back to the FPGA, setting dirty bits).
+	buf := make([]byte, len(payload))
+	if err := d.Load(1, addr+100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("cross-CPU read = %q", buf)
+	}
+	if got := k.DirtyLines(addr); !got.Any() {
+		t.Errorf("writeback did not set dirty bits (tracking broken)")
+	}
+	if msg := d.System().CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+
+	// Drain the caches and sync: remote memory now holds the data.
+	d.Drain(mem.Range{Start: addr, Len: 16 * mem.PageSize})
+	if _, err := k.Sync(0); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := ctrl.Node(0)
+	pls, err := k.rm.placementsFor(addr + 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := pls[0].remoteOff
+	got := node.PoolBytes()[off : off+uint64(len(payload))]
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("remote pool stale after coherent drain+sync: %q", got)
+	}
+}
+
+// Model test: random loads/stores from multiple CPUs through the coherent
+// stack always observe the reference model, even with tiny CPU caches
+// (heavy capacity writeback traffic) and a tiny FMem (heavy eviction).
+func TestCoherentDomainModel(t *testing.T) {
+	cfg := smallConfig()
+	cfg.LocalCacheBytes = 8 * mem.PageSize
+	ctrl := newCluster(1)
+	k := NewKona(cfg, ctrl)
+	const regionPages = 32
+	addr, err := k.Malloc(regionPages * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := k.NewCoherentDomain(4, 64, 4) // 4 CPUs, 64-line caches
+	model := make([]byte, regionPages*mem.PageSize)
+	rng := rand.New(rand.NewSource(12))
+	for step := 0; step < 6000; step++ {
+		cpu := rng.Intn(4)
+		off := rng.Intn(len(model) - 64)
+		n := 1 + rng.Intn(63)
+		if rng.Intn(2) == 0 {
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := d.Store(cpu, addr+mem.Addr(off), data); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			copy(model[off:], data)
+		} else {
+			buf := make([]byte, n)
+			if err := d.Load(cpu, addr+mem.Addr(off), buf); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if !bytes.Equal(buf, model[off:off+n]) {
+				t.Fatalf("step %d: cpu %d read diverged at +%d", step, cpu, off)
+			}
+		}
+		if step%1000 == 0 {
+			if msg := d.System().CheckInvariants(); msg != "" {
+				t.Fatalf("step %d: %s", step, msg)
+			}
+		}
+	}
+	// Full drain: every byte must be durable remotely after sync.
+	d.Drain(mem.Range{Start: addr, Len: regionPages * mem.PageSize})
+	if _, err := k.Sync(0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, mem.PageSize)
+	for p := 0; p < regionPages; p++ {
+		if _, err := k.Read(0, addr+mem.Addr(p*mem.PageSize), buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, model[p*mem.PageSize:(p+1)*mem.PageSize]) {
+			t.Fatalf("page %d diverged after drain", p)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package core implements KLib, the Kona runtime (§4): the Resource
+// Manager that pre-allocates disaggregated memory in slabs, the Caching
+// Handler (the FPGA model's line-fill path), the Dirty Data Tracker (the
+// FPGA's writeback-driven bitmaps), the Eviction Handler (the cache-line
+// log), and the Poller. It also implements Kona-VM, the paper's own
+// virtual-memory baseline, sharing the same caching and eviction policy so
+// comparisons isolate the tracking mechanism (§6.1).
+package core
+
+import (
+	"time"
+
+	"kona/internal/simclock"
+	"kona/internal/slab"
+)
+
+// Config sizes a Kona runtime instance.
+type Config struct {
+	// LocalCacheBytes is the compute node's DRAM cache capacity: FMem for
+	// Kona, the CMem page cache for Kona-VM.
+	LocalCacheBytes uint64
+	// SlabSize is the coarse allocation unit requested from the
+	// controller.
+	SlabSize uint64
+	// Replicas is the number of memory-node copies kept per slab (§4.5);
+	// 1 means no replication.
+	Replicas int
+	// LogBytes is the eviction ring-buffer capacity. Smaller logs flush
+	// more often (more RDMA verbs), larger logs delay remote visibility.
+	LogBytes int
+	// FlushThreshold triggers a log flush when the buffered payload
+	// exceeds this many bytes. Defaults to LogBytes/4.
+	FlushThreshold int
+	// Prefetch enables the FPGA's sequential next-page prefetcher.
+	Prefetch bool
+	// PrefetchDepth caps the adaptive stride prefetcher's window; 0 or 1
+	// keeps the classic depth-1 next-page behavior (see fpga.Config).
+	PrefetchDepth int
+	// StreamBypass inserts long sequential streams at LRU position in
+	// FMem, protecting the reused working set (§4.4's caching decision).
+	StreamBypass bool
+	// FetchBytes is the remote fetch granularity, 64B..4KB (0 = 4KB, the
+	// paper's choice; §4.4 "Kona can choose the data movement size
+	// between page and cache-line granularity").
+	FetchBytes uint64
+}
+
+// DefaultConfig returns a runtime sized for the given local cache.
+func DefaultConfig(localCacheBytes uint64) Config {
+	return Config{
+		LocalCacheBytes: localCacheBytes,
+		SlabSize:        slab.DefaultSlabSize,
+		Replicas:        1,
+		LogBytes:        256 << 10,
+		Prefetch:        true,
+	}
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.SlabSize == 0 {
+		c.SlabSize = slab.DefaultSlabSize
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.LogBytes == 0 {
+		c.LogBytes = 256 << 10
+	}
+	if c.FlushThreshold == 0 {
+		c.FlushThreshold = c.LogBytes / 4
+	}
+	return c
+}
+
+// Software cost constants for the eviction path (Fig 11c's breakdown).
+// These model the compute-node CPU work per evicted page; the RDMA side
+// comes from the rdma package's cost model.
+const (
+	// bitmapScanCost is the fixed cost of scanning a page's 64-bit dirty
+	// bitmap and computing its segments.
+	bitmapScanCost = 75 * time.Nanosecond
+	// segmentCopyFixed is the per-segment overhead of the copy into the
+	// RDMA-registered log (cache miss on the source line, header write).
+	segmentCopyFixed = 130 * time.Nanosecond
+	// pageCopyFixed is the per-page overhead of a full 4KB copy in the
+	// Kona-VM eviction path.
+	pageCopyFixed = 120 * time.Nanosecond
+)
+
+// copyCost models copying n payload bytes into a registered buffer.
+func copyCost(n int) simclock.Duration {
+	return simclock.Memcpy(n)
+}

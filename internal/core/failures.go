@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+)
+
+// ErrRemoteUnavailable reports that every replica of the address's slab is
+// unreachable. Per §4.5's recovery path the access itself is recoverable:
+// the runtime surfaces the condition (instead of the machine check a real
+// coherence timeout would raise), the application or an operator resolves
+// the outage, and the access can simply be retried — the FPGA state is
+// unchanged.
+var ErrRemoteUnavailable = errors.New("core: remote memory unavailable (all replicas unreachable)")
+
+// Failure handling (§4.5).
+//
+// 1. Application/compute-host failures need no runtime support beyond
+//    today's monolithic-server model.
+// 2. Network failures: the coherence protocol was not designed for long
+//    delays — a stalled remote fetch eventually trips a machine check
+//    exception. The runtime detects fetches that exceed MCETimeout,
+//    records them, and (per the paper's option (i), Intel MCA) recovers by
+//    retrying/failing over rather than crashing the host.
+// 3. Memory-node failures: with Replicas > 1 the Resource Manager places
+//    every slab on several nodes, eviction fans the cache-line log out to
+//    all replicas, and Translate fails over to a live replica for fetches.
+
+// MCETimeout is the modeled coherence-protocol patience: a VFMem fill
+// outstanding longer than this would trip a machine check on the real
+// hardware.
+const MCETimeout = 100 * time.Microsecond
+
+// FailureStats counts failure-path events.
+type FailureStats struct {
+	// MCEs is the number of fetches whose latency exceeded MCETimeout
+	// (detected and survived via the machine-check architecture path).
+	MCEs uint64
+	// Failovers is the number of reads served by a non-primary replica.
+	Failovers uint64
+}
+
+// ReadChecked is Read plus MCE detection: fetch latencies beyond
+// MCETimeout are recorded (and survived), modeling the §4.5 recovery path
+// instead of a host crash.
+func (k *Kona) ReadChecked(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	resident := k.fpga.Resident(addr)
+	done, err := k.Read(now, addr, buf)
+	if err != nil {
+		return done, err
+	}
+	if !resident && done-now > MCETimeout {
+		k.failures.MCEs++
+	}
+	return done, nil
+}
+
+// FailureStats returns the failure-path counters. Failovers are detected
+// by the Resource Manager when Translate skips a dead primary.
+func (k *Kona) FailureStats() FailureStats {
+	k.failures.Failovers = k.rm.failovers
+	return k.failures
+}
+
+// InjectNetworkDelay adds d to every operation toward the given memory
+// node (failure injection; 0 clears). Only the simulated transport
+// supports it.
+func (k *Kona) InjectNetworkDelay(nodeID int, d simclock.Duration) error {
+	l, err := k.rm.rack.link(nodeID)
+	if err != nil {
+		return err
+	}
+	return l.injectDelay(d)
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"kona/internal/cluster"
+	"kona/internal/fpga"
+	"kona/internal/mem"
+	"kona/internal/simclock"
+)
+
+// Kona is the coherence-based remote memory runtime (§4). Applications
+// allocate through Malloc and access memory through Read/Write; underneath,
+// pages live on memory nodes, are cached in FMem by the FPGA model on
+// demand (no page faults), have their writes tracked per cache line by the
+// coherence writeback stream, and are evicted through the cache-line log.
+type Kona struct {
+	cfg   Config
+	rm    *resourceManager
+	fpga  *fpga.FPGA
+	evict *evictor
+
+	// evictErr latches the first asynchronous eviction failure; Sync
+	// surfaces it.
+	evictErr error
+
+	failures FailureStats
+}
+
+// NewKona builds a runtime against an in-process rack controller (the
+// simulated RDMA transport). The controller must have registered memory
+// nodes.
+func NewKona(cfg Config, ctrl *cluster.Controller) *Kona {
+	return newKona(cfg.withDefaults(), newSimRack(ctrl))
+}
+
+// NewKonaTCP builds a runtime against a remote controller daemon reached
+// over TCP (cmd/kona-controller + cmd/kona-memnode). Data moves over real
+// sockets; measured wall-clock latencies fold into the virtual clock.
+func NewKonaTCP(cfg Config, controllerAddr string) *Kona {
+	return newKona(cfg.withDefaults(), newTCPRack(controllerAddr))
+}
+
+func newKona(cfg Config, r rack) *Kona {
+	rm := newResourceManager(cfg, r)
+	k := &Kona{cfg: cfg, rm: rm}
+	k.evict = newEvictor(rm, cfg)
+	k.fpga = fpga.New(fpga.Config{
+		FMemSize:      cfg.LocalCacheBytes,
+		Assoc:         4,
+		Prefetch:      cfg.Prefetch,
+		PrefetchDepth: cfg.PrefetchDepth,
+		StreamBypass:  cfg.StreamBypass,
+		FetchBytes:    cfg.FetchBytes,
+	}, rm, k.onEvict)
+	// Write-before-read ordering: a page refetch must not observe remote
+	// memory that is missing buffered eviction-log entries.
+	k.fpga.SetFetchHook(func(now simclock.Duration, base mem.Addr) simclock.Duration {
+		done, err := k.evict.FlushIfPending(now, base)
+		if err != nil && k.evictErr == nil {
+			k.evictErr = err
+		}
+		return done
+	})
+	return k
+}
+
+// onEvict is the FPGA's eviction callback. Eviction is off the
+// application's critical path (§4.5), so its cost is not charged to the
+// caller's clock — but it shares the NIC with fetches, so heavy eviction
+// still delays fetch traffic through queueing.
+func (k *Kona) onEvict(now simclock.Duration, v fpga.Victim) simclock.Duration {
+	done, err := k.evict.EvictPage(now, v)
+	if err != nil && k.evictErr == nil {
+		k.evictErr = err
+	}
+	return done - now
+}
+
+// Malloc allocates disaggregated memory. Allocation is a control-path
+// operation: slabs are pre-provisioned in bulk, so no remote round trip
+// happens on the common path.
+func (k *Kona) Malloc(size uint64) (mem.Addr, error) { return k.rm.Malloc(size) }
+
+// Free releases an allocation.
+func (k *Kona) Free(addr mem.Addr) error { return k.rm.Free(addr) }
+
+// Read copies remote memory into buf, fetching pages into FMem as needed,
+// and returns the completion time.
+func (k *Kona) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	return k.fpga.Read(now, addr, buf)
+}
+
+// Write stores buf to remote memory through FMem, tracking dirty lines,
+// and returns the completion time.
+func (k *Kona) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	return k.fpga.Write(now, addr, buf)
+}
+
+// Sync flushes every cached page through the eviction path and drains the
+// cache-line log, making remote memory fully current. It returns the drain
+// completion time.
+func (k *Kona) Sync(now simclock.Duration) (simclock.Duration, error) {
+	k.fpga.FlushAll(now)
+	done, err := k.evict.Flush(now)
+	if err == nil && k.evictErr != nil {
+		err = k.evictErr
+		k.evictErr = nil
+	}
+	return done, err
+}
+
+// Close drains the runtime (Sync) and returns every slab to the rack.
+// The runtime must not be used afterwards.
+func (k *Kona) Close(now simclock.Duration) error {
+	if _, err := k.Sync(now); err != nil {
+		return err
+	}
+	return k.rm.releaseAll()
+}
+
+// FPGAStats exposes the caching/tracking counters.
+func (k *Kona) FPGAStats() fpga.Stats { return k.fpga.Stats() }
+
+// EvictStats exposes the eviction counters.
+func (k *Kona) EvictStats() EvictStats { return k.evict.Stats() }
+
+// EvictBreakdown exposes the Fig 11c time accounting.
+func (k *Kona) EvictBreakdown() Breakdown { return k.evict.Breakdown() }
+
+// DirtyLines reports the tracked dirty bitmap for the page holding addr.
+func (k *Kona) DirtyLines(addr mem.Addr) mem.LineBitmap { return k.fpga.DirtyLines(addr) }

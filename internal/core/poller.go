@@ -1,0 +1,64 @@
+package core
+
+import (
+	"kona/internal/rdma"
+	"kona/internal/simclock"
+)
+
+// Poller is KLib's completion-polling component (§4.1): it "optimizes the
+// RDMA communication with the controller and with the memory nodes, by
+// polling for RDMA completions". Instead of each caller spinning on its
+// own CQ, the Poller sweeps every registered queue pair on one thread,
+// batching the per-poll cost and exposing outstanding-work accounting to
+// the rest of the runtime.
+type Poller struct {
+	qps []*rdma.QP
+
+	polls       uint64
+	completions uint64
+	emptyPolls  uint64
+	// lastSweep is the virtual time of the most recent sweep.
+	lastSweep simclock.Duration
+}
+
+// pollSweepCost is the CPU cost of one CQ sweep across registered QPs.
+const pollSweepCost = 150 // ns per QP polled
+
+// NewPoller returns an empty poller; register QPs with Watch.
+func NewPoller() *Poller { return &Poller{} }
+
+// Watch adds a queue pair to the sweep set.
+func (p *Poller) Watch(qp *rdma.QP) {
+	for _, existing := range p.qps {
+		if existing == qp {
+			return
+		}
+	}
+	p.qps = append(p.qps, qp)
+}
+
+// Sweep polls every watched CQ once at virtual time now, returning the
+// drained completions and the time after the sweep.
+func (p *Poller) Sweep(now simclock.Duration) ([]rdma.Completion, simclock.Duration) {
+	var out []rdma.Completion
+	for _, qp := range p.qps {
+		p.polls++
+		c := qp.PollCQ()
+		if len(c) == 0 {
+			p.emptyPolls++
+		}
+		p.completions += uint64(len(c))
+		out = append(out, c...)
+		now += pollSweepCost
+	}
+	p.lastSweep = now
+	return out, now
+}
+
+// Stats returns poll/completion counters.
+func (p *Poller) Stats() (polls, completions, emptyPolls uint64) {
+	return p.polls, p.completions, p.emptyPolls
+}
+
+// Watched returns the number of registered queue pairs.
+func (p *Poller) Watched() int { return len(p.qps) }

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"kona/internal/rdma"
+)
+
+func TestPollerSweep(t *testing.T) {
+	p := NewPoller()
+	l := rdma.NewEndpoint("l")
+	r := rdma.NewEndpoint("r")
+	lmr := l.RegisterMR(4096)
+	rmr := r.RegisterMR(4096)
+	qp1 := rdma.Connect(l, r, rdma.DefaultCostModel())
+	qp2 := rdma.Connect(l, r, rdma.DefaultCostModel())
+	p.Watch(qp1)
+	p.Watch(qp2)
+	p.Watch(qp1) // duplicate ignored
+	if p.Watched() != 2 {
+		t.Fatalf("watched = %d, want 2", p.Watched())
+	}
+
+	// Post one signaled write on each QP.
+	for _, qp := range []*rdma.QP{qp1, qp2} {
+		if _, err := qp.PostSend(0, []rdma.WR{{
+			Op: rdma.OpWrite, Local: lmr, RemoteKey: rmr.Key(), Len: 64, Signaled: true,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comps, now := p.Sweep(0)
+	if len(comps) != 2 {
+		t.Errorf("sweep drained %d completions, want 2", len(comps))
+	}
+	if now != 2*pollSweepCost {
+		t.Errorf("sweep time = %v", now)
+	}
+	// Second sweep: empty.
+	comps, _ = p.Sweep(now)
+	if len(comps) != 0 {
+		t.Errorf("second sweep found %d completions", len(comps))
+	}
+	polls, completions, empty := p.Stats()
+	if polls != 4 || completions != 2 || empty != 2 {
+		t.Errorf("stats = %d/%d/%d", polls, completions, empty)
+	}
+}
+
+func TestPollerEmpty(t *testing.T) {
+	p := NewPoller()
+	comps, now := p.Sweep(42)
+	if len(comps) != 0 || now != 42 {
+		t.Errorf("empty poller sweep: %v %v", comps, now)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"kona/internal/mem"
+	"kona/internal/trace"
+)
+
+func TestReplayTraceBasics(t *testing.T) {
+	k := NewKona(smallConfig(), newCluster(1))
+	accs := []trace.Access{
+		{Addr: 0, Size: 64, Kind: trace.Write},
+		{Addr: 4096, Size: 128, Kind: trace.Read},
+		{Addr: 64, Size: 0, Kind: trace.Write}, // ignored
+		{Addr: 8192, Size: 32, Kind: trace.Write},
+	}
+	res, err := ReplayTrace(k, trace.NewSliceStream(accs), 16*mem.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 3 {
+		t.Errorf("accesses = %d, want 3 (zero-size skipped)", res.Accesses)
+	}
+	if res.BytesWritten != 96 || res.BytesRead != 128 {
+		t.Errorf("bytes = %d/%d", res.BytesRead, res.BytesWritten)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("elapsed = %v", res.Elapsed)
+	}
+	// The written data reached remote memory (Sync ran): dirty lines were
+	// shipped.
+	if k.EvictStats().LinesShipped == 0 {
+		t.Errorf("replay did not drain to remote")
+	}
+}
+
+func TestReplayTraceErrors(t *testing.T) {
+	k := NewKona(smallConfig(), newCluster(1))
+	if _, err := ReplayTrace(k, trace.NewSliceStream(nil), 0, 0); err == nil {
+		t.Errorf("zero footprint accepted")
+	}
+	// Access escaping the footprint fails cleanly.
+	accs := []trace.Access{{Addr: mem.Addr(2 * mem.PageSize), Size: 8, Kind: trace.Write}}
+	if _, err := ReplayTrace(k, trace.NewSliceStream(accs), mem.PageSize, 0); err == nil {
+		t.Errorf("out-of-footprint access accepted")
+	}
+}
+
+func TestReplayTraceMaxAccesses(t *testing.T) {
+	k := NewKona(smallConfig(), newCluster(1))
+	accs := make([]trace.Access, 100)
+	for i := range accs {
+		accs[i] = trace.Access{Addr: mem.Addr(i * 64), Size: 8, Kind: trace.Write}
+	}
+	res, err := ReplayTrace(k, trace.NewSliceStream(accs), mem.PageSize*4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 10 {
+		t.Errorf("accesses = %d, want 10 (capped)", res.Accesses)
+	}
+}
+
+func TestLeapPrefetchStrided(t *testing.T) {
+	mk := func(depth int) *KonaVM {
+		cfg := smallConfig()
+		cfg.LocalCacheBytes = 512 * mem.PageSize
+		k := NewKonaVM(cfg, newCluster(1))
+		if depth > 0 {
+			k.EnableLeapPrefetch(depth)
+		}
+		return k
+	}
+	run := func(k *KonaVM) simDurT {
+		addr, err := k.Malloc(256 * mem.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		var now simDurT
+		for p := 0; p < 256; p += 2 {
+			now, err = k.Read(now, addr+mem.Addr(p*mem.PageSize), buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return now
+	}
+	plain := run(mk(0))
+	leap := mk(8)
+	leapTime := run(leap)
+	if leap.Stats().Prefetches == 0 {
+		t.Fatalf("Leap never prefetched")
+	}
+	if leapTime*2 >= plain {
+		t.Errorf("Leap (%v) should cut the strided fault time (%v) at least in half", leapTime, plain)
+	}
+	// Faults drop accordingly.
+	if leap.Stats().Fetches >= 128 {
+		t.Errorf("leap still demand-fetched %d of 128 pages", leap.Stats().Fetches)
+	}
+}
+
+func TestLeapRandomNoHarm(t *testing.T) {
+	// On random access the predictor must stay quiet.
+	cfg := smallConfig()
+	k := NewKonaVM(cfg, newCluster(1))
+	k.EnableLeapPrefetch(8)
+	addr, err := k.Malloc(256 * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	var now simDurT
+	order := []int{77, 3, 191, 44, 250, 9, 130, 61, 200, 17, 99, 240, 5, 160, 33}
+	for _, p := range order {
+		now, err = k.Read(now, addr+mem.Addr(p*mem.PageSize), buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Stats().Prefetches > 2 {
+		t.Errorf("random access triggered %d prefetches", k.Stats().Prefetches)
+	}
+}

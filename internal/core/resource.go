@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"kona/internal/fpga"
+	"kona/internal/mem"
+	"kona/internal/simclock"
+	"kona/internal/slab"
+)
+
+// Slab re-exports the coarse allocation unit.
+type Slab = slab.Slab
+
+// resourceManager is KLib's Resource Manager (§4.1): it pre-allocates
+// disaggregated memory from the rack controller in large slabs, maintains
+// the remote-translation map the FPGA consults (§4.4), and owns the
+// transport links to each memory node. With Replicas > 1 every slab is
+// placed on several nodes and reads fail over when the primary is down
+// (§4.5).
+type resourceManager struct {
+	mu sync.Mutex
+
+	cfg   Config
+	rack  rack
+	alloc *slab.Allocator
+
+	// replicas maps a primary slab ID to all placements (primary first).
+	replicas map[uint64][]Slab
+
+	// failovers counts translations that skipped a dead primary.
+	failovers uint64
+}
+
+func newResourceManager(cfg Config, r rack) *resourceManager {
+	return &resourceManager{
+		cfg:      cfg,
+		rack:     r,
+		alloc:    slab.NewAllocator(),
+		replicas: make(map[uint64][]Slab),
+	}
+}
+
+// growLocked requests one more slab (with replicas) from the controller.
+func (rm *resourceManager) growLocked() error {
+	if rm.cfg.Replicas > 1 {
+		slabs, err := rm.rack.allocReplicated(rm.cfg.SlabSize, rm.cfg.Replicas)
+		if err != nil {
+			return fmt.Errorf("core: replicated slab allocation: %w", err)
+		}
+		primary := slabs[0]
+		if err := rm.alloc.Grant(primary); err != nil {
+			return err
+		}
+		rm.replicas[primary.ID] = slabs
+		return nil
+	}
+	s, err := rm.rack.allocSlab(rm.cfg.SlabSize)
+	if err != nil {
+		return fmt.Errorf("core: slab allocation: %w", err)
+	}
+	if err := rm.alloc.Grant(s); err != nil {
+		return err
+	}
+	rm.replicas[s.ID] = []Slab{s}
+	return nil
+}
+
+// boundPage binds a nodeLink to one page's pool offset; it implements
+// fpga.PageReader.
+type boundPage struct {
+	link nodeLink
+	off  uint64
+}
+
+// ReadRange implements fpga.PageReader.
+func (b boundPage) ReadRange(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error) {
+	return b.link.readPage(now, b.off+off, buf)
+}
+
+// Translate implements fpga.Translator over the slab map, preferring the
+// primary placement and failing over to a live replica.
+func (rm *resourceManager) Translate(addr mem.Addr) (fpga.PageReader, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	s, ok := rm.alloc.SlabFor(addr)
+	if !ok {
+		return nil, fmt.Errorf("core: address %v not in any slab", addr)
+	}
+	for i, pl := range rm.replicas[s.ID] {
+		l, err := rm.rack.link(pl.Node)
+		if err != nil || !l.healthy() {
+			continue
+		}
+		if i > 0 {
+			rm.failovers++
+		}
+		return boundPage{link: l, off: pl.RemoteOff + uint64(addr-pl.Base)}, nil
+	}
+	return nil, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
+}
+
+// placement is one eviction destination for an address.
+type placement struct {
+	link      nodeLink
+	remoteOff uint64 // byte offset of addr within the node's pool
+}
+
+// placementsFor returns every live replica destination for addr (for
+// eviction, which must update all copies).
+func (rm *resourceManager) placementsFor(addr mem.Addr) ([]placement, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	s, ok := rm.alloc.SlabFor(addr)
+	if !ok {
+		return nil, fmt.Errorf("core: address %v not in any slab", addr)
+	}
+	var out []placement
+	for _, pl := range rm.replicas[s.ID] {
+		l, err := rm.rack.link(pl.Node)
+		if err != nil || !l.healthy() {
+			continue
+		}
+		out = append(out, placement{
+			link:      l,
+			remoteOff: pl.RemoteOff + uint64(addr-pl.Base),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
+	}
+	return out, nil
+}
+
+// Malloc allocates size bytes of disaggregated memory, growing the slab
+// pool as needed.
+func (rm *resourceManager) Malloc(size uint64) (mem.Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("core: zero-size malloc")
+	}
+	if size > rm.cfg.SlabSize {
+		return 0, fmt.Errorf("core: allocation of %d exceeds slab size %d", size, rm.cfg.SlabSize)
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if addr, err := rm.alloc.Alloc(size); err == nil {
+			return addr, nil
+		}
+		if err := rm.growLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return rm.alloc.Alloc(size)
+}
+
+// Free releases an allocation.
+func (rm *resourceManager) Free(addr mem.Addr) error {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return rm.alloc.Free(addr)
+}
+
+// releaseAll returns every slab (and replica) to the rack. The address
+// space is unusable afterwards; only Close calls it.
+func (rm *resourceManager) releaseAll() error {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	var firstErr error
+	for id, placements := range rm.replicas {
+		for _, s := range placements {
+			if err := rm.rack.release(s); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		delete(rm.replicas, id)
+	}
+	rm.alloc = slab.NewAllocator()
+	return firstErr
+}

@@ -1,0 +1,8 @@
+package core
+
+import "kona/internal/simclock"
+
+// simDur and simDurT shorten simclock.Duration in tests.
+type simDurT = simclock.Duration
+
+func simDur(n int64) simclock.Duration { return simclock.Duration(n) }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kona/internal/cluster"
+	"kona/internal/mem"
+	"kona/internal/rdma"
+	"kona/internal/simclock"
+)
+
+// The runtime's data plane is transport-agnostic: every memory node is
+// reached through a nodeLink, and node discovery/slab allocation through a
+// rack. Two implementations exist:
+//
+//   - the simulated RDMA fabric (simRack/rdmaLink): in-process, with the
+//     calibrated virtual-time cost model — what the experiments use;
+//   - real TCP daemons (tcpRack/tcpLink): cmd/kona-controller and
+//     cmd/kona-memnode processes, with wall-clock time folded into the
+//     virtual clock — what a networked deployment uses.
+
+// nodeLink is the transport to one memory node.
+type nodeLink interface {
+	id() int
+	healthy() bool
+	// readPage fills buf with one page at pool offset off.
+	readPage(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error)
+	// writePage stores data at pool offset off.
+	writePage(now simclock.Duration, off uint64, data []byte) (simclock.Duration, error)
+	// shipLog delivers a packed cache-line log to the node's receiver;
+	// ackDue is when the receiver's acknowledgment lands.
+	shipLog(now simclock.Duration, packed []byte) (done, ackDue simclock.Duration, err error)
+	// injectDelay adds artificial latency (failure testing); transports
+	// that cannot are explicit about it.
+	injectDelay(d simclock.Duration) error
+}
+
+// rack is the control plane: slab allocation, release and link
+// construction.
+type rack interface {
+	allocSlab(size uint64) (slab Slab, err error)
+	allocReplicated(size uint64, replicas int) ([]Slab, error)
+	release(s Slab) error
+	link(node int) (nodeLink, error)
+}
+
+// --- simulated RDMA transport -----------------------------------------
+
+// simRack adapts the in-process controller.
+type simRack struct {
+	ctrl    *cluster.Controller
+	localEP *rdma.Endpoint
+	links   map[int]*rdmaLink
+}
+
+func newSimRack(ctrl *cluster.Controller) *simRack {
+	return &simRack{
+		ctrl:    ctrl,
+		localEP: rdma.NewEndpoint("klib"),
+		links:   make(map[int]*rdmaLink),
+	}
+}
+
+func (r *simRack) allocSlab(size uint64) (Slab, error) { return r.ctrl.AllocSlab(size) }
+
+func (r *simRack) allocReplicated(size uint64, replicas int) ([]Slab, error) {
+	return r.ctrl.AllocReplicatedSlab(size, replicas)
+}
+
+func (r *simRack) release(s Slab) error { return r.ctrl.ReleaseSlab(s) }
+
+func (r *simRack) link(node int) (nodeLink, error) {
+	if l, ok := r.links[node]; ok {
+		return l, nil
+	}
+	n, ok := r.ctrl.Node(node)
+	if !ok {
+		return nil, fmt.Errorf("core: memory node %d not registered", node)
+	}
+	l := &rdmaLink{
+		node:    n,
+		qp:      rdma.Connect(r.localEP, n.Endpoint(), rdma.DefaultCostModel()),
+		staging: r.localEP.RegisterMR(mem.PageSize),
+		logBuf:  r.localEP.RegisterMR(cluster.LogRegionSize),
+	}
+	r.links[node] = l
+	return l, nil
+}
+
+// rdmaLink reaches a simulated memory node with one-sided verbs.
+type rdmaLink struct {
+	node    *cluster.MemoryNode
+	qp      *rdma.QP
+	staging *rdma.MR
+	logBuf  *rdma.MR
+}
+
+func (l *rdmaLink) id() int       { return l.node.ID() }
+func (l *rdmaLink) healthy() bool { return !l.node.Failed() }
+
+func (l *rdmaLink) readPage(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error) {
+	done, err := l.qp.PostSend(now, []rdma.WR{{
+		Op: rdma.OpRead, Local: l.staging, RemoteKey: l.node.PoolKey(),
+		RemoteOff: int(off), Len: len(buf), Signaled: true,
+	}})
+	if err != nil {
+		return now, err
+	}
+	l.qp.PollCQ()
+	copy(buf, l.staging.Bytes())
+	return done, nil
+}
+
+func (l *rdmaLink) writePage(now simclock.Duration, off uint64, data []byte) (simclock.Duration, error) {
+	copy(l.staging.Bytes(), data)
+	done, err := l.qp.PostSend(now, []rdma.WR{{
+		Op: rdma.OpWrite, Local: l.staging, RemoteKey: l.node.PoolKey(),
+		RemoteOff: int(off), Len: len(data), Signaled: true,
+	}})
+	if err != nil {
+		return now, err
+	}
+	l.qp.PollCQ()
+	return done, nil
+}
+
+func (l *rdmaLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, error) {
+	copy(l.logBuf.Bytes(), packed)
+	done, err := l.qp.PostSend(now, []rdma.WR{{
+		Op: rdma.OpWrite, Local: l.logBuf, RemoteKey: l.node.LogKey(),
+		RemoteOff: 0, Len: len(packed), Signaled: true,
+	}})
+	if err != nil {
+		return now, now, err
+	}
+	l.qp.PollCQ()
+	entries, service, err := l.node.UnpackLog(len(packed))
+	if err != nil {
+		return done, done, err
+	}
+	_ = entries
+	return done, done + service + 500, nil // +ack flight
+}
+
+func (l *rdmaLink) injectDelay(d simclock.Duration) error {
+	l.qp.InjectDelay(d)
+	return nil
+}
+
+// --- TCP transport ------------------------------------------------------
+
+// tcpRack adapts a remote controller daemon; wall-clock latencies are
+// folded into the virtual clock.
+type tcpRack struct {
+	client *cluster.ControllerClient
+	addrs  map[int]string
+	links  map[int]*tcpLink
+}
+
+func newTCPRack(controllerAddr string) *tcpRack {
+	return &tcpRack{
+		client: cluster.DialController(controllerAddr),
+		addrs:  make(map[int]string),
+		links:  make(map[int]*tcpLink),
+	}
+}
+
+func (r *tcpRack) allocSlab(size uint64) (Slab, error) {
+	s, addr, err := r.client.AllocSlab(size)
+	if err != nil {
+		return Slab{}, err
+	}
+	r.addrs[s.Node] = addr
+	return s, nil
+}
+
+func (r *tcpRack) allocReplicated(size uint64, replicas int) ([]Slab, error) {
+	slabs, addrs, err := r.client.AllocReplicatedSlab(size, replicas)
+	if err != nil {
+		return nil, err
+	}
+	for id, a := range addrs {
+		r.addrs[id] = a
+	}
+	return slabs, nil
+}
+
+func (r *tcpRack) release(s Slab) error { return r.client.ReleaseSlab(s) }
+
+func (r *tcpRack) link(node int) (nodeLink, error) {
+	if l, ok := r.links[node]; ok {
+		return l, nil
+	}
+	addr, ok := r.addrs[node]
+	if !ok {
+		return nil, fmt.Errorf("core: no address known for memory node %d", node)
+	}
+	l := &tcpLink{nodeID: node, client: cluster.DialMemoryNode(addr)}
+	r.links[node] = l
+	return l, nil
+}
+
+// tcpLink reaches a real memory-node daemon.
+type tcpLink struct {
+	nodeID int
+	client *cluster.MemoryNodeClient
+}
+
+func (l *tcpLink) id() int { return l.nodeID }
+
+func (l *tcpLink) healthy() bool { return l.client.Ping() == nil }
+
+// elapse folds a measured wall-clock duration into virtual time.
+func elapse(now simclock.Duration, start time.Time) simclock.Duration {
+	return now + simclock.Duration(time.Since(start))
+}
+
+func (l *tcpLink) readPage(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error) {
+	start := time.Now()
+	data, err := l.client.Read(off, len(buf))
+	if err != nil {
+		return now, err
+	}
+	copy(buf, data)
+	return elapse(now, start), nil
+}
+
+func (l *tcpLink) writePage(now simclock.Duration, off uint64, data []byte) (simclock.Duration, error) {
+	start := time.Now()
+	if err := l.client.Write(off, data); err != nil {
+		return now, err
+	}
+	return elapse(now, start), nil
+}
+
+func (l *tcpLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, error) {
+	start := time.Now()
+	if _, err := l.client.WriteLog(packed); err != nil {
+		return now, now, err
+	}
+	done := elapse(now, start)
+	return done, done, nil // the RPC reply is the acknowledgment
+}
+
+func (l *tcpLink) injectDelay(simclock.Duration) error {
+	return fmt.Errorf("core: delay injection requires the simulated transport")
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblPrefetch(t *testing.T) {
+	res := runID(t, "abl-prefetch", quickCfg())
+	var on, off float64
+	for _, p := range res.Series[0].Points {
+		if p.X == 1 {
+			on = p.Y
+		} else {
+			off = p.Y
+		}
+	}
+	if on > off {
+		t.Errorf("abl-prefetch: prefetch on (%.2fms) must not be slower than off (%.2fms)", on, off)
+	}
+}
+
+func TestAblScatterGather(t *testing.T) {
+	res := runID(t, "abl-sg", quickCfg())
+	// The paper found SG consistently worse: at every point SG per-page
+	// time exceeds the CL log's.
+	logS, sgS := res.Series[0], res.Series[1]
+	for i := range logS.Points {
+		if sgS.Points[i].Y <= logS.Points[i].Y {
+			t.Errorf("abl-sg: scatter-gather (%.2f) not worse than CL log (%.2f) at %v lines",
+				sgS.Points[i].Y, logS.Points[i].Y, logS.Points[i].X)
+		}
+	}
+}
+
+func TestAblReplicas(t *testing.T) {
+	res := runID(t, "abl-replicas", quickCfg())
+	s := res.Series[0]
+	// Eviction time grows with replicas but sub-linearly (shared copies).
+	y1, _ := s.YAt(1)
+	y2, _ := s.YAt(2)
+	y3, _ := s.YAt(3)
+	if !(y1 < y2 && y2 < y3) {
+		t.Errorf("abl-replicas: time must grow with replicas: %v %v %v", y1, y2, y3)
+	}
+	if y3 > 3*y1 {
+		t.Errorf("abl-replicas: 3 replicas cost %.2fx of 1; copies should share the bitmap+copy work", y3/y1)
+	}
+}
+
+func TestAblFlush(t *testing.T) {
+	res := runID(t, "abl-flush", quickCfg())
+	s := res.Series[0]
+	small, _ := s.YAt(4)
+	large, _ := s.YAt(256)
+	if small <= large {
+		t.Errorf("abl-flush: 4KB threshold (%.2fms) should cost more than 256KB (%.2fms)", small, large)
+	}
+}
+
+func TestAblAssoc(t *testing.T) {
+	res := runID(t, "abl-assoc", quickCfg())
+	s := res.Series[0]
+	var lo, hi float64
+	for i, p := range s.Points {
+		if i == 0 || p.Y < lo {
+			lo = p.Y
+		}
+		if p.Y > hi {
+			hi = p.Y
+		}
+	}
+	// §6.2: associativity does not significantly impact latency.
+	if (hi-lo)/lo > 0.25 {
+		t.Errorf("abl-assoc: associativity spread %.1f%%, expected modest", 100*(hi-lo)/lo)
+	}
+}
+
+func TestAblTracking(t *testing.T) {
+	res := runID(t, "abl-tracking", quickCfg())
+	if !strings.Contains(res.Text, "Redis-Rand") || !strings.Contains(res.Text, "PML") {
+		t.Fatalf("abl-tracking output incomplete:\n%s", res.Text)
+	}
+	// The note carries the point: PML keeps page-granularity amplification.
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[0], "amplification") {
+		t.Errorf("abl-tracking: missing the amplification note")
+	}
+}
+
+func TestAblHWPrefetch(t *testing.T) {
+	res := runID(t, "abl-hwprefetch", quickCfg())
+	// Prefetch must lower (or match) Kona's AMAT at every cache size.
+	off, on := res.Series[0], res.Series[1]
+	improvedSomewhere := false
+	for i := range off.Points {
+		if on.Points[i].Y > off.Points[i].Y*1.02 {
+			t.Errorf("abl-hwprefetch: prefetch hurt at %v%% cache: %.2f vs %.2f",
+				off.Points[i].X, on.Points[i].Y, off.Points[i].Y)
+		}
+		if on.Points[i].Y < off.Points[i].Y*0.98 {
+			improvedSomewhere = true
+		}
+	}
+	if !improvedSomewhere {
+		t.Errorf("abl-hwprefetch: prefetch never helped")
+	}
+}
+
+func TestExtLeap(t *testing.T) {
+	res := runID(t, "ext-leap", quickCfg())
+	s := res.Series[0]
+	d1, _ := s.YAt(1)
+	d8, _ := s.YAt(8)
+	if d8 >= d1 {
+		t.Errorf("ext-leap: depth-8 stride (%.2fms) should beat depth-1 next-page (%.2fms) on a stride-2 pattern", d8, d1)
+	}
+	// Monotone improvement with depth.
+	prev := d1
+	for _, depth := range []float64{2, 4, 8} {
+		y, _ := s.YAt(depth)
+		if y > prev*1.05 {
+			t.Errorf("ext-leap: depth %v regressed: %.2f vs %.2f", depth, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestExtAMAT(t *testing.T) {
+	res := runID(t, "ext-amat", quickCfg())
+	for _, p := range res.Series[0].Points {
+		if p.Y < 1 {
+			t.Errorf("ext-amat: LegoOS/Kona ratio %.2f < 1 at workload %v", p.Y, p.X)
+		}
+	}
+}
+
+func TestExtBW(t *testing.T) {
+	res := runID(t, "ext-bw", quickCfg())
+	// Page-granularity writeback time shrinks with line rate but stays
+	// far above CL-granularity at every rate.
+	if !strings.Contains(res.Text, "10Gbps") || !strings.Contains(res.Text, "200Gbps") {
+		t.Fatalf("missing sweep rows:\n%s", res.Text)
+	}
+	s := res.Series[0]
+	y10, _ := s.YAt(10)
+	y200, _ := s.YAt(200)
+	if y10 <= y200 {
+		t.Errorf("ext-bw: wire time must shrink with line rate (%.2f vs %.2f)", y10, y200)
+	}
+}
+
+func TestExtOverhead(t *testing.T) {
+	res := runID(t, "ext-overhead", quickCfg())
+	for _, want := range []string{"KCacheSim", "KTracker", "43x"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("ext-overhead missing %q", want)
+		}
+	}
+}
+
+func TestAblFetchGran(t *testing.T) {
+	res := runID(t, "abl-fetchgran", quickCfg())
+	s := res.Series[0]
+	t64, _ := s.YAt(64)
+	t4096, _ := s.YAt(4096)
+	if t64 >= t4096 {
+		t.Errorf("abl-fetchgran: 64B fetch (%.2fms) should beat 4KB (%.2fms) on one-line-per-page access", t64, t4096)
+	}
+	if !strings.Contains(res.Text, "64x") {
+		t.Errorf("transfer-waste column missing:\n%s", res.Text)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kona/internal/kcachesim"
+	"kona/internal/ktracker"
+	"kona/internal/rdma"
+	"kona/internal/simclock"
+	"kona/internal/stats"
+	"kona/internal/workload"
+)
+
+func init() {
+	register("ext-bw",
+		"Extension: network line-rate sensitivity of eviction traffic",
+		runExtBW)
+	register("ext-overhead",
+		"Extension: the simulators' own overheads (§6.2(3), §6.3(3) meta-results)",
+		runExtOverhead)
+}
+
+// runExtBW sweeps the wire speed and compares the network time needed to
+// write back one second of Redis-Rand dirty data at page granularity vs
+// cache-line granularity — the "network requirements for disaggregation"
+// angle ([32]): cache-line tracking is what keeps slower (cheaper) fabrics
+// viable.
+func runExtBW(cfg Config) (*Result, error) {
+	w := workload.RedisRand()
+	if cfg.Quick {
+		w.Windows = 25
+	}
+	results, err := ktracker.Run(w, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := ktracker.Summarize(results, 10)
+	// Native-rate dirty volumes per second.
+	scale := float64(w.WriteBandwidth)
+	pageBytes := s.MeanAmp4K * scale
+	lineBytes := s.MeanAmpCL * scale
+
+	t := stats.NewTable("line rate", "4KB writeback", "CL writeback", "4KB util %", "CL util %")
+	serRatio := stats.Series{Name: "pageWB/s"}
+	for _, gbps := range []int{10, 25, 50, 100, 200} {
+		cm := rdma.DefaultCostModel()
+		cm.LineRateGbps = gbps
+		pageTime := cm.WireTime(int(pageBytes))
+		lineTime := cm.WireTime(int(lineBytes))
+		t.AddRow(fmt.Sprintf("%dGbps", gbps),
+			fmt.Sprintf("%.1fms/s", float64(pageTime)/1e6),
+			fmt.Sprintf("%.1fms/s", float64(lineTime)/1e6),
+			100*float64(pageTime)/1e9,
+			100*float64(lineTime)/1e9)
+		serRatio.Add(float64(gbps), float64(pageTime)/1e6)
+	}
+	return &Result{
+		Text:   t.String(),
+		Series: []stats.Series{serRatio},
+		Notes: []string{fmt.Sprintf(
+			"Redis-Rand at native rate dirties %.0fx its written bytes under 4KB tracking vs %.1fx under CL tracking; at 10Gbps the page-granularity writeback alone consumes the fabric %.0fx sooner",
+			s.MeanAmp4K, s.MeanAmpCL, s.MeanAmp4K/s.MeanAmpCL)},
+	}, nil
+}
+
+// runExtOverhead reports the simulation tooling's own costs, the
+// meta-results the paper gives in §6.2(3) (Cachegrind: 43x) and §6.3(3)
+// (KTracker: 60% throughput loss, 95% of it copy+compare). Our absolute
+// numbers are unrelated to theirs — different tools, different machines —
+// but the artifact documents them for the same reason the paper does.
+func runExtOverhead(cfg Config) (*Result, error) {
+	w := workload.RedisRand()
+	accesses := 60000
+	if cfg.Quick {
+		accesses = 20000
+	}
+	simOver := kcachesim.SimulationOverhead(w, accesses)
+
+	wk := workload.RedisSeq()
+	results, err := ktracker.Run(wk, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := ktracker.Summarize(results, 0)
+	// Diff cost as a fraction of the virtual run the tracker emulated.
+	runLen := simclock.Duration(len(results)) * workload.WindowLen
+	diffFrac := float64(s.TotalDiff) / float64(runLen)
+
+	t := stats.NewTable("Tool", "overhead", "paper's figure")
+	t.AddRow("KCacheSim (cache simulation)", fmt.Sprintf("%.0fx slowdown", simOver), "43x (Redis under Cachegrind)")
+	t.AddRow("KTracker (snapshot diffing)", fmt.Sprintf("%.2f%% of runtime modeled as diff cost", 100*diffFrac), "60% throughput loss, 95% copy+compare")
+	return &Result{Text: t.String(), Notes: []string{
+		"absolute tool overheads are machine- and implementation-specific; the artifact records ours alongside the paper's for completeness",
+	}}, nil
+}

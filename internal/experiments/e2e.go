@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kona/internal/cluster"
+	"kona/internal/core"
+	"kona/internal/mem"
+	"kona/internal/workload"
+)
+
+func init() {
+	register("ext-e2e",
+		"Extension: end-to-end workload replay — Kona vs Kona-VM on real workload traces (§6.1 methodology)",
+		runExtE2E)
+}
+
+// runExtE2E replays each workload's instrumented access stream (the §5
+// emulation methodology) against both runtimes with a 25% local cache and
+// reports the end-to-end slowdown of the virtual-memory baseline — the
+// whole-system view that Fig 7 takes for a microbenchmark, here on the
+// Table 2 workloads.
+func runExtE2E(cfg Config) (*Result, error) {
+	sel := []string{"Redis-Rand", "Redis-Seq", "Page Rank", "VoltDB", "PageRank-Algo"}
+	if cfg.Quick {
+		sel = sel[:2]
+	}
+	maxAccesses := 60000
+	if cfg.Quick {
+		maxAccesses = 15000
+	}
+	t := newE2ETable()
+	res := &Result{}
+	for _, name := range sel {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		footprint := w.Footprint
+		cacheBytes := footprint / 4 // 25% local cache
+		mk := func() *cluster.Controller {
+			ctrl := cluster.NewController()
+			for i := 0; i < 2; i++ {
+				if err := ctrl.Register(cluster.NewMemoryNode(i, 2*footprint)); err != nil {
+					panic(err)
+				}
+			}
+			return ctrl
+		}
+		rc := core.DefaultConfig(alignFMem(cacheBytes))
+		rc.SlabSize = footprint // one slab spans the replay region
+		konaRes, err := core.ReplayTrace(core.NewKona(rc, mk()), w.TrackingStream(cfg.Seed), footprint, maxAccesses)
+		if err != nil {
+			return nil, fmt.Errorf("%s on Kona: %w", name, err)
+		}
+		vmRes, err := core.ReplayTrace(core.NewKonaVM(rc, mk()), w.TrackingStream(cfg.Seed), footprint, maxAccesses)
+		if err != nil {
+			return nil, fmt.Errorf("%s on Kona-VM: %w", name, err)
+		}
+		speedup := float64(vmRes.Elapsed) / float64(konaRes.Elapsed)
+		t.AddRow(name, konaRes.Accesses,
+			fmt.Sprintf("%.1fms", float64(konaRes.Elapsed)/1e6),
+			fmt.Sprintf("%.1fms", float64(vmRes.Elapsed)/1e6),
+			speedup)
+	}
+	res.Text = t.String()
+	res.Notes = append(res.Notes,
+		"trace replay per §5's instrumented-execution methodology; 25% local cache (the §2.1 regime); speedups land between the AMAT-level 1.7x and the fault-dominated microbenchmark's 6.6x depending on access pattern")
+	return res, nil
+}
+
+func newE2ETable() *tableT {
+	return newTable("Workload", "accesses", "Kona", "Kona-VM", "VM/Kona")
+}
+
+// alignFMem rounds a cache size to valid FMem geometry (4-way, 4KB pages).
+func alignFMem(bytes uint64) uint64 {
+	unit := uint64(4 * mem.PageSize)
+	if bytes < unit {
+		return unit
+	}
+	return bytes / unit * unit
+}

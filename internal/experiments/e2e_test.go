@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtE2E(t *testing.T) {
+	res := runID(t, "ext-e2e", quickCfg())
+	t.Log("\n" + res.Text)
+	// Kona must beat Kona-VM on every replayed workload.
+	if !containsAll(res.Text, "Redis-Rand", "Redis-Seq") {
+		t.Fatalf("missing rows")
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§2, §6). Each driver regenerates its artifact's
+// rows/series from the simulators and runtimes in this repository and
+// renders them as text, alongside the paper's published values where they
+// exist. The drivers are invoked by the repo-level benchmarks
+// (bench_test.go) and by cmd/kona-bench.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kona/internal/stats"
+)
+
+// Config adjusts experiment scale.
+type Config struct {
+	// Quick shrinks trace lengths and sweeps for fast iteration (used by
+	// the benchmark harness between full runs).
+	Quick bool
+	// Seed makes every experiment deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the full-scale deterministic configuration.
+func DefaultConfig() Config { return Config{Seed: 42} }
+
+// Result is a regenerated table or figure.
+type Result struct {
+	// ID is the artifact key ("table2", "fig8a", ...).
+	ID string
+	// Title echoes the paper's caption.
+	Title string
+	// Text is the rendered artifact (table or series grid).
+	Text string
+	// Series holds figure curves for programmatic checks.
+	Series []stats.Series
+	// Notes records deviations, scaling factors and observations.
+	Notes []string
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n%s", r.ID, r.Title, r.Text)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Chart renders the result's series as an ASCII plot (empty when the
+// artifact has no series).
+func (r *Result) Chart() string {
+	if len(r.Series) == 0 {
+		return ""
+	}
+	return stats.Plot(r.Title, "see table", 56, 12, r.Series...)
+}
+
+// Runner regenerates one artifact.
+type Runner func(Config) (*Result, error)
+
+// entry pairs a runner with its description.
+type entry struct {
+	runner Runner
+	title  string
+}
+
+// registry maps artifact IDs to runners.
+var registry = map[string]entry{}
+
+// register installs a runner; drivers call it from init.
+func register(id, title string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = entry{runner: r, title: title}
+}
+
+// IDs returns all artifact IDs in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns an artifact's title.
+func Describe(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.title, ok
+}
+
+// Run regenerates one artifact by ID.
+func Run(id string, cfg Config) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown artifact %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	res, err := e.runner(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = id
+	res.Title = e.title
+	return res, nil
+}
+
+// RunAll regenerates every artifact in ID order.
+func RunAll(cfg Config) ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		r, err := Run(id, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// tableT aliases the stats table for experiment drivers.
+type tableT = stats.Table
+
+// newTable builds a stats table (local alias for drivers).
+func newTable(header ...string) *tableT { return stats.NewTable(header...) }

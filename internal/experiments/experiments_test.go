@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 42} }
+
+func runID(t *testing.T, id string, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(id, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.Text == "" {
+		t.Fatalf("%s: empty output", id)
+	}
+	return res
+}
+
+// seriesY fetches a named series' value at x.
+func seriesY(t *testing.T, res *Result, name string, x float64) float64 {
+	t.Helper()
+	for _, s := range res.Series {
+		if s.Name == name {
+			if y, ok := s.YAt(x); ok {
+				return y
+			}
+			t.Fatalf("%s: series %q has no x=%v", res.ID, name, x)
+		}
+	}
+	t.Fatalf("%s: no series %q", res.ID, name)
+	return 0
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"abl-assoc", "abl-fetchgran", "abl-flush", "abl-hugepages", "abl-hwprefetch", "abl-prefetch", "abl-replicas", "abl-sg", "abl-tracking", "ext-amat", "ext-bw", "ext-e2e", "ext-leap", "ext-overhead",
+		"fig10", "fig11a", "fig11b", "fig11c", "fig2", "fig3",
+		"fig7", "fig8a", "fig8b", "fig8c", "fig8d", "fig9", "sec21", "table2"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+		if title, ok := Describe(got[i]); !ok || title == "" {
+			t.Errorf("Describe(%s) missing", got[i])
+		}
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Errorf("Describe of unknown id succeeded")
+	}
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Errorf("Run of unknown id succeeded")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	res := runID(t, "table2", quickCfg())
+	for _, want := range []string{"Redis-Rand", "Redis-Seq", "31.36", "5516.37"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("table2 missing %q:\n%s", want, res.Text)
+		}
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	res := runID(t, "fig2", quickCfg())
+	// Rand writes: most pages have <=8 accessed lines.
+	if y := seriesY(t, res, "Writes (Rand)", 8); y < 0.5 {
+		t.Errorf("fig2: Rand writes CDF(8) = %.2f, want skew to few lines", y)
+	}
+	// Seq writes: substantial mass only reached at the full page.
+	at63 := seriesY(t, res, "Writes (Seq)", 63)
+	at64 := seriesY(t, res, "Writes (Seq)", 64)
+	if at64-at63 < 0.2 {
+		t.Errorf("fig2: Seq writes full-page jump = %.2f, want >= 0.2", at64-at63)
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	res := runID(t, "fig3", quickCfg())
+	// Most segments are short (1-4 lines) for Rand.
+	if y := seriesY(t, res, "Writes (Rand)", 4); y < 0.8 {
+		t.Errorf("fig3: Rand segment CDF(4) = %.2f, want most short", y)
+	}
+	// Seq has a page-length tail: CDF at 32 is visibly below 1.
+	if y := seriesY(t, res, "Writes (Seq)", 32); y > 0.95 {
+		t.Errorf("fig3: Seq CDF(32) = %.2f, expected page-length segments", y)
+	}
+}
+
+func TestFig7Ratios(t *testing.T) {
+	res := runID(t, "fig7", quickCfg())
+	for _, th := range []float64{1, 2, 4} {
+		kona := seriesY(t, res, "Kona", th)
+		vm := seriesY(t, res, "Kona-VM", th)
+		ratio := vm / kona
+		if ratio < 4 || ratio > 8.5 {
+			t.Errorf("fig7 %vT: Kona-VM/Kona = %.1f, want 4-8.5 (paper 6.6@1T, 4-5@2-4T)", th, ratio)
+		}
+		konaNE := seriesY(t, res, "Kona-NoEvict", th)
+		vmNE := seriesY(t, res, "Kona-VM-NoEvict", th)
+		if r := vmNE / konaNE; r < 2.5 || r > 6 {
+			t.Errorf("fig7 %vT NoEvict ratio = %.1f, want 3-5", th, r)
+		}
+		noWP := seriesY(t, res, "Kona-VM-NoWP", th)
+		if noWP <= konaNE {
+			t.Errorf("fig7 %vT: NoWP (%.4f) must stay slower than Kona (%.4f)", th, noWP, konaNE)
+		}
+		if noWP >= vmNE {
+			t.Errorf("fig7 %vT: NoWP must beat full Kona-VM-NoEvict", th)
+		}
+	}
+	// The 1-thread advantage exceeds the multi-thread advantage (6.6 -> 4-5).
+	r1 := seriesY(t, res, "Kona-VM", 1) / seriesY(t, res, "Kona", 1)
+	r4 := seriesY(t, res, "Kona-VM", 4) / seriesY(t, res, "Kona", 4)
+	if r1 < r4 {
+		t.Errorf("fig7: 1T ratio (%.1f) should exceed 4T ratio (%.1f)", r1, r4)
+	}
+}
+
+func TestFig8aRatios(t *testing.T) {
+	res := runID(t, "fig8a", quickCfg())
+	kona := seriesY(t, res, "Kona", 25)
+	lego := seriesY(t, res, "LegoOS", 25)
+	main := seriesY(t, res, "Kona-main", 25)
+	if r := lego / kona; r < 1.3 || r > 2.5 {
+		t.Errorf("fig8a: LegoOS/Kona at 25%% = %.2f, want ~1.7", r)
+	}
+	if main >= kona {
+		t.Errorf("fig8a: Kona-main (%.1f) must beat Kona (%.1f)", main, kona)
+	}
+	// Curves decline with cache size for LegoOS.
+	if seriesY(t, res, "LegoOS", 5) <= seriesY(t, res, "LegoOS", 100) {
+		t.Errorf("fig8a: LegoOS curve not declining")
+	}
+}
+
+func TestFig8bFlat(t *testing.T) {
+	res := runID(t, "fig8b", quickCfg())
+	lo := seriesY(t, res, "LegoOS", 10)
+	hi := seriesY(t, res, "LegoOS", 100)
+	if lo > 1.6*hi {
+		t.Errorf("fig8b: Linear Regression curve not flat: %.1f vs %.1f", lo, hi)
+	}
+}
+
+func TestFig8cIntermediate(t *testing.T) {
+	res := runID(t, "fig8c", quickCfg())
+	kona := seriesY(t, res, "Kona", 25)
+	lego := seriesY(t, res, "LegoOS", 25)
+	if lego <= kona {
+		t.Errorf("fig8c: LegoOS (%.1f) must exceed Kona (%.1f)", lego, kona)
+	}
+}
+
+func TestFig8dSweetSpot(t *testing.T) {
+	res := runID(t, "fig8d", quickCfg())
+	name := "cache 27%"
+	tiny := seriesY(t, res, name, 64.0/1024)
+	sweet := seriesY(t, res, name, 1)
+	huge := seriesY(t, res, name, 32)
+	if sweet >= tiny || sweet >= huge {
+		t.Errorf("fig8d: 1KB (%.1f) must beat 64B (%.1f) and 32KB (%.1f)", sweet, tiny, huge)
+	}
+}
+
+func TestFig9RandDominates(t *testing.T) {
+	res := runID(t, "fig9", quickCfg())
+	var randMean, seqMean float64
+	for _, s := range res.Series {
+		var sum float64
+		for _, p := range s.Points {
+			sum += p.Y
+		}
+		mean := sum / float64(len(s.Points))
+		if s.Name == "Redis-Rand" {
+			randMean = mean
+		} else {
+			seqMean = mean
+		}
+	}
+	if randMean <= 2*seqMean {
+		t.Errorf("fig9: rand mean ratio %.1f should dominate seq %.1f", randMean, seqMean)
+	}
+}
+
+func TestFig10Ordering(t *testing.T) {
+	res := runID(t, "fig10", quickCfg())
+	s := res.Series[0]
+	redisRand := s.Points[0].Y
+	redisSeq := s.Points[1].Y
+	hist := s.Points[2].Y
+	if redisRand < 20 || redisRand > 50 {
+		t.Errorf("fig10: Redis-Rand speedup %.1f%%, want ~35%%", redisRand)
+	}
+	if redisSeq > 6 || hist > 6 {
+		t.Errorf("fig10: Seq/Hist speedups %.1f/%.1f, want ~1%%", redisSeq, hist)
+	}
+	for _, p := range s.Points[1:] {
+		if p.Y >= redisRand {
+			t.Errorf("fig10: workload %v exceeds Redis-Rand", p.X)
+		}
+	}
+}
+
+func TestFig11aShapes(t *testing.T) {
+	res := runID(t, "fig11a", quickCfg())
+	log1 := seriesY(t, res, "Kona's CL log", 1)
+	log4 := seriesY(t, res, "Kona's CL log", 4)
+	log64 := seriesY(t, res, "Kona's CL log", 64)
+	if log1 < 3.5 || log1 > 6 {
+		t.Errorf("fig11a: CL log at 1 = %.1f, want 4-5x", log1)
+	}
+	if log4 < 3 {
+		t.Errorf("fig11a: CL log at 4 = %.1f, want ~4x", log4)
+	}
+	if log64 < 0.9 || log64 > 2 {
+		t.Errorf("fig11a: CL log at 64 = %.1f, want ~1x (on par)", log64)
+	}
+	nc := seriesY(t, res, "4KB writes no-copy [idealized]", 1)
+	if nc < 1.3 || nc > 1.7 {
+		t.Errorf("fig11a: 4KB no-copy = %.2f, want ~1.5x", nc)
+	}
+	// Contiguous: Kona is never worse than Kona-VM (§6.4).
+	for _, p := range res.Series[2].Points {
+		if p.Y < 0.95 {
+			t.Errorf("fig11a: CL log below Kona-VM at %v contiguous lines", p.X)
+		}
+	}
+}
+
+func TestFig11bShapes(t *testing.T) {
+	res := runID(t, "fig11b", quickCfg())
+	log2 := seriesY(t, res, "Kona's CL log", 2)
+	if log2 < 2 || log2 > 4 {
+		t.Errorf("fig11b: CL log at 2 alternate = %.1f, want 2-3x", log2)
+	}
+	log32 := seriesY(t, res, "Kona's CL log", 32)
+	if log32 >= 1 {
+		t.Errorf("fig11b: CL log at 32 alternate = %.1f, must fall below Kona-VM", log32)
+	}
+	clnc32 := seriesY(t, res, "CL writes no-copy [idealized]", 32)
+	if clnc32 >= log32 {
+		t.Errorf("fig11b: CL-no-copy (%.2f) must collapse harder than the log (%.2f)", clnc32, log32)
+	}
+}
+
+func TestFig11cBreakdown(t *testing.T) {
+	res := runID(t, "fig11c", quickCfg())
+	// At 1 and 8 contiguous lines Copy is the dominant slice.
+	for _, s := range res.Series[:2] {
+		bitmap, copyT, rdmaT := s.Points[0].Y, s.Points[1].Y, s.Points[2].Y
+		ack := s.Points[3].Y
+		if copyT < bitmap || copyT < rdmaT {
+			t.Errorf("fig11c %s: Copy (%.0f%%) must dominate bitmap (%.0f%%) and RDMA (%.0f%%)", s.Name, copyT, bitmap, rdmaT)
+		}
+		if ack > 25 {
+			t.Errorf("fig11c %s: ack wait %.0f%% too large", s.Name, ack)
+		}
+	}
+}
+
+func TestSec21(t *testing.T) {
+	res := runID(t, "sec21", quickCfg())
+	for _, want := range []string{"Infiniswap", "40µs", "Kona"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("sec21 missing %q", want)
+		}
+	}
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[0], "%") {
+		t.Errorf("sec21: missing throughput-drop note")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every artifact")
+	}
+	results, err := RunAll(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("RunAll returned %d results", len(results))
+	}
+	for _, r := range results {
+		if r.ID == "" || r.Title == "" || r.Text == "" {
+			t.Errorf("incomplete result: %+v", r.ID)
+		}
+		if !strings.Contains(r.String(), r.ID) {
+			t.Errorf("String() missing ID")
+		}
+	}
+}
+
+// orderProbe records the virtual-time order in which fig7Run drives a
+// mock runtime.
+type orderProbe struct {
+	arrivals []simclock.Duration
+	perOp    simclock.Duration
+	clock    map[int]simclock.Duration
+}
+
+func (o *orderProbe) Malloc(size uint64) (mem.Addr, error) { return 0, nil }
+
+func (o *orderProbe) access(now simclock.Duration) (simclock.Duration, error) {
+	o.arrivals = append(o.arrivals, now)
+	return now + o.perOp, nil
+}
+
+func (o *orderProbe) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	return o.access(now)
+}
+
+func (o *orderProbe) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	return o.access(now)
+}
+
+// TestFig7RunCausalOrder verifies the microbenchmark harness's key
+// property: operations reach the runtime in non-decreasing virtual time,
+// so shared contention servers never see arrivals from the past.
+func TestFig7RunCausalOrder(t *testing.T) {
+	probe := &orderProbe{perOp: 100}
+	d, err := fig7Run(probe, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.arrivals) != 4*8*2 {
+		t.Fatalf("ops = %d, want 64", len(probe.arrivals))
+	}
+	for i := 1; i < len(probe.arrivals); i++ {
+		if probe.arrivals[i] < probe.arrivals[i-1] {
+			t.Fatalf("arrival %d (%v) precedes %d (%v): causality violated",
+				i, probe.arrivals[i], i-1, probe.arrivals[i-1])
+		}
+	}
+	// All threads run the same op count at the same cost: completion is
+	// one thread's serial time.
+	if d != 8*2*100 {
+		t.Errorf("completion = %v, want 1600", d)
+	}
+}

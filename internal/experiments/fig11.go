@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kona/internal/cluster"
+	"kona/internal/core"
+	"kona/internal/mem"
+	"kona/internal/rdma"
+	"kona/internal/simclock"
+	"kona/internal/stats"
+)
+
+func init() {
+	register("fig11a", "Eviction goodput vs Kona-VM — contiguous dirty cache-lines",
+		func(cfg Config) (*Result, error) {
+			return runFig11Goodput(cfg, true, []int{1, 2, 4, 6, 8, 12, 16, 32, 64})
+		})
+	register("fig11b", "Eviction goodput vs Kona-VM — alternate (random) dirty cache-lines",
+		func(cfg Config) (*Result, error) {
+			return runFig11Goodput(cfg, false, []int{1, 2, 4, 8, 12, 16, 32})
+		})
+	register("fig11c", "Kona cache-line log eviction time breakdown",
+		runFig11c)
+}
+
+// fig11Pages is the benchmark region: the paper writes N lines per 4KB
+// page over a 1GB region; we scale the page count, which leaves per-page
+// costs and therefore goodput ratios unchanged.
+func fig11Pages(quick bool) int {
+	if quick {
+		return 256
+	}
+	return 2048
+}
+
+// dirtyPattern builds the per-page bitmap: n contiguous lines from 0, or
+// n alternating (every other) lines — the paper's "random" proxy.
+func dirtyPattern(n int, contiguous bool) mem.LineBitmap {
+	var bm mem.LineBitmap
+	if contiguous {
+		bm.SetRange(0, n)
+		return bm
+	}
+	for i := 0; i < n; i++ {
+		bm.Set((i * 2) % 64)
+	}
+	return bm
+}
+
+// vmPageCopyFixed mirrors the runtime's per-page copy overhead.
+const vmPageCopyFixed = 120 * time.Nanosecond
+
+// fig11Cluster builds a rack for one run.
+func fig11Cluster() *cluster.Controller {
+	ctrl := cluster.NewController()
+	if err := ctrl.Register(cluster.NewMemoryNode(0, 32<<20)); err != nil {
+		panic(err)
+	}
+	return ctrl
+}
+
+// konaVMEviction models the baseline: per dirty page, copy all 4KB to the
+// registered buffer and RDMA-write the full page, posts linked in batches
+// of 16 with unsignaled intermediates.
+func konaVMEviction(pages int) simclock.Duration {
+	return pagedEviction(pages, mem.PageSize, true)
+}
+
+// idealized4KBNoCopy is "4KB writes no-copy": the same full-page writes
+// from pre-registered buffers — no local copy (§6.4's idealized baseline).
+func idealized4KBNoCopy(pages int) simclock.Duration {
+	return pagedEviction(pages, mem.PageSize, false)
+}
+
+// pagedEviction runs batched page-granularity RDMA writes.
+func pagedEviction(pages int, size int, withCopy bool) simclock.Duration {
+	local := rdma.NewEndpoint("bench-local")
+	remote := rdma.NewEndpoint("bench-remote")
+	buf := local.RegisterMR(mem.PageSize)
+	pool := remote.RegisterMR(64 << 20)
+	qp := rdma.Connect(local, remote, rdma.DefaultCostModel())
+	var now simclock.Duration
+	const batch = 16
+	var wrs []rdma.WR
+	flush := func() {
+		if len(wrs) == 0 {
+			return
+		}
+		wrs[len(wrs)-1].Signaled = true
+		done, err := qp.PostSend(now, wrs)
+		if err != nil {
+			panic(err)
+		}
+		qp.PollCQ()
+		now = done
+		wrs = wrs[:0]
+	}
+	for p := 0; p < pages; p++ {
+		if withCopy {
+			now += vmPageCopyFixed + simclock.Memcpy(size)
+		}
+		wrs = append(wrs, rdma.WR{
+			Op: rdma.OpWrite, Local: buf, RemoteKey: pool.Key(),
+			RemoteOff: (p * mem.PageSize) % (32 << 20), Len: size,
+		})
+		if len(wrs) >= batch {
+			flush()
+		}
+	}
+	flush()
+	return now
+}
+
+// idealizedCLNoCopy is "CL writes no-copy": one RDMA write per dirty
+// segment straight from registered memory — great for one or two
+// contiguous lines, terrible for many discontiguous ones (§6.4).
+func idealizedCLNoCopy(pages int, dirty mem.LineBitmap) simclock.Duration {
+	local := rdma.NewEndpoint("bench-local")
+	remote := rdma.NewEndpoint("bench-remote")
+	buf := local.RegisterMR(mem.PageSize)
+	pool := remote.RegisterMR(64 << 20)
+	qp := rdma.Connect(local, remote, rdma.DefaultCostModel())
+	segs := dirty.Segments()
+	var now simclock.Duration
+	const batch = 64
+	var wrs []rdma.WR
+	flush := func() {
+		if len(wrs) == 0 {
+			return
+		}
+		wrs[len(wrs)-1].Signaled = true
+		done, err := qp.PostSend(now, wrs)
+		if err != nil {
+			panic(err)
+		}
+		qp.PollCQ()
+		now = done
+		wrs = wrs[:0]
+	}
+	for p := 0; p < pages; p++ {
+		for _, seg := range segs {
+			wrs = append(wrs, rdma.WR{
+				Op: rdma.OpWrite, Local: buf, LocalOff: seg.First * mem.CacheLineSize,
+				RemoteKey: pool.Key(),
+				RemoteOff: (p*mem.PageSize + seg.First*mem.CacheLineSize) % (32 << 20),
+				Len:       seg.N * mem.CacheLineSize,
+			})
+			if len(wrs) >= batch {
+				flush()
+			}
+		}
+	}
+	flush()
+	return now
+}
+
+// runFig11Goodput regenerates Fig 11a (contiguous) or 11b (alternate).
+func runFig11Goodput(cfg Config, contiguous bool, counts []int) (*Result, error) {
+	pages := fig11Pages(cfg.Quick)
+	s4kbNC := stats.Series{Name: "4KB writes no-copy [idealized]"}
+	sCLNC := stats.Series{Name: "CL writes no-copy [idealized]"}
+	sLog := stats.Series{Name: "Kona's CL log"}
+	for _, n := range counts {
+		dirty := dirtyPattern(n, contiguous)
+		useful := float64(pages * dirty.Count() * mem.CacheLineSize)
+
+		vmTime := konaVMEviction(pages)
+		vmGoodput := useful / float64(vmTime)
+
+		logTime, _, _, err := core.EvictionBench(fig11Cluster(), core.DefaultConfig(1<<20), pages, dirty)
+		if err != nil {
+			return nil, err
+		}
+		s4kbNC.Add(float64(n), useful/float64(idealized4KBNoCopy(pages))/vmGoodput)
+		sCLNC.Add(float64(n), useful/float64(idealizedCLNoCopy(pages, dirty))/vmGoodput)
+		sLog.Add(float64(n), useful/float64(logTime)/vmGoodput)
+	}
+	axis := "contiguous dirty CLs (goodput vs Kona-VM)"
+	if !contiguous {
+		axis = "alternate dirty CLs (goodput vs Kona-VM)"
+	}
+	series := []stats.Series{s4kbNC, sCLNC, sLog}
+	res := &Result{
+		Text:   stats.RenderSeries(axis, series...),
+		Series: series,
+	}
+	if contiguous {
+		res.Notes = append(res.Notes,
+			"expected shape: CL log 4-5x at 1-4 contiguous lines, converging toward Kona-VM at 64; 4KB-no-copy ~1.5x flat; CL-no-copy strong at 1-2, collapsing at many segments")
+	} else {
+		res.Notes = append(res.Notes,
+			"expected shape: CL log 2-3x at 2-4 alternate lines, dropping below Kona-VM for many discontiguous lines (paper: >16; our fixed per-segment costs cross earlier, ~8-12)")
+	}
+	return res, nil
+}
+
+// runFig11c regenerates the time breakdown at 1, 8 and 64 contiguous
+// dirty lines.
+func runFig11c(cfg Config) (*Result, error) {
+	pages := fig11Pages(cfg.Quick)
+	t := stats.NewTable("contig CLs", "Bitmap %", "Copy %", "RDMA write %", "Ack wait %", "total ms")
+	var series []stats.Series
+	for _, n := range []int{1, 8, 64} {
+		dirty := dirtyPattern(n, true)
+		_, b, _, err := core.EvictionBench(fig11Cluster(), core.DefaultConfig(1<<20), pages, dirty)
+		if err != nil {
+			return nil, err
+		}
+		total := b.Total()
+		pct := func(d simclock.Duration) float64 { return 100 * float64(d) / float64(total) }
+		t.AddRow(n, pct(b.Bitmap), pct(b.Copy), pct(b.RDMAWrite), pct(b.AckWait),
+			float64(total)/1e6)
+		series = append(series, stats.Series{Name: fmt.Sprintf("N=%d", n), Points: []stats.Point{
+			{X: 0, Y: pct(b.Bitmap)}, {X: 1, Y: pct(b.Copy)},
+			{X: 2, Y: pct(b.RDMAWrite)}, {X: 3, Y: pct(b.AckWait)},
+		}})
+	}
+	return &Result{
+		Text:   t.String(),
+		Series: series,
+		Notes: []string{
+			"expected shape: Copy dominates; RDMA write and Bitmap 15-20% each; Ack wait small (§6.4)",
+		},
+	}, nil
+}

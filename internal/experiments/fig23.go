@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"errors"
+	"io"
+
+	"kona/internal/mem"
+	"kona/internal/stats"
+	"kona/internal/trace"
+	"kona/internal/workload"
+)
+
+func init() {
+	register("fig2",
+		"Accessed cache-lines in a page (Redis) — CDF of pages by touched lines",
+		runFig2)
+	register("fig3",
+		"Contiguous cache-lines in a page (Redis) — CDF of accessed segments by length",
+		runFig3)
+}
+
+// redisProfiles replays Redis-Rand and Redis-Seq and feeds every window's
+// page-access profile to collect.
+func redisProfiles(seed int64, quick bool, collect func(name string, kind trace.Kind, bm mem.LineBitmap)) error {
+	for _, w := range []*workload.Workload{workload.RedisRand(), workload.RedisSeq()} {
+		skip := 0
+		if w.Name == "Redis-Rand" {
+			skip = 10
+		}
+		limit := w.Windows
+		if quick {
+			limit = skip + 10
+		}
+		win := trace.NewWindower(w.TrackingStream(seed), workload.WindowLen)
+		for {
+			wd, err := win.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if wd.Index < skip {
+				continue
+			}
+			if wd.Index >= limit {
+				break
+			}
+			p := trace.NewPageAccessProfile()
+			for _, a := range wd.Accesses {
+				p.Add(a)
+			}
+			for _, bm := range p.Reads {
+				collect(w.Name, trace.Read, *bm)
+			}
+			for _, bm := range p.Writes {
+				collect(w.Name, trace.Write, *bm)
+			}
+		}
+	}
+	return nil
+}
+
+// curveName builds the figure's legend labels ("Reads (Rand)", ...).
+func curveName(workloadName string, kind trace.Kind) string {
+	mode := "Rand"
+	if workloadName == "Redis-Seq" {
+		mode = "Seq"
+	}
+	if kind == trace.Write {
+		return "Writes (" + mode + ")"
+	}
+	return "Reads (" + mode + ")"
+}
+
+// runFig2 regenerates Fig 2: for each page touched in a window, how many
+// of its 64 cache lines were accessed — as a CDF over pages.
+func runFig2(cfg Config) (*Result, error) {
+	cdfs := map[string]*stats.CDF{}
+	err := redisProfiles(cfg.Seed, cfg.Quick, func(name string, kind trace.Kind, bm mem.LineBitmap) {
+		key := curveName(name, kind)
+		if cdfs[key] == nil {
+			cdfs[key] = stats.NewCDF()
+		}
+		cdfs[key].Add(bm.Count())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cdfResult(cdfs, "lines", []int{1, 2, 4, 8, 16, 32, 63, 64},
+		"expected shape: Rand skewed to 1-8 lines; Seq has a large fraction at 64 (full page)"), nil
+}
+
+// runFig3 regenerates Fig 3: the lengths of maximal contiguous accessed
+// segments within pages, as a CDF over segments.
+func runFig3(cfg Config) (*Result, error) {
+	cdfs := map[string]*stats.CDF{}
+	err := redisProfiles(cfg.Seed, cfg.Quick, func(name string, kind trace.Kind, bm mem.LineBitmap) {
+		key := curveName(name, kind)
+		if cdfs[key] == nil {
+			cdfs[key] = stats.NewCDF()
+		}
+		for _, seg := range bm.Segments() {
+			cdfs[key].Add(seg.N)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cdfResult(cdfs, "segment length", []int{1, 2, 3, 4, 8, 16, 32, 64},
+		"expected shape: most segments are 1-4 lines; Seq has a page-length tail"), nil
+}
+
+// cdfResult renders a set of CDFs sampled at the given points.
+func cdfResult(cdfs map[string]*stats.CDF, xLabel string, points []int, note string) *Result {
+	order := []string{"Reads (Rand)", "Writes (Rand)", "Reads (Seq)", "Writes (Seq)"}
+	var series []stats.Series
+	for _, name := range order {
+		c := cdfs[name]
+		if c == nil {
+			continue
+		}
+		s := stats.Series{Name: name}
+		for _, p := range points {
+			s.Add(float64(p), c.At(p))
+		}
+		series = append(series, s)
+	}
+	return &Result{
+		Text:   stats.RenderSeries(xLabel, series...),
+		Series: series,
+		Notes:  []string{note},
+	}
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+func TestAblHugePages(t *testing.T) {
+	res := runID(t, "abl-hugepages", quickCfg())
+	t.Log("\n" + res.Text)
+	pts := res.Series[0].Points
+	whole, split, p4k, cl := pts[0].Y, pts[1].Y, pts[2].Y, pts[3].Y
+	if !(whole > 50*p4k) {
+		t.Errorf("whole-2MB amplification %.0f should dwarf 4KB %.1f", whole, p4k)
+	}
+	if split > 1.5*p4k {
+		t.Errorf("split-on-write %.1f should approximate 4KB %.1f", split, p4k)
+	}
+	if cl >= p4k/5 {
+		t.Errorf("CL amplification %.2f should be far under 4KB %.1f", cl, p4k)
+	}
+}

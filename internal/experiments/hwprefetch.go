@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kona/internal/kcachesim"
+	"kona/internal/stats"
+	"kona/internal/workload"
+)
+
+func init() {
+	register("abl-hwprefetch",
+		"Ablation: hardware prefetching into the DRAM cache (§3/§6.2 'our results are conservative for Kona')",
+		runAblHWPrefetch)
+}
+
+// runAblHWPrefetch quantifies the sentence the paper leaves unplotted: Fig
+// 8's simulations ran with prefetching off, making them conservative for
+// Kona — page-based systems cannot prefetch across a fault boundary, Kona
+// can. We re-run the Redis-Rand AMAT comparison with the DRAM cache's
+// next-block prefetcher enabled for Kona (the baselines cannot use it and
+// keep their curves).
+func runAblHWPrefetch(cfg Config) (*Result, error) {
+	w := workload.RedisRand()
+	run := func(sys kcachesim.System, pct float64, pf bool) (float64, error) {
+		r, err := kcachesim.Run(sys, kcachesim.Config{
+			Workload: w, Accesses: fig8Accesses(cfg.Quick), Seed: cfg.Seed,
+			CachePct: pct, HWPrefetch: pf,
+		})
+		return r.AMATns, err
+	}
+	t := stats.NewTable("cache %", "Kona", "Kona+prefetch", "LegoOS", "LegoOS/Kona", "LegoOS/Kona+pf")
+	sOff := stats.Series{Name: "Kona"}
+	sOn := stats.Series{Name: "Kona+prefetch"}
+	for _, pct := range []float64{10, 25, 50, 75} {
+		off, err := run(kcachesim.Kona, pct, false)
+		if err != nil {
+			return nil, err
+		}
+		on, err := run(kcachesim.Kona, pct, true)
+		if err != nil {
+			return nil, err
+		}
+		lego, err := run(kcachesim.LegoOS, pct, true) // flag ignored for baselines
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0f", pct), off, on, lego, lego/off, lego/on)
+		sOff.Add(pct, off)
+		sOn.Add(pct, on)
+	}
+	return &Result{
+		Text:   t.String(),
+		Series: []stats.Series{sOff, sOn},
+		Notes: []string{
+			"§3: 'eliminating page faults ... enables the CPU to prefetch more data, even from remote memory'; Fig 8 was run prefetch-off, so the published 1.7x is a lower bound — this table shows the extra margin",
+		},
+	}, nil
+}

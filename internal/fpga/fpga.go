@@ -1,0 +1,598 @@
+// Package fpga models the cache-coherent FPGA of Kona's reference
+// architecture (§4.3-4.4). The FPGA exports VFMem — a fake physical
+// address space larger than its attached DRAM — to the CPU over the
+// coherent interconnect, and backs it with remote memory:
+//
+//   - Line fills: every CPU cache miss to VFMem reaches the FPGA's
+//     directory. If the page is cached in FMem the FPGA answers at FMem
+//     latency; otherwise it fetches the whole page from the owning memory
+//     node over RDMA (cache-remote-data primitive).
+//   - Dirty tracking: every modified-line writeback the coherence protocol
+//     delivers sets one bit in the page's dirty bitmap
+//     (track-local-data primitive).
+//   - FMem is a 4-way set-associative cache with page-sized blocks
+//     (§4.4 "Local translation"); evictions hand the page's data and its
+//     dirty bitmap to the runtime's Eviction Handler.
+//   - Remote translation is a consult-only map from VFMem addresses to
+//     (node, offset) — the FPGA never updates it (§4.4).
+//
+// Time is virtual: the single directory pipeline is modeled as a
+// simclock.Server, so concurrent simulated threads contend for it the way
+// they would for the real FPGA's port.
+package fpga
+
+import (
+	"fmt"
+
+	"kona/internal/coherence"
+	"kona/internal/mem"
+	"kona/internal/prefetch"
+	"kona/internal/simclock"
+)
+
+// PageReader fetches remote data for one VFMem page. The runtime's
+// Resource Manager binds each page to a reader over its transport — the
+// simulated RDMA fabric or a TCP memory-node connection.
+type PageReader interface {
+	// ReadRange fills buf with the page's remote contents starting at
+	// byte offset off within the page, beginning at virtual time now,
+	// and returns the completion time.
+	ReadRange(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error)
+}
+
+// Translator resolves VFMem addresses to remote pages. The runtime's
+// Resource Manager implements it over the slab map; the FPGA only
+// consults it (§4.4).
+type Translator interface {
+	Translate(addr mem.Addr) (PageReader, error)
+}
+
+// Victim is an FMem page displaced by a fill, handed to the Eviction
+// Handler. Data aliases the FPGA's frame; handlers copy what they keep.
+type Victim struct {
+	// Base is the page's VFMem base address.
+	Base mem.Addr
+	// Data is the 4KB frame content.
+	Data []byte
+	// Dirty marks the lines written since the page was fetched.
+	Dirty mem.LineBitmap
+}
+
+// EvictHandler disposes of a victim page and returns the virtual time the
+// disposal consumed on the eviction path (zero if deferred/asynchronous).
+type EvictHandler func(now simclock.Duration, v Victim) simclock.Duration
+
+// Config sizes the FPGA.
+type Config struct {
+	// FMemSize is the FPGA-attached DRAM capacity in bytes.
+	FMemSize uint64
+	// Assoc is the FMem set associativity (paper: 4).
+	Assoc int
+	// Prefetch enables next-page prefetch on sequential fill patterns
+	// (§4.4: the hardware prefetcher can reach remote memory under Kona).
+	Prefetch bool
+	// PrefetchDepth caps the adaptive stride prefetcher's window. 0 or 1
+	// keeps the classic depth-1 next-page behavior; larger values enable
+	// Leap-style stride detection with an adaptive window.
+	PrefetchDepth int
+	// FetchBytes is the remote fetch granularity: how much of a page one
+	// miss pulls over (a power of two between CacheLineSize and PageSize;
+	// 0 means PageSize — the paper's choice, §6.2(2)). Smaller values
+	// trade spatial-locality exploitation for less wasted transfer on
+	// random access; Fig 8d quantifies the trade at simulator level and
+	// abl-fetchgran at runtime level.
+	FetchBytes uint64
+	// StreamBypass implements §4.4's caching decision ("the FPGA ...
+	// decides whether to cache the data in FMem or not"): pages arriving
+	// in a long sequential run are unlikely to be re-referenced, so they
+	// are inserted at LRU position and leave FMem first, protecting the
+	// reused working set from streaming pollution.
+	StreamBypass bool
+}
+
+// DefaultConfig returns the paper's FMem geometry for the given capacity.
+func DefaultConfig(fmemSize uint64) Config {
+	return Config{FMemSize: fmemSize, Assoc: 4, Prefetch: true}
+}
+
+// frame is one FMem page slot.
+type frame struct {
+	valid bool
+	base  mem.Addr // VFMem page base
+	data  []byte
+	dirty mem.LineBitmap
+	// filled marks the lines whose remote contents are present; with
+	// sub-page fetch granularity a frame fills incrementally.
+	filled  mem.LineBitmap
+	lastUse uint64
+	// readyAt is the virtual time the fill completes; an access that
+	// arrives earlier (e.g. hitting a prefetched page still in flight)
+	// waits for it.
+	readyAt simclock.Duration
+	// prefetched marks frames installed speculatively and not yet used,
+	// for prefetcher accuracy accounting.
+	prefetched bool
+}
+
+// Stats counts FPGA activity.
+type Stats struct {
+	LineFills     uint64
+	FMemHits      uint64
+	RemoteFetches uint64
+	Writebacks    uint64
+	Evictions     uint64
+	DirtyEvicts   uint64
+	Prefetches    uint64
+	// Bypasses counts streaming pages inserted at LRU position.
+	Bypasses uint64
+	// BytesFetched is the total remote payload pulled (goodput numerator
+	// for fetch-granularity studies).
+	BytesFetched uint64
+}
+
+// FetchHook runs before a remote page fetch. The runtime uses it to
+// enforce write-before-read ordering: any buffered eviction-log entries
+// covering the page must reach remote memory before the page is re-read,
+// or the fetch would observe stale data. It returns the virtual time
+// after its work.
+type FetchHook func(now simclock.Duration, pageBase mem.Addr) simclock.Duration
+
+// FPGA is the memory agent.
+type FPGA struct {
+	cfg       Config
+	translate Translator
+	onEvict   EvictHandler
+	onFetch   FetchHook
+
+	sets    [][]frame
+	nsets   uint64
+	tick    uint64
+	scratch []byte
+
+	directory simclock.Server
+	stats     Stats
+
+	// lastFillPage detects sequential fills for the prefetcher.
+	lastFillPage uint64
+	// seqRun counts consecutive sequential demand fetches, and
+	// lastDemandPage the previous one, for the bypass policy.
+	seqRun         int
+	lastDemandPage uint64
+	// stride is the adaptive stride prefetcher (PrefetchDepth > 1).
+	stride *prefetch.Detector
+}
+
+// New builds the FPGA model. It panics on invalid geometry (experiment
+// setup error).
+func New(cfg Config, tr Translator, onEvict EvictHandler) *FPGA {
+	if cfg.Assoc <= 0 {
+		panic("fpga: associativity must be positive")
+	}
+	frameBytes := uint64(cfg.Assoc) * mem.PageSize
+	if cfg.FMemSize == 0 || cfg.FMemSize%frameBytes != 0 {
+		panic(fmt.Sprintf("fpga: FMem size %d not a multiple of assoc*page %d", cfg.FMemSize, frameBytes))
+	}
+	if cfg.FetchBytes == 0 {
+		cfg.FetchBytes = mem.PageSize
+	}
+	if cfg.FetchBytes < mem.CacheLineSize || cfg.FetchBytes > mem.PageSize ||
+		cfg.FetchBytes&(cfg.FetchBytes-1) != 0 {
+		panic(fmt.Sprintf("fpga: fetch granularity %d invalid", cfg.FetchBytes))
+	}
+	nsets := cfg.FMemSize / frameBytes
+	sets := make([][]frame, nsets)
+	for i := range sets {
+		sets[i] = make([]frame, cfg.Assoc)
+	}
+	if cfg.FetchBytes < mem.PageSize {
+		// The sequential prefetcher operates at page granularity; with
+		// sub-page fetches the fetch granularity itself is the locality
+		// knob.
+		cfg.Prefetch = false
+	}
+	f := &FPGA{cfg: cfg, translate: tr, onEvict: onEvict, sets: sets, nsets: nsets}
+	if cfg.Prefetch && cfg.PrefetchDepth > 1 {
+		f.stride = newPrefetcher(cfg.PrefetchDepth)
+	}
+	return f
+}
+
+// Stats returns a copy of the counters.
+func (f *FPGA) Stats() Stats { return f.stats }
+
+// set returns the FMem set for a VFMem page.
+func (f *FPGA) set(page uint64) []frame { return f.sets[page%f.nsets] }
+
+// lookup finds the frame caching the page, or nil.
+func (f *FPGA) lookup(page uint64) *frame {
+	base := mem.PageBase(page)
+	set := f.set(page)
+	for i := range set {
+		if set[i].valid && set[i].base == base {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Resident reports whether the page holding addr is cached in FMem.
+func (f *FPGA) Resident(addr mem.Addr) bool { return f.lookup(addr.Page()) != nil }
+
+// LineFill services one CPU cache-line request to VFMem at virtual time
+// now and returns the completion time. This is the cache-remote-data
+// primitive: no page fault is involved; a miss in FMem triggers a
+// page-granularity remote fetch.
+func (f *FPGA) LineFill(now simclock.Duration, addr mem.Addr) (simclock.Duration, error) {
+	f.stats.LineFills++
+	// The directory pipeline serializes all requests.
+	now = f.directory.Serve(now, simclock.FPGADirectory)
+	page := addr.Page()
+	line := addr.LineInPage()
+	if fr := f.lookup(page); fr != nil {
+		f.stats.FMemHits++
+		f.tick++
+		fr.lastUse = f.tick // LRU refresh on hit
+		if fr.readyAt > now {
+			// In-flight prefetch: wait for the fill to land.
+			now = fr.readyAt
+		}
+		if fr.prefetched {
+			fr.prefetched = false
+			if f.stride != nil {
+				f.stride.MarkUseful()
+			}
+		}
+		done, err := f.ensureLines(now, fr, page, line, line)
+		if err != nil {
+			return now, err
+		}
+		f.maybePrefetch(now, page)
+		f.lastFillPage = page
+		return done + simclock.FMemAccess, nil
+	}
+	fr := f.demandFrame(now, page)
+	done, err := f.ensureLines(now, fr, page, line, line)
+	if err != nil {
+		return now, err
+	}
+	fr.readyAt = done
+	// Prefetch is issued at the demand fetch's start time, not its
+	// completion: the FPGA pipelines the two NIC operations.
+	f.maybePrefetch(now, page)
+	f.lastFillPage = page
+	return done + simclock.FMemAccess, nil
+}
+
+// maybePrefetch issues background fetches on a recognized fill pattern.
+// It costs NIC occupancy but no caller latency.
+func (f *FPGA) maybePrefetch(now simclock.Duration, page uint64) {
+	if !f.cfg.Prefetch {
+		return
+	}
+	if f.stride != nil {
+		f.prefetchStride(now, page)
+		return
+	}
+	// Classic depth-1 next-page prefetch on sequential fills.
+	if page != f.lastFillPage+1 || f.lookup(page+1) != nil {
+		return
+	}
+	if _, fr, err := f.fetchPage(now, page+1); err == nil {
+		fr.prefetched = true
+		f.stats.Prefetches++
+	}
+}
+
+// SetFetchHook installs the pre-fetch ordering hook.
+func (f *FPGA) SetFetchHook(h FetchHook) { f.onFetch = h }
+
+// demandFrame installs an (empty) frame for a demanded page, applying the
+// stream-bypass insertion policy.
+func (f *FPGA) demandFrame(now simclock.Duration, page uint64) *frame {
+	fr := f.install(now, mem.PageBase(page))
+	if f.cfg.StreamBypass {
+		// Stream detection keys on demand fetches only, so interleaved
+		// hits on a hot working set do not break the run.
+		if page == f.lastDemandPage+1 {
+			f.seqRun++
+		} else if page != f.lastDemandPage {
+			f.seqRun = 0
+		}
+		f.lastDemandPage = page
+		if f.seqRun > streamRunThreshold {
+			// Transient insertion: the page leaves FMem before any
+			// re-referenced frame in its set.
+			fr.lastUse = 0
+			f.stats.Bypasses++
+		}
+	}
+	return fr
+}
+
+// ensureLines fetches the missing fetch-granularity blocks covering lines
+// [lo, hi] of the frame, returning the completion time. Already-filled
+// lines are never overwritten (they may hold newer local writes).
+func (f *FPGA) ensureLines(now simclock.Duration, fr *frame, page uint64, lo, hi int) (simclock.Duration, error) {
+	fb := int(f.cfg.FetchBytes)
+	linesPerBlock := fb / mem.CacheLineSize
+	done := now
+	var pr PageReader
+	base := mem.PageBase(page)
+	for block := lo / linesPerBlock; block <= hi/linesPerBlock; block++ {
+		first := block * linesPerBlock
+		missing := false
+		for l := first; l < first+linesPerBlock; l++ {
+			if !fr.filled.Get(l) {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			continue
+		}
+		if pr == nil {
+			if f.onFetch != nil {
+				now = f.onFetch(now, base)
+				if now > done {
+					done = now
+				}
+			}
+			var err error
+			pr, err = f.translate.Translate(base)
+			if err != nil {
+				return now, fmt.Errorf("fpga: translate %v: %w", base, err)
+			}
+			if f.scratch == nil {
+				f.scratch = make([]byte, mem.PageSize)
+			}
+		}
+		off := uint64(first * mem.CacheLineSize)
+		blockDone, err := pr.ReadRange(now, off, f.scratch[:fb])
+		if err != nil {
+			return now, fmt.Errorf("fpga: remote fetch %v+%d: %w", base, off, err)
+		}
+		f.stats.RemoteFetches++
+		f.stats.BytesFetched += uint64(fb)
+		for l := first; l < first+linesPerBlock; l++ {
+			if !fr.filled.Get(l) {
+				lineOff := l * mem.CacheLineSize
+				copy(fr.data[lineOff:lineOff+mem.CacheLineSize], f.scratch[lineOff-first*mem.CacheLineSize:])
+				fr.filled.Set(l)
+			}
+		}
+		if blockDone > done {
+			done = blockDone
+		}
+	}
+	return done, nil
+}
+
+// fetchPage pulls a whole page from remote memory into FMem — the
+// prefetcher's fill path (page-granularity mode only).
+func (f *FPGA) fetchPage(now simclock.Duration, page uint64) (simclock.Duration, *frame, error) {
+	fr := f.demandFrame(now, page)
+	done, err := f.ensureLines(now, fr, page, 0, mem.LinesPerPage-1)
+	if err != nil {
+		return now, nil, err
+	}
+	fr.readyAt = done
+	return done, fr, nil
+}
+
+// streamRunThreshold is the sequential-run length after which fills are
+// treated as streaming.
+const streamRunThreshold = 16
+
+// install places a page frame, evicting the set's LRU victim if needed.
+func (f *FPGA) install(now simclock.Duration, base mem.Addr) *frame {
+	set := f.set(base.Page())
+	victim := &set[0]
+	for i := range set {
+		w := &set[i]
+		if !w.valid {
+			victim = w
+			break
+		}
+		if w.lastUse < victim.lastUse {
+			victim = w
+		}
+	}
+	if victim.valid {
+		f.evictFrame(now, victim)
+	}
+	f.tick++
+	if victim.data == nil {
+		victim.data = make([]byte, mem.PageSize)
+	}
+	victim.valid = true
+	victim.base = base
+	victim.dirty = 0
+	victim.filled = 0
+	victim.lastUse = f.tick
+	victim.readyAt = now
+	victim.prefetched = false
+	return victim
+}
+
+// evictFrame hands a victim to the Eviction Handler.
+func (f *FPGA) evictFrame(now simclock.Duration, fr *frame) {
+	if fr.prefetched && f.stride != nil {
+		f.stride.MarkWasted()
+	}
+	f.stats.Evictions++
+	if fr.dirty.Any() {
+		f.stats.DirtyEvicts++
+	}
+	if f.onEvict != nil {
+		f.onEvict(now, Victim{Base: fr.base, Data: fr.data, Dirty: fr.dirty})
+	}
+	fr.valid = false
+}
+
+// ObserveWriteback records a modified-line writeback from the CPU caches:
+// the data lands in the FMem frame and the line's dirty bit is set. This
+// is the track-local-data primitive. Writebacks to non-resident pages
+// re-fetch the page first (the CPU held the line longer than FMem held the
+// page).
+func (f *FPGA) ObserveWriteback(now simclock.Duration, addr mem.Addr, data []byte) (simclock.Duration, error) {
+	f.stats.Writebacks++
+	now = f.directory.Serve(now, simclock.FPGADirectory)
+	page := addr.Page()
+	fr := f.lookup(page)
+	if fr == nil {
+		fr = f.demandFrame(now, page)
+	} else {
+		f.tick++
+		fr.lastUse = f.tick // LRU refresh on write hit
+		if fr.readyAt > now {
+			now = fr.readyAt
+		}
+	}
+	off := addr.PageOffset()
+	end := off + uint64(len(data))
+	if end > mem.PageSize {
+		end = mem.PageSize
+	}
+	firstLine := addr.LineInPage()
+	lastLine := firstLine
+	if len(data) > 0 {
+		lastLine = int((end - 1) / mem.CacheLineSize)
+	}
+	// Read-for-ownership: partially overwritten boundary lines need their
+	// remote contents first (read-modify-write); fully covered lines are
+	// simply claimed. A legacy nil-data writeback claims its whole line.
+	var err error
+	firstLineStart := uint64(firstLine) * mem.CacheLineSize
+	lastLineEnd := uint64(lastLine+1) * mem.CacheLineSize
+	if len(data) == 0 || off > firstLineStart || end < firstLineStart+mem.CacheLineSize {
+		if now, err = f.ensureLines(now, fr, page, firstLine, firstLine); err != nil {
+			return now, err
+		}
+	}
+	if lastLine != firstLine && end < lastLineEnd {
+		if now, err = f.ensureLines(now, fr, page, lastLine, lastLine); err != nil {
+			return now, err
+		}
+	}
+	if len(data) > 0 {
+		copy(fr.data[off:end], data)
+		fr.filled.SetRange(firstLine, lastLine+1)
+	}
+	fr.dirty.Set(firstLine)
+	return now + simclock.FMemAccess, nil
+}
+
+// OnCoherenceEvent adapts the FPGA to a coherence.System observer: fills
+// trigger LineFill, writebacks trigger ObserveWriteback. Used when the
+// runtime routes traffic through the MESI simulator for full fidelity;
+// data movement then happens through Read/Write.
+func (f *FPGA) OnCoherenceEvent(e coherence.Event) {
+	addr := mem.LineBase(e.Line)
+	switch e.Kind {
+	case coherence.FillRead, coherence.FillRFO:
+		_, _ = f.LineFill(0, addr)
+	case coherence.Writeback:
+		_, _ = f.ObserveWriteback(0, addr, nil)
+	}
+}
+
+// Read copies bytes from VFMem into buf, fetching pages as needed, and
+// returns the completion time. This is the functional data path the
+// runtime uses for application loads.
+func (f *FPGA) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	off := 0
+	for off < len(buf) {
+		a := addr + mem.Addr(off)
+		done, err := f.LineFill(now, a)
+		if err != nil {
+			return now, err
+		}
+		now = done
+		fr := f.lookup(a.Page())
+		pageOff := a.PageOffset()
+		n := len(buf) - off
+		if rem := int(mem.PageSize - pageOff); n > rem {
+			n = rem
+		}
+		// With sub-page fetch granularity the chunk may span blocks the
+		// LineFill did not cover.
+		lastLine := int((pageOff + uint64(n) - 1) / mem.CacheLineSize)
+		if now, err = f.ensureLines(now, fr, a.Page(), a.LineInPage(), lastLine); err != nil {
+			return now, err
+		}
+		copy(buf[off:off+n], fr.data[pageOff:])
+		off += n
+	}
+	return now, nil
+}
+
+// Write copies buf into VFMem, fetching pages as needed, setting dirty
+// bits for every touched line, and returns the completion time. It models
+// the store hitting the CPU cache and the eventual writeback reaching the
+// FPGA; for dirty-tracking purposes the two coincide in virtual time.
+func (f *FPGA) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	off := 0
+	for off < len(buf) {
+		a := addr + mem.Addr(off)
+		pageOff := a.PageOffset()
+		n := len(buf) - off
+		if rem := int(mem.PageSize - pageOff); n > rem {
+			n = rem
+		}
+		done, err := f.ObserveWriteback(now, a, buf[off:off+n])
+		if err != nil {
+			return now, err
+		}
+		now = done
+		// Mark every line the chunk covers (ObserveWriteback marked the
+		// first).
+		fr := f.lookup(a.Page())
+		fr.dirty.MarkWrite(pageOff, uint64(n))
+		off += n
+	}
+	return now, nil
+}
+
+// DirtyLines returns the dirty bitmap of the page holding addr (zero if
+// not resident).
+func (f *FPGA) DirtyLines(addr mem.Addr) mem.LineBitmap {
+	if fr := f.lookup(addr.Page()); fr != nil {
+		return fr.dirty
+	}
+	return 0
+}
+
+// FlushPage force-evicts the page holding addr (if resident), pushing it
+// through the Eviction Handler. Used by explicit sync/teardown paths.
+func (f *FPGA) FlushPage(now simclock.Duration, addr mem.Addr) bool {
+	fr := f.lookup(addr.Page())
+	if fr == nil {
+		return false
+	}
+	f.evictFrame(now, fr)
+	return true
+}
+
+// FlushAll evicts every resident page.
+func (f *FPGA) FlushAll(now simclock.Duration) {
+	for si := range f.sets {
+		for wi := range f.sets[si] {
+			if f.sets[si][wi].valid {
+				f.evictFrame(now, &f.sets[si][wi])
+			}
+		}
+	}
+}
+
+// Occupancy returns the number of resident pages.
+func (f *FPGA) Occupancy() int {
+	n := 0
+	for _, set := range f.sets {
+		for _, fr := range set {
+			if fr.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

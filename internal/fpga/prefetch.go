@@ -1,0 +1,27 @@
+package fpga
+
+import (
+	"kona/internal/prefetch"
+	"kona/internal/simclock"
+)
+
+// Adaptive stride prefetching over the shared detector (package prefetch).
+// Kona can prefetch across page boundaries because its fills never fault —
+// the paper's §3 observation that faults stop hardware prefetchers cold.
+
+// prefetchStride runs the stride prefetcher for a demand fill at `page`,
+// issuing background fetches at the demand fetch's start time.
+func (f *FPGA) prefetchStride(now simclock.Duration, page uint64) {
+	for _, target := range f.stride.Observe(page) {
+		if f.lookup(target) != nil {
+			continue
+		}
+		if _, fr, err := f.fetchPage(now, target); err == nil {
+			fr.prefetched = true
+			f.stats.Prefetches++
+		}
+	}
+}
+
+// newPrefetcher keeps the FPGA-local constructor name.
+func newPrefetcher(maxDepth int) *prefetch.Detector { return prefetch.New(maxDepth) }

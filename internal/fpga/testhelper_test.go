@@ -1,0 +1,6 @@
+package fpga
+
+import "kona/internal/simclock"
+
+// simDur shortens simclock.Duration in tests.
+type simDur = simclock.Duration

@@ -1,0 +1,163 @@
+package kcachesim
+
+import (
+	"testing"
+
+	"kona/internal/workload"
+)
+
+func run(t *testing.T, sys System, w *workload.Workload, pct float64) Result {
+	t.Helper()
+	r, err := Run(sys, Config{Workload: w, Accesses: 300000, Seed: 9, CachePct: pct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSystemsConvergeAtFullCache(t *testing.T) {
+	w := workload.RedisRand()
+	kona := run(t, Kona, w, 100)
+	lego := run(t, LegoOS, w, 100)
+	// With ~100% of the footprint cached the only differences are cold
+	// misses and NUMA; AMATs must be within 2x of each other.
+	ratio := lego.AMATns / kona.AMATns
+	if ratio > 2 || ratio < 0.5 {
+		t.Errorf("full-cache AMATs diverge: kona=%v lego=%v", kona.AMATns, lego.AMATns)
+	}
+}
+
+func TestKonaWinsAtSmallCache(t *testing.T) {
+	w := workload.RedisRand()
+	kona := run(t, Kona, w, 25)
+	lego := run(t, LegoOS, w, 25)
+	iswap := run(t, Infiniswap, w, 25)
+	// Fig 8a at 25% cache: Kona ≈1.7x under LegoOS, ≈5x under Infiniswap.
+	rLego := lego.AMATns / kona.AMATns
+	rIswap := iswap.AMATns / kona.AMATns
+	t.Logf("25%% cache: kona=%.1fns lego=%.1fns (%.2fx) iswap=%.1fns (%.2fx)",
+		kona.AMATns, lego.AMATns, rLego, iswap.AMATns, rIswap)
+	if rLego < 1.3 || rLego > 3 {
+		t.Errorf("LegoOS/Kona = %.2f, want ~1.7", rLego)
+	}
+	if rIswap < 3 || rIswap > 9 {
+		t.Errorf("Infiniswap/Kona = %.2f, want ~5", rIswap)
+	}
+	// Infiniswap is consistently worse than LegoOS by 2.3-3.7x (§6.2).
+	if r := iswap.AMATns / lego.AMATns; r < 1.8 || r > 4.5 {
+		t.Errorf("Infiniswap/LegoOS = %.2f, want 2.3-3.7", r)
+	}
+}
+
+func TestKonaMainBeatsKona(t *testing.T) {
+	w := workload.GraphColoring()
+	kona := run(t, Kona, w, 50)
+	main := run(t, KonaMain, w, 50)
+	if main.AMATns >= kona.AMATns {
+		t.Errorf("Kona-main (%v) must beat Kona (%v): no NUMA penalty", main.AMATns, kona.AMATns)
+	}
+	// The NUMA delta is bounded (§6.2 reports 2-25%).
+	if kona.AMATns > 1.6*main.AMATns {
+		t.Errorf("NUMA delta too large: %v vs %v", kona.AMATns, main.AMATns)
+	}
+}
+
+func TestStreamingWorkloadFlatCurve(t *testing.T) {
+	// Fig 8b: Linear Regression's AMAT is almost independent of cache
+	// size (no reuse).
+	w := workload.LinearRegression()
+	small := run(t, LegoOS, w, 10)
+	big := run(t, LegoOS, w, 90)
+	ratio := small.AMATns / big.AMATns
+	if ratio > 1.5 {
+		t.Errorf("streaming curve not flat: 10%%=%v vs 90%%=%v", small.AMATns, big.AMATns)
+	}
+}
+
+func TestReuseWorkloadSteepCurve(t *testing.T) {
+	// Fig 8a: Redis-Rand's AMAT rises steeply as the cache shrinks.
+	w := workload.RedisRand()
+	small := run(t, LegoOS, w, 5)
+	big := run(t, LegoOS, w, 95)
+	if small.AMATns < 2*big.AMATns {
+		t.Errorf("reuse curve not steep: 5%%=%v vs 95%%=%v", small.AMATns, big.AMATns)
+	}
+}
+
+func TestBlockSizeSweetSpot(t *testing.T) {
+	// Fig 8d: ~1KB blocks minimize AMAT; 64B wastes spatial locality and
+	// very large blocks raise conflict misses/transfer cost.
+	w := workload.RedisRand()
+	amatAt := func(block uint64) float64 {
+		r, err := Run(Kona, Config{Workload: w, Accesses: 300000, Seed: 9, CachePct: 27, BlockSize: block})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.AMATns
+	}
+	tiny := amatAt(64)
+	sweet := amatAt(1024)
+	huge := amatAt(32 << 10)
+	t.Logf("64B=%.1fns 1KB=%.1fns 32KB=%.1fns", tiny, sweet, huge)
+	if sweet >= tiny {
+		t.Errorf("1KB (%v) should beat 64B (%v)", sweet, tiny)
+	}
+	if sweet >= huge {
+		t.Errorf("1KB (%v) should beat 32KB (%v)", sweet, huge)
+	}
+	// 4KB is close to the 1KB optimum (the paper's reason to pick 4KB).
+	four := amatAt(4096)
+	if four > 1.5*sweet {
+		t.Errorf("4KB (%v) should be within 1.5x of 1KB (%v)", four, sweet)
+	}
+}
+
+func TestZeroCacheIsAllRemote(t *testing.T) {
+	w := workload.RedisSeq()
+	r := run(t, LegoOS, w, 0)
+	if r.DRAMMissRatio != 1 {
+		t.Errorf("zero cache miss ratio = %v", r.DRAMMissRatio)
+	}
+	full := run(t, LegoOS, w, 100)
+	if r.AMATns <= full.AMATns {
+		t.Errorf("zero-cache AMAT (%v) must exceed full-cache (%v)", r.AMATns, full.AMATns)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Kona, Config{}); err == nil {
+		t.Errorf("nil workload accepted")
+	}
+}
+
+func TestAlignCache(t *testing.T) {
+	if got := alignCache(100, 64, 4); got != 0 {
+		t.Errorf("sub-set cache = %d, want 0", got)
+	}
+	if got := alignCache(1000, 64, 4); got != 768 {
+		t.Errorf("alignCache(1000) = %d, want 768", got)
+	}
+}
+
+func TestSimulationOverheadPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	over := SimulationOverhead(workload.RedisRand(), 30000)
+	if over < 1 {
+		t.Errorf("simulation overhead = %.1fx, must be >= 1x", over)
+	}
+	t.Logf("simulation overhead: %.1fx (paper: 43x for full Redis under Cachegrind)", over)
+}
+
+func TestSystemNames(t *testing.T) {
+	cases := map[System]string{
+		Kona: "Kona", KonaMain: "Kona-main", LegoOS: "LegoOS",
+		Infiniswap: "Infiniswap", System(99): "System(99)",
+	}
+	for sys, want := range cases {
+		if got := sys.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(sys), got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package ktracker
+
+import (
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"kona/internal/trace"
+	"kona/internal/workload"
+)
+
+// TestCrossValidateAgainstWindowStats replays every Table 2 workload
+// through BOTH measurement pipelines — KTracker's snapshot diffing and the
+// direct window statistics (trace.WindowDirtyStats) — and requires them to
+// agree. They measure the same quantity by unrelated mechanisms (byte
+// comparison vs access-record bookkeeping), so agreement is strong
+// evidence that neither is broken.
+func TestCrossValidateAgainstWindowStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays all nine workloads twice")
+	}
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			w.Windows = minInt(w.Windows, 15)
+			// Pipeline 1: KTracker.
+			results, err := Run(w, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			byIndex := map[int]WindowResult{}
+			for _, r := range results {
+				byIndex[r.Index] = r
+			}
+			// Pipeline 2: direct window stats over the identical stream.
+			win := trace.NewWindower(w.TrackingStream(42), workload.WindowLen)
+			compared := 0
+			for {
+				wd, err := win.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				kt, ok := byIndex[wd.Index]
+				if !ok {
+					continue // teardown window dropped by KTracker
+				}
+				d := trace.WindowDirtyStats(wd)
+				if d.BytesWritten != kt.BytesWritten {
+					t.Fatalf("window %d: bytes %d vs %d", wd.Index, d.BytesWritten, kt.BytesWritten)
+				}
+				if d.BytesWritten == 0 {
+					continue
+				}
+				// Diffing can only under-report (a write of identical
+				// bytes is invisible) — require agreement within 2%.
+				if kt.DirtyPages > d.DirtyPages4K || tooFar(kt.DirtyPages, d.DirtyPages4K, 0.02) {
+					t.Fatalf("window %d: dirty pages diff=%d stats=%d", wd.Index, kt.DirtyPages, d.DirtyPages4K)
+				}
+				if kt.DirtyLines > d.DirtyLines || tooFar(kt.DirtyLines, d.DirtyLines, 0.02) {
+					t.Fatalf("window %d: dirty lines diff=%d stats=%d", wd.Index, kt.DirtyLines, d.DirtyLines)
+				}
+				compared++
+			}
+			if compared < 5 {
+				t.Fatalf("only %d windows compared", compared)
+			}
+		})
+	}
+}
+
+func tooFar(a, b uint64, tol float64) bool {
+	if b == 0 {
+		return a != 0
+	}
+	return math.Abs(float64(a)-float64(b))/float64(b) > tol
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,339 @@
+// Package ktracker reimplements KTracker (§5, §6.3): the emulation tool
+// that measures cache-line-granularity dirty tracking against
+// 4KB write-protection on the same workload.
+//
+// Cache-line mode works the way the real KTracker does: it keeps a
+// snapshot of each page touched in the current window and, at window end,
+// diffs the live page against the snapshot 64 bytes at a time to find the
+// dirty lines. Write-protect mode drives a simulated address space
+// (package vm): pages are mapped read-only, the first store in each window
+// faults, and the window ends by re-protecting the dirty pages.
+//
+// The same run yields Fig 9 (per-window 4KB-vs-cache-line amplification
+// ratio) and Fig 10 (tracking speedup vs write-protection, scaled to the
+// workload's native write bandwidth).
+package ktracker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+	"kona/internal/trace"
+	"kona/internal/vm"
+	"kona/internal/workload"
+)
+
+// WindowResult is the measurement of one 1-second window.
+type WindowResult struct {
+	// Index is the window ordinal (gaps mean idle windows).
+	Index int
+	// BytesWritten is the application's true write volume.
+	BytesWritten uint64
+	// DirtyLines is the diff-detected count of modified 64B lines.
+	DirtyLines uint64
+	// DirtyPages is the number of 4KB pages with at least one dirty line
+	// (equals the write-protect fault count for the window).
+	DirtyPages uint64
+	// DiffCost is the modeled snapshot+compare cost (emulation overhead).
+	DiffCost simclock.Duration
+	// WPFaults is the write-protect fault count in WP mode.
+	WPFaults uint64
+}
+
+// Amp4K returns the window's 4KB-tracking amplification.
+func (w WindowResult) Amp4K() float64 {
+	if w.BytesWritten == 0 {
+		return 0
+	}
+	return float64(w.DirtyPages*mem.PageSize) / float64(w.BytesWritten)
+}
+
+// AmpCL returns the window's cache-line-tracking amplification.
+func (w WindowResult) AmpCL() float64 {
+	if w.BytesWritten == 0 {
+		return 0
+	}
+	return float64(w.DirtyLines*mem.CacheLineSize) / float64(w.BytesWritten)
+}
+
+// Ratio returns Fig 9's y-value: 4KB amplification relative to cache-line
+// amplification.
+func (w WindowResult) Ratio() float64 {
+	if cl := w.AmpCL(); cl > 0 {
+		return w.Amp4K() / cl
+	}
+	return 0
+}
+
+// trackedPage is one page of emulated application memory.
+type trackedPage struct {
+	data []byte
+	// snapshot is the copy taken at the page's first touch in the current
+	// window; nil when untouched this window.
+	snapshot []byte
+}
+
+// Tracker replays a workload and measures both tracking modes.
+type Tracker struct {
+	pages   map[uint64]*trackedPage
+	touched map[uint64]struct{} // pages snapshotted this window
+	as      *vm.AddressSpace
+	fill    byte
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{
+		pages:   make(map[uint64]*trackedPage),
+		touched: make(map[uint64]struct{}),
+		as:      vm.NewAddressSpace(),
+	}
+}
+
+// Run replays the workload's tracking stream and returns one result per
+// non-idle window, dropping the final (teardown) window as the paper does
+// (§6.3: it "skews the average amplification").
+func Run(w *workload.Workload, seed int64) ([]WindowResult, error) {
+	t := New()
+	win := trace.NewWindower(w.TrackingStream(seed), workload.WindowLen)
+	var results []WindowResult
+	for {
+		wd, err := win.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res, err := t.window(wd)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	if len(results) > 1 {
+		results = results[:len(results)-1] // drop the teardown window
+	}
+	return results, nil
+}
+
+// window replays one window: apply the accesses, then diff.
+func (t *Tracker) window(wd trace.Window) (WindowResult, error) {
+	res := WindowResult{Index: wd.Index}
+	t.fill++
+	for i, a := range wd.Accesses {
+		if a.Size == 0 {
+			continue
+		}
+		switch a.Kind {
+		case trace.Write:
+			res.BytesWritten += uint64(a.Size)
+			res.WPFaults += t.applyWrite(a, byte(i))
+		case trace.Read:
+			t.applyRead(a)
+		}
+	}
+	// Window end: diff the touched pages against their snapshots at
+	// cache-line granularity, then reset snapshots and re-protect dirty
+	// pages for the next window.
+	for p := range t.touched {
+		pg := t.pages[p]
+		lines, cost := diffPage(pg.data, pg.snapshot)
+		res.DiffCost += cost
+		if lines > 0 {
+			res.DirtyLines += uint64(lines)
+			res.DirtyPages++
+			base := mem.PageBase(p)
+			t.as.WriteProtect(mem.Range{Start: base, Len: mem.PageSize})
+		}
+		pg.snapshot = nil
+		delete(t.touched, p)
+	}
+	return res, nil
+}
+
+// applyWrite mutates the emulated memory and returns the number of WP
+// faults the access takes (0 or more, across pages).
+func (t *Tracker) applyWrite(a trace.Access, salt byte) (faults uint64) {
+	r := a.Range()
+	for p := r.Start.Page(); p <= (r.End() - 1).Page(); p++ {
+		pg := t.ensure(p)
+		base := mem.PageBase(p)
+		lo, hi := overlap(r, base)
+		// Write-protect mode bookkeeping: first store to a protected page
+		// faults.
+		if t.as.Touch(base+mem.Addr(lo), true) == vm.WriteProtectFault {
+			if err := t.as.ResolveWP(base + mem.Addr(lo)); err == nil {
+				faults++
+			}
+		}
+		for i := lo; i < hi; i++ {
+			pg.data[i] = t.fill ^ salt ^ byte(i)
+		}
+	}
+	return faults
+}
+
+// applyRead snapshots pages so the diff set matches KTracker's "all
+// accessed pages" behavior; reads do not mutate.
+func (t *Tracker) applyRead(a trace.Access) {
+	r := a.Range()
+	for p := r.Start.Page(); p <= (r.End() - 1).Page(); p++ {
+		t.ensure(p)
+	}
+}
+
+// ensure materializes a page, maps it read-only on first existence, and
+// snapshots it on first touch in the current window.
+func (t *Tracker) ensure(p uint64) *trackedPage {
+	pg, ok := t.pages[p]
+	if !ok {
+		pg = &trackedPage{data: make([]byte, mem.PageSize)}
+		t.pages[p] = pg
+		t.as.Map(mem.Range{Start: mem.PageBase(p), Len: mem.PageSize}, false)
+	}
+	if _, done := t.touched[p]; !done {
+		pg.snapshot = append(pg.snapshot[:0], pg.data...)
+		t.touched[p] = struct{}{}
+	}
+	return pg
+}
+
+// overlap returns the byte range [lo,hi) of r within the page at base.
+func overlap(r mem.Range, base mem.Addr) (lo, hi uint64) {
+	lo = 0
+	if r.Start > base {
+		lo = uint64(r.Start - base)
+	}
+	hi = mem.PageSize
+	if r.End() < base+mem.PageSize {
+		hi = uint64(r.End() - base)
+	}
+	return lo, hi
+}
+
+// diffPage compares a page against its snapshot line by line and returns
+// the number of differing lines plus the modeled comparison cost.
+func diffPage(data, snapshot []byte) (lines int, cost simclock.Duration) {
+	// Cost model: read both copies once (2x page) — this is the dominant
+	// emulation overhead the paper reports (95% of KTracker's slowdown).
+	cost = simclock.Memcpy(2 * mem.PageSize)
+	if snapshot == nil {
+		return 0, cost
+	}
+	for off := 0; off < mem.PageSize; off += mem.CacheLineSize {
+		a := data[off : off+mem.CacheLineSize]
+		b := snapshot[off : off+mem.CacheLineSize]
+		for i := range a {
+			if a[i] != b[i] {
+				lines++
+				break
+			}
+		}
+	}
+	return lines, cost
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Windows      int
+	MeanAmp4K    float64
+	MeanAmpCL    float64
+	MeanRatio    float64
+	TotalFaults  uint64
+	TotalDiff    simclock.Duration
+	BytesWritten uint64
+}
+
+// Summarize averages per-window amplifications over the run, skipping the
+// first `skipStartup` windows (server initialization, §6.3).
+func Summarize(results []WindowResult, skipStartup int) Summary {
+	var s Summary
+	for _, r := range results {
+		if r.Index < skipStartup || r.BytesWritten == 0 {
+			continue
+		}
+		s.Windows++
+		s.MeanAmp4K += r.Amp4K()
+		s.MeanAmpCL += r.AmpCL()
+		s.MeanRatio += r.Ratio()
+		s.TotalFaults += r.WPFaults
+		s.TotalDiff += r.DiffCost
+		s.BytesWritten += r.BytesWritten
+	}
+	if s.Windows > 0 {
+		s.MeanAmp4K /= float64(s.Windows)
+		s.MeanAmpCL /= float64(s.Windows)
+		s.MeanRatio /= float64(s.Windows)
+	}
+	return s
+}
+
+// Speedup computes Fig 10's bar for a workload: the throughput gain of
+// coherence-based (fault-free) tracking over 4KB write-protection, at the
+// workload's native write bandwidth.
+//
+// Per native second the write-protect runtime takes one minor fault per
+// dirty page plus the re-protection work (PTE downgrade + TLB
+// invalidation, with the shootdown IPI batched per window). The simulated
+// run gives dirty pages per simulated byte; scaling by the native write
+// bandwidth gives faults per native second, hence the fraction of each
+// second spent on fault handling — which coherence-based tracking
+// eliminates.
+func Speedup(w *workload.Workload, results []WindowResult, skipStartup int) (float64, error) {
+	s := Summarize(results, skipStartup)
+	if s.BytesWritten == 0 {
+		return 0, fmt.Errorf("ktracker: no writes recorded for %s", w.Name)
+	}
+	var dirtyPages float64
+	for _, r := range results {
+		if r.Index >= skipStartup {
+			dirtyPages += float64(r.DirtyPages)
+		}
+	}
+	pagesPerByte := dirtyPages / float64(s.BytesWritten)
+	pagesPerSec := pagesPerByte * float64(w.WriteBandwidth)
+	// Per dirty page: the minor fault, plus the re-protection TLB work
+	// with the shootdown IPI amortized over ~2 pages per batch.
+	perPage := float64(simclock.MinorFault) + float64(simclock.TLBShootdown)/2
+	overheadPerSec := pagesPerSec * perPage // ns of fault work per second
+	fraction := overheadPerSec / 1e9
+	if fraction > 0.9 {
+		fraction = 0.9 // the app still makes some progress
+	}
+	// Speedup of removing that overhead: 1/(1-f) - 1, in percent.
+	return (1/(1-fraction) - 1) * 100, nil
+}
+
+// pmlBatch is Intel PML's hardware log depth: the CPU logs dirty-page
+// addresses and exits to the hypervisor every 512 pages (§8).
+const pmlBatch = 512
+
+// pmlDrainCost is one PML-full VM exit plus log processing.
+const pmlDrainCost = 5 * time.Microsecond
+
+// PMLOverhead estimates the tracking overhead (as a percent of runtime)
+// of Intel Page Modification Logging for this workload at native rate:
+// one VM exit per 512 dirty pages instead of one fault per dirty page.
+// PML removes most of write-protection's cost but still tracks at page
+// granularity, so it inherits Table 2's full dirty-data amplification —
+// the comparison the abl-tracking experiment makes.
+func PMLOverhead(w *workload.Workload, results []WindowResult, skipStartup int) (float64, error) {
+	s := Summarize(results, skipStartup)
+	if s.BytesWritten == 0 {
+		return 0, fmt.Errorf("ktracker: no writes recorded for %s", w.Name)
+	}
+	var dirtyPages float64
+	for _, r := range results {
+		if r.Index >= skipStartup {
+			dirtyPages += float64(r.DirtyPages)
+		}
+	}
+	pagesPerSec := dirtyPages / float64(s.BytesWritten) * float64(w.WriteBandwidth)
+	drainsPerSec := pagesPerSec / pmlBatch
+	return drainsPerSec * float64(pmlDrainCost) / 1e9 * 100, nil
+}

@@ -1,0 +1,244 @@
+package ktracker
+
+import (
+	"testing"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+	"kona/internal/trace"
+	"kona/internal/workload"
+)
+
+// mkWindow builds a trace window from accesses.
+func mkWindow(idx int, accs ...trace.Access) trace.Window {
+	return trace.Window{Index: idx, Accesses: accs}
+}
+
+func TestDiffDetectsExactLines(t *testing.T) {
+	tr := New()
+	// Write 10 bytes at offset 0 and 64 bytes at line 5.
+	res, err := tr.window(mkWindow(0,
+		trace.Access{Addr: 0, Size: 10, Kind: trace.Write},
+		trace.Access{Addr: 5 * 64, Size: 64, Kind: trace.Write},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyLines != 2 {
+		t.Errorf("dirty lines = %d, want 2", res.DirtyLines)
+	}
+	if res.DirtyPages != 1 {
+		t.Errorf("dirty pages = %d, want 1", res.DirtyPages)
+	}
+	if res.BytesWritten != 74 {
+		t.Errorf("bytes = %d, want 74", res.BytesWritten)
+	}
+	if res.WPFaults != 1 {
+		t.Errorf("wp faults = %d, want 1 (one page)", res.WPFaults)
+	}
+	if res.DiffCost <= 0 {
+		t.Errorf("diff cost not modeled")
+	}
+}
+
+func TestReadsAreNotDirty(t *testing.T) {
+	tr := New()
+	res, err := tr.window(mkWindow(0,
+		trace.Access{Addr: 100, Size: 64, Kind: trace.Read},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyLines != 0 || res.DirtyPages != 0 || res.WPFaults != 0 {
+		t.Errorf("read produced dirt: %+v", res)
+	}
+}
+
+func TestWindowsResetTracking(t *testing.T) {
+	tr := New()
+	w0, err := tr.window(mkWindow(0, trace.Access{Addr: 0, Size: 8, Kind: trace.Write}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second window writes the same location: it must fault and be
+	// detected again (tracking re-arms at window boundaries).
+	w1, err := tr.window(mkWindow(1, trace.Access{Addr: 0, Size: 8, Kind: trace.Write}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w0.WPFaults != 1 || w1.WPFaults != 1 {
+		t.Errorf("faults = %d,%d; re-protection broken", w0.WPFaults, w1.WPFaults)
+	}
+	if w1.DirtyLines != 1 {
+		t.Errorf("window 1 dirty lines = %d, want 1", w1.DirtyLines)
+	}
+}
+
+func TestOnlyOneFaultPerPagePerWindow(t *testing.T) {
+	tr := New()
+	var accs []trace.Access
+	for i := 0; i < 20; i++ {
+		accs = append(accs, trace.Access{Addr: mem.Addr(i * 64), Size: 8, Kind: trace.Write})
+	}
+	res, err := tr.window(mkWindow(0, accs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WPFaults != 1 {
+		t.Errorf("faults = %d, want 1 (same page)", res.WPFaults)
+	}
+	if res.DirtyLines != 20 {
+		t.Errorf("dirty lines = %d, want 20", res.DirtyLines)
+	}
+}
+
+func TestPageSpanningWrite(t *testing.T) {
+	tr := New()
+	res, err := tr.window(mkWindow(0,
+		trace.Access{Addr: mem.PageSize - 32, Size: 64, Kind: trace.Write},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyPages != 2 || res.DirtyLines != 2 {
+		t.Errorf("spanning write: pages=%d lines=%d, want 2/2", res.DirtyPages, res.DirtyLines)
+	}
+	if res.WPFaults != 2 {
+		t.Errorf("faults = %d, want 2", res.WPFaults)
+	}
+}
+
+func TestAmplificationArithmetic(t *testing.T) {
+	r := WindowResult{BytesWritten: 128, DirtyLines: 4, DirtyPages: 1}
+	if got := r.Amp4K(); got != 32 {
+		t.Errorf("Amp4K = %v", got)
+	}
+	if got := r.AmpCL(); got != 2 {
+		t.Errorf("AmpCL = %v", got)
+	}
+	if got := r.Ratio(); got != 16 {
+		t.Errorf("Ratio = %v", got)
+	}
+	empty := WindowResult{}
+	if empty.Amp4K() != 0 || empty.AmpCL() != 0 || empty.Ratio() != 0 {
+		t.Errorf("empty window amplification not zero")
+	}
+}
+
+func TestRunRedisSeqMatchesWindowStats(t *testing.T) {
+	// The diff-based tracker must agree with the direct window statistics
+	// (trace.WindowDirtyStats) on a real workload — the two measure the
+	// same thing by different mechanisms.
+	w := workload.RedisSeq()
+	results, err := Run(w, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 10 {
+		t.Fatalf("only %d windows", len(results))
+	}
+	s := Summarize(results, 0)
+	if s.MeanAmp4K < 1.5 || s.MeanAmp4K > 5 {
+		t.Errorf("Redis-Seq amp4K = %.2f, want ~2.76", s.MeanAmp4K)
+	}
+	if s.MeanAmpCL < 1 || s.MeanAmpCL > 1.3 {
+		t.Errorf("Redis-Seq ampCL = %.2f, want ~1.08", s.MeanAmpCL)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Redis-Rand replay")
+	}
+	rand, err := Run(workload.RedisRand(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(workload.RedisSeq(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rand runs longer than Seq (§6.3).
+	if len(rand) <= len(seq) {
+		t.Errorf("Redis-Rand (%d windows) should outlast Redis-Seq (%d)", len(rand), len(seq))
+	}
+	sr := Summarize(rand, 10)
+	ss := Summarize(seq, 0)
+	// Fig 9: the rand ratio is much higher than the seq ratio (~2x).
+	if sr.MeanRatio <= 2*ss.MeanRatio {
+		t.Errorf("ratio rand=%.1f seq=%.1f; rand must dominate", sr.MeanRatio, ss.MeanRatio)
+	}
+	if ss.MeanRatio < 1.2 || ss.MeanRatio > 5 {
+		t.Errorf("seq ratio = %.1f, want ~2", ss.MeanRatio)
+	}
+}
+
+func TestFig10SpeedupShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays several workloads")
+	}
+	speedup := func(w *workload.Workload, skip int) float64 {
+		results, err := Run(w, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Speedup(w, results, skip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	rand := speedup(workload.RedisRand(), 10)
+	seq := speedup(workload.RedisSeq(), 0)
+	hist := speedup(workload.Histogram(), 0)
+	t.Logf("speedups: rand=%.1f%% seq=%.1f%% hist=%.1f%%", rand, seq, hist)
+	// Fig 10: Redis-Rand ~35%, Redis-Seq and Histogram ~1%.
+	if rand < 20 || rand > 50 {
+		t.Errorf("Redis-Rand speedup = %.1f%%, want ~35%%", rand)
+	}
+	if seq > 6 {
+		t.Errorf("Redis-Seq speedup = %.1f%%, want ~1-3%%", seq)
+	}
+	if hist > 4 {
+		t.Errorf("Histogram speedup = %.1f%%, want ~1%%", hist)
+	}
+	if rand <= seq || rand <= hist {
+		t.Errorf("ordering violated: rand must dominate")
+	}
+}
+
+func TestSummarizeSkipsStartup(t *testing.T) {
+	results := []WindowResult{
+		{Index: 0, BytesWritten: 100, DirtyPages: 100, DirtyLines: 100},
+		{Index: 12, BytesWritten: 128, DirtyPages: 1, DirtyLines: 4},
+	}
+	s := Summarize(results, 10)
+	if s.Windows != 1 || s.MeanAmp4K != 32 {
+		t.Errorf("startup window not skipped: %+v", s)
+	}
+}
+
+func TestSpeedupNoWrites(t *testing.T) {
+	w := workload.RedisRand()
+	if _, err := Speedup(w, nil, 0); err == nil {
+		t.Errorf("empty run accepted")
+	}
+}
+
+func TestEmulationOverheadReported(t *testing.T) {
+	// §6.3(3): the emulation's own cost is dominated by copy+compare. Our
+	// model must charge a nonzero diff cost proportional to touched pages.
+	tr := New()
+	var accs []trace.Access
+	for p := 0; p < 50; p++ {
+		accs = append(accs, trace.Access{Addr: mem.Addr(p * mem.PageSize), Size: 8, Kind: trace.Write})
+	}
+	res, err := tr.window(mkWindow(0, accs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := simclock.Memcpy(2 * mem.PageSize)
+	if res.DiffCost != 50*perPage {
+		t.Errorf("diff cost = %v, want %v", res.DiffCost, 50*perPage)
+	}
+}

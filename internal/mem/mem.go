@@ -1,0 +1,104 @@
+// Package mem defines the primitive memory vocabulary shared by every
+// subsystem in the repository: byte addresses, cache lines, pages, address
+// ranges and cache-line dirty bitmaps.
+//
+// All address arithmetic in the simulators is done in terms of these types
+// so that granularity assumptions (64-byte lines, 4KB pages, 2MB huge
+// pages) live in exactly one place.
+package mem
+
+import "fmt"
+
+// Fundamental granularities. These mirror the x86-64 values assumed
+// throughout the paper (§2).
+const (
+	// CacheLineSize is the coherence and dirty-tracking granularity.
+	CacheLineSize = 64
+	// PageSize is the base virtual-memory page size.
+	PageSize = 4096
+	// HugePageSize is the 2MB large-page size used in Table 2.
+	HugePageSize = 2 << 20
+	// LinesPerPage is the number of cache lines in a base page.
+	LinesPerPage = PageSize / CacheLineSize // 64
+	// LinesPerHugePage is the number of cache lines in a huge page.
+	LinesPerHugePage = HugePageSize / CacheLineSize
+)
+
+// Addr is a byte address in one of the simulated address spaces (process
+// virtual, VFMem fake-physical, or remote). The spaces never mix: a value
+// is interpreted relative to the space of the structure holding it.
+type Addr uint64
+
+// Line returns the index of the cache line containing a.
+func (a Addr) Line() uint64 { return uint64(a) / CacheLineSize }
+
+// Page returns the index of the 4KB page containing a.
+func (a Addr) Page() uint64 { return uint64(a) / PageSize }
+
+// HugePage returns the index of the 2MB page containing a.
+func (a Addr) HugePage() uint64 { return uint64(a) / HugePageSize }
+
+// LineInPage returns the index (0..63) of a's cache line within its page.
+func (a Addr) LineInPage() int { return int(uint64(a)%PageSize) / CacheLineSize }
+
+// PageOffset returns the byte offset of a within its 4KB page.
+func (a Addr) PageOffset() uint64 { return uint64(a) % PageSize }
+
+// AlignDown rounds a down to a multiple of align (a power of two).
+func (a Addr) AlignDown(align uint64) Addr { return Addr(uint64(a) &^ (align - 1)) }
+
+// AlignUp rounds a up to a multiple of align (a power of two).
+func (a Addr) AlignUp(align uint64) Addr {
+	return Addr((uint64(a) + align - 1) &^ (align - 1))
+}
+
+// String renders the address in hex for diagnostics.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// PageBase returns the first address of 4KB page index p.
+func PageBase(p uint64) Addr { return Addr(p * PageSize) }
+
+// LineBase returns the first address of cache-line index l.
+func LineBase(l uint64) Addr { return Addr(l * CacheLineSize) }
+
+// Range is a half-open interval [Start, Start+Len) of bytes.
+type Range struct {
+	Start Addr
+	Len   uint64
+}
+
+// End returns the first address past the range.
+func (r Range) End() Addr { return r.Start + Addr(r.Len) }
+
+// Contains reports whether a falls inside the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Start && a < r.End() }
+
+// Overlaps reports whether r and s share at least one byte.
+func (r Range) Overlaps(s Range) bool {
+	return r.Start < s.End() && s.Start < r.End()
+}
+
+// Pages returns the number of 4KB pages the range touches.
+func (r Range) Pages() uint64 {
+	if r.Len == 0 {
+		return 0
+	}
+	first := r.Start.Page()
+	last := (r.End() - 1).Page()
+	return last - first + 1
+}
+
+// Lines returns the number of cache lines the range touches.
+func (r Range) Lines() uint64 {
+	if r.Len == 0 {
+		return 0
+	}
+	first := r.Start.Line()
+	last := (r.End() - 1).Line()
+	return last - first + 1
+}
+
+// String renders the range for diagnostics.
+func (r Range) String() string {
+	return fmt.Sprintf("[%s,%s)", r.Start, r.End())
+}

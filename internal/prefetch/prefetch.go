@@ -1,0 +1,131 @@
+// Package prefetch implements the access-pattern predictor shared by the
+// FPGA's hardware prefetcher and the Kona-VM baseline's Leap-style
+// software prefetcher: a Boyer-Moore majority vote over the recent page
+// deltas detects strided patterns (including negative and multi-page
+// strides), and the prefetch window deepens while prefetches prove useful,
+// shrinking when they are wasted — the adaptive scheme of Leap (Maruf &
+// Chowdhury, the paper's [57]).
+package prefetch
+
+// window is the fill-delta history length for the majority vote.
+const window = 8
+
+// maxUsefulness bounds the accuracy counters so adaptation stays recent.
+const maxUsefulness = 64
+
+// Detector holds the stride-detection state. The zero value is not ready;
+// use New.
+type Detector struct {
+	deltas [window]int64
+	n      int
+	last   uint64 // last demand page
+
+	depth    int // current window, 1..maxDepth
+	maxDepth int
+
+	useful, wasted int
+}
+
+// New returns a stride detector with the given maximum depth.
+func New(maxDepth int) *Detector {
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	return &Detector{depth: 1, maxDepth: maxDepth}
+}
+
+// Observe records a demand access to page and returns the pages to
+// prefetch (nil when no stable stride is detected).
+func (p *Detector) Observe(page uint64) []uint64 {
+	if p.n > 0 || p.last != 0 {
+		p.deltas[p.n%window] = int64(page) - int64(p.last)
+		p.n++
+	}
+	p.last = page
+	stride, ok := p.majorityStride()
+	if !ok {
+		return nil
+	}
+	p.adapt()
+	out := make([]uint64, 0, p.depth)
+	cur := int64(page)
+	for i := 0; i < p.depth; i++ {
+		cur += stride
+		if cur < 0 {
+			break
+		}
+		out = append(out, uint64(cur))
+	}
+	return out
+}
+
+// majorityStride returns the delta appearing in more than half the
+// recorded window, if any (zero strides never qualify).
+func (p *Detector) majorityStride() (int64, bool) {
+	w := p.n
+	if w > window {
+		w = window
+	}
+	if w < 2 {
+		return 0, false
+	}
+	// Boyer-Moore majority vote over the tiny window.
+	var cand int64
+	count := 0
+	for i := 0; i < w; i++ {
+		d := p.deltas[i]
+		switch {
+		case count == 0:
+			cand, count = d, 1
+		case d == cand:
+			count++
+		default:
+			count--
+		}
+	}
+	count = 0
+	for i := 0; i < w; i++ {
+		if p.deltas[i] == cand {
+			count++
+		}
+	}
+	if cand != 0 && count*2 > w {
+		return cand, true
+	}
+	return 0, false
+}
+
+// MarkUseful records a hit on a prefetched page.
+func (p *Detector) MarkUseful() {
+	if p.useful < maxUsefulness {
+		p.useful++
+	}
+}
+
+// MarkWasted records the eviction of a never-used prefetched page.
+func (p *Detector) MarkWasted() {
+	if p.wasted < maxUsefulness {
+		p.wasted++
+	}
+}
+
+// Depth returns the current prefetch window.
+func (p *Detector) Depth() int { return p.depth }
+
+// adapt grows the window while prefetches pay off and shrinks it when
+// they waste cache space and fetch bandwidth.
+func (p *Detector) adapt() {
+	total := p.useful + p.wasted
+	if total < 8 {
+		return
+	}
+	accuracy := float64(p.useful) / float64(total)
+	switch {
+	case accuracy > 0.6 && p.depth < p.maxDepth:
+		p.depth++
+	case accuracy < 0.3 && p.depth > 1:
+		p.depth--
+	}
+	p.useful /= 2
+	p.wasted /= 2
+}

@@ -1,0 +1,79 @@
+package prefetch
+
+import "testing"
+
+func TestMajorityStride(t *testing.T) {
+	p := New(4)
+	// Stride-2 pattern: pages 0,2,4,6,...
+	var targets []uint64
+	for pg := uint64(0); pg < 16; pg += 2 {
+		targets = p.Observe(pg)
+	}
+	if len(targets) == 0 {
+		t.Fatalf("stride-2 not detected")
+	}
+	if targets[0] != 16 {
+		t.Errorf("first prefetch target = %d, want 16", targets[0])
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(2)
+	var targets []uint64
+	for pg := int64(100); pg > 80; pg -= 3 {
+		targets = p.Observe(uint64(pg))
+	}
+	if len(targets) == 0 {
+		t.Fatalf("negative stride not detected")
+	}
+	// The loop's last page is 82, so the next stride target is 79.
+	if targets[0] != 79 {
+		t.Errorf("target = %d, want 79", targets[0])
+	}
+}
+
+func TestNoStrideNoPrefetch(t *testing.T) {
+	p := New(4)
+	pages := []uint64{5, 90, 3, 71, 22, 48, 11, 60, 35}
+	var total int
+	for _, pg := range pages {
+		total += len(p.Observe(pg))
+	}
+	if total != 0 {
+		t.Errorf("random pattern produced %d prefetches", total)
+	}
+}
+
+func TestAdaptiveDepth(t *testing.T) {
+	p := New(8)
+	// Establish a stride so Observe issues prefetches.
+	for pg := uint64(0); pg < 8; pg++ {
+		p.Observe(pg)
+	}
+	if p.Depth() != 1 {
+		t.Fatalf("initial depth = %d", p.Depth())
+	}
+	// All useful: depth grows toward the cap.
+	for i := 0; i < 64; i++ {
+		p.MarkUseful()
+		p.adapt()
+	}
+	if p.Depth() <= 1 {
+		t.Errorf("depth did not grow: %d", p.Depth())
+	}
+	grown := p.Depth()
+	// All wasted: depth shrinks back.
+	for i := 0; i < 64; i++ {
+		p.MarkWasted()
+		p.adapt()
+	}
+	if p.Depth() >= grown {
+		t.Errorf("depth did not shrink: %d (was %d)", p.Depth(), grown)
+	}
+}
+
+func TestZeroDepthClamped(t *testing.T) {
+	if New(0).Depth() != 1 {
+		t.Errorf("zero max depth not clamped")
+	}
+}

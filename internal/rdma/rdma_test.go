@@ -1,0 +1,184 @@
+package rdma
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func pair() (*Endpoint, *Endpoint, *QP) {
+	l := NewEndpoint("local")
+	r := NewEndpoint("remote")
+	return l, r, Connect(l, r, DefaultCostModel())
+}
+
+func TestWriteMovesBytes(t *testing.T) {
+	l, r, qp := pair()
+	lmr := l.RegisterMR(4096)
+	rmr := r.RegisterMR(4096)
+	copy(lmr.Bytes(), []byte("hello remote memory"))
+	done, err := qp.PostSend(0, []WR{{
+		Op: OpWrite, Local: lmr, RemoteKey: rmr.Key(), Len: 19, Signaled: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rmr.Bytes()[:19], []byte("hello remote memory")) {
+		t.Fatalf("remote bytes = %q", rmr.Bytes()[:19])
+	}
+	if done <= 0 {
+		t.Fatalf("completion time = %v", done)
+	}
+	cqs := qp.PollCQ()
+	if len(cqs) != 1 || cqs[0].Op != OpWrite || cqs[0].Len != 19 || cqs[0].When != done {
+		t.Errorf("completions = %+v", cqs)
+	}
+	if len(qp.PollCQ()) != 0 {
+		t.Errorf("CQ not drained")
+	}
+}
+
+func TestReadMovesBytes(t *testing.T) {
+	l, r, qp := pair()
+	lmr := l.RegisterMR(64)
+	rmr := r.RegisterMR(64)
+	copy(rmr.Bytes(), []byte("far data"))
+	if _, err := qp.PostSend(0, []WR{{Op: OpRead, Local: lmr, RemoteKey: rmr.Key(), Len: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lmr.Bytes()[:8], []byte("far data")) {
+		t.Fatalf("local bytes = %q", lmr.Bytes()[:8])
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	l, r, qp := pair()
+	lmr := l.RegisterMR(128)
+	rmr := r.RegisterMR(128)
+	copy(lmr.Bytes()[32:], []byte("xyz"))
+	if _, err := qp.PostSend(0, []WR{{
+		Op: OpWrite, Local: lmr, LocalOff: 32, RemoteKey: rmr.Key(), RemoteOff: 96, Len: 3,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rmr.Bytes()[96:99], []byte("xyz")) {
+		t.Fatalf("offset write failed: %q", rmr.Bytes()[96:99])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	l, r, qp := pair()
+	lmr := l.RegisterMR(64)
+	rmr := r.RegisterMR(64)
+	cases := []WR{
+		{Op: OpWrite, Local: nil, RemoteKey: rmr.Key(), Len: 8},
+		{Op: OpWrite, Local: lmr, RemoteKey: 999, Len: 8},
+		{Op: OpWrite, Local: lmr, LocalOff: 60, RemoteKey: rmr.Key(), Len: 8},
+		{Op: OpWrite, Local: lmr, RemoteKey: rmr.Key(), RemoteOff: 60, Len: 8},
+		{Op: OpWrite, Local: lmr, LocalOff: -1, RemoteKey: rmr.Key(), Len: 4},
+	}
+	for i, wr := range cases {
+		if _, err := qp.PostSend(0, []WR{wr}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Deregistered local MR fails.
+	l.DeregisterMR(lmr.Key())
+	if _, err := qp.PostSend(0, []WR{{Op: OpWrite, Local: lmr, RemoteKey: rmr.Key(), Len: 8}}); err == nil {
+		t.Errorf("deregistered MR accepted")
+	}
+}
+
+func TestSingle4KBWriteIsAbout3us(t *testing.T) {
+	cm := DefaultCostModel()
+	got := cm.BatchTime(1, 4096)
+	if got < 2700*time.Nanosecond || got > 3300*time.Nanosecond {
+		t.Errorf("single 4KB write = %v, want ~3µs (paper §2.1)", got)
+	}
+}
+
+// Batching and linking must beat individual posts — the optimization the
+// paper reports as significant (§5.1).
+func TestBatchingBeatsIndividualPosts(t *testing.T) {
+	cm := DefaultCostModel()
+	batched := cm.BatchTime(64, 64*64)
+	individual := 64 * cm.BatchTime(1, 64)
+	if batched*2 >= individual {
+		t.Errorf("batched 64 CL writes (%v) should be far under 64 singles (%v)", batched, individual)
+	}
+}
+
+func TestNICSerializesBatches(t *testing.T) {
+	l, r, qp := pair()
+	lmr := l.RegisterMR(8192)
+	rmr := r.RegisterMR(8192)
+	wr := []WR{{Op: OpWrite, Local: lmr, RemoteKey: rmr.Key(), Len: 4096}}
+	d1, err := qp.PostSend(0, wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := qp.PostSend(0, wr) // same arrival: must queue behind d1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Errorf("second batch (%v) not serialized after first (%v)", d2, d1)
+	}
+	batches, wrs, bytesMoved := qp.Stats()
+	if batches != 2 || wrs != 2 || bytesMoved != 8192 {
+		t.Errorf("stats = %d,%d,%d", batches, wrs, bytesMoved)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	_, _, qp := pair()
+	done, err := qp.PostSend(42, nil)
+	if err != nil || done != 42 {
+		t.Errorf("empty post: %v %v", done, err)
+	}
+}
+
+// Property: a write of random bytes at random valid offsets is readable
+// back via RDMA READ (round trip through remote memory is identity).
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, off8, len8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, r, qp := pair()
+		lmr := l.RegisterMR(1024)
+		back := l.RegisterMR(1024)
+		rmr := r.RegisterMR(1024)
+		off := int(off8) % 512
+		n := 1 + int(len8)%256
+		payload := make([]byte, n)
+		rng.Read(payload)
+		copy(lmr.Bytes()[off:], payload)
+		if _, err := qp.PostSend(0, []WR{{Op: OpWrite, Local: lmr, LocalOff: off, RemoteKey: rmr.Key(), RemoteOff: off, Len: n}}); err != nil {
+			return false
+		}
+		if _, err := qp.PostSend(0, []WR{{Op: OpRead, Local: back, LocalOff: off, RemoteKey: rmr.Key(), RemoteOff: off, Len: n}}); err != nil {
+			return false
+		}
+		return bytes.Equal(back.Bytes()[off:off+n], payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsignaledGenerateNoCompletion(t *testing.T) {
+	l, r, qp := pair()
+	lmr := l.RegisterMR(1024)
+	rmr := r.RegisterMR(1024)
+	var wrs []WR
+	for i := 0; i < 8; i++ {
+		wrs = append(wrs, WR{Op: OpWrite, Local: lmr, LocalOff: i * 64, RemoteKey: rmr.Key(), RemoteOff: i * 64, Len: 64, Signaled: i == 7})
+	}
+	if _, err := qp.PostSend(0, wrs); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(qp.PollCQ()); got != 1 {
+		t.Errorf("completions = %d, want 1 (only last signaled)", got)
+	}
+}

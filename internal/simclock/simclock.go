@@ -1,0 +1,95 @@
+// Package simclock provides the virtual time base used by every simulator
+// in the repository.
+//
+// The paper evaluates Kona on a Skylake/CX5 RDMA testbed; we have no such
+// hardware, so all latency-bearing operations advance a virtual clock by a
+// modeled duration instead of being measured. Comparisons between systems
+// (Kona vs Kona-VM vs LegoOS vs Infiniswap) are therefore exact and
+// reproducible: both sides share one clock model and differ only in which
+// operations they perform, which is precisely the quantity the paper's
+// experiments isolate.
+//
+// Two abstractions live here:
+//
+//   - Clock: a per-actor (per simulated thread) monotonic virtual clock.
+//   - Server: a shared serialization point with a given service time —
+//     e.g. the mmap_sem-protected fault path or the FPGA directory port.
+//     Servers implement a deterministic single-server queue: a request
+//     arriving at virtual time t departs at max(t, nextFree) + service.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Duration is virtual time, in nanoseconds. It aliases time.Duration so
+// the formatting helpers (String, Seconds…) come for free, but values never
+// relate to wall-clock time.
+type Duration = time.Duration
+
+// Clock is a monotonic virtual clock owned by a single simulated thread.
+// It is not safe for concurrent use; each simulated thread owns one.
+type Clock struct {
+	now Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Duration { return c.now }
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *Clock) Advance(d Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now.
+func (c *Clock) AdvanceTo(t Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Server models a shared resource that serves one request at a time, such
+// as a lock-protected kernel path or a single-ported hardware unit.
+// It is safe for concurrent use by multiple simulated threads.
+type Server struct {
+	mu       sync.Mutex
+	nextFree Duration
+	busy     Duration // total service time accumulated
+	requests uint64
+}
+
+// Serve admits a request arriving at virtual time `arrival` with the given
+// service time, and returns the departure time. The caller advances its own
+// clock to the returned value, so queueing delay at the shared resource is
+// reflected in the caller's virtual time.
+func (s *Server) Serve(arrival, service Duration) Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := arrival
+	if s.nextFree > start {
+		start = s.nextFree
+	}
+	depart := start + service
+	s.nextFree = depart
+	s.busy += service
+	s.requests++
+	return depart
+}
+
+// Utilization returns total busy time and number of requests served,
+// for reporting contention in experiments.
+func (s *Server) Utilization() (busy Duration, requests uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busy, s.requests
+}
+
+// Reset clears the server state for reuse across experiment runs.
+func (s *Server) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextFree, s.busy, s.requests = 0, 0, 0
+}

@@ -1,0 +1,164 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock not at 0")
+	}
+	c.Advance(10)
+	c.Advance(5)
+	if c.Now() != 15 {
+		t.Errorf("Now = %v, want 15", c.Now())
+	}
+	c.Advance(-100) // negative ignored
+	if c.Now() != 15 {
+		t.Errorf("negative advance moved clock: %v", c.Now())
+	}
+	c.AdvanceTo(10) // backwards ignored
+	if c.Now() != 15 {
+		t.Errorf("AdvanceTo moved clock backwards: %v", c.Now())
+	}
+	c.AdvanceTo(100)
+	if c.Now() != 100 {
+		t.Errorf("AdvanceTo = %v, want 100", c.Now())
+	}
+}
+
+func TestServerSequentialQueueing(t *testing.T) {
+	var s Server
+	// Two back-to-back requests arriving at t=0 with 10ns service: the
+	// second must queue behind the first.
+	d1 := s.Serve(0, 10)
+	d2 := s.Serve(0, 10)
+	if d1 != 10 || d2 != 20 {
+		t.Errorf("departures = %v,%v want 10,20", d1, d2)
+	}
+	// A request arriving after the server drained is served immediately.
+	d3 := s.Serve(100, 10)
+	if d3 != 110 {
+		t.Errorf("idle-arrival departure = %v, want 110", d3)
+	}
+	busy, n := s.Utilization()
+	if busy != 30 || n != 3 {
+		t.Errorf("utilization = %v,%d want 30,3", busy, n)
+	}
+	s.Reset()
+	if b, n := s.Utilization(); b != 0 || n != 0 {
+		t.Errorf("reset failed")
+	}
+}
+
+// Property: for any arrival order, departures never overlap (single-server)
+// and each departure >= arrival + service.
+func TestServerQuick(t *testing.T) {
+	f := func(arrivals []uint16, service uint8) bool {
+		var s Server
+		svc := Duration(service%50 + 1)
+		var departures []Duration
+		for _, a := range arrivals {
+			d := s.Serve(Duration(a), svc)
+			if d < Duration(a)+svc {
+				return false
+			}
+			departures = append(departures, d)
+		}
+		// Total busy time == n*svc and the last departure is at least that.
+		busy, n := s.Utilization()
+		if n != uint64(len(arrivals)) || busy != Duration(len(arrivals))*svc {
+			return false
+		}
+		for i := 1; i < len(departures); i++ {
+			if departures[i] < departures[i-1]+svc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerConcurrentSafety(t *testing.T) {
+	var s Server
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Serve(Duration(i), 3)
+			}
+		}()
+	}
+	wg.Wait()
+	busy, n := s.Utilization()
+	if n != workers*per || busy != Duration(workers*per*3) {
+		t.Errorf("concurrent accounting lost requests: busy=%v n=%d", busy, n)
+	}
+}
+
+func TestWireTime(t *testing.T) {
+	// 4KB at 100Gbps ~ 327ns.
+	wt := WireTime(4096)
+	if wt < 300*time.Nanosecond || wt > 350*time.Nanosecond {
+		t.Errorf("WireTime(4096) = %v, want ~327ns", wt)
+	}
+	if WireTime(0) != 0 {
+		t.Errorf("WireTime(0) != 0")
+	}
+	// Monotone in size.
+	if WireTime(64) >= WireTime(4096) {
+		t.Errorf("WireTime not monotone")
+	}
+}
+
+func TestRDMAWriteModel(t *testing.T) {
+	// A 4KB RDMA write must be under the paper's 3µs end-to-end figure and
+	// above the base verb cost.
+	w := RDMAWrite(4096)
+	if w <= RDMABase || w >= RDMA4KB {
+		t.Errorf("RDMAWrite(4096) = %v, want (RDMABase, RDMA4KB)", w)
+	}
+	// A cache-line write is dominated by the fixed cost.
+	cl := RDMAWrite(64)
+	if cl < RDMABase || cl > RDMABase+10*time.Nanosecond {
+		t.Errorf("RDMAWrite(64) = %v", cl)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// The hierarchy must be ordered: L1 < L2 < L3 < DRAM < FMem < Kona
+	// fetch < LegoOS fetch < Infiniswap fetch.
+	order := []Duration{L1Hit, L2Hit, L3Hit, DRAMAccess, FMemAccess, KonaFetch, LegoOSFetch, InfiniswapFetch}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Errorf("latency order violated at index %d: %v <= %v", i, order[i], order[i-1])
+		}
+	}
+	// FMem is the NUMA factor over DRAM (within rounding).
+	dram := float64(DRAMAccess)
+	want := Duration(dram * NUMAFactor)
+	if diff := FMemAccess - want; diff < -time.Nanosecond || diff > time.Nanosecond {
+		t.Errorf("FMemAccess = %v, want ~%v", FMemAccess, want)
+	}
+}
+
+func TestMemcpy(t *testing.T) {
+	if Memcpy(0) != 0 {
+		t.Errorf("Memcpy(0) != 0")
+	}
+	// 4KB at ~20GB/s ≈ 204ns.
+	m := Memcpy(4096)
+	if m < 150*time.Nanosecond || m > 250*time.Nanosecond {
+		t.Errorf("Memcpy(4096) = %v", m)
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII plotting for the bench output: the figures the experiment drivers
+// regenerate can be eyeballed directly in the terminal next to their
+// numeric tables.
+
+// plotGlyphs distinguish up to six series.
+var plotGlyphs = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the series as a fixed-size ASCII chart with a legend. X
+// positions are mapped by value (not index), so unevenly spaced sweeps
+// render proportionally.
+func Plot(title, xLabel string, width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	nPoints := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			nPoints++
+		}
+	}
+	if nPoints == 0 {
+		return title + ": (no data)\n"
+	}
+	if minY > 0 && minY/math.Max(maxY, 1e-12) > 0.0 {
+		// Anchor the y-axis at zero when it keeps resolution reasonable.
+		if minY < maxY/2 {
+			minY = 0
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			x := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			y := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				if grid[row][x] != ' ' && grid[row][x] != g {
+					grid[row][x] = '&' // overlapping series
+				} else {
+					grid[row][x] = g
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yTop := trimFloat(maxY)
+	yBot := trimFloat(minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		}
+		if i == height-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad),
+		trimFloat(minX), strings.Repeat(" ", max(1, width-len(trimFloat(minX))-len(trimFloat(maxX)))), trimFloat(maxX))
+	fmt.Fprintf(&b, "%s  x: %s   ", strings.Repeat(" ", pad), xLabel)
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

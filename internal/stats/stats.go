@@ -1,0 +1,212 @@
+// Package stats provides the small statistics and rendering toolkit the
+// experiment drivers share: CDFs over integer-valued observations (Figs
+// 2-3), x/y series (Figs 8-11), and fixed-width table rendering for the
+// bench output that mirrors the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF accumulates integer observations and reports their cumulative
+// distribution.
+type CDF struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// NewCDF returns an empty distribution.
+func NewCDF() *CDF { return &CDF{counts: make(map[int]uint64)} }
+
+// Add records one observation.
+func (c *CDF) Add(v int) {
+	c.counts[v]++
+	c.total++
+}
+
+// AddN records n observations of v.
+func (c *CDF) AddN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	c.counts[v] += n
+	c.total += n
+}
+
+// Total returns the observation count.
+func (c *CDF) Total() uint64 { return c.total }
+
+// At returns P(X <= v).
+func (c *CDF) At(v int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var cum uint64
+	for val, n := range c.counts {
+		if val <= v {
+			cum += n
+		}
+	}
+	return float64(cum) / float64(c.total)
+}
+
+// Points returns the full CDF as sorted (value, P(X<=value)) pairs.
+func (c *CDF) Points() []Point {
+	if c.total == 0 {
+		return nil
+	}
+	vals := make([]int, 0, len(c.counts))
+	for v := range c.counts {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	out := make([]Point, 0, len(vals))
+	var cum uint64
+	for _, v := range vals {
+		cum += c.counts[v]
+		out = append(out, Point{X: float64(v), Y: float64(cum) / float64(c.total)})
+	}
+	return out
+}
+
+// Quantile returns the smallest value v with P(X <= v) >= q.
+func (c *CDF) Quantile(q float64) int {
+	pts := c.Points()
+	for _, p := range pts {
+		if p.Y >= q {
+			return int(p.X)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	return int(pts[len(pts)-1].X)
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct{ X, Y float64 }
+
+// Series is a named sequence of points — one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// YAt returns the Y of the first point with the given X, or 0.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Table renders fixed-width text tables for experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// trimFloat renders floats compactly (2 decimals, stripped).
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderSeries renders one or more series as an aligned x/y text table,
+// the bench output format for the paper's figures.
+func RenderSeries(xLabel string, series ...Series) string {
+	t := NewTable(append([]string{xLabel}, names(series)...)...)
+	// Collect the union of X values in order of first appearance.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := make([]any, 0, len(series)+1)
+		row = append(row, trimFloat(x))
+		for _, s := range series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, y)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF()
+	if c.At(10) != 0 || c.Total() != 0 {
+		t.Fatalf("empty CDF not zero")
+	}
+	for _, v := range []int{1, 1, 2, 4} {
+		c.Add(v)
+	}
+	if c.Total() != 4 {
+		t.Errorf("total = %d", c.Total())
+	}
+	cases := []struct {
+		v    int
+		want float64
+	}{{0, 0}, {1, 0.5}, {2, 0.75}, {3, 0.75}, {4, 1}, {100, 1}}
+	for _, cse := range cases {
+		if got := c.At(cse.v); got != cse.want {
+			t.Errorf("At(%d) = %v, want %v", cse.v, got, cse.want)
+		}
+	}
+	pts := c.Points()
+	if len(pts) != 3 || pts[0] != (Point{1, 0.5}) || pts[2] != (Point{4, 1}) {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+func TestCDFAddN(t *testing.T) {
+	c := NewCDF()
+	c.AddN(5, 10)
+	c.AddN(7, 0) // no-op
+	if c.Total() != 10 || c.At(5) != 1 {
+		t.Errorf("AddN wrong: total=%d", c.Total())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	c := NewCDF()
+	for i := 1; i <= 100; i++ {
+		c.Add(i)
+	}
+	if got := c.Quantile(0.5); got != 50 {
+		t.Errorf("median = %d", got)
+	}
+	if got := c.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := NewCDF().Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d", got)
+	}
+}
+
+// Property: CDF is monotone and ends at 1.
+func TestCDFMonotoneQuick(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewCDF()
+		for _, v := range vals {
+			c.Add(int(v))
+		}
+		pts := c.Points()
+		prev := 0.0
+		for _, p := range pts {
+			if p.Y < prev {
+				return false
+			}
+			prev = p.Y
+		}
+		return pts[len(pts)-1].Y == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "kona"
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Errorf("YAt(2) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Errorf("YAt missing x succeeded")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Workload", "4KB", "CL")
+	tab.AddRow("Redis-Rand", 31.36, 1.48)
+	tab.AddRow("Redis-Seq", 2.76, 1.0)
+	out := tab.String()
+	for _, want := range []string{"Workload", "Redis-Rand", "31.36", "1.48", "2.76", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Lines all align: same column count per row.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("lines = %d", len(lines))
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	a := Series{Name: "LegoOS", Points: []Point{{25, 20.5}, {50, 10}}}
+	b := Series{Name: "Kona", Points: []Point{{25, 8.1}, {75, 5}}}
+	out := RenderSeries("Cache%", a, b)
+	for _, want := range []string{"Cache%", "LegoOS", "Kona", "20.5", "8.1", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{1.0: "1", 1.5: "1.5", 31.36: "31.36", 0.0: "0", 2.70: "2.7"}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCDFLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewCDF()
+	for i := 0; i < 100000; i++ {
+		c.Add(rng.Intn(64) + 1)
+	}
+	// Uniform over 1..64: median ~32.
+	med := c.Quantile(0.5)
+	if med < 28 || med > 36 {
+		t.Errorf("median = %d, want ~32", med)
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	a := Series{Name: "LegoOS", Points: []Point{{5, 20}, {50, 13}, {100, 7}}}
+	b := Series{Name: "Kona", Points: []Point{{5, 11}, {50, 9}, {100, 6.5}}}
+	out := Plot("AMAT vs cache size", "cache %", 40, 10, a, b)
+	for _, want := range []string{"AMAT vs cache size", "LegoOS", "Kona", "*", "o", "cache %", "20", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+10+2+1 {
+		t.Errorf("plot has %d lines", len(lines))
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	if out := Plot("empty", "x", 40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	// A single point must not divide by zero.
+	s := Series{Name: "one", Points: []Point{{5, 5}}}
+	out := Plot("single", "x", 20, 5, s)
+	if !strings.Contains(out, "one") {
+		t.Errorf("single-point plot broken:\n%s", out)
+	}
+	// Tiny dimensions are clamped.
+	out = Plot("tiny", "x", 1, 1, s)
+	if len(out) == 0 {
+		t.Errorf("tiny plot empty")
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// File helpers for the KTR1 format: paths ending in ".gz" are
+// transparently gzip-compressed — traces compress well (the record layout
+// is highly regular), which matters when capturing full workload runs.
+
+// CreateFile opens path for trace writing, compressing when the name ends
+// in .gz. Close the returned closer (it flushes the trace and every
+// wrapping layer).
+func CreateFile(path string) (*Writer, io.Closer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		w := NewWriter(f)
+		return w, closers{flusher{w}, f}, nil
+	}
+	gz := gzip.NewWriter(f)
+	w := NewWriter(gz)
+	return w, closers{flusher{w}, gz, f}, nil
+}
+
+// OpenFile opens a trace file for reading, decompressing .gz paths.
+func OpenFile(path string) (*Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return NewReader(f), f, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return NewReader(gz), closers{gz, f}, nil
+}
+
+// flusher adapts Writer.Flush to io.Closer.
+type flusher struct{ w *Writer }
+
+// Close flushes the trace writer.
+func (f flusher) Close() error { return f.w.Flush() }
+
+// closers closes a stack of layers in order.
+type closers []io.Closer
+
+// Close closes every layer, returning the first error.
+func (c closers) Close() error {
+	var first error
+	for _, cl := range c {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,176 @@
+// Package trace defines the memory-access trace representation that
+// connects workload generators to the simulators.
+//
+// The paper instruments applications with Intel Pin and splits execution
+// into discrete time windows (10s for Table 2, 1s for KTracker). Here a
+// trace is a stream of Access records carrying a virtual timestamp, and a
+// Windower groups them into fixed-length windows for the amplification
+// analyses.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+)
+
+// Kind distinguishes reads from writes.
+type Kind uint8
+
+const (
+	// Read is a load.
+	Read Kind = iota
+	// Write is a store.
+	Write
+)
+
+// String names the access kind.
+func (k Kind) String() string {
+	if k == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Access is one memory operation performed by a simulated application.
+type Access struct {
+	// Time is the virtual timestamp of the access.
+	Time simclock.Duration
+	// Addr is the starting virtual address.
+	Addr mem.Addr
+	// Size is the byte length (a single application-level operation may
+	// span several cache lines or pages).
+	Size uint32
+	// Kind says whether the operation reads or writes.
+	Kind Kind
+}
+
+// Range returns the byte range the access covers.
+func (a Access) Range() mem.Range { return mem.Range{Start: a.Addr, Len: uint64(a.Size)} }
+
+// Stream is a pull-based source of accesses. Next returns io.EOF when the
+// workload has finished.
+type Stream interface {
+	Next() (Access, error)
+}
+
+// SliceStream adapts an in-memory slice to a Stream.
+type SliceStream struct {
+	accesses []Access
+	pos      int
+}
+
+// NewSliceStream returns a Stream over the given accesses.
+func NewSliceStream(a []Access) *SliceStream { return &SliceStream{accesses: a} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Access, error) {
+	if s.pos >= len(s.accesses) {
+		return Access{}, io.EOF
+	}
+	a := s.accesses[s.pos]
+	s.pos++
+	return a, nil
+}
+
+// Collect drains a stream into a slice, up to max records (0 = no limit).
+func Collect(s Stream, max int) ([]Access, error) {
+	var out []Access
+	for {
+		a, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+		if max > 0 && len(out) >= max {
+			return out, nil
+		}
+	}
+}
+
+// recordSize is the on-disk size of one encoded access record.
+const recordSize = 8 + 8 + 4 + 1
+
+var magic = [4]byte{'K', 'T', 'R', '1'}
+
+// Writer encodes accesses to a binary trace file.
+type Writer struct {
+	w     *bufio.Writer
+	wrote bool
+}
+
+// NewWriter returns a Writer emitting the KTR1 binary format to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one access record.
+func (t *Writer) Write(a Access) error {
+	if !t.wrote {
+		if _, err := t.w.Write(magic[:]); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	var buf [recordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(a.Time))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(a.Addr))
+	binary.LittleEndian.PutUint32(buf[16:], a.Size)
+	buf[20] = byte(a.Kind)
+	_, err := t.w.Write(buf[:])
+	return err
+}
+
+// Flush writes buffered records through. It must be called before the
+// underlying writer is closed. An empty trace still gets a valid header.
+func (t *Writer) Flush() error {
+	if !t.wrote {
+		if _, err := t.w.Write(magic[:]); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	return t.w.Flush()
+}
+
+// Reader decodes a binary trace produced by Writer. It implements Stream.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader returns a Reader over the KTR1 binary format.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Next implements Stream.
+func (t *Reader) Next() (Access, error) {
+	if !t.header {
+		var m [4]byte
+		if _, err := io.ReadFull(t.r, m[:]); err != nil {
+			return Access{}, fmt.Errorf("trace: reading header: %w", err)
+		}
+		if m != magic {
+			return Access{}, fmt.Errorf("trace: bad magic %q", m)
+		}
+		t.header = true
+	}
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Access{}, io.EOF
+		}
+		return Access{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	return Access{
+		Time: simclock.Duration(binary.LittleEndian.Uint64(buf[0:])),
+		Addr: mem.Addr(binary.LittleEndian.Uint64(buf[8:])),
+		Size: binary.LittleEndian.Uint32(buf[16:]),
+		Kind: Kind(buf[20]),
+	}, nil
+}

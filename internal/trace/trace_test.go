@@ -1,0 +1,328 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+)
+
+func TestSliceStream(t *testing.T) {
+	in := []Access{
+		{Time: 1, Addr: 100, Size: 8, Kind: Read},
+		{Time: 2, Addr: 200, Size: 16, Kind: Write},
+	}
+	s := NewSliceStream(in)
+	out, err := Collect(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch: %v vs %v", in, out)
+	}
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF after drain")
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	in := make([]Access, 10)
+	out, err := Collect(NewSliceStream(in), 3)
+	if err != nil || len(out) != 3 {
+		t.Errorf("Collect max: len=%d err=%v", len(out), err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var in []Access
+	for i := 0; i < 1000; i++ {
+		in = append(in, Access{
+			Time: simclock.Duration(rng.Int63n(1 << 40)),
+			Addr: mem.Addr(rng.Uint64()),
+			Size: uint32(rng.Intn(1 << 20)),
+			Kind: Kind(rng.Intn(2)),
+		})
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, a := range in {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(NewReader(&buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("binary round trip mismatch")
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(NewReader(&buf), 0)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty trace: %v %v", out, err)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("XXXX0123456789012345678901234567")))
+	if _, err := r.Next(); err == nil {
+		t.Errorf("expected bad-magic error")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Access{Addr: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3] // chop the last record
+	r := NewReader(bytes.NewReader(data))
+	_, err := r.Next()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("expected truncation error, got %v", err)
+	}
+}
+
+func TestWindowerSplitsByTime(t *testing.T) {
+	ms := time.Millisecond
+	in := []Access{
+		{Time: 0, Addr: 0, Size: 1},
+		{Time: 1 * ms, Addr: 1, Size: 1},
+		{Time: 10 * ms, Addr: 2, Size: 1}, // window 1
+		{Time: 35 * ms, Addr: 3, Size: 1}, // window 3 (window 2 empty)
+	}
+	w := NewWindower(NewSliceStream(in), 10*ms)
+	win0, err := w.Next()
+	if err != nil || win0.Index != 0 || len(win0.Accesses) != 2 {
+		t.Fatalf("win0 = %+v err=%v", win0, err)
+	}
+	win1, err := w.Next()
+	if err != nil || win1.Index != 1 || len(win1.Accesses) != 1 || win1.Accesses[0].Addr != 2 {
+		t.Fatalf("win1 = %+v err=%v", win1, err)
+	}
+	win3, err := w.Next()
+	if err != nil || win3.Index != 3 || len(win3.Accesses) != 1 || win3.Accesses[0].Addr != 3 {
+		t.Fatalf("win3 = %+v err=%v (empty windows must be skipped)", win3, err)
+	}
+	if _, err := w.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF")
+	}
+}
+
+func TestWindowerEmptyStream(t *testing.T) {
+	w := NewWindower(NewSliceStream(nil), time.Second)
+	if _, err := w.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF on empty stream")
+	}
+}
+
+// Property: windowing loses no accesses and each lands in its own window.
+func TestWindowerQuick(t *testing.T) {
+	f := func(times []uint32) bool {
+		length := simclock.Duration(1000)
+		var in []Access
+		for i, tm := range times {
+			in = append(in, Access{Time: simclock.Duration(tm % 100000), Addr: mem.Addr(i), Size: 1})
+		}
+		// Windower requires non-decreasing times (trace order).
+		for i := 1; i < len(in); i++ {
+			if in[i].Time < in[i-1].Time {
+				in[i].Time = in[i-1].Time
+			}
+		}
+		w := NewWindower(NewSliceStream(in), length)
+		total := 0
+		for {
+			win, err := w.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			for _, a := range win.Accesses {
+				if a.Time < win.Start || a.Time >= win.Start+length {
+					return false
+				}
+				total++
+			}
+		}
+		return total == len(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowDirtyStats(t *testing.T) {
+	// Two writes to the same line, one read, one write to another page.
+	win := Window{Accesses: []Access{
+		{Addr: 0, Size: 10, Kind: Write},
+		{Addr: 20, Size: 10, Kind: Write},       // same line 0
+		{Addr: 100, Size: 50, Kind: Read},       // read: not dirty
+		{Addr: 2 * 4096, Size: 64, Kind: Write}, // second page, one line
+	}}
+	d := WindowDirtyStats(win)
+	if d.BytesWritten != 84 {
+		t.Errorf("BytesWritten = %d, want 84", d.BytesWritten)
+	}
+	if d.DirtyLines != 2 {
+		t.Errorf("DirtyLines = %d, want 2", d.DirtyLines)
+	}
+	if d.DirtyPages4K != 2 {
+		t.Errorf("DirtyPages4K = %d, want 2", d.DirtyPages4K)
+	}
+	if d.DirtyPages2M != 1 {
+		t.Errorf("DirtyPages2M = %d, want 1", d.DirtyPages2M)
+	}
+	// Amplifications follow from the counts.
+	if got, want := d.Amplification4K(), float64(2*4096)/84; got != want {
+		t.Errorf("Amplification4K = %v, want %v", got, want)
+	}
+	if got, want := d.AmplificationCL(), float64(2*64)/84; got != want {
+		t.Errorf("AmplificationCL = %v, want %v", got, want)
+	}
+	if got, want := d.Amplification2M(), float64(1<<21)/84; got != want {
+		t.Errorf("Amplification2M = %v, want %v", got, want)
+	}
+}
+
+func TestWindowDirtyStatsEmpty(t *testing.T) {
+	d := WindowDirtyStats(Window{})
+	if d.Amplification4K() != 0 || d.AmplificationCL() != 0 || d.Amplification2M() != 0 {
+		t.Errorf("empty window must have zero amplification")
+	}
+}
+
+func TestWindowDirtyStatsSpanningWrite(t *testing.T) {
+	// A write spanning a page boundary dirties lines and pages on both sides.
+	win := Window{Accesses: []Access{{Addr: 4096 - 32, Size: 64, Kind: Write}}}
+	d := WindowDirtyStats(win)
+	if d.DirtyLines != 2 || d.DirtyPages4K != 2 {
+		t.Errorf("spanning write: lines=%d pages=%d, want 2,2", d.DirtyLines, d.DirtyPages4K)
+	}
+}
+
+func TestPageAccessProfile(t *testing.T) {
+	p := NewPageAccessProfile()
+	p.Add(Access{Addr: 0, Size: 64, Kind: Read})
+	p.Add(Access{Addr: 64, Size: 64, Kind: Write})
+	p.Add(Access{Addr: 4096 - 32, Size: 64, Kind: Write}) // spans pages 0,1
+	if got := p.Reads[0].Count(); got != 1 {
+		t.Errorf("page0 read lines = %d, want 1", got)
+	}
+	if got := p.Writes[0].Count(); got != 2 { // line 1 plus line 63
+		t.Errorf("page0 write lines = %d, want 2", got)
+	}
+	if got := p.Writes[1].Count(); got != 1 {
+		t.Errorf("page1 write lines = %d, want 1", got)
+	}
+	if _, ok := p.Reads[1]; ok {
+		t.Errorf("page1 must have no read profile")
+	}
+	p.Add(Access{Addr: 5, Size: 0}) // zero-size ignored
+	if p.Reads[0].Count() != 1 {
+		t.Errorf("zero-size access changed profile")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	for _, name := range []string{"plain.ktr", "packed.ktr.gz"} {
+		path := t.TempDir() + "/" + name
+		w, wc, err := CreateFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var in []Access
+		for i := 0; i < 500; i++ {
+			a := Access{Time: simclock.Duration(i), Addr: mem.Addr(i * 64), Size: 64, Kind: Kind(i % 2)}
+			in = append(in, a)
+			if err := w.Write(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := wc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, rc, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Collect(r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("%s: file round trip mismatch", name)
+		}
+	}
+}
+
+func TestFileCompressionShrinks(t *testing.T) {
+	dir := t.TempDir()
+	write := func(path string) int64 {
+		w, wc, err := CreateFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			if err := w.Write(Access{Addr: mem.Addr(i * 64), Size: 64}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := wc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}
+	plain := write(dir + "/a.ktr")
+	packed := write(dir + "/a.ktr.gz")
+	if packed*4 > plain {
+		t.Errorf("gzip trace %d vs plain %d: expected >4x shrink", packed, plain)
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, _, err := OpenFile("/nonexistent/trace.ktr"); err == nil {
+		t.Errorf("missing file opened")
+	}
+	// A .gz path with non-gzip content fails cleanly.
+	path := t.TempDir() + "/bogus.ktr.gz"
+	if err := os.WriteFile(path, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(path); err == nil {
+		t.Errorf("bogus gzip opened")
+	}
+}

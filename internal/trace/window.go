@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"errors"
+	"io"
+
+	"kona/internal/mem"
+	"kona/internal/simclock"
+)
+
+// Window is the set of accesses falling into one fixed-length interval of
+// virtual time, in arrival order.
+type Window struct {
+	// Index is the window ordinal, starting at 0.
+	Index int
+	// Start is the window's opening virtual time.
+	Start simclock.Duration
+	// Accesses are the records that fell in [Start, Start+length).
+	Accesses []Access
+}
+
+// Windower splits a Stream into consecutive fixed-length windows, the way
+// the paper splits Pin traces into 10-second (Table 2) or 1-second
+// (KTracker) windows.
+type Windower struct {
+	src     Stream
+	length  simclock.Duration
+	next    int
+	pending *Access
+	done    bool
+}
+
+// NewWindower returns a Windower cutting src into windows of the given
+// virtual length. length must be positive.
+func NewWindower(src Stream, length simclock.Duration) *Windower {
+	if length <= 0 {
+		panic("trace: window length must be positive")
+	}
+	return &Windower{src: src, length: length}
+}
+
+// Next returns the next non-empty window, skipping windows in which the
+// application made no accesses. It returns io.EOF after the last window.
+func (w *Windower) Next() (Window, error) {
+	for {
+		win, err := w.nextRaw()
+		if err != nil {
+			return Window{}, err
+		}
+		if len(win.Accesses) > 0 {
+			return win, nil
+		}
+	}
+}
+
+// nextRaw returns the next window even if empty.
+func (w *Windower) nextRaw() (Window, error) {
+	if w.done && w.pending == nil {
+		return Window{}, io.EOF
+	}
+	win := Window{
+		Index: w.next,
+		Start: simclock.Duration(w.next) * w.length,
+	}
+	end := win.Start + w.length
+	if w.pending != nil {
+		if w.pending.Time >= end {
+			// The pending access belongs to a later window; emit this one
+			// empty and let Next skip it.
+			w.next++
+			return win, nil
+		}
+		win.Accesses = append(win.Accesses, *w.pending)
+		w.pending = nil
+	}
+	for {
+		a, err := w.src.Next()
+		if errors.Is(err, io.EOF) {
+			w.done = true
+			w.next++
+			return win, nil
+		}
+		if err != nil {
+			return Window{}, err
+		}
+		if a.Time >= end {
+			w.pending = &a
+			w.next++
+			return win, nil
+		}
+		win.Accesses = append(win.Accesses, a)
+	}
+}
+
+// DirtyStats summarises the write traffic of one window at the three
+// tracking granularities of Table 2.
+type DirtyStats struct {
+	// BytesWritten is the exact number of application-written bytes
+	// (the amplification denominator).
+	BytesWritten uint64
+	// DirtyLines is the number of distinct dirty 64B cache lines.
+	DirtyLines uint64
+	// DirtyPages4K is the number of distinct dirty 4KB pages.
+	DirtyPages4K uint64
+	// DirtyPages2M is the number of distinct dirty 2MB pages.
+	DirtyPages2M uint64
+}
+
+// Amplification4K returns dirty-page bytes over written bytes for 4KB
+// tracking; 0 if the window wrote nothing.
+func (d DirtyStats) Amplification4K() float64 {
+	if d.BytesWritten == 0 {
+		return 0
+	}
+	return float64(d.DirtyPages4K*mem.PageSize) / float64(d.BytesWritten)
+}
+
+// Amplification2M returns the 2MB-tracking amplification.
+func (d DirtyStats) Amplification2M() float64 {
+	if d.BytesWritten == 0 {
+		return 0
+	}
+	return float64(d.DirtyPages2M*mem.HugePageSize) / float64(d.BytesWritten)
+}
+
+// AmplificationCL returns the 64B cache-line-tracking amplification.
+func (d DirtyStats) AmplificationCL() float64 {
+	if d.BytesWritten == 0 {
+		return 0
+	}
+	return float64(d.DirtyLines*mem.CacheLineSize) / float64(d.BytesWritten)
+}
+
+// WindowDirtyStats computes the dirty sets of a window. Distinctness is per
+// window, matching the paper's methodology: tracking state resets at each
+// window boundary (pages are written back between windows).
+func WindowDirtyStats(w Window) DirtyStats {
+	var d DirtyStats
+	lines := make(map[uint64]struct{})
+	pages4k := make(map[uint64]struct{})
+	pages2m := make(map[uint64]struct{})
+	for _, a := range w.Accesses {
+		if a.Kind != Write || a.Size == 0 {
+			continue
+		}
+		d.BytesWritten += uint64(a.Size)
+		r := a.Range()
+		for l := r.Start.Line(); l <= (r.End() - 1).Line(); l++ {
+			lines[l] = struct{}{}
+		}
+		for p := r.Start.Page(); p <= (r.End() - 1).Page(); p++ {
+			pages4k[p] = struct{}{}
+		}
+		for p := r.Start.HugePage(); p <= (r.End() - 1).HugePage(); p++ {
+			pages2m[p] = struct{}{}
+		}
+	}
+	d.DirtyLines = uint64(len(lines))
+	d.DirtyPages4K = uint64(len(pages4k))
+	d.DirtyPages2M = uint64(len(pages2m))
+	return d
+}
+
+// PageAccessProfile aggregates, per 4KB page, which cache lines a window's
+// accesses touched, separately for reads and writes. It is the raw
+// material of Figs. 2 and 3.
+type PageAccessProfile struct {
+	// Reads maps page index to the bitmap of lines read.
+	Reads map[uint64]*mem.LineBitmap
+	// Writes maps page index to the bitmap of lines written.
+	Writes map[uint64]*mem.LineBitmap
+}
+
+// NewPageAccessProfile returns an empty profile.
+func NewPageAccessProfile() *PageAccessProfile {
+	return &PageAccessProfile{
+		Reads:  make(map[uint64]*mem.LineBitmap),
+		Writes: make(map[uint64]*mem.LineBitmap),
+	}
+}
+
+// Add folds one access into the profile, splitting it across pages.
+func (p *PageAccessProfile) Add(a Access) {
+	if a.Size == 0 {
+		return
+	}
+	m := p.Reads
+	if a.Kind == Write {
+		m = p.Writes
+	}
+	r := a.Range()
+	for page := r.Start.Page(); page <= (r.End() - 1).Page(); page++ {
+		bm, ok := m[page]
+		if !ok {
+			bm = new(mem.LineBitmap)
+			m[page] = bm
+		}
+		pageStart := mem.PageBase(page)
+		lo := uint64(0)
+		if r.Start > pageStart {
+			lo = uint64(r.Start - pageStart)
+		}
+		hi := uint64(mem.PageSize)
+		if r.End() < pageStart+mem.PageSize {
+			hi = uint64(r.End() - pageStart)
+		}
+		bm.MarkWrite(lo, hi-lo)
+	}
+}

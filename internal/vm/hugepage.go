@@ -1,0 +1,203 @@
+package vm
+
+import (
+	"fmt"
+
+	"kona/internal/mem"
+)
+
+// Huge-page support. The paper's §2.1 observes that dirty-tracking
+// overheads are even higher for 2MB pages, "which first get broken down
+// to 4KB pages to decrease the amplification" (citing live-migration
+// practice), and §3 argues Kona lets applications keep huge pages for
+// translation reach because tracking granularity is decoupled from page
+// size. This file models the baseline side of that argument: 2MB
+// mappings, their one-entry-per-2MB TLB reach, and demand splitting into
+// 4KB PTEs when write tracking needs finer granularity.
+
+// HugePTE is a 2MB page-table entry, possibly split into 4KB children.
+type HugePTE struct {
+	Present  bool
+	Writable bool
+	Dirty    bool
+	// split, when non-nil, means the huge mapping was broken into 512
+	// base-page PTEs (indexed by position within the 2MB region).
+	split []*PTE
+}
+
+// IsSplit reports whether the mapping was demoted to 4KB PTEs.
+func (h *HugePTE) IsSplit() bool { return h.split != nil }
+
+// HugeAddressSpace is an address space mapped with 2MB pages.
+type HugeAddressSpace struct {
+	pages map[uint64]*HugePTE // keyed by 2MB page index
+	stats Stats
+	// Splits counts huge-page demotions.
+	Splits uint64
+}
+
+// NewHugeAddressSpace returns an empty 2MB-page address space.
+func NewHugeAddressSpace() *HugeAddressSpace {
+	return &HugeAddressSpace{pages: make(map[uint64]*HugePTE)}
+}
+
+// Stats returns the event counters.
+func (as *HugeAddressSpace) Stats() Stats { return as.stats }
+
+// Map installs huge mappings covering r.
+func (as *HugeAddressSpace) Map(r mem.Range, writable bool) {
+	if r.Len == 0 {
+		return
+	}
+	for p := r.Start.HugePage(); p <= (r.End() - 1).HugePage(); p++ {
+		as.pages[p] = &HugePTE{Present: true, Writable: writable}
+	}
+}
+
+// Touch performs one access. With an unsplit huge mapping, a
+// write-protect fault covers the whole 2MB region — the source of the
+// enormous 2MB-tracking amplification of Table 2.
+func (as *HugeAddressSpace) Touch(a mem.Addr, write bool) FaultKind {
+	h := as.pages[a.HugePage()]
+	if h == nil || !h.Present {
+		as.stats.MajorFaults++
+		return MajorFault
+	}
+	if h.IsSplit() {
+		pte := h.split[a.Page()%512]
+		if !pte.Present {
+			as.stats.MajorFaults++
+			return MajorFault
+		}
+		pte.Accessed = true
+		if write {
+			if !pte.Writable {
+				as.stats.WPFaults++
+				return WriteProtectFault
+			}
+			pte.Dirty = true
+		}
+		return NoFault
+	}
+	if write {
+		if !h.Writable {
+			as.stats.WPFaults++
+			return WriteProtectFault
+		}
+		h.Dirty = true
+	}
+	return NoFault
+}
+
+// ResolveWPWhole upgrades the whole 2MB page to writable: cheap to
+// resolve, but the entire region must later be treated as dirty.
+func (as *HugeAddressSpace) ResolveWPWhole(a mem.Addr) error {
+	h := as.pages[a.HugePage()]
+	if h == nil || !h.Present {
+		return fmt.Errorf("vm: huge WP resolve on non-present page %v", a)
+	}
+	h.Writable = true
+	h.Dirty = true
+	as.stats.TLBInvalidate++
+	return nil
+}
+
+// Split demotes the huge mapping containing a into 512 base-page PTEs
+// inheriting its protection — the §2.1 mitigation that trades TLB reach
+// for tracking granularity. It costs a TLB shootdown (the huge entry must
+// leave every TLB).
+func (as *HugeAddressSpace) Split(a mem.Addr) error {
+	h := as.pages[a.HugePage()]
+	if h == nil || !h.Present {
+		return fmt.Errorf("vm: split of non-present huge page %v", a)
+	}
+	if h.IsSplit() {
+		return nil
+	}
+	h.split = make([]*PTE, 512)
+	for i := range h.split {
+		h.split[i] = &PTE{Present: true, Writable: h.Writable, Dirty: h.Dirty}
+	}
+	as.Splits++
+	as.stats.TLBShootdowns++
+	return nil
+}
+
+// ResolveWPSplit splits the huge page (if needed) and upgrades only the
+// 4KB page containing a.
+func (as *HugeAddressSpace) ResolveWPSplit(a mem.Addr) error {
+	if err := as.Split(a); err != nil {
+		return err
+	}
+	h := as.pages[a.HugePage()]
+	pte := h.split[a.Page()%512]
+	pte.Writable = true
+	pte.Dirty = true
+	as.stats.TLBInvalidate++
+	return nil
+}
+
+// DirtyBytes returns the dirty-tracked byte count inside r: 2MB per dirty
+// unsplit page, 4KB per dirty child PTE — the amplification comparison of
+// Table 2's middle column.
+func (as *HugeAddressSpace) DirtyBytes(r mem.Range) uint64 {
+	if r.Len == 0 {
+		return 0
+	}
+	var total uint64
+	for p := r.Start.HugePage(); p <= (r.End() - 1).HugePage(); p++ {
+		h := as.pages[p]
+		if h == nil {
+			continue
+		}
+		if !h.IsSplit() {
+			if h.Dirty {
+				total += mem.HugePageSize
+			}
+			continue
+		}
+		for _, pte := range h.split {
+			if pte.Dirty {
+				total += mem.PageSize
+			}
+		}
+	}
+	return total
+}
+
+// WriteProtectAll re-arms tracking: every mapping (and split child)
+// returns to read-only with dirty bits cleared, preserving the split
+// structure. One batched shootdown is counted.
+func (as *HugeAddressSpace) WriteProtectAll() {
+	for _, h := range as.pages {
+		if !h.Present {
+			continue
+		}
+		h.Writable = false
+		h.Dirty = false
+		for _, pte := range h.split {
+			pte.Writable = false
+			pte.Dirty = false
+			as.stats.TLBInvalidate++
+		}
+	}
+	as.stats.TLBShootdowns++
+}
+
+// TLBReach returns the number of TLB entries needed to cover the mapped
+// region: 1 per unsplit huge page, 512 per split one — the cost the split
+// mitigation pays.
+func (as *HugeAddressSpace) TLBReach() int {
+	n := 0
+	for _, h := range as.pages {
+		if !h.Present {
+			continue
+		}
+		if h.IsSplit() {
+			n += 512
+		} else {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package vm
+
+import (
+	"testing"
+
+	"kona/internal/mem"
+)
+
+func hugeRange(first, n uint64) mem.Range {
+	return mem.Range{Start: mem.Addr(first * mem.HugePageSize), Len: n * mem.HugePageSize}
+}
+
+func TestHugeMapTouch(t *testing.T) {
+	as := NewHugeAddressSpace()
+	if got := as.Touch(0, false); got != MajorFault {
+		t.Fatalf("unmapped touch = %v", got)
+	}
+	as.Map(hugeRange(0, 2), false)
+	if got := as.Touch(100, false); got != NoFault {
+		t.Fatalf("mapped read = %v", got)
+	}
+	if got := as.Touch(100, true); got != WriteProtectFault {
+		t.Fatalf("store to RO huge page = %v", got)
+	}
+}
+
+func TestHugeWholePageDirtyAmplification(t *testing.T) {
+	as := NewHugeAddressSpace()
+	as.Map(hugeRange(0, 1), false)
+	if as.Touch(64, true) != WriteProtectFault {
+		t.Fatal("expected WP fault")
+	}
+	if err := as.ResolveWPWhole(64); err != nil {
+		t.Fatal(err)
+	}
+	if as.Touch(64, true) != NoFault {
+		t.Fatal("store after resolve faulted")
+	}
+	// One 64-byte store marks 2MB dirty: amplification 32768x — the
+	// Table 2 pathology.
+	if got := as.DirtyBytes(hugeRange(0, 1)); got != mem.HugePageSize {
+		t.Errorf("dirty bytes = %d, want %d", got, mem.HugePageSize)
+	}
+	if as.TLBReach() != 1 {
+		t.Errorf("TLB reach = %d, want 1 (unsplit)", as.TLBReach())
+	}
+}
+
+func TestHugeSplitReducesAmplification(t *testing.T) {
+	as := NewHugeAddressSpace()
+	as.Map(hugeRange(0, 1), false)
+	if as.Touch(64, true) != WriteProtectFault {
+		t.Fatal("expected WP fault")
+	}
+	if err := as.ResolveWPSplit(64); err != nil {
+		t.Fatal(err)
+	}
+	// Only the containing 4KB page is dirty now.
+	if got := as.DirtyBytes(hugeRange(0, 1)); got != mem.PageSize {
+		t.Errorf("dirty bytes = %d, want %d (split)", got, mem.PageSize)
+	}
+	// The store to the split page proceeds; a store elsewhere in the
+	// region faults independently.
+	if as.Touch(64, true) != NoFault {
+		t.Errorf("split page still faults")
+	}
+	if as.Touch(mem.PageSize*10, true) != WriteProtectFault {
+		t.Errorf("other 4KB page must fault separately")
+	}
+	// The mitigation's cost: TLB reach exploded 512x and a shootdown
+	// happened (§2.1).
+	if as.TLBReach() != 512 {
+		t.Errorf("TLB reach = %d, want 512", as.TLBReach())
+	}
+	if as.Splits != 1 || as.Stats().TLBShootdowns != 1 {
+		t.Errorf("split accounting: %d splits, %+v", as.Splits, as.Stats())
+	}
+	// Splitting again is a no-op.
+	if err := as.Split(64); err != nil {
+		t.Fatal(err)
+	}
+	if as.Splits != 1 {
+		t.Errorf("double split counted")
+	}
+}
+
+func TestHugeSplitErrors(t *testing.T) {
+	as := NewHugeAddressSpace()
+	if err := as.Split(0); err == nil {
+		t.Errorf("split of unmapped page succeeded")
+	}
+	if err := as.ResolveWPWhole(0); err == nil {
+		t.Errorf("resolve of unmapped page succeeded")
+	}
+	if err := as.ResolveWPSplit(0); err == nil {
+		t.Errorf("split resolve of unmapped page succeeded")
+	}
+	as.Map(mem.Range{}, true) // no-op
+	if as.TLBReach() != 0 {
+		t.Errorf("empty map created entries")
+	}
+	if as.DirtyBytes(mem.Range{}) != 0 {
+		t.Errorf("empty range dirty bytes nonzero")
+	}
+}
+
+func TestHugeSplitTouchPaths(t *testing.T) {
+	as := NewHugeAddressSpace()
+	as.Map(hugeRange(0, 1), true) // writable: no WP faults
+	if as.Touch(0, true) != NoFault {
+		t.Fatal("writable huge store faulted")
+	}
+	if err := as.Split(0); err != nil {
+		t.Fatal(err)
+	}
+	// Children inherit writability and dirtiness.
+	if as.Touch(8192, true) != NoFault {
+		t.Errorf("split child of writable page faulted")
+	}
+	if got := as.DirtyBytes(hugeRange(0, 1)); got < 2*mem.PageSize {
+		t.Errorf("dirty bytes = %d, want >= 2 pages (inherited + new)", got)
+	}
+}

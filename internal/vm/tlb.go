@@ -1,0 +1,70 @@
+package vm
+
+import "kona/internal/mem"
+
+// TLB models a small fully-associative translation cache with LRU
+// replacement. Page-based remote memory pays for TLB misses after
+// invalidations and shootdowns; Kona avoids those invalidations entirely
+// because its pages never change protection (§4.4).
+type TLB struct {
+	capacity int
+	entries  map[uint64]uint64 // page -> lastUse
+	clock    uint64
+
+	hits, misses, flushes uint64
+}
+
+// NewTLB returns a TLB holding up to capacity translations.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("vm: TLB capacity must be positive")
+	}
+	return &TLB{capacity: capacity, entries: make(map[uint64]uint64)}
+}
+
+// Lookup translates the page containing a, filling on miss, and reports
+// whether it hit.
+func (t *TLB) Lookup(a mem.Addr) bool {
+	t.clock++
+	p := a.Page()
+	if _, ok := t.entries[p]; ok {
+		t.entries[p] = t.clock
+		t.hits++
+		return true
+	}
+	t.misses++
+	if len(t.entries) >= t.capacity {
+		// Evict LRU.
+		var lruPage, lruUse uint64
+		first := true
+		for page, use := range t.entries {
+			if first || use < lruUse {
+				lruPage, lruUse = page, use
+				first = false
+			}
+		}
+		delete(t.entries, lruPage)
+	}
+	t.entries[p] = t.clock
+	return false
+}
+
+// Invalidate drops the translation for the page containing a, as a PTE
+// permission change requires.
+func (t *TLB) Invalidate(a mem.Addr) {
+	delete(t.entries, a.Page())
+}
+
+// Flush drops all translations (full shootdown).
+func (t *TLB) Flush() {
+	t.entries = make(map[uint64]uint64)
+	t.flushes++
+}
+
+// Stats returns hit/miss/flush counters.
+func (t *TLB) Stats() (hits, misses, flushes uint64) {
+	return t.hits, t.misses, t.flushes
+}
+
+// Len returns the number of cached translations.
+func (t *TLB) Len() int { return len(t.entries) }

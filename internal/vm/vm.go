@@ -1,0 +1,197 @@
+// Package vm simulates the virtual-memory machinery that page-based remote
+// memory systems (Infiniswap, LegoOS, and the paper's own Kona-VM baseline)
+// are built on: page tables with present/write-protect bits, a TLB with
+// invalidations and cross-core shootdowns, and page faults with the cost
+// model the paper measures in §2.1.
+//
+// The package tracks both functional state (which pages are present,
+// write-protected, dirty, accessed) and cost accounting (fault counts, TLB
+// flushes, shootdowns), which the runtime layers convert to virtual time.
+package vm
+
+import (
+	"fmt"
+
+	"kona/internal/mem"
+)
+
+// PTE is one page-table entry's state.
+type PTE struct {
+	// Present means an access does not fault for fetch reasons.
+	Present bool
+	// Writable means a store does not take a write-protect fault.
+	Writable bool
+	// Dirty is the hardware dirty bit, set on the first permitted store.
+	Dirty bool
+	// Accessed is the hardware accessed bit.
+	Accessed bool
+}
+
+// FaultKind classifies a page fault.
+type FaultKind int
+
+const (
+	// NoFault means the access proceeded.
+	NoFault FaultKind = iota
+	// MajorFault is a not-present fault (remote fetch needed).
+	MajorFault
+	// WriteProtectFault is a store to a present, read-only page.
+	WriteProtectFault
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case MajorFault:
+		return "major"
+	case WriteProtectFault:
+		return "write-protect"
+	default:
+		return "none"
+	}
+}
+
+// Stats counts virtual-memory events.
+type Stats struct {
+	MajorFaults   uint64
+	WPFaults      uint64
+	TLBInvalidate uint64
+	TLBShootdowns uint64
+	Unmaps        uint64
+}
+
+// AddressSpace is a simulated process address space over 4KB pages.
+type AddressSpace struct {
+	pages map[uint64]*PTE
+	stats Stats
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[uint64]*PTE)}
+}
+
+// Stats returns a copy of the event counters.
+func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// Map installs PTEs for the page range as present. writable controls the
+// initial protection (page-based remote memory maps fetched pages
+// read-only so the first store faults — that is the dirty-tracking hook).
+func (as *AddressSpace) Map(r mem.Range, writable bool) {
+	if r.Len == 0 {
+		return
+	}
+	for p := r.Start.Page(); p <= (r.End() - 1).Page(); p++ {
+		as.pages[p] = &PTE{Present: true, Writable: writable}
+	}
+}
+
+// Unmap removes the pages covering r (marks not-present and forgets them),
+// counting the TLB shootdown that a real unmap requires.
+func (as *AddressSpace) Unmap(r mem.Range) {
+	if r.Len == 0 {
+		return
+	}
+	for p := r.Start.Page(); p <= (r.End() - 1).Page(); p++ {
+		delete(as.pages, p)
+		as.stats.Unmaps++
+	}
+	as.stats.TLBShootdowns++
+}
+
+// Lookup returns the PTE for the page containing a, or nil if unmapped.
+func (as *AddressSpace) Lookup(a mem.Addr) *PTE {
+	return as.pages[a.Page()]
+}
+
+// Touch performs the MMU side of one access to address a and returns the
+// fault it raises, if any. The caller (the runtime's fault handler) is
+// responsible for resolving the fault — fetching the page, upgrading
+// protection — and for charging its cost.
+func (as *AddressSpace) Touch(a mem.Addr, write bool) FaultKind {
+	pte := as.pages[a.Page()]
+	if pte == nil || !pte.Present {
+		as.stats.MajorFaults++
+		return MajorFault
+	}
+	pte.Accessed = true
+	if write {
+		if !pte.Writable {
+			as.stats.WPFaults++
+			return WriteProtectFault
+		}
+		pte.Dirty = true
+	}
+	return NoFault
+}
+
+// ResolveMajor installs the page containing a as present. writable sets
+// the post-fetch protection.
+func (as *AddressSpace) ResolveMajor(a mem.Addr, writable bool) {
+	p := a.Page()
+	pte := as.pages[p]
+	if pte == nil {
+		pte = &PTE{}
+		as.pages[p] = pte
+	}
+	pte.Present = true
+	pte.Writable = writable
+	pte.Accessed = true
+}
+
+// ResolveWP upgrades the page containing a to writable and marks it dirty,
+// the action of a write-protect fault handler. It counts the local TLB
+// invalidation the PTE change requires.
+func (as *AddressSpace) ResolveWP(a mem.Addr) error {
+	pte := as.pages[a.Page()]
+	if pte == nil || !pte.Present {
+		return fmt.Errorf("vm: write-protect resolve on non-present page %v", a)
+	}
+	pte.Writable = true
+	pte.Dirty = true
+	as.stats.TLBInvalidate++
+	return nil
+}
+
+// WriteProtect downgrades the pages covering r to read-only and clears
+// their dirty bits — the periodic re-arm of page-granularity dirty
+// tracking. It costs one shootdown for the batch (the kernel batches the
+// IPIs) plus one local invalidation per page.
+func (as *AddressSpace) WriteProtect(r mem.Range) {
+	if r.Len == 0 {
+		return
+	}
+	for p := r.Start.Page(); p <= (r.End() - 1).Page(); p++ {
+		if pte := as.pages[p]; pte != nil && pte.Present {
+			pte.Writable = false
+			pte.Dirty = false
+			as.stats.TLBInvalidate++
+		}
+	}
+	as.stats.TLBShootdowns++
+}
+
+// DirtyPages returns the page indices with the dirty bit set inside r.
+func (as *AddressSpace) DirtyPages(r mem.Range) []uint64 {
+	if r.Len == 0 {
+		return nil
+	}
+	var out []uint64
+	for p := r.Start.Page(); p <= (r.End() - 1).Page(); p++ {
+		if pte := as.pages[p]; pte != nil && pte.Dirty {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MappedPages returns the number of present pages.
+func (as *AddressSpace) MappedPages() int {
+	n := 0
+	for _, pte := range as.pages {
+		if pte.Present {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kona/internal/mem"
+)
+
+func pageRange(first, n uint64) mem.Range {
+	return mem.Range{Start: mem.PageBase(first), Len: n * mem.PageSize}
+}
+
+func TestMajorFaultLifecycle(t *testing.T) {
+	as := NewAddressSpace()
+	a := mem.Addr(5 * mem.PageSize)
+	if got := as.Touch(a, false); got != MajorFault {
+		t.Fatalf("unmapped touch = %v, want major fault", got)
+	}
+	as.ResolveMajor(a, false)
+	if got := as.Touch(a, false); got != NoFault {
+		t.Fatalf("post-resolve read = %v", got)
+	}
+	// Page was fetched read-only: first store takes a WP fault.
+	if got := as.Touch(a, true); got != WriteProtectFault {
+		t.Fatalf("store to read-only = %v, want WP fault", got)
+	}
+	if err := as.ResolveWP(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Touch(a, true); got != NoFault {
+		t.Fatalf("store after WP resolve = %v", got)
+	}
+	st := as.Stats()
+	if st.MajorFaults != 1 || st.WPFaults != 1 || st.TLBInvalidate != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if dirty := as.DirtyPages(pageRange(0, 10)); len(dirty) != 1 || dirty[0] != 5 {
+		t.Errorf("dirty pages = %v, want [5]", dirty)
+	}
+}
+
+func TestMapWritable(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(pageRange(0, 4), true)
+	if as.MappedPages() != 4 {
+		t.Fatalf("mapped = %d, want 4", as.MappedPages())
+	}
+	if got := as.Touch(0, true); got != NoFault {
+		t.Fatalf("store to writable mapping = %v", got)
+	}
+	if pte := as.Lookup(0); pte == nil || !pte.Dirty || !pte.Accessed {
+		t.Errorf("dirty/accessed not set: %+v", pte)
+	}
+}
+
+func TestWriteProtectRearm(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(pageRange(0, 4), true)
+	as.Touch(0, true)
+	as.Touch(mem.PageBase(1), true)
+	if len(as.DirtyPages(pageRange(0, 4))) != 2 {
+		t.Fatalf("expected 2 dirty pages")
+	}
+	as.WriteProtect(pageRange(0, 4))
+	if len(as.DirtyPages(pageRange(0, 4))) != 0 {
+		t.Errorf("write-protect did not clear dirty bits")
+	}
+	if got := as.Touch(0, true); got != WriteProtectFault {
+		t.Errorf("store after re-protect = %v, want WP fault", got)
+	}
+	st := as.Stats()
+	if st.TLBShootdowns != 1 {
+		t.Errorf("shootdowns = %d, want 1 (batched)", st.TLBShootdowns)
+	}
+	if st.TLBInvalidate != 4 {
+		t.Errorf("invalidations = %d, want 4 (per page)", st.TLBInvalidate)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(pageRange(0, 2), true)
+	as.Unmap(pageRange(0, 1))
+	if got := as.Touch(0, false); got != MajorFault {
+		t.Errorf("touch after unmap = %v", got)
+	}
+	if got := as.Touch(mem.PageBase(1), false); got != NoFault {
+		t.Errorf("neighbor page unmapped too")
+	}
+	if as.Stats().TLBShootdowns != 1 {
+		t.Errorf("unmap must shootdown")
+	}
+	// Zero-length ops are no-ops.
+	as.Unmap(mem.Range{})
+	as.Map(mem.Range{}, true)
+	as.WriteProtect(mem.Range{})
+	if as.Stats().TLBShootdowns != 1 {
+		t.Errorf("zero-length ops must not count")
+	}
+}
+
+func TestResolveWPOnUnmapped(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.ResolveWP(0); err == nil {
+		t.Errorf("expected error resolving WP on unmapped page")
+	}
+}
+
+// Property: after any sequence of map/touch/protect operations, a store
+// only succeeds silently when the PTE is present+writable, and Dirty
+// implies Writable was set at store time.
+func TestVMInvariantsQuick(t *testing.T) {
+	f := func(ops []uint8) bool {
+		as := NewAddressSpace()
+		for _, op := range ops {
+			page := uint64(op % 8)
+			a := mem.PageBase(page)
+			switch (op / 8) % 5 {
+			case 0:
+				as.Map(pageRange(page, 1), op%2 == 0)
+			case 1:
+				if as.Touch(a, true) == NoFault {
+					pte := as.Lookup(a)
+					if pte == nil || !pte.Present || !pte.Writable || !pte.Dirty {
+						return false
+					}
+				}
+			case 2:
+				as.Touch(a, false)
+			case 3:
+				as.WriteProtect(pageRange(page, 1))
+				if pte := as.Lookup(a); pte != nil && (pte.Writable || pte.Dirty) && pte.Present {
+					return false
+				}
+			case 4:
+				as.Unmap(pageRange(page, 1))
+				if as.Lookup(a) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(2)
+	if tlb.Lookup(0) {
+		t.Fatalf("cold lookup hit")
+	}
+	if !tlb.Lookup(63) { // same page
+		t.Fatalf("same-page lookup missed")
+	}
+	tlb.Lookup(mem.PageBase(1))
+	tlb.Lookup(0)               // page 0 MRU
+	tlb.Lookup(mem.PageBase(2)) // evicts page 1 (LRU)
+	if tlb.Lookup(mem.PageBase(1)) {
+		t.Errorf("LRU page survived")
+	}
+	if tlb.Len() != 2 {
+		t.Errorf("len = %d, want 2", tlb.Len())
+	}
+}
+
+func TestTLBInvalidateFlush(t *testing.T) {
+	tlb := NewTLB(8)
+	tlb.Lookup(0)
+	tlb.Invalidate(0)
+	if tlb.Lookup(0) {
+		t.Errorf("lookup hit after invalidate")
+	}
+	tlb.Lookup(mem.PageBase(1))
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Errorf("flush left entries")
+	}
+	hits, misses, flushes := tlb.Stats()
+	if hits != 0 || misses != 3 || flushes != 1 {
+		t.Errorf("stats = %d,%d,%d", hits, misses, flushes)
+	}
+}
+
+func TestTLBCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for zero capacity")
+		}
+	}()
+	NewTLB(0)
+}
+
+// Property: TLB never exceeds capacity.
+func TestTLBCapacityQuick(t *testing.T) {
+	f := func(pages []uint8) bool {
+		tlb := NewTLB(4)
+		for _, p := range pages {
+			tlb.Lookup(mem.PageBase(uint64(p)))
+			if tlb.Len() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

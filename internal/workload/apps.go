@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math/rand"
+
+	"kona/internal/trace"
+)
+
+// The seven non-Redis Table 2 workloads. Each uses the calibrated
+// clustered-write engine (see clusterParams) with parameters derived from
+// its Table 2 row, plus a cache stream reflecting the workload's temporal
+// locality class for the Fig 8 AMAT study.
+
+// clusteredWorkload assembles a Workload around the clustered engine.
+func clusteredWorkload(name string, footprint uint64, paperGB float64, windows int,
+	writeBW uint64, amp4K, amp2M, ampCL, regionsFraction float64,
+	cache func(*rand.Rand, *Workload, int) []trace.Access) *Workload {
+	p := paramsFromTable2(amp4K, ampCL, amp2M, regionsFraction)
+	w := &Workload{
+		Name:             name,
+		Footprint:        footprint,
+		PaperFootprintGB: paperGB,
+		Windows:          windows,
+		WriteBandwidth:   writeBW,
+		PaperAmp4K:       amp4K,
+		PaperAmp2M:       amp2M,
+		PaperAmpCL:       ampCL,
+	}
+	w.tracking = func(rng *rand.Rand, w *Workload, window int) []trace.Access {
+		return clusteredWindow(rng, w, p, window)
+	}
+	w.cache = cache
+	return w
+}
+
+// LinearRegression is the Metis linear-regression job (Table 2 row 3,
+// 40GB): a streaming scan over the input matrix with partial-page result
+// writes. Scaled footprint 128MB; writes stream at a high rate.
+func LinearRegression() *Workload {
+	return clusteredWorkload("Linear Regression", 128*mb, 40, 60,
+		30*mb, // streaming writers move a lot of bytes natively
+		2.31, 244.14, 1.22, 0.6, streamingCacheStream)
+}
+
+// Histogram is the Metis histogram job (Table 2 row 4, 40GB): streaming
+// input, dense bucket increments confined to a small output region.
+func Histogram() *Workload {
+	w := clusteredWorkload("Histogram", 128*mb, 40, 60,
+		1*mb, // increments hit few distinct pages natively
+		3.61, 1050.73, 1.84, 0.25, streamingCacheStream)
+	return w
+}
+
+// PageRank is the GraphLab PageRank kernel (Table 2 row 5, 4.2GB).
+func PageRank() *Workload {
+	return clusteredWorkload("Page Rank", 64*mb, 4.2, 60,
+		8*mb,
+		4.38, 80.71, 1.47, 0.75, clusteredCacheStream)
+}
+
+// GraphColoring is the GraphLab graph-coloring kernel (row 6, 8.2GB).
+func GraphColoring() *Workload {
+	return clusteredWorkload("Graph Coloring", 128*mb, 8.2, 60,
+		8*mb,
+		5.57, 90.37, 1.57, 0.75, clusteredCacheStream)
+}
+
+// ConnectedComponents is the GraphLab connected-components kernel (row 7,
+// 5.2GB).
+func ConnectedComponents() *Workload {
+	return clusteredWorkload("Connected Components", 96*mb, 5.2, 60,
+		8*mb,
+		5.67, 82.35, 1.62, 0.75, clusteredCacheStream)
+}
+
+// LabelPropagation is the GraphLab label-propagation kernel (row 8, 5.6GB).
+func LabelPropagation() *Workload {
+	return clusteredWorkload("Label Propagation", 96*mb, 5.6, 60,
+		8*mb,
+		8.14, 95.00, 1.85, 0.75, clusteredCacheStream)
+}
+
+// VoltDB is the VoltDB TPC-C workload (row 9, 11.5GB): row updates of
+// ~200B with moderate clustering (rows co-located per table page).
+func VoltDB() *Workload {
+	return clusteredWorkload("VoltDB", 128*mb, 11.5, 60,
+		10*mb,
+		3.74, 79.55, 1.17, 0.6, redisCacheStream)
+}

@@ -1,0 +1,120 @@
+package kona_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kona"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	rack := kona.NewCluster(2, 64<<20)
+	rt := kona.New(kona.DefaultConfig(8<<20), rack)
+	addr, err := rt.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello remote memory")
+	now, err := rt.Write(0, addr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	now, err = rt.Read(now, addr, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("read %q", buf)
+	}
+	if now <= 0 {
+		t.Fatalf("virtual time did not advance")
+	}
+	if _, err := rt.Sync(now); err != nil {
+		t.Fatal(err)
+	}
+	if rt.EvictStats().PayloadBytes == 0 {
+		t.Errorf("sync shipped nothing")
+	}
+}
+
+func TestFacadeVMBaseline(t *testing.T) {
+	rack := kona.NewCluster(1, 64<<20)
+	rt := kona.NewVM(kona.DefaultConfig(8<<20), rack)
+	addr, err := rt.Malloc(kona.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Write(0, addr, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().Fetches != 1 {
+		t.Errorf("fetches = %d", rt.Stats().Fetches)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if kona.CacheLineSize != 64 || kona.PageSize != 4096 {
+		t.Fatalf("granularities wrong")
+	}
+}
+
+func TestFacadeAllocLib(t *testing.T) {
+	rt := kona.New(kona.DefaultConfig(4<<20), kona.NewCluster(1, 64<<20))
+	al := kona.NewAllocLib(rt, 0)
+	small, err := al.Malloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := al.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Write(0, small, []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := al.Write(0, big, []byte("remote")); err != nil {
+		t.Fatal(err)
+	}
+	cm, rm := al.Stats()
+	if cm != 1 || rm != 1 {
+		t.Fatalf("placement = %d/%d", cm, rm)
+	}
+}
+
+func TestFacadeCoherentDomain(t *testing.T) {
+	rt := kona.New(kona.DefaultConfig(4<<20), kona.NewCluster(1, 64<<20))
+	addr, err := rt.Malloc(kona.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := rt.NewCoherentDomain(1, 64, 4)
+	if err := dom.Store(0, addr, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if err := dom.Load(0, addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Fatalf("coherent round trip = %d", buf[0])
+	}
+	dom.Drain(kona.AddrRange(addr, kona.PageSize))
+}
+
+func TestFacadeRangeHelpers(t *testing.T) {
+	r := kona.AddrRange(100, 50)
+	if r.Start != 100 || r.Len != 50 || !r.Contains(149) || r.Contains(150) {
+		t.Fatalf("AddrRange wrong: %+v", r)
+	}
+}
+
+func TestFacadeClose(t *testing.T) {
+	rt := kona.New(kona.DefaultConfig(4<<20), kona.NewCluster(1, 64<<20))
+	if _, err := rt.Malloc(kona.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(0); err != nil {
+		t.Fatal(err)
+	}
+}
