@@ -1,0 +1,35 @@
+# Tier-1 verify loop. `make verify` is what CI (and any PR) must keep
+# green: vet, build, full tests, and the race detector over the whole
+# tree. The chaos/soak suites in internal/cluster and internal/core run
+# as part of `test`; `make quick` skips the multi-second soak.
+
+GO ?= go
+
+.PHONY: build vet test quick race fuzz bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+quick:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz session over the wire codec (frames + legacy gob). The seed
+# corpus also runs as ordinary tests under `make test`.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=15s ./internal/cluster
+	$(GO) test -run='^$$' -fuzz=FuzzRequestRoundTrip -fuzztime=15s ./internal/cluster
+
+# Pooled persistent connections vs the per-request-dial baseline.
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkTCPRead' -benchmem ./internal/cluster
+
+verify: vet build test race

@@ -5,27 +5,55 @@
 // Usage:
 //
 //	kona-controller -listen 127.0.0.1:7070
+//
+// For failure-injection experiments the daemon can perturb its own
+// listener (drop, delay, reset; see internal/cluster.FaultConfig):
+//
+//	kona-controller -listen 127.0.0.1:7070 -fault-drop 0.01 -fault-delay 0.2 -fault-max-delay 5ms -fault-seed 1
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"kona/internal/cluster"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+	var (
+		faultDrop    = flag.Float64("fault-drop", 0, "probability an I/O op drops the connection (chaos testing)")
+		faultDelay   = flag.Float64("fault-delay", 0, "probability an I/O op is delayed (chaos testing)")
+		faultMaxWait = flag.Duration("fault-max-delay", 5*time.Millisecond, "upper bound of an injected delay")
+		faultPartial = flag.Float64("fault-partial", 0, "probability a write is truncated mid-frame (chaos testing)")
+		faultReset   = flag.Float64("fault-reset", 0, "probability a fresh connection is reset immediately (chaos testing)")
+		faultSeed    = flag.Int64("fault-seed", 0, "fault-injection RNG seed (0 = from clock)")
+	)
 	flag.Parse()
 
-	ctrl := cluster.NewController()
-	srv, err := cluster.ServeController(ctrl, *listen)
+	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kona-controller: %v\n", err)
 		os.Exit(1)
 	}
+	if *faultDrop > 0 || *faultDelay > 0 || *faultPartial > 0 || *faultReset > 0 {
+		l = cluster.NewFaultListener(l, cluster.FaultConfig{
+			Seed:             *faultSeed,
+			DropProb:         *faultDrop,
+			DelayProb:        *faultDelay,
+			MaxDelay:         *faultMaxWait,
+			PartialWriteProb: *faultPartial,
+			ResetProb:        *faultReset,
+		})
+		fmt.Println("kona-controller: fault injection enabled")
+	}
+
+	ctrl := cluster.NewController()
+	srv := cluster.ServeControllerOn(ctrl, l)
 	defer srv.Close()
 	fmt.Printf("kona-controller: serving on %s\n", srv.Addr())
 

@@ -5,13 +5,19 @@
 // Usage:
 //
 //	kona-memnode -id 0 -capacity 67108864 -controller 127.0.0.1:7070
+//
+// The registration client's wire policy is configurable (-dial-timeout,
+// -req-timeout, -retries, -pool), and the daemon's own listener can
+// inject faults for chaos testing (-fault-drop, -fault-delay, ...).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"kona/internal/cluster"
 )
@@ -22,20 +28,53 @@ func main() {
 		capacity = flag.Uint64("capacity", 64<<20, "offered memory in bytes")
 		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		ctrlAddr = flag.String("controller", "", "controller address to register with (optional)")
+
+		dialTimeout = flag.Duration("dial-timeout", 2*time.Second, "TCP dial timeout")
+		reqTimeout  = flag.Duration("req-timeout", 5*time.Second, "per-attempt request deadline")
+		retries     = flag.Int("retries", 3, "retry budget for idempotent requests (-1 disables)")
+		poolSize    = flag.Int("pool", 4, "persistent connections kept per peer")
+
+		faultDrop    = flag.Float64("fault-drop", 0, "probability an I/O op drops the connection (chaos testing)")
+		faultDelay   = flag.Float64("fault-delay", 0, "probability an I/O op is delayed (chaos testing)")
+		faultMaxWait = flag.Duration("fault-max-delay", 5*time.Millisecond, "upper bound of an injected delay")
+		faultPartial = flag.Float64("fault-partial", 0, "probability a write is truncated mid-frame (chaos testing)")
+		faultReset   = flag.Float64("fault-reset", 0, "probability a fresh connection is reset immediately (chaos testing)")
+		faultSeed    = flag.Int64("fault-seed", 0, "fault-injection RNG seed (0 = from clock)")
 	)
 	flag.Parse()
 
-	node := cluster.NewMemoryNode(*id, *capacity)
-	srv, err := cluster.ServeMemoryNode(node, *listen)
+	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kona-memnode: %v\n", err)
 		os.Exit(1)
 	}
+	if *faultDrop > 0 || *faultDelay > 0 || *faultPartial > 0 || *faultReset > 0 {
+		l = cluster.NewFaultListener(l, cluster.FaultConfig{
+			Seed:             *faultSeed,
+			DropProb:         *faultDrop,
+			DelayProb:        *faultDelay,
+			MaxDelay:         *faultMaxWait,
+			PartialWriteProb: *faultPartial,
+			ResetProb:        *faultReset,
+		})
+		fmt.Println("kona-memnode: fault injection enabled")
+	}
+
+	node := cluster.NewMemoryNode(*id, *capacity)
+	srv := cluster.ServeMemoryNodeOn(node, l)
 	defer srv.Close()
 	fmt.Printf("kona-memnode: node %d serving %d bytes on %s\n", *id, *capacity, srv.Addr())
 
 	if *ctrlAddr != "" {
-		if err := cluster.DialController(*ctrlAddr).RegisterNode(*id, *capacity, srv.Addr()); err != nil {
+		tr := cluster.Transport{
+			DialTimeout:    *dialTimeout,
+			RequestTimeout: *reqTimeout,
+			MaxRetries:     *retries,
+			PoolSize:       *poolSize,
+		}
+		cc := cluster.DialControllerTransport(*ctrlAddr, tr)
+		defer cc.Close()
+		if err := cc.RegisterNode(*id, *capacity, srv.Addr()); err != nil {
 			fmt.Fprintf(os.Stderr, "kona-memnode: registration failed: %v\n", err)
 			os.Exit(1)
 		}

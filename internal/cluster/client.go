@@ -6,28 +6,40 @@ import (
 	"kona/internal/slab"
 )
 
-// ControllerClient talks to a remote controller daemon.
+// ControllerClient talks to a remote controller daemon over pooled
+// persistent connections. Safe for concurrent use.
 type ControllerClient struct {
-	addr string
+	pool *pool
 }
 
-// DialController returns a client for the controller at addr.
+// DialController returns a client for the controller at addr with the
+// default transport policy. No connection is made until the first RPC.
 func DialController(addr string) *ControllerClient {
-	return &ControllerClient{addr: addr}
+	return DialControllerTransport(addr, DefaultTransport())
 }
+
+// DialControllerTransport returns a controller client with an explicit
+// wire policy (timeouts, retries, pool size).
+func DialControllerTransport(addr string, tr Transport) *ControllerClient {
+	return &ControllerClient{pool: newPool(addr, tr)}
+}
+
+// Close releases the client's pooled connections.
+func (c *ControllerClient) Close() error { return c.pool.Close() }
 
 // RegisterNode announces a memory node's capacity and TCP address.
 func (c *ControllerClient) RegisterNode(id int, capacity uint64, nodeAddr string) error {
-	_, err := roundTrip(c.addr, &Request{
+	_, err := c.pool.roundTrip(&Request{
 		Kind: msgRegisterNode, NodeID: id, Capacity: capacity, Addr: nodeAddr,
 	})
 	return err
 }
 
 // AllocSlab requests one slab and returns it with the hosting node's
-// address.
+// address. Retried transparently: the request ID lets the controller
+// deduplicate replays, so a lost response cannot leak a slab.
 func (c *ControllerClient) AllocSlab(size uint64) (slab.Slab, string, error) {
-	resp, err := roundTrip(c.addr, &Request{Kind: msgAllocSlab, Size: size})
+	resp, err := c.pool.roundTrip(&Request{Kind: msgAllocSlab, Size: size})
 	if err != nil {
 		return slab.Slab{}, "", err
 	}
@@ -40,7 +52,7 @@ func (c *ControllerClient) AllocSlab(size uint64) (slab.Slab, string, error) {
 
 // AllocReplicatedSlab requests a slab placed on `replicas` distinct nodes.
 func (c *ControllerClient) AllocReplicatedSlab(size uint64, replicas int) ([]slab.Slab, map[int]string, error) {
-	resp, err := roundTrip(c.addr, &Request{Kind: msgAllocSlab, Size: size, Replicas: replicas})
+	resp, err := c.pool.roundTrip(&Request{Kind: msgAllocSlab, Size: size, Replicas: replicas})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -49,47 +61,70 @@ func (c *ControllerClient) AllocReplicatedSlab(size uint64, replicas int) ([]sla
 
 // ReleaseSlab returns a slab's memory to its node.
 func (c *ControllerClient) ReleaseSlab(s slab.Slab) error {
-	_, err := roundTrip(c.addr, &Request{
+	_, err := c.pool.roundTrip(&Request{
 		Kind: msgReleaseSlab, NodeID: s.Node, Offset: s.RemoteOff, Size: s.Size,
 	})
 	return err
 }
 
+// NodeAddrs returns the controller's current node-id -> TCP address map.
+func (c *ControllerClient) NodeAddrs() (map[int]string, error) {
+	resp, err := c.pool.roundTrip(&Request{Kind: msgNodeAddr})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Addrs, nil
+}
+
 // Ping checks liveness.
 func (c *ControllerClient) Ping() error {
-	_, err := roundTrip(c.addr, &Request{Kind: msgPing})
+	_, err := c.pool.roundTrip(&Request{Kind: msgPing})
 	return err
 }
 
-// MemoryNodeClient talks to a remote memory-node daemon.
+// MemoryNodeClient talks to a remote memory-node daemon over pooled
+// persistent connections. Safe for concurrent use.
 type MemoryNodeClient struct {
-	addr string
+	pool *pool
 }
 
-// DialMemoryNode returns a client for the node at addr.
+// DialMemoryNode returns a client for the node at addr with the default
+// transport policy.
 func DialMemoryNode(addr string) *MemoryNodeClient {
-	return &MemoryNodeClient{addr: addr}
+	return DialMemoryNodeTransport(addr, DefaultTransport())
 }
+
+// DialMemoryNodeTransport returns a memory-node client with an explicit
+// wire policy.
+func DialMemoryNodeTransport(addr string, tr Transport) *MemoryNodeClient {
+	return &MemoryNodeClient{pool: newPool(addr, tr)}
+}
+
+// Close releases the client's pooled connections.
+func (c *MemoryNodeClient) Close() error { return c.pool.Close() }
 
 // Read fetches length bytes at offset from the node's pool.
 func (c *MemoryNodeClient) Read(offset uint64, length int) ([]byte, error) {
-	resp, err := roundTrip(c.addr, &Request{Kind: msgRead, Offset: offset, Length: length})
+	resp, err := c.pool.roundTrip(&Request{Kind: msgRead, Offset: offset, Length: length})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
 }
 
-// Write stores data at offset in the node's pool.
+// Write stores data at offset in the node's pool. A write is a pure
+// overwrite, so the transport may retry it after a connection fault.
 func (c *MemoryNodeClient) Write(offset uint64, data []byte) error {
-	_, err := roundTrip(c.addr, &Request{Kind: msgWrite, Offset: offset, Data: data})
+	_, err := c.pool.roundTrip(&Request{Kind: msgWrite, Offset: offset, Data: data})
 	return err
 }
 
 // WriteLog ships a packed cache-line log and returns the number of entries
-// the receiver applied.
+// the receiver applied. Log application is not idempotent at the receiver
+// (it counts entries), so the transport does not retry it; the eviction
+// layer decides whether to replay.
 func (c *MemoryNodeClient) WriteLog(packed []byte) (int, error) {
-	resp, err := roundTrip(c.addr, &Request{Kind: msgWriteLog, Data: packed})
+	resp, err := c.pool.roundTrip(&Request{Kind: msgWriteLog, Data: packed})
 	if err != nil {
 		return 0, err
 	}
@@ -98,6 +133,6 @@ func (c *MemoryNodeClient) WriteLog(packed []byte) (int, error) {
 
 // Ping checks liveness.
 func (c *MemoryNodeClient) Ping() error {
-	_, err := roundTrip(c.addr, &Request{Kind: msgPing})
+	_, err := c.pool.roundTrip(&Request{Kind: msgPing})
 	return err
 }

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault injection for the TCP transport (§4.5): a listener wrapper whose
+// accepted connections randomly delay, drop, reset, or truncate I/O, with
+// a seeded RNG so a failing run is reproducible. Wrapping the *server's*
+// listener perturbs both directions of every RPC — a dropped server read
+// loses the request, a dropped server write loses the response — which is
+// exactly the split the retry/dedup machinery has to survive.
+
+// FaultConfig describes the fault mix. Probabilities are per I/O
+// operation (per accept for ResetProb) in [0, 1].
+type FaultConfig struct {
+	// Seed makes the fault sequence reproducible; 0 derives a seed from
+	// the wall clock.
+	Seed int64
+	// DropProb closes the connection instead of performing the
+	// operation, simulating a mid-stream connection loss.
+	DropProb float64
+	// DelayProb stalls the operation by a uniform duration in
+	// [0, MaxDelay), simulating network jitter or a slow memory node.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// PartialWriteProb writes only a prefix of the buffer and then
+	// closes the connection, simulating a reset mid-frame.
+	PartialWriteProb float64
+	// ResetProb closes a freshly accepted connection immediately,
+	// simulating a peer that went away between SYN and first byte.
+	ResetProb float64
+}
+
+// FaultListener wraps a net.Listener, injecting the configured faults
+// into every accepted connection. It also counts accepts and injected
+// faults, which doubles as a connection-reuse probe for tests.
+type FaultListener struct {
+	inner net.Listener
+	cfg   FaultConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	accepted int
+	faults   int
+}
+
+// NewFaultListener wraps inner with the given fault mix.
+func NewFaultListener(inner net.Listener, cfg FaultConfig) *FaultListener {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &FaultListener{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Accept wraps the next connection in the fault injector.
+func (l *FaultListener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.accepted++
+	reset := l.roll(l.cfg.ResetProb)
+	l.mu.Unlock()
+	if reset {
+		// Returned closed: the server's first read fails immediately,
+		// which is how an instant RST presents.
+		c.Close()
+	}
+	return &faultConn{Conn: c, l: l}, nil
+}
+
+// Close closes the underlying listener.
+func (l *FaultListener) Close() error { return l.inner.Close() }
+
+// Addr returns the underlying listener's address.
+func (l *FaultListener) Addr() net.Addr { return l.inner.Addr() }
+
+// Accepted returns how many connections have been accepted.
+func (l *FaultListener) Accepted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepted
+}
+
+// Faults returns how many faults have been injected.
+func (l *FaultListener) Faults() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.faults
+}
+
+// roll draws one biased coin; caller must hold l.mu.
+func (l *FaultListener) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	hit := l.rng.Float64() < p
+	if hit {
+		l.faults++
+	}
+	return hit
+}
+
+// plan decides the faults for one I/O operation.
+func (l *FaultListener) plan(isWrite bool) (drop, partial bool, delay time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.roll(l.cfg.DelayProb) && l.cfg.MaxDelay > 0 {
+		delay = time.Duration(l.rng.Int63n(int64(l.cfg.MaxDelay)))
+	}
+	drop = l.roll(l.cfg.DropProb)
+	if isWrite && !drop {
+		partial = l.roll(l.cfg.PartialWriteProb)
+	}
+	return drop, partial, delay
+}
+
+// faultConn perturbs a single connection's reads and writes.
+type faultConn struct {
+	net.Conn
+	l *FaultListener
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	drop, _, delay := c.l.plan(false)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultconn: injected read drop")
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	drop, partial, delay := c.l.plan(true)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultconn: injected write drop")
+	}
+	if partial && len(b) > 1 {
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		c.Conn.Close()
+		return n, fmt.Errorf("faultconn: injected partial write")
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Wire framing for the TCP protocol: every message is a 4-byte big-endian
+// length followed by that many bytes of standalone gob. Self-contained
+// frames (a fresh encoder per message) cost a few descriptor bytes each,
+// but they keep a long-lived connection restartable at any frame boundary
+// and make corrupt or truncated input fail fast with an error instead of
+// desynchronizing a stateful gob stream.
+
+// maxFrameSize bounds a single frame. The largest legitimate payloads are
+// cache-line logs (LogRegionSize, 4MB) and bulk writes; anything beyond
+// this is treated as corruption rather than a request to allocate memory.
+const maxFrameSize = 64 << 20
+
+// writeFrame gob-encodes v and writes it as one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4))
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("cluster: encode frame: %w", err)
+	}
+	b := buf.Bytes()
+	if len(b)-4 > maxFrameSize {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(b)-4)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame and gob-decodes it into v.
+// A clean close at a frame boundary returns io.EOF; truncation or a
+// nonsensical length returns a descriptive error.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("cluster: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameSize {
+		return fmt.Errorf("cluster: bad frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("cluster: truncated frame (want %d bytes): %w", n, err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("cluster: decode frame: %w", err)
+	}
+	return nil
+}

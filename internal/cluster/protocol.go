@@ -1,18 +1,21 @@
 package cluster
 
 import (
-	"encoding/gob"
-	"fmt"
-	"io"
 	"net"
+	"sync"
+	"time"
 
 	"kona/internal/slab"
 )
 
 // TCP wire protocol for the standalone daemons (cmd/kona-controller and
-// cmd/kona-memnode). Messages are gob-encoded, one request/response pair
-// per round trip. The in-process runtime does not use this path; it exists
-// so the rack pieces can run as real networked processes.
+// cmd/kona-memnode). Messages are length-prefixed gob frames (frame.go)
+// carried over persistent connections: a client keeps a small pool of
+// conns per peer (transport.go) and a server keeps answering requests on
+// each conn until the peer closes it. The in-process runtime does not use
+// this path; it exists so the rack pieces can run as real networked
+// processes and so §4.5's failure handling can be exercised over real
+// sockets (faultconn.go).
 
 // Request tags.
 const (
@@ -29,6 +32,9 @@ const (
 // Request is the single envelope for every RPC.
 type Request struct {
 	Kind string
+	// ID uniquely identifies the request across retries; servers use it
+	// to deduplicate replayed non-idempotent requests (AllocSlab).
+	ID uint64
 
 	// RegisterNode
 	NodeID   int
@@ -65,24 +71,34 @@ func (r *Response) errOf() error {
 	if r.Err == "" {
 		return nil
 	}
-	return fmt.Errorf("%s", r.Err)
+	return &RemoteError{Msg: r.Err}
 }
 
-// roundTrip sends one request and decodes one response over a fresh
-// connection. The daemons are request-scoped; connection pooling is left
-// to callers that need throughput.
+// RemoteError is an error the server reported while executing a request.
+// The request was delivered and processed; transports must not retry it.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// roundTrip performs one request/response over a fresh throwaway
+// connection — no pooling, no deadlines, no retries. It is the
+// per-request-dial baseline the pooled transport replaced; tests and the
+// transport benchmark keep it around for comparison.
 func roundTrip(addr string, req *Request) (*Response, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		return nil, err
 	}
 	defer conn.Close()
-	if err := gob.NewEncoder(conn).Encode(req); err != nil {
-		return nil, fmt.Errorf("cluster: encode: %w", err)
+	if req.ID == 0 {
+		req.ID = nextReqID()
+	}
+	if err := writeFrame(conn, req); err != nil {
+		return nil, err
 	}
 	var resp Response
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("cluster: decode: %w", err)
+	if err := readFrame(conn, &resp); err != nil {
+		return nil, err
 	}
 	if err := resp.errOf(); err != nil {
 		return nil, err
@@ -90,24 +106,82 @@ func roundTrip(addr string, req *Request) (*Response, error) {
 	return &resp, nil
 }
 
-// serve accepts connections and dispatches them to handle until the
-// listener closes.
-func serve(l net.Listener, handle func(*Request) *Response) {
+// writeDeadline bounds how long a server blocks writing one response to a
+// wedged peer before giving up on the connection.
+const writeDeadline = 30 * time.Second
+
+// connSet tracks a server's live connections so Close can tear them down;
+// persistent connections otherwise outlive a closed listener.
+type connSet struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func newConnSet() *connSet { return &connSet{conns: make(map[net.Conn]struct{})} }
+
+// add registers a connection; it reports false (and closes the conn) if
+// the server is already shutting down.
+func (s *connSet) add(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		c.Close()
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *connSet) remove(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// closeAll closes every live connection and rejects future ones.
+func (s *connSet) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+}
+
+// serve accepts connections and answers framed requests on each until the
+// peer closes it, the frame stream turns invalid, or the server shuts
+// down. One goroutine per connection; handle must be safe for concurrent
+// use.
+func serve(l net.Listener, cs *connSet, handle func(*Request) *Response) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		if !cs.add(conn) {
+			return
+		}
 		go func(conn net.Conn) {
-			defer conn.Close()
-			var req Request
-			if err := gob.NewDecoder(conn).Decode(&req); err != nil {
-				if err != io.EOF {
-					_ = gob.NewEncoder(conn).Encode(&Response{Err: err.Error()})
+			defer func() {
+				cs.remove(conn)
+				conn.Close()
+			}()
+			for {
+				var req Request
+				if err := readFrame(conn, &req); err != nil {
+					// EOF at a frame boundary is a clean close; anything
+					// else (garbage, truncation) is unrecoverable on a
+					// framed stream — drop the conn either way.
+					return
 				}
-				return
+				_ = conn.SetWriteDeadline(time.Now().Add(writeDeadline))
+				if err := writeFrame(conn, handle(&req)); err != nil {
+					return
+				}
+				_ = conn.SetWriteDeadline(time.Time{})
 			}
-			_ = gob.NewEncoder(conn).Encode(handle(&req))
 		}(conn)
 	}
 }

@@ -8,10 +8,49 @@ import (
 	"kona/internal/slab"
 )
 
+// dedupCache remembers responses to recent identified requests so a
+// retried allocation is answered with its original result instead of
+// re-executed — at-most-once semantics for AllocSlab when a response is
+// lost in flight. Bounded FIFO; old entries age out long after any
+// client's retry window has closed.
+type dedupCache struct {
+	mu    sync.Mutex
+	byID  map[uint64]*Response
+	order []uint64
+	cap   int
+}
+
+func newDedupCache(capacity int) *dedupCache {
+	return &dedupCache{byID: make(map[uint64]*Response), cap: capacity}
+}
+
+func (d *dedupCache) get(id uint64) (*Response, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.byID[id]
+	return r, ok
+}
+
+func (d *dedupCache) put(id uint64, r *Response) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.byID[id]; dup {
+		return
+	}
+	for len(d.order) >= d.cap {
+		delete(d.byID, d.order[0])
+		d.order = d.order[1:]
+	}
+	d.byID[id] = r
+	d.order = append(d.order, id)
+}
+
 // ControllerServer exposes a Controller over TCP.
 type ControllerServer struct {
-	ctrl *Controller
-	l    net.Listener
+	ctrl  *Controller
+	l     net.Listener
+	conns *connSet
+	dedup *dedupCache
 
 	mu    sync.Mutex
 	addrs map[int]string // node id -> TCP address
@@ -24,18 +63,49 @@ func ServeController(ctrl *Controller, addr string) (*ControllerServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
 	}
-	s := &ControllerServer{ctrl: ctrl, l: l, addrs: make(map[int]string)}
-	go serve(l, s.handle)
-	return s, nil
+	return ServeControllerOn(ctrl, l), nil
+}
+
+// ServeControllerOn starts a controller daemon on an existing listener —
+// the hook the fault-injection harness uses to interpose FaultListener.
+func ServeControllerOn(ctrl *Controller, l net.Listener) *ControllerServer {
+	s := &ControllerServer{
+		ctrl:  ctrl,
+		l:     l,
+		conns: newConnSet(),
+		dedup: newDedupCache(4096),
+		addrs: make(map[int]string),
+	}
+	go serve(l, s.conns, s.handle)
+	return s
 }
 
 // Addr returns the listening address.
 func (s *ControllerServer) Addr() string { return s.l.Addr().String() }
 
-// Close stops the server.
-func (s *ControllerServer) Close() error { return s.l.Close() }
+// Close stops the server and tears down its live connections.
+func (s *ControllerServer) Close() error {
+	err := s.l.Close()
+	s.conns.closeAll()
+	return err
+}
 
 func (s *ControllerServer) handle(req *Request) *Response {
+	// AllocSlab mutates node state and is retried by clients; answer a
+	// replayed request with its original slab rather than carving twice.
+	if req.Kind == msgAllocSlab && req.ID != 0 {
+		if resp, ok := s.dedup.get(req.ID); ok {
+			return resp
+		}
+	}
+	resp := s.dispatch(req)
+	if req.Kind == msgAllocSlab && req.ID != 0 {
+		s.dedup.put(req.ID, resp)
+	}
+	return resp
+}
+
+func (s *ControllerServer) dispatch(req *Request) *Response {
 	switch req.Kind {
 	case msgRegisterNode:
 		n := NewMemoryNode(req.NodeID, req.Capacity)
@@ -87,8 +157,14 @@ func (s *ControllerServer) snapshotAddrs() map[int]string {
 // MemoryNodeServer exposes a MemoryNode's pool over TCP: remote reads,
 // remote writes, and the cache-line log receiver.
 type MemoryNodeServer struct {
-	node *MemoryNode
-	l    net.Listener
+	node  *MemoryNode
+	l     net.Listener
+	conns *connSet
+
+	// logMu serializes WriteLog handlers: the node has a single
+	// log-receive region, and concurrent RPCs must not interleave their
+	// copies into it.
+	logMu sync.Mutex
 }
 
 // ServeMemoryNode starts a memory-node daemon on addr.
@@ -97,16 +173,26 @@ func ServeMemoryNode(node *MemoryNode, addr string) (*MemoryNodeServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
 	}
-	s := &MemoryNodeServer{node: node, l: l}
-	go serve(l, s.handle)
-	return s, nil
+	return ServeMemoryNodeOn(node, l), nil
+}
+
+// ServeMemoryNodeOn starts a memory-node daemon on an existing listener —
+// the hook the fault-injection harness uses to interpose FaultListener.
+func ServeMemoryNodeOn(node *MemoryNode, l net.Listener) *MemoryNodeServer {
+	s := &MemoryNodeServer{node: node, l: l, conns: newConnSet()}
+	go serve(l, s.conns, s.handle)
+	return s
 }
 
 // Addr returns the listening address.
 func (s *MemoryNodeServer) Addr() string { return s.l.Addr().String() }
 
-// Close stops the server.
-func (s *MemoryNodeServer) Close() error { return s.l.Close() }
+// Close stops the server and tears down its live connections.
+func (s *MemoryNodeServer) Close() error {
+	err := s.l.Close()
+	s.conns.closeAll()
+	return err
+}
 
 func (s *MemoryNodeServer) handle(req *Request) *Response {
 	pool := s.node.PoolBytes()
@@ -125,6 +211,8 @@ func (s *MemoryNodeServer) handle(req *Request) *Response {
 		copy(pool[req.Offset:], req.Data)
 		return &Response{}
 	case msgWriteLog:
+		s.logMu.Lock()
+		defer s.logMu.Unlock()
 		logBuf := s.node.logMR.Bytes()
 		if len(req.Data) > len(logBuf) {
 			return &Response{Err: "memnode: log too large"}

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport is the wire policy for cluster clients: how long to wait, how
+// hard to retry, and how many persistent connections to keep per peer.
+// The zero value means "use defaults"; DefaultTransport returns the
+// defaults explicitly.
+type Transport struct {
+	// DialTimeout bounds connection establishment. Default 2s.
+	DialTimeout time.Duration
+	// RequestTimeout is the per-attempt deadline covering the request
+	// write and the response read. Default 5s.
+	RequestTimeout time.Duration
+	// MaxRetries is the number of extra attempts for idempotent requests
+	// after the first fails with a transport error. Application-level
+	// errors are never retried. 0 means the default (3); negative
+	// disables retries entirely.
+	MaxRetries int
+	// BackoffBase is the first retry's backoff ceiling; each further
+	// retry doubles it up to BackoffMax, and the actual sleep is drawn
+	// uniformly from [0, ceiling) ("full jitter"). Defaults 2ms / 250ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// PoolSize is the maximum number of idle persistent connections kept
+	// per peer address. Default 4.
+	PoolSize int
+	// Seed seeds the backoff jitter; 0 derives one from the wall clock.
+	Seed int64
+}
+
+// DefaultTransport returns the default wire policy.
+func DefaultTransport() Transport { return Transport{}.withDefaults() }
+
+func (t Transport) withDefaults() Transport {
+	if t.DialTimeout == 0 {
+		t.DialTimeout = 2 * time.Second
+	}
+	if t.RequestTimeout == 0 {
+		t.RequestTimeout = 5 * time.Second
+	}
+	switch {
+	case t.MaxRetries == 0:
+		t.MaxRetries = 3
+	case t.MaxRetries < 0:
+		t.MaxRetries = 0
+	}
+	if t.BackoffBase == 0 {
+		t.BackoffBase = 2 * time.Millisecond
+	}
+	if t.BackoffMax == 0 {
+		t.BackoffMax = 250 * time.Millisecond
+	}
+	if t.PoolSize == 0 {
+		t.PoolSize = 4
+	}
+	return t
+}
+
+// reqID hands out unique request identifiers; the controller uses them to
+// deduplicate retried allocations (at-most-once semantics). Seeded from
+// the wall clock so independent client processes do not collide.
+var reqID atomic.Uint64
+
+func init() { reqID.Store(uint64(time.Now().UnixNano())) }
+
+func nextReqID() uint64 { return reqID.Add(1) }
+
+// retryable reports whether a request may be re-sent after a transport
+// error without changing its effect: Read/Ping/NodeAddr are stateless,
+// Write is a pure overwrite of the same bytes, and AllocSlab carries a
+// request ID the server deduplicates on. RegisterNode, ReleaseSlab and
+// WriteLog are not safe to replay.
+func retryable(kind string) bool {
+	switch kind {
+	case msgRead, msgPing, msgNodeAddr, msgWrite, msgAllocSlab:
+		return true
+	}
+	return false
+}
+
+// pool is a persistent-connection pool to one peer address. All methods
+// are safe for concurrent use.
+type pool struct {
+	addr string
+	tr   Transport
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	rng    *rand.Rand
+	closed bool
+}
+
+func newPool(addr string, tr Transport) *pool {
+	tr = tr.withDefaults()
+	seed := tr.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &pool{addr: addr, tr: tr, rng: rand.New(rand.NewSource(seed))}
+}
+
+// get pops an idle connection or dials a fresh one. pooled reports which.
+func (p *pool) get() (c net.Conn, pooled bool, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("cluster: client closed")
+	}
+	if n := len(p.idle); n > 0 {
+		c = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, true, nil
+	}
+	p.mu.Unlock()
+	c, err = p.dial()
+	return c, false, err
+}
+
+// dial opens a fresh connection, bypassing the idle pool.
+func (p *pool) dial() (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", p.addr, p.tr.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", p.addr, err)
+	}
+	return c, nil
+}
+
+// put returns a healthy connection to the pool (or closes it when full).
+func (p *pool) put(c net.Conn) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.tr.PoolSize {
+		p.idle = append(p.idle, c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// Close drops every idle connection and fails future round trips.
+func (p *pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+	return nil
+}
+
+// backoff returns the sleep before retry attempt n (0-based): full jitter
+// over an exponentially growing ceiling.
+func (p *pool) backoff(n int) time.Duration {
+	ceil := p.tr.BackoffBase << uint(n)
+	if ceil > p.tr.BackoffMax || ceil <= 0 {
+		ceil = p.tr.BackoffMax
+	}
+	p.mu.Lock()
+	d := time.Duration(p.rng.Int63n(int64(ceil)))
+	p.mu.Unlock()
+	return d
+}
+
+// exchange performs one framed request/response on conn under the
+// per-attempt deadline. sent reports whether the request hit the wire —
+// if false, the peer cannot have processed it.
+func (p *pool) exchange(conn net.Conn, req *Request) (resp *Response, sent bool, err error) {
+	_ = conn.SetDeadline(time.Now().Add(p.tr.RequestTimeout))
+	if err := writeFrame(conn, req); err != nil {
+		return nil, false, err
+	}
+	var r Response
+	if err := readFrame(conn, &r); err != nil {
+		return nil, true, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return &r, true, nil
+}
+
+// once performs a single logical attempt. A write failure on a reused
+// idle connection means the peer closed it while pooled and the request
+// was never processed, so one immediate redial is safe even for
+// non-idempotent requests.
+func (p *pool) once(req *Request) (*Response, error) {
+	conn, pooled, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, sent, err := p.exchange(conn, req)
+	if err != nil {
+		conn.Close()
+		if !pooled || sent {
+			return nil, err
+		}
+		if conn, err = p.dial(); err != nil {
+			return nil, err
+		}
+		if resp, _, err = p.exchange(conn, req); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	p.put(conn)
+	return resp, nil
+}
+
+// roundTrip sends req and awaits its response over a pooled persistent
+// connection, retrying idempotent requests with exponential backoff and
+// jitter. Application-level errors (Response.Err) are returned verbatim
+// and never retried.
+func (p *pool) roundTrip(req *Request) (*Response, error) {
+	if req.ID == 0 {
+		req.ID = nextReqID()
+	}
+	attempts := 1
+	if retryable(req.Kind) {
+		attempts += p.tr.MaxRetries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(p.backoff(i - 1))
+		}
+		resp, err := p.once(req)
+		if err == nil {
+			if e := resp.errOf(); e != nil {
+				return nil, e
+			}
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("cluster: %s to %s failed after %d attempts: %w",
+		req.Kind, p.addr, attempts, lastErr)
+}

@@ -39,6 +39,12 @@ func NewKonaTCP(cfg Config, controllerAddr string) *Kona {
 	return newKona(cfg.withDefaults(), newTCPRack(controllerAddr))
 }
 
+// NewKonaTCPWith is NewKonaTCP with an explicit wire policy (deadlines,
+// retry budget, connection-pool size) for the controller and node links.
+func NewKonaTCPWith(cfg Config, controllerAddr string, tr cluster.Transport) *Kona {
+	return newKona(cfg.withDefaults(), newTCPRackWith(controllerAddr, tr))
+}
+
 func newKona(cfg Config, r rack) *Kona {
 	rm := newResourceManager(cfg, r)
 	k := &Kona{cfg: cfg, rm: rm}

@@ -111,6 +111,12 @@ func NewKonaVMTCP(cfg Config, controllerAddr string) *KonaVM {
 	return newKonaVM(cfg, newTCPRack(controllerAddr))
 }
 
+// NewKonaVMTCPWith is NewKonaVMTCP with an explicit wire policy.
+func NewKonaVMTCPWith(cfg Config, controllerAddr string, tr cluster.Transport) *KonaVM {
+	cfg = cfg.withDefaults()
+	return newKonaVM(cfg, newTCPRackWith(controllerAddr, tr))
+}
+
 func newKonaVM(cfg Config, r rack) *KonaVM {
 	return &KonaVM{
 		cfg:           cfg,

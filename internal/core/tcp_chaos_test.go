@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"kona/internal/cluster"
+	"kona/internal/mem"
+)
+
+// Chaos tests: the §4.5 failure modes exercised end-to-end over real TCP
+// sockets, with cluster.FaultListener injecting the network misbehavior
+// and the transport's deadlines/retries (plus the runtime's replication
+// and MCE paths) recovering from it.
+
+// chaosTr is a fast-failing, deep-retry wire policy for these tests.
+func chaosTr() cluster.Transport {
+	return cluster.Transport{
+		DialTimeout:    time.Second,
+		RequestTimeout: 2 * time.Second,
+		MaxRetries:     10,
+		BackoffBase:    500 * time.Microsecond,
+		BackoffMax:     10 * time.Millisecond,
+		Seed:           31,
+	}
+}
+
+// tcpChaosRig starts a controller and n memory-node daemons, optionally
+// wrapping each node's listener in a fault injector, and returns the
+// controller address plus per-node servers for later sabotage.
+func tcpChaosRig(t *testing.T, n int, nodeFaults *cluster.FaultConfig) (string, []*cluster.MemoryNodeServer) {
+	t.Helper()
+	ctrl := cluster.NewController()
+	cs, err := cluster.ServeController(ctrl, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cs.Close() })
+	cc := cluster.DialController(cs.Addr())
+	t.Cleanup(func() { cc.Close() })
+	var srvs []*cluster.MemoryNodeServer
+	for i := 0; i < n; i++ {
+		node := cluster.NewMemoryNode(i, 64<<20)
+		var ns *cluster.MemoryNodeServer
+		if nodeFaults != nil {
+			inner, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := *nodeFaults
+			cfg.Seed += int64(i)
+			ns = cluster.ServeMemoryNodeOn(node, cluster.NewFaultListener(inner, cfg))
+		} else {
+			ns, err = cluster.ServeMemoryNode(node, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Cleanup(func() { ns.Close() })
+		if err := cc.RegisterNode(i, 64<<20, ns.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		srvs = append(srvs, ns)
+	}
+	return cs.Addr(), srvs
+}
+
+// TestTCPReplicaFailoverOverWire is §4.5 memory-node failure, over real
+// sockets: with Replicas=2, killing the primary's daemon mid-run must
+// leave every read answerable from the surviving replica, and the
+// failovers must show up in FailureStats.
+func TestTCPReplicaFailoverOverWire(t *testing.T) {
+	addr, srvs := tcpChaosRig(t, 3, nil)
+	cfg := smallConfig()
+	cfg.Replicas = 2
+	cfg.LocalCacheBytes = 8 * mem.PageSize
+	k := NewKonaTCPWith(cfg, addr, chaosTr())
+
+	const pages = 32
+	base, err := k.Malloc(pages * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now simDurT
+	for i := 0; i < pages; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 512)
+		if now, err = k.Write(now, base+mem.Addr(i)*mem.PageSize, payload); err != nil {
+			t.Fatalf("write page %d: %v", i, err)
+		}
+	}
+	// Drain the cache-line log so both replicas hold the data.
+	if now, err = k.Sync(now); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the primary daemon of the slab holding base.
+	s, ok := k.rm.alloc.SlabFor(base)
+	if !ok {
+		t.Fatal("no slab for base")
+	}
+	primary := k.rm.replicas[s.ID][0].Node
+	srvs[primary].Close()
+
+	buf := make([]byte, 512)
+	for i := 0; i < pages; i++ {
+		if now, err = k.Read(now, base+mem.Addr(i)*mem.PageSize, buf); err != nil {
+			t.Fatalf("read page %d after primary death: %v", i, err)
+		}
+		if !bytes.Equal(buf, bytes.Repeat([]byte{byte(i + 1)}, 512)) {
+			t.Fatalf("page %d corrupted after failover", i)
+		}
+	}
+	if fs := k.FailureStats(); fs.Failovers == 0 {
+		t.Fatalf("no failovers recorded: %+v (primary node %d)", fs, primary)
+	}
+}
+
+// TestTCPMCEPathOverWire is §4.5 network delay, over real sockets: a
+// memory node whose listener stalls every I/O makes remote fetches exceed
+// MCETimeout; ReadChecked must record the would-be machine checks and
+// still return correct data (the paper's MCA recovery, not a crash).
+func TestTCPMCEPathOverWire(t *testing.T) {
+	faults := cluster.FaultConfig{Seed: 5, DelayProb: 1, MaxDelay: 3 * time.Millisecond}
+	addr, _ := tcpChaosRig(t, 1, &faults)
+	cfg := smallConfig()
+	cfg.LocalCacheBytes = 4 * mem.PageSize
+	k := NewKonaTCPWith(cfg, addr, chaosTr())
+
+	const pages = 8
+	base, err := k.Malloc(pages * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now simDurT
+	for i := 0; i < pages; i++ {
+		payload := bytes.Repeat([]byte{byte(0xA0 + i)}, 256)
+		if now, err = k.Write(now, base+mem.Addr(i)*mem.PageSize, payload); err != nil {
+			t.Fatalf("write page %d: %v", i, err)
+		}
+	}
+	if now, err = k.Sync(now); err != nil {
+		t.Fatal(err)
+	}
+	// The cache holds 4 pages; reading all 8 forces remote fetches, each
+	// delayed far past the 100µs MCE budget.
+	buf := make([]byte, 256)
+	for i := 0; i < pages; i++ {
+		if now, err = k.ReadChecked(now, base+mem.Addr(i)*mem.PageSize, buf); err != nil {
+			t.Fatalf("checked read page %d: %v", i, err)
+		}
+		if !bytes.Equal(buf, bytes.Repeat([]byte{byte(0xA0 + i)}, 256)) {
+			t.Fatalf("page %d corrupted through slow fetches", i)
+		}
+	}
+	if fs := k.FailureStats(); fs.MCEs == 0 {
+		t.Fatalf("slow remote fetches recorded no MCEs: %+v", fs)
+	}
+}
+
+// TestTCPControllerBlipOverWire is §4.5's control-plane outage: the
+// controller's listener drops a quarter of all I/O, yet slab allocation
+// (retried with request-ID dedup) keeps the runtime growing, and the
+// controller's books stay consistent — no slab carved twice.
+func TestTCPControllerBlipOverWire(t *testing.T) {
+	ctrl := cluster.NewController()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := cluster.NewFaultListener(inner, cluster.FaultConfig{Seed: 17, DropProb: 0.25})
+	cs := cluster.ServeControllerOn(ctrl, fl)
+	t.Cleanup(func() { cs.Close() })
+
+	cc := cluster.DialControllerTransport(cs.Addr(), chaosTr())
+	t.Cleanup(func() { cc.Close() })
+	node := cluster.NewMemoryNode(0, 64<<20)
+	ns, err := cluster.ServeMemoryNode(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ns.Close() })
+	for i := 0; i < 20; i++ {
+		err = cc.RegisterNode(0, 64<<20, ns.Addr())
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("registration through blips: %v", err)
+	}
+
+	cfg := smallConfig()
+	cfg.SlabSize = 1 << 20
+	k := NewKonaTCPWith(cfg, cs.Addr(), chaosTr())
+	const allocs = 8
+	var now simDurT
+	for i := 0; i < allocs; i++ {
+		a, err := k.Malloc(cfg.SlabSize) // each Malloc needs a fresh slab
+		if err != nil {
+			t.Fatalf("malloc %d through controller blips: %v", i, err)
+		}
+		if now, err = k.Write(now, a, []byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	ctrlNode, _ := ctrl.Node(0)
+	if _, used := ctrlNode.Capacity(); used != allocs*cfg.SlabSize {
+		t.Fatalf("controller carved %d bytes for %d slabs of %d — retries leaked", used, allocs, cfg.SlabSize)
+	}
+	if fl.Faults() == 0 {
+		t.Fatalf("no faults injected; test proves nothing")
+	}
+}

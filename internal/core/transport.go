@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"kona/internal/cluster"
@@ -151,16 +152,25 @@ func (l *rdmaLink) injectDelay(d simclock.Duration) error {
 // --- TCP transport ------------------------------------------------------
 
 // tcpRack adapts a remote controller daemon; wall-clock latencies are
-// folded into the virtual clock.
+// folded into the virtual clock. The cluster.Transport policy (deadlines,
+// retry budget, pool size) it is built with applies to the controller
+// client and to every node link it constructs.
 type tcpRack struct {
+	mu     sync.Mutex
+	tr     cluster.Transport
 	client *cluster.ControllerClient
 	addrs  map[int]string
 	links  map[int]*tcpLink
 }
 
 func newTCPRack(controllerAddr string) *tcpRack {
+	return newTCPRackWith(controllerAddr, cluster.DefaultTransport())
+}
+
+func newTCPRackWith(controllerAddr string, tr cluster.Transport) *tcpRack {
 	return &tcpRack{
-		client: cluster.DialController(controllerAddr),
+		tr:     tr,
+		client: cluster.DialControllerTransport(controllerAddr, tr),
 		addrs:  make(map[int]string),
 		links:  make(map[int]*tcpLink),
 	}
@@ -171,7 +181,9 @@ func (r *tcpRack) allocSlab(size uint64) (Slab, error) {
 	if err != nil {
 		return Slab{}, err
 	}
+	r.mu.Lock()
 	r.addrs[s.Node] = addr
+	r.mu.Unlock()
 	return s, nil
 }
 
@@ -180,15 +192,19 @@ func (r *tcpRack) allocReplicated(size uint64, replicas int) ([]Slab, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
 	for id, a := range addrs {
 		r.addrs[id] = a
 	}
+	r.mu.Unlock()
 	return slabs, nil
 }
 
 func (r *tcpRack) release(s Slab) error { return r.client.ReleaseSlab(s) }
 
 func (r *tcpRack) link(node int) (nodeLink, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if l, ok := r.links[node]; ok {
 		return l, nil
 	}
@@ -196,7 +212,7 @@ func (r *tcpRack) link(node int) (nodeLink, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no address known for memory node %d", node)
 	}
-	l := &tcpLink{nodeID: node, client: cluster.DialMemoryNode(addr)}
+	l := &tcpLink{nodeID: node, client: cluster.DialMemoryNodeTransport(addr, r.tr)}
 	r.links[node] = l
 	return l, nil
 }

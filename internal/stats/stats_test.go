@@ -177,3 +177,59 @@ func TestPlotEmptyAndDegenerate(t *testing.T) {
 		t.Errorf("tiny plot empty")
 	}
 }
+
+// TestCDFQuantileAtEdges pins the boundary behavior of Quantile and At:
+// empty distributions, a single observation, q=0 and q=1, negative
+// values, and probes outside the observed range.
+func TestCDFQuantileAtEdges(t *testing.T) {
+	single := NewCDF()
+	single.Add(5)
+	negatives := NewCDF()
+	for _, v := range []int{-10, -5, 0, 5} {
+		negatives.Add(v)
+	}
+	cases := []struct {
+		name string
+		cdf  *CDF
+		q    float64
+		want int
+	}{
+		{"empty q=0", NewCDF(), 0, 0},
+		{"empty q=0.5", NewCDF(), 0.5, 0},
+		{"empty q=1", NewCDF(), 1, 0},
+		{"single q=0", single, 0, 5},
+		{"single q=0.5", single, 0.5, 5},
+		{"single q=1", single, 1, 5},
+		{"single q>1 clamps to max", single, 1.5, 5},
+		{"negatives q=0", negatives, 0, -10},
+		{"negatives q=0.25", negatives, 0.25, -10},
+		{"negatives q=0.5", negatives, 0.5, -5},
+		{"negatives q=1", negatives, 1, 5},
+	}
+	for _, c := range cases {
+		if got := c.cdf.Quantile(c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", c.name, c.q, got, c.want)
+		}
+	}
+
+	atCases := []struct {
+		name string
+		cdf  *CDF
+		v    int
+		want float64
+	}{
+		{"empty At", NewCDF(), 0, 0},
+		{"single below", single, 4, 0},
+		{"single at", single, 5, 1},
+		{"single above", single, 6, 1},
+		{"negatives below min", negatives, -11, 0},
+		{"negatives at min", negatives, -10, 0.25},
+		{"negatives at max", negatives, 5, 1},
+		{"negatives above max", negatives, 100, 1},
+	}
+	for _, c := range atCases {
+		if got := c.cdf.At(c.v); got != c.want {
+			t.Errorf("%s: At(%d) = %v, want %v", c.name, c.v, got, c.want)
+		}
+	}
+}

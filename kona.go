@@ -117,6 +117,24 @@ func NewVMTCP(cfg Config, controllerAddr string) *VMRuntime {
 	return core.NewKonaVMTCP(cfg, controllerAddr)
 }
 
+// TransportPolicy configures the TCP wire layer: dial and per-request
+// deadlines, the retry budget with exponential backoff + jitter for
+// idempotent RPCs, and the persistent-connection pool size per peer.
+type TransportPolicy = cluster.Transport
+
+// DefaultTransportPolicy returns the default TCP wire policy.
+func DefaultTransportPolicy() TransportPolicy { return cluster.DefaultTransport() }
+
+// NewTCPWith is NewTCP with an explicit wire policy.
+func NewTCPWith(cfg Config, controllerAddr string, tr TransportPolicy) *Runtime {
+	return core.NewKonaTCPWith(cfg, controllerAddr, tr)
+}
+
+// NewVMTCPWith is NewVMTCP with an explicit wire policy.
+func NewVMTCPWith(cfg Config, controllerAddr string, tr TransportPolicy) *VMRuntime {
+	return core.NewKonaVMTCPWith(cfg, controllerAddr, tr)
+}
+
 // AllocLib is the allocation-interposition layer (§4.1): it places small
 // private allocations in local CMem and bulk data in disaggregated memory,
 // dispatching reads and writes on the address.
