@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test quick race fuzz bench verify
+.PHONY: build vet test quick race fuzz bench bench-quick verify
 
 build:
 	$(GO) build ./...
@@ -32,4 +32,10 @@ fuzz:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkTCPRead' -benchmem ./internal/cluster
 
-verify: vet build test race
+# Full quick artifact sweep through the parallel experiment engine under
+# the race detector: exercises the worker pools, the single-flight trace
+# cache and every driver's fan-out in one shot.
+bench-quick:
+	$(GO) run -race ./cmd/kona-bench -run all -quick -parallel 0 -out /dev/null
+
+verify: vet build test race bench-quick

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"kona/internal/experiments"
+	"kona/internal/workload"
 )
 
 // benchCfg runs the full-scale experiment on the first iteration and the
@@ -67,6 +68,31 @@ func ratioAt(res *experiments.Result, a, bName string, x float64) float64 {
 		return 0
 	}
 	return av / bv
+}
+
+// BenchmarkRunAllQuick regenerates every artifact in quick mode through
+// the parallel experiment engine, serial (Workers=1) vs parallel
+// (Workers=GOMAXPROCS) — the wall-clock ratio is the engine's speedup.
+// The trace cache is dropped each iteration so both variants measure the
+// full cold-start pipeline (generation + simulation + rendering).
+func BenchmarkRunAllQuick(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				workload.ResetTraceCache()
+				cfg := experiments.Config{Quick: true, Seed: 42, Workers: variant.workers}
+				if _, err := experiments.RunAll(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTable2Amplification regenerates Table 2 (dirty data

@@ -6,6 +6,13 @@
 //	kona-bench -run table2
 //	kona-bench -run fig8a,fig8b -quick -plot
 //	kona-bench -run all -out results.txt
+//	kona-bench -run all -quick -parallel 8
+//	kona-bench -run fig8a -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Artifacts regenerate on the parallel experiment engine (-parallel
+// bounds the worker pool; the default uses every core) and print in
+// stable ID order, so output is byte-identical to a serial run for a
+// fixed seed.
 package main
 
 import (
@@ -13,19 +20,31 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"kona/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "kona-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		run   = flag.String("run", "all", "comma-separated artifact ids, or 'all'")
-		list  = flag.Bool("list", false, "list available artifacts and exit")
-		quick = flag.Bool("quick", false, "reduced trace lengths for fast runs")
-		plot  = flag.Bool("plot", false, "render each figure as an ASCII chart too")
-		out   = flag.String("out", "", "also write results to this file")
-		seed  = flag.Int64("seed", 42, "deterministic seed")
+		runIDs     = flag.String("run", "all", "comma-separated artifact ids, or 'all'")
+		list       = flag.Bool("list", false, "list available artifacts and exit")
+		quick      = flag.Bool("quick", false, "reduced trace lengths for fast runs")
+		plot       = flag.Bool("plot", false, "render each figure as an ASCII chart too")
+		out        = flag.String("out", "", "also write results to this file")
+		seed       = flag.Int64("seed", 42, "deterministic seed")
+		parallel   = flag.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 
@@ -34,32 +53,54 @@ func main() {
 			title, _ := experiments.Describe(id)
 			fmt.Printf("%-8s %s\n", id, title)
 		}
-		return
+		return nil
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	// Validate the full ID list before executing anything: a typo must not
+	// abort mid-run after printing partial results.
 	ids := experiments.IDs()
-	if *run != "all" {
-		ids = strings.Split(*run, ",")
+	if *runIDs != "all" {
+		ids = strings.Split(*runIDs, ",")
+		var unknown []string
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+			if _, ok := experiments.Describe(ids[i]); !ok {
+				unknown = append(unknown, ids[i])
+			}
+		}
+		if len(unknown) > 0 {
+			return fmt.Errorf("unknown artifact(s) %s (have %s)",
+				strings.Join(unknown, ", "), strings.Join(experiments.IDs(), ", "))
+		}
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var sinks []io.Writer
 	sinks = append(sinks, os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kona-bench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		sinks = append(sinks, f)
 	}
 	w := io.MultiWriter(sinks...)
-	for _, id := range ids {
-		res, err := experiments.Run(strings.TrimSpace(id), cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "kona-bench: %v\n", err)
-			os.Exit(1)
-		}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *parallel}
+	results, runErr := experiments.RunMany(ids, cfg)
+	for _, res := range results {
 		fmt.Fprintln(w, res.String())
 		if *plot {
 			if c := res.Chart(); c != "" {
@@ -67,4 +108,18 @@ func main() {
 			}
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	// Failed artifacts surface together after the successful output.
+	return runErr
 }

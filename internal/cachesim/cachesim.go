@@ -8,10 +8,20 @@
 // cache — CMem for the virtual-memory baselines, FMem for Kona — whose
 // block size (the remote fetch granularity) and capacity are the
 // experiment's sweep parameters (Fig 8).
+//
+// The lookup path is the hot loop of the entire experiment stack (a full
+// artifact regeneration simulates hundreds of millions of probes), so the
+// implementation favors a flat layout: all ways live in one contiguous
+// slice indexed by set, block numbers are computed by shift (block sizes
+// are powers of two), and the stored tag is the full block number so no
+// division is needed on lookups. Set selection uses a mask when the set
+// count is a power of two and falls back to modulo otherwise (the
+// DRAM-cache capacity is swept in percents, so its set count is arbitrary).
 package cachesim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"kona/internal/mem"
 	"kona/internal/simclock"
@@ -61,7 +71,8 @@ func (s Stats) MissRatio() float64 {
 	return float64(s.Misses()) / float64(s.Accesses)
 }
 
-// way is one cached block.
+// way is one cached block. The tag is the full block number (not the
+// block/nsets quotient), which keeps the lookup division-free.
 type way struct {
 	tag   uint64
 	valid bool
@@ -70,13 +81,22 @@ type way struct {
 	lastUse uint64
 }
 
-// Cache is a single set-associative level with LRU replacement.
+// Cache is a single set-associative level with LRU replacement. All ways
+// live in one contiguous slice (set s occupies ways[s*assoc:(s+1)*assoc])
+// so a lookup touches one cache-resident span instead of chasing a
+// per-set pointer.
 type Cache struct {
-	cfg   Config
-	sets  [][]way
-	nsets uint64
-	clock uint64
-	stats Stats
+	cfg        Config
+	ways       []way
+	nsets      uint64
+	assoc      int
+	blockShift uint
+	// setMask is nsets-1 when nsets is a power of two; maskValid selects
+	// between mask and modulo set indexing.
+	setMask   uint64
+	maskValid bool
+	clock     uint64
+	stats     Stats
 }
 
 // New builds a cache level. It panics on inconsistent geometry, which is a
@@ -93,11 +113,30 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cachesim: %s size %d not a multiple of assoc*block %d", cfg.Name, cfg.Size, waysBytes))
 	}
 	nsets := cfg.Size / waysBytes
-	sets := make([][]way, nsets)
-	for i := range sets {
-		sets[i] = make([]way, cfg.Assoc)
+	c := &Cache{
+		cfg:        cfg,
+		ways:       make([]way, nsets*uint64(cfg.Assoc)),
+		nsets:      nsets,
+		assoc:      cfg.Assoc,
+		blockShift: uint(bits.TrailingZeros64(cfg.BlockSize)),
 	}
-	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+	if nsets&(nsets-1) == 0 {
+		c.setMask = nsets - 1
+		c.maskValid = true
+	}
+	return c
+}
+
+// set returns the ways of the set holding block.
+func (c *Cache) set(block uint64) []way {
+	var si uint64
+	if c.maskValid {
+		si = block & c.setMask
+	} else {
+		si = block % c.nsets
+	}
+	base := si * uint64(c.assoc)
+	return c.ways[base : base+uint64(c.assoc)]
 }
 
 // Config returns the level's configuration.
@@ -108,10 +147,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = way{}
-		}
+	for i := range c.ways {
+		c.ways[i] = way{}
 	}
 	c.clock = 0
 	c.stats = Stats{}
@@ -130,13 +167,12 @@ func (c *Cache) Access(addr mem.Addr, write bool) (hit bool) {
 func (c *Cache) AccessEvict(addr mem.Addr, write bool) (hit, evicted, evictedDirty bool) {
 	c.clock++
 	c.stats.Accesses++
-	block := uint64(addr) / c.cfg.BlockSize
-	set := c.sets[block%c.nsets]
-	tag := block / c.nsets
+	block := uint64(addr) >> c.blockShift
+	set := c.set(block)
 	var victim *way
 	for i := range set {
 		w := &set[i]
-		if w.valid && w.tag == tag {
+		if w.valid && w.tag == block {
 			w.lastUse = c.clock
 			if write {
 				w.dirty = true
@@ -144,6 +180,7 @@ func (c *Cache) AccessEvict(addr mem.Addr, write bool) (hit, evicted, evictedDir
 			c.stats.Hits++
 			return true, false, false
 		}
+		// Victim preference: the first invalid way, else the LRU way.
 		if victim == nil || !w.valid || (victim.valid && w.lastUse < victim.lastUse) {
 			if victim == nil || victim.valid {
 				victim = w
@@ -159,9 +196,9 @@ func (c *Cache) AccessEvict(addr mem.Addr, write bool) (hit, evicted, evictedDir
 			c.stats.DirtyEvictions++
 		}
 	}
-	*victim = way{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	*victim = way{tag: block, valid: true, dirty: write, lastUse: c.clock}
 	if c.cfg.PrefetchNext {
-		c.Install(mem.Addr((block + 1) * c.cfg.BlockSize))
+		c.Install(mem.Addr((block + 1) << c.blockShift))
 	}
 	return false, evicted, evictedDirty
 }
@@ -169,13 +206,12 @@ func (c *Cache) AccessEvict(addr mem.Addr, write bool) (hit, evicted, evictedDir
 // Install places the block holding addr without counting an access or a
 // hit — the prefetch fill path. Present blocks are left untouched.
 func (c *Cache) Install(addr mem.Addr) {
-	block := uint64(addr) / c.cfg.BlockSize
-	set := c.sets[block%c.nsets]
-	tag := block / c.nsets
+	block := uint64(addr) >> c.blockShift
+	set := c.set(block)
 	victim := &set[0]
 	for i := range set {
 		w := &set[i]
-		if w.valid && w.tag == tag {
+		if w.valid && w.tag == block {
 			return // already present
 		}
 		if !w.valid {
@@ -193,17 +229,16 @@ func (c *Cache) Install(addr mem.Addr) {
 		}
 	}
 	c.stats.Prefetches++
-	*victim = way{tag: tag, valid: true, lastUse: c.clock}
+	*victim = way{tag: block, valid: true, lastUse: c.clock}
 }
 
 // Contains reports whether the block holding addr is currently cached,
 // without disturbing LRU state or counters.
 func (c *Cache) Contains(addr mem.Addr) bool {
-	block := uint64(addr) / c.cfg.BlockSize
-	set := c.sets[block%c.nsets]
-	tag := block / c.nsets
+	block := uint64(addr) >> c.blockShift
+	set := c.set(block)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].valid && set[i].tag == block {
 			return true
 		}
 	}
@@ -213,11 +248,9 @@ func (c *Cache) Contains(addr mem.Addr) bool {
 // Occupancy returns the number of valid blocks.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, w := range set {
-			if w.valid {
-				n++
-			}
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
 		}
 	}
 	return n

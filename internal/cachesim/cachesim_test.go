@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kona/internal/mem"
+	"kona/internal/simclock"
 	"kona/internal/trace"
 )
 
@@ -273,6 +274,241 @@ func TestPrefetchNextInstalls(t *testing.T) {
 	c.Install(0)
 	if c.Occupancy() != before {
 		t.Errorf("Install duplicated a present block")
+	}
+}
+
+// refWay / refCache reimplement the simulator's previous shape — a
+// [][]way per-set layout with tag = block/nsets and div/mod indexing — as
+// the behavioral reference for the flattened kernel. Any divergence in
+// hit/eviction decisions would silently change every AMAT the experiment
+// stack reports, so the equivalence is pinned access by access.
+type refWay struct {
+	tag          uint64
+	valid, dirty bool
+	lastUse      uint64
+}
+
+type refCache struct {
+	cfg   Config
+	sets  [][]refWay
+	nsets uint64
+	clock uint64
+	stats Stats
+}
+
+func newRefCache(cfg Config) *refCache {
+	nsets := cfg.Size / (cfg.BlockSize * uint64(cfg.Assoc))
+	sets := make([][]refWay, nsets)
+	for i := range sets {
+		sets[i] = make([]refWay, cfg.Assoc)
+	}
+	return &refCache{cfg: cfg, sets: sets, nsets: nsets}
+}
+
+func (c *refCache) accessEvict(addr mem.Addr, write bool) (hit, evicted, evictedDirty bool) {
+	c.clock++
+	c.stats.Accesses++
+	block := uint64(addr) / c.cfg.BlockSize
+	set := c.sets[block%c.nsets]
+	tag := block / c.nsets
+	var victim *refWay
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.lastUse = c.clock
+			if write {
+				w.dirty = true
+			}
+			c.stats.Hits++
+			return true, false, false
+		}
+		if victim == nil || !w.valid || (victim.valid && w.lastUse < victim.lastUse) {
+			if victim == nil || victim.valid {
+				victim = w
+			}
+		}
+	}
+	if victim.valid {
+		evicted = true
+		evictedDirty = victim.dirty
+		c.stats.Evictions++
+		if victim.dirty {
+			c.stats.DirtyEvictions++
+		}
+	}
+	*victim = refWay{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	return false, evicted, evictedDirty
+}
+
+// TestFlattenedEquivalence drives the flattened kernel and the reference
+// per-set LRU with identical recorded access sequences and demands
+// identical per-access outcomes, counters and occupancy. Geometries cover
+// both set-index paths: power-of-two set counts (mask) and the odd set
+// counts the DRAM-cache percentage sweep produces (modulo).
+func TestFlattenedEquivalence(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "pow2", Size: 8 << 10, BlockSize: 64, Assoc: 4, HitLatency: 1},
+		{Name: "odd-sets", Size: 3 * 4 * 4096, BlockSize: 4096, Assoc: 4, HitLatency: 1}, // 3 sets
+		{Name: "direct", Size: 1 << 10, BlockSize: 128, Assoc: 1, HitLatency: 1},
+		{Name: "one-set", Size: 512, BlockSize: 64, Assoc: 8, HitLatency: 1},
+	} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			c := New(cfg)
+			ref := newRefCache(cfg)
+			rng := rand.New(rand.NewSource(7))
+			span := int64(cfg.Size) * 8 // working set 8x the capacity
+			for i := 0; i < 50000; i++ {
+				addr := mem.Addr(rng.Int63n(span))
+				write := rng.Intn(3) == 0
+				hit, ev, dirty := c.AccessEvict(addr, write)
+				rHit, rEv, rDirty := ref.accessEvict(addr, write)
+				if hit != rHit || ev != rEv || dirty != rDirty {
+					t.Fatalf("access %d (addr %#x write %v): got (%v,%v,%v), reference (%v,%v,%v)",
+						i, addr, write, hit, ev, dirty, rHit, rEv, rDirty)
+				}
+			}
+			if c.Stats() != ref.stats {
+				t.Errorf("stats diverged: got %+v, reference %+v", c.Stats(), ref.stats)
+			}
+			occ := 0
+			for _, set := range ref.sets {
+				for _, w := range set {
+					if w.valid {
+						occ++
+					}
+				}
+			}
+			if c.Occupancy() != occ {
+				t.Errorf("occupancy = %d, reference %d", c.Occupancy(), occ)
+			}
+			// Contains agrees on a sample of addresses.
+			for i := 0; i < 1000; i++ {
+				addr := mem.Addr(rng.Int63n(span))
+				block := uint64(addr) / cfg.BlockSize
+				rw := ref.sets[block%ref.nsets]
+				rc := false
+				for _, w := range rw {
+					if w.valid && w.tag == block/ref.nsets {
+						rc = true
+					}
+				}
+				if c.Contains(addr) != rc {
+					t.Fatalf("Contains(%#x) = %v, reference %v", addr, c.Contains(addr), rc)
+				}
+			}
+		})
+	}
+}
+
+// TestAccessTraceMatchesStream pins the batched path against the
+// per-record Stream path on the same hierarchy geometry and accesses.
+func TestAccessTraceMatchesStream(t *testing.T) {
+	mk := func() *Hierarchy {
+		return NewHierarchy(100*time.Nanosecond,
+			Config{Name: "L1", Size: 4 << 10, BlockSize: 64, Assoc: 8, HitLatency: 1 * time.Nanosecond},
+			Config{Name: "DRAM", Size: 3 * 4 * 1024, BlockSize: 1024, Assoc: 4, HitLatency: 10 * time.Nanosecond},
+		)
+	}
+	rng := rand.New(rand.NewSource(11))
+	accs := make([]trace.Access, 20000)
+	for i := range accs {
+		accs[i] = trace.Access{
+			Addr: mem.Addr(rng.Int63n(1 << 20)),
+			Size: uint32(1 + rng.Intn(300)), // spans 1..6 blocks
+			Kind: trace.Kind(rng.Intn(2)),
+		}
+		if rng.Intn(50) == 0 {
+			accs[i].Size = 0 // zero-length operations cost nothing on both paths
+		}
+	}
+	batched := mk()
+	tb := batched.AccessTrace(accs)
+	var ts simclock.Duration
+	streamed := mk()
+	for _, a := range accs {
+		ts += streamed.AccessRange(a.Range(), a.Kind == trace.Write)
+	}
+	if tb != ts {
+		t.Fatalf("batched time %v != streamed time %v", tb, ts)
+	}
+	if batched.Accesses() != streamed.Accesses() {
+		t.Fatalf("batched accesses %d != streamed %d", batched.Accesses(), streamed.Accesses())
+	}
+	for i, l := range batched.Levels() {
+		if l.Stats() != streamed.Levels()[i].Stats() {
+			t.Errorf("level %d stats diverged: %+v vs %+v", i, l.Stats(), streamed.Levels()[i].Stats())
+		}
+	}
+	if batched.AMAT() != streamed.AMAT() {
+		t.Errorf("AMAT %v != %v", batched.AMAT(), streamed.AMAT())
+	}
+}
+
+// BenchmarkCacheAccess measures the single-level lookup kernel — the
+// innermost operation of every experiment. The access path must not
+// allocate.
+func BenchmarkCacheAccess(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"pow2-sets", Config{Name: "L2", Size: 32 << 10, BlockSize: 64, Assoc: 8, HitLatency: 1}},
+		{"odd-sets", Config{Name: "DRAM", Size: 5 * 4 * 4096, BlockSize: 4096, Assoc: 4, HitLatency: 1}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c := New(bc.cfg)
+			rng := rand.New(rand.NewSource(1))
+			const n = 1 << 16
+			addrs := make([]mem.Addr, n)
+			for i := range addrs {
+				addrs[i] = mem.Addr(rng.Int63n(int64(bc.cfg.Size) * 8))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Access(addrs[i&(n-1)], i&7 == 0)
+			}
+		})
+	}
+}
+
+// BenchmarkCacheAccessReference runs the same workload through the
+// previous per-set [][]way layout (refCache) so `go test -bench
+// 'BenchmarkCacheAccess'` shows the flattened kernel's delta directly.
+func BenchmarkCacheAccessReference(b *testing.B) {
+	cfg := Config{Name: "L2", Size: 32 << 10, BlockSize: 64, Assoc: 8, HitLatency: 1}
+	c := newRefCache(cfg)
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 16
+	addrs := make([]mem.Addr, n)
+	for i := range addrs {
+		addrs[i] = mem.Addr(rng.Int63n(int64(cfg.Size) * 8))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.accessEvict(addrs[i&(n-1)], i&7 == 0)
+	}
+}
+
+// BenchmarkHierarchyAccessTrace measures the batched replay path through a
+// three-level hierarchy, the shape kcachesim runs.
+func BenchmarkHierarchyAccessTrace(b *testing.B) {
+	h := NewHierarchy(10000*time.Nanosecond,
+		Config{Name: "L1", Size: 4 << 10, BlockSize: 64, Assoc: 8, HitLatency: 1 * time.Nanosecond},
+		Config{Name: "L2", Size: 32 << 10, BlockSize: 64, Assoc: 8, HitLatency: 4 * time.Nanosecond},
+		Config{Name: "L3", Size: 256 << 10, BlockSize: 64, Assoc: 8, HitLatency: 30 * time.Nanosecond},
+	)
+	rng := rand.New(rand.NewSource(1))
+	accs := make([]trace.Access, 1<<14)
+	for i := range accs {
+		accs[i] = trace.Access{Addr: mem.Addr(rng.Int63n(8 << 20)), Size: 64, Kind: trace.Kind(rng.Intn(2))}
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(accs)) * 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessTrace(accs)
 	}
 }
 

@@ -78,8 +78,36 @@ func (h *Hierarchy) AccessRange(r mem.Range, write bool) simclock.Duration {
 	return t
 }
 
-// Run consumes an entire access stream and returns the AMAT.
+// AccessTrace replays a batch of accesses. It is the bulk equivalent of
+// calling AccessRange per record, minus the per-access interface dispatch
+// of Stream.Next — the batch is walked as a plain slice, which keeps the
+// simulator's hot loop free of dynamic calls and allocations.
+func (h *Hierarchy) AccessTrace(accs []trace.Access) simclock.Duration {
+	bs := h.levels[0].cfg.BlockSize
+	var t simclock.Duration
+	for i := range accs {
+		a := &accs[i]
+		if a.Size == 0 {
+			continue
+		}
+		write := a.Kind == trace.Write
+		end := a.Addr + mem.Addr(a.Size)
+		for addr := a.Addr.AlignDown(bs); addr < end; addr += mem.Addr(bs) {
+			t += h.Access(addr, write)
+		}
+	}
+	return t
+}
+
+// Run consumes an entire access stream and returns the AMAT. In-memory
+// streams (the workload generators' cached traces) take the batched
+// AccessTrace path; other sources fall back to pulling records one at a
+// time.
 func (h *Hierarchy) Run(s trace.Stream) (simclock.Duration, error) {
+	if ss, ok := s.(*trace.SliceStream); ok {
+		h.AccessTrace(ss.Rest())
+		return h.AMAT(), nil
+	}
 	for {
 		a, err := s.Next()
 		if errors.Is(err, io.EOF) {

@@ -54,8 +54,13 @@ type evictor struct {
 	logBuf    []byte
 	threshold int
 
-	// perNode accumulates entries destined for each memory node.
+	// perNode accumulates entries destined for each memory node; order
+	// remembers first-touch sequence so flushes walk the nodes
+	// deterministically — map iteration order would let the per-node
+	// ackDue values pair up differently with the NIC's serialized
+	// timeline from run to run.
 	perNode map[int]*nodeBatch
+	order   []*nodeBatch
 	// pending tracks pages with buffered (unflushed) entries, for the
 	// write-before-read ordering check on refetch.
 	pending map[mem.Addr]struct{}
@@ -130,7 +135,7 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 		}
 	}
 	// Flush any destination whose pending log crossed the threshold.
-	for _, nb := range e.perNode {
+	for _, nb := range e.order {
 		if nb.bytes >= e.threshold {
 			var err error
 			now, err = e.flushNode(now, nb)
@@ -148,6 +153,7 @@ func (e *evictor) batchFor(pl placement) *nodeBatch {
 	if !ok {
 		nb = &nodeBatch{link: pl.link}
 		e.perNode[pl.link.id()] = nb
+		e.order = append(e.order, nb)
 	}
 	return nb
 }
@@ -162,7 +168,7 @@ func (e *evictor) FlushIfPending(now simclock.Duration, base mem.Addr) (simclock
 	// Ship the batches without draining acks; the ack only gates log
 	// reuse, while the data itself is in remote memory once the RDMA
 	// write completes.
-	for _, nb := range e.perNode {
+	for _, nb := range e.order {
 		var err error
 		now, err = e.flushNode(now, nb)
 		if err != nil {
@@ -177,7 +183,7 @@ func (e *evictor) FlushIfPending(now simclock.Duration, base mem.Addr) (simclock
 // drained (all acks received).
 func (e *evictor) Flush(now simclock.Duration) (simclock.Duration, error) {
 	var latest simclock.Duration = now
-	for _, nb := range e.perNode {
+	for _, nb := range e.order {
 		done, err := e.flushNode(now, nb)
 		if err != nil {
 			return now, err

@@ -17,26 +17,37 @@ func init() {
 // Infiniswap/Kona ratios per workload. The paper showed three workloads;
 // this is the full matrix its simulator could have produced.
 func runExtAMAT(cfg Config) (*Result, error) {
-	t := stats.NewTable("Workload", "Kona ns", "LegoOS ns", "Infiniswap ns", "Lego/Kona", "Iswap/Kona")
-	ratios := stats.Series{Name: "LegoOS/Kona"}
+	systems := []kcachesim.System{kcachesim.Kona, kcachesim.LegoOS, kcachesim.Infiniswap}
+	type row struct {
+		index int // Table 2 row index (the series' x value)
+		w     *workload.Workload
+	}
+	var rows []row
 	for i, w := range workload.All() {
 		if cfg.Quick && i%3 != 0 {
 			continue
 		}
-		amat := map[kcachesim.System]float64{}
-		for _, sys := range []kcachesim.System{kcachesim.Kona, kcachesim.LegoOS, kcachesim.Infiniswap} {
-			r, err := kcachesim.Run(sys, kcachesim.Config{
-				Workload: w, Accesses: fig8Accesses(cfg.Quick), Seed: cfg.Seed, CachePct: 25,
-			})
-			if err != nil {
-				return nil, err
-			}
-			amat[sys] = r.AMATns
-		}
-		t.AddRow(w.Name, amat[kcachesim.Kona], amat[kcachesim.LegoOS], amat[kcachesim.Infiniswap],
-			amat[kcachesim.LegoOS]/amat[kcachesim.Kona],
-			amat[kcachesim.Infiniswap]/amat[kcachesim.Kona])
-		ratios.Add(float64(i), amat[kcachesim.LegoOS]/amat[kcachesim.Kona])
+		rows = append(rows, row{index: i, w: w})
+	}
+	// The full workload x system matrix runs as one flat grid of
+	// independent simulations.
+	amats := make([]float64, len(rows)*len(systems))
+	if err := forEach(cfg.workers(), len(amats), func(i int) error {
+		r, err := kcachesim.Run(systems[i%len(systems)], kcachesim.Config{
+			Workload: rows[i/len(systems)].w, Accesses: fig8Accesses(cfg.Quick),
+			Seed: cfg.Seed, CachePct: 25,
+		})
+		amats[i] = r.AMATns
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Workload", "Kona ns", "LegoOS ns", "Infiniswap ns", "Lego/Kona", "Iswap/Kona")
+	ratios := stats.Series{Name: "LegoOS/Kona"}
+	for ri, r := range rows {
+		kona, lego, iswap := amats[ri*len(systems)], amats[ri*len(systems)+1], amats[ri*len(systems)+2]
+		t.AddRow(r.w.Name, kona, lego, iswap, lego/kona, iswap/kona)
+		ratios.Add(float64(r.index), lego/kona)
 	}
 	return &Result{
 		Text:   t.String(),

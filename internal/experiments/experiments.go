@@ -21,6 +21,13 @@ type Config struct {
 	Quick bool
 	// Seed makes every experiment deterministic.
 	Seed int64
+	// Workers bounds the fan-out of the parallel experiment engine: both
+	// RunAll's artifact-level pool and each driver's sweep-level pool use
+	// at most this many goroutines. 0 means GOMAXPROCS; 1 forces fully
+	// serial execution. Output is byte-identical for any value (see
+	// DESIGN.md §6: every point derives its RNG from Seed alone and
+	// results join in stable order).
+	Workers int
 }
 
 // DefaultConfig returns the full-scale deterministic configuration.
@@ -38,6 +45,12 @@ type Result struct {
 	Series []stats.Series
 	// Notes records deviations, scaling factors and observations.
 	Notes []string
+	// WallClock marks artifacts whose text embeds a wall-clock
+	// self-measurement (ext-overhead's simulator-slowdown ratio). Such
+	// artifacts are excluded from the engine's byte-identical determinism
+	// contract — everything else renders identically for a fixed seed
+	// regardless of Workers.
+	WallClock bool
 }
 
 // String renders the result for terminal output.
@@ -110,17 +123,32 @@ func Run(id string, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// RunAll regenerates every artifact in ID order.
+// RunAll regenerates every artifact, running independent artifacts
+// concurrently on cfg.Workers goroutines and joining results in stable ID
+// order — the rendered output is byte-identical to a serial run for a
+// fixed seed. Per-artifact failures are aggregated with errors.Join; the
+// successfully regenerated results are returned alongside any error.
 func RunAll(cfg Config) ([]*Result, error) {
-	var out []*Result
-	for _, id := range IDs() {
-		r, err := Run(id, cfg)
-		if err != nil {
-			return out, err
+	return RunMany(IDs(), cfg)
+}
+
+// RunMany regenerates the given artifacts concurrently, returning results
+// in the input order (failed artifacts are omitted from the slice, their
+// errors joined into the returned error).
+func RunMany(ids []string, cfg Config) ([]*Result, error) {
+	results := make([]*Result, len(ids))
+	err := forEach(cfg.workers(), len(ids), func(i int) error {
+		r, err := Run(ids[i], cfg)
+		results[i] = r
+		return err
+	})
+	out := make([]*Result, 0, len(results))
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r)
 		}
-		out = append(out, r)
 	}
-	return out, nil
+	return out, err
 }
 
 // tableT aliases the stats table for experiment drivers.

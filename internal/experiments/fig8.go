@@ -32,23 +32,42 @@ func fig8Accesses(quick bool) int {
 	return 400000
 }
 
-// fig8Sweep builds the cache-size sweep driver for one workload.
+// fig8Sweep builds the cache-size sweep driver for one workload. All
+// (system, cache-size) points — plus the Infiniswap reference point — are
+// independent simulations over the same cached trace, so they run
+// concurrently on the engine's pool; the series are assembled afterwards
+// in the fixed system/percent order.
 func fig8Sweep(mk func() *workload.Workload) Runner {
 	return func(cfg Config) (*Result, error) {
 		w := mk()
 		cachePcts := []float64{5, 10, 25, 50, 75, 100}
-		var series []stats.Series
+		type point struct {
+			sys kcachesim.System
+			pct float64
+		}
+		var pts []point
 		for _, sys := range fig8Systems {
-			s := stats.Series{Name: sys.String()}
 			for _, pct := range cachePcts {
-				r, err := kcachesim.Run(sys, kcachesim.Config{
-					Workload: w, Accesses: fig8Accesses(cfg.Quick),
-					Seed: cfg.Seed, CachePct: pct,
-				})
-				if err != nil {
-					return nil, err
-				}
-				s.Add(pct, r.AMATns)
+				pts = append(pts, point{sys, pct})
+			}
+		}
+		pts = append(pts, point{kcachesim.Infiniswap, 25}) // headline reference
+		amats := make([]float64, len(pts))
+		if err := forEach(cfg.workers(), len(pts), func(i int) error {
+			r, err := kcachesim.Run(pts[i].sys, kcachesim.Config{
+				Workload: w, Accesses: fig8Accesses(cfg.Quick),
+				Seed: cfg.Seed, CachePct: pts[i].pct,
+			})
+			amats[i] = r.AMATns
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		var series []stats.Series
+		for si, sys := range fig8Systems {
+			s := stats.Series{Name: sys.String()}
+			for pi, pct := range cachePcts {
+				s.Add(pct, amats[si*len(cachePcts)+pi])
 			}
 			series = append(series, s)
 		}
@@ -59,36 +78,36 @@ func fig8Sweep(mk func() *workload.Workload) Runner {
 		// Report the paper's headline comparison at 25% cache.
 		lego, _ := series[0].YAt(25)
 		kona, _ := series[1].YAt(25)
-		iswap, err := kcachesim.Run(kcachesim.Infiniswap, kcachesim.Config{
-			Workload: w, Accesses: fig8Accesses(cfg.Quick), Seed: cfg.Seed, CachePct: 25,
-		})
-		if err != nil {
-			return nil, err
-		}
+		iswap := amats[len(pts)-1]
 		res.Notes = append(res.Notes, fmt.Sprintf(
 			"at 25%% cache: LegoOS/Kona = %.2fx (paper ~1.7x for Redis), Infiniswap/Kona = %.2fx (paper ~5x); Infiniswap omitted from curves as in the paper",
-			lego/kona, iswap.AMATns/kona))
+			lego/kona, iswap/kona))
 		return res, nil
 	}
 }
 
-// runFig8d regenerates the block-size sweep (Fig 8d).
+// runFig8d regenerates the block-size sweep (Fig 8d); the cache-percent x
+// block-size grid runs concurrently like the fig8a-c sweeps.
 func runFig8d(cfg Config) (*Result, error) {
 	w := workload.RedisRand()
 	blocks := []uint64{64, 256, 1024, 4096, 8192, 16384, 32768}
 	cachePcts := []float64{0, 27, 54, 100}
+	amats := make([]float64, len(cachePcts)*len(blocks))
+	if err := forEach(cfg.workers(), len(amats), func(i int) error {
+		r, err := kcachesim.Run(kcachesim.Kona, kcachesim.Config{
+			Workload: w, Accesses: fig8Accesses(cfg.Quick),
+			Seed: cfg.Seed, CachePct: cachePcts[i/len(blocks)], BlockSize: blocks[i%len(blocks)],
+		})
+		amats[i] = r.AMATns
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var series []stats.Series
-	for _, pct := range cachePcts {
+	for pi, pct := range cachePcts {
 		s := stats.Series{Name: fmt.Sprintf("cache %.0f%%", pct)}
-		for _, b := range blocks {
-			r, err := kcachesim.Run(kcachesim.Kona, kcachesim.Config{
-				Workload: w, Accesses: fig8Accesses(cfg.Quick),
-				Seed: cfg.Seed, CachePct: pct, BlockSize: b,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(b)/1024, r.AMATns)
+		for bi, b := range blocks {
+			s.Add(float64(b)/1024, amats[pi*len(blocks)+bi])
 		}
 		series = append(series, s)
 	}

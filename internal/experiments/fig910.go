@@ -19,25 +19,30 @@ func init() {
 // cache-line-tracking amplification for Redis-Rand and Redis-Seq, measured
 // by KTracker's snapshot diffing.
 func runFig9(cfg Config) (*Result, error) {
+	ws := []*workload.Workload{workload.RedisRand(), workload.RedisSeq()}
+	tracked := make([][]ktracker.WindowResult, len(ws))
+	if err := forEach(cfg.workers(), len(ws), func(i int) error {
+		if cfg.Quick {
+			ws[i].Windows = min(ws[i].Windows, 25)
+		}
+		results, err := ktracker.Run(ws[i], cfg.Seed)
+		tracked[i] = results
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var series []stats.Series
 	lengths := map[string]int{}
-	for _, w := range []*workload.Workload{workload.RedisRand(), workload.RedisSeq()} {
-		if cfg.Quick {
-			w.Windows = min(w.Windows, 25)
-		}
-		results, err := ktracker.Run(w, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range ws {
 		s := stats.Series{Name: w.Name}
-		for _, r := range results {
+		for _, r := range tracked[i] {
 			if r.BytesWritten == 0 {
 				continue
 			}
 			s.Add(float64(r.Index), r.Ratio())
 		}
 		series = append(series, s)
-		lengths[w.Name] = len(results)
+		lengths[w.Name] = len(tracked[i])
 	}
 	res := &Result{
 		Text:   stats.RenderSeries("window # (amp ratio 4KB/CL)", series...),
@@ -68,30 +73,39 @@ var fig10Workloads = []struct {
 // coherence-based tracking over 4KB write-protection at native write
 // bandwidth.
 func runFig10(cfg Config) (*Result, error) {
-	t := stats.NewTable("Workload", "Speedup %", "paper band")
-	s := stats.Series{Name: "speedup %"}
-	for i, entry := range fig10Workloads {
+	type bar struct {
+		name    string
+		speedup float64
+	}
+	bars := make([]bar, len(fig10Workloads))
+	if err := forEach(cfg.workers(), len(fig10Workloads), func(i int) error {
+		entry := fig10Workloads[i]
 		w := entry.mk()
 		if cfg.Quick {
 			w.Windows = min(w.Windows, entry.skip+12)
 		}
 		results, err := ktracker.Run(w, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sp, err := ktracker.Speedup(w, results, entry.skip)
-		if err != nil {
-			return nil, err
-		}
+		bars[i] = bar{name: w.Name, speedup: sp}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Workload", "Speedup %", "paper band")
+	s := stats.Series{Name: "speedup %"}
+	for i, b := range bars {
 		band := "1-35%"
-		switch w.Name {
+		switch b.name {
 		case "Redis-Rand":
 			band = "~35% (max)"
 		case "Redis-Seq", "Histogram":
 			band = "~1% (min)"
 		}
-		t.AddRow(w.Name, sp, band)
-		s.Add(float64(i), sp)
+		t.AddRow(b.name, b.speedup, band)
+		s.Add(float64(i), b.speedup)
 	}
 	return &Result{
 		Text:   t.String(),

@@ -1,0 +1,57 @@
+package experiments
+
+// The parallel experiment engine's execution primitive. Both fan-out
+// levels — RunAll over artifacts and each driver over its sweep points —
+// funnel through forEach, so the determinism argument is made once:
+//
+//   - every unit of work i derives all randomness from the Config seed
+//     (never from execution order, time, or shared RNG state), and
+//   - results land in slot i of a pre-sized slice, read only after the
+//     pool drains, with all rendering done afterwards in index order.
+//
+// Nested use (a driver's sweep inside RunAll's artifact pool) can run up
+// to workers² goroutines momentarily; they are CPU-bound and merely
+// timeshare, so no cross-level token accounting is attempted.
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// workers resolves the Config's worker bound: 0 means GOMAXPROCS.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0..n-1) on at most workers goroutines and returns the
+// per-index errors joined in index order. workers <= 1 runs inline — the
+// serial reference execution the determinism tests compare against.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errors.Join(errs...)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

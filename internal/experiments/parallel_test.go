@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got := make([]int, 100)
+		err := forEach(workers, len(got), func(i int) error {
+			got[i] = i * i
+			if i%30 == 7 {
+				return fmt.Errorf("unit %d failed", i)
+			}
+			return nil
+		})
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+		if err == nil {
+			t.Fatalf("workers=%d: errors dropped", workers)
+		}
+		// All failing units are reported, in index order.
+		msg := err.Error()
+		for _, want := range []string{"unit 7 failed", "unit 37 failed", "unit 67 failed", "unit 97 failed"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("workers=%d: joined error missing %q: %v", workers, want, msg)
+			}
+		}
+		if i7, i37 := strings.Index(msg, "unit 7 "), strings.Index(msg, "unit 37 "); i7 > i37 {
+			t.Errorf("workers=%d: errors not in index order: %v", workers, msg)
+		}
+	}
+}
+
+func TestForEachBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int32
+	var mu sync.Mutex
+	err := forEach(workers, 50, func(i int) error {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > max.Load() {
+			max.Store(n)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		runtime.Gosched()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Errorf("observed %d concurrent units, bound is %d", m, workers)
+	}
+}
+
+// TestRunAllAggregatesErrors injects two failing artifacts and checks
+// RunAll still returns every successful result with both failures joined.
+func TestRunAllAggregatesErrors(t *testing.T) {
+	boom := errors.New("synthetic failure")
+	for _, id := range []string{"zz-fail-1", "zz-fail-2"} {
+		registry[id] = entry{title: "injected failure", runner: func(Config) (*Result, error) {
+			return nil, boom
+		}}
+	}
+	defer delete(registry, "zz-fail-1")
+	defer delete(registry, "zz-fail-2")
+
+	cfg := quickCfg()
+	cfg.Workers = 4
+	results, err := RunAll(cfg)
+	if err == nil {
+		t.Fatal("RunAll swallowed failures")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("joined error does not wrap the cause: %v", err)
+	}
+	if n := strings.Count(err.Error(), "synthetic failure"); n != 2 {
+		t.Errorf("joined error reports %d failures, want 2: %v", n, err)
+	}
+	if len(results) != len(IDs())-2 {
+		t.Errorf("RunAll returned %d results, want the %d successes", len(results), len(IDs())-2)
+	}
+	for _, r := range results {
+		if strings.HasPrefix(r.ID, "zz-fail") {
+			t.Errorf("failed artifact %s produced a result", r.ID)
+		}
+	}
+}
+
+// TestParallelRunAllDeterministic is the engine's core contract: for a
+// fixed seed, the parallel run renders byte-identically to the fully
+// serial run — for every artifact except those flagged WallClock
+// (ext-overhead embeds a live self-measurement).
+func TestParallelRunAllDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every artifact twice")
+	}
+	cfgSerial := Config{Quick: true, Seed: 42, Workers: 1}
+	serial, err := RunAll(cfgSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPar := Config{Quick: true, Seed: 42, Workers: runtime.GOMAXPROCS(0)}
+	parallel, err := RunAll(cfgPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d results, parallel %d", len(serial), len(parallel))
+	}
+	compared := 0
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.ID != p.ID {
+			t.Fatalf("result order diverged at %d: %s vs %s", i, s.ID, p.ID)
+		}
+		if s.WallClock {
+			continue
+		}
+		if s.String() != p.String() {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				s.ID, s.String(), p.String())
+		}
+		compared++
+	}
+	if compared < len(IDs())-1 {
+		t.Errorf("only %d artifacts under the determinism contract", compared)
+	}
+}

@@ -17,20 +17,32 @@ func init() {
 
 // runTable2 regenerates Table 2: per-workload mean per-window dirty-data
 // amplification at 4KB-page, 2MB-page and 64B cache-line granularity,
-// side by side with the paper's published values.
+// side by side with the paper's published values. Each workload replays
+// its own tracking stream (independent RNG from the config seed), so the
+// nine rows measure concurrently and the table is assembled in row order.
 func runTable2(cfg Config) (*Result, error) {
-	t := stats.NewTable("Application", "Mem(GB)",
-		"4KB", "paper", "2MB", "paper", "64B CL", "paper")
-	res := &Result{}
+	var rows []*workload.Workload
 	for _, w := range workload.All() {
 		if cfg.Quick && w.Name != "Redis-Rand" && w.Name != "Redis-Seq" {
 			continue
 		}
-		a4, a2, acl, err := measureAmplification(w, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(w.Name, w.PaperFootprintGB, a4, w.PaperAmp4K, a2, w.PaperAmp2M, acl, w.PaperAmpCL)
+		rows = append(rows, w)
+	}
+	type amps struct{ a4, a2, acl float64 }
+	measured := make([]amps, len(rows))
+	if err := forEach(cfg.workers(), len(rows), func(i int) error {
+		a4, a2, acl, err := measureAmplification(rows[i], cfg.Seed)
+		measured[i] = amps{a4, a2, acl}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Application", "Mem(GB)",
+		"4KB", "paper", "2MB", "paper", "64B CL", "paper")
+	res := &Result{}
+	for i, w := range rows {
+		m := measured[i]
+		t.AddRow(w.Name, w.PaperFootprintGB, m.a4, w.PaperAmp4K, m.a2, w.PaperAmp2M, m.acl, w.PaperAmpCL)
 	}
 	res.Text = t.String()
 	res.Notes = append(res.Notes,

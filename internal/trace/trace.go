@@ -78,6 +78,17 @@ func (s *SliceStream) Next() (Access, error) {
 	return a, nil
 }
 
+// Rest returns the unconsumed tail of the stream and advances past it.
+// Batch consumers (the cache simulator's hot loop) use it to walk the
+// backing slice directly instead of paying an interface call per record.
+// The returned slice aliases the stream's backing array and must be
+// treated as read-only.
+func (s *SliceStream) Rest() []Access {
+	r := s.accesses[s.pos:]
+	s.pos = len(s.accesses)
+	return r
+}
+
 // Collect drains a stream into a slice, up to max records (0 = no limit).
 func Collect(s Stream, max int) ([]Access, error) {
 	var out []Access

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+
+	"kona/internal/trace"
+)
+
+// The trace cache.
+//
+// Five experiment drivers replay the same Redis-Rand/Seq cache streams,
+// and a single Fig 8 sweep replays one workload's stream once per (system,
+// cache-size) point — 19 regenerations of an identical 400k-access trace
+// in the serial code. Generation is deterministic in (workload, seed,
+// length), so the cache keys on exactly that triple and hands every
+// caller the same immutable slice.
+//
+// Generation is single-flight: the first caller of a key generates while
+// holding only the entry (not the cache lock), and concurrent callers of
+// the same key block on the entry's ready channel — important once sweep
+// points run in parallel, where all points of a sweep ask for the same
+// trace in the same instant.
+//
+// The cache is bounded by total retained accesses (~24 bytes each);
+// complete least-recently-used entries are evicted once the budget is
+// exceeded. In-flight entries are never evicted, and eviction only
+// unlinks the map entry — callers already holding the slice keep it.
+
+// traceKey identifies one deterministic generation.
+type traceKey struct {
+	name string
+	seed int64
+	n    int
+}
+
+// traceEntry is one cached (or in-flight) generation.
+type traceEntry struct {
+	// ready is closed once accs is populated.
+	ready chan struct{}
+	accs  []trace.Access
+	// done marks the entry complete (set under the cache lock; evictable).
+	done bool
+	// lastUse orders entries for eviction.
+	lastUse uint64
+}
+
+// traceCacheBudget bounds retained accesses across entries: 16M records
+// ≈ 384MB, comfortably above one full-scale artifact regeneration's
+// working set (10 workloads × 400k accesses) while still bounding a
+// long-lived process that sweeps many seeds.
+const traceCacheBudget = 16 << 20
+
+// traceCache is the process-wide cache of generated cache streams.
+type traceCache struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+	clock   uint64
+	total   int // retained accesses across complete entries
+	budget  int
+	hits    uint64
+	misses  uint64
+}
+
+var sharedTraces = &traceCache{
+	entries: map[traceKey]*traceEntry{},
+	budget:  traceCacheBudget,
+}
+
+// get returns the cached accesses for (w, seed, n), generating them
+// exactly once per key under concurrency.
+func (tc *traceCache) get(w *Workload, seed int64, n int) []trace.Access {
+	key := traceKey{name: w.Name, seed: seed, n: n}
+	tc.mu.Lock()
+	tc.clock++
+	if e, ok := tc.entries[key]; ok {
+		e.lastUse = tc.clock
+		tc.hits++
+		tc.mu.Unlock()
+		<-e.ready
+		return e.accs
+	}
+	e := &traceEntry{ready: make(chan struct{}), lastUse: tc.clock}
+	tc.entries[key] = e
+	tc.misses++
+	tc.mu.Unlock()
+
+	e.accs = w.cache(rand.New(rand.NewSource(seed)), w, n)
+	close(e.ready)
+
+	tc.mu.Lock()
+	e.done = true
+	tc.total += len(e.accs)
+	tc.evictLocked(key)
+	tc.mu.Unlock()
+	return e.accs
+}
+
+// evictLocked drops complete least-recently-used entries until the budget
+// holds, sparing the just-inserted key and anything still generating.
+func (tc *traceCache) evictLocked(keep traceKey) {
+	for tc.total > tc.budget {
+		var victimKey traceKey
+		var victim *traceEntry
+		for k, e := range tc.entries {
+			if !e.done || k == keep {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		tc.total -= len(victim.accs)
+		delete(tc.entries, victimKey)
+	}
+}
+
+// stats returns hit/miss counters (test hook).
+func (tc *traceCache) statsLocked() (hits, misses uint64) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.hits, tc.misses
+}
+
+// reset clears entries and counters (test hook).
+func (tc *traceCache) reset() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.entries = map[traceKey]*traceEntry{}
+	tc.clock, tc.total = 0, 0
+	tc.hits, tc.misses = 0, 0
+}
+
+// TraceCacheStats reports how many CacheStream requests were served from
+// the shared trace cache vs generated.
+func TraceCacheStats() (hits, misses uint64) { return sharedTraces.statsLocked() }
+
+// ResetTraceCache empties the shared trace cache and its counters. Useful
+// for benchmarks that want to measure cold-cache behavior.
+func ResetTraceCache() { sharedTraces.reset() }

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kona/internal/trace"
+)
+
+// drain pulls every record out of a CacheStream.
+func drain(t *testing.T, w *Workload, seed int64, n int) []trace.Access {
+	t.Helper()
+	accs, err := trace.Collect(w.CacheStream(seed, n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return accs
+}
+
+func TestTraceCacheDeterministic(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	w := RedisRand()
+	// Cached result must equal a direct generation with the same seed.
+	want := w.cache(rand.New(rand.NewSource(7)), w, 5000)
+	got := drain(t, w, 7, 5000)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached stream diverges from direct generation")
+	}
+	// A second, separately constructed Workload with the same name hits.
+	got2 := drain(t, RedisRand(), 7, 5000)
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("second request diverges")
+	}
+	if hits, misses := TraceCacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestTraceCacheKeySeparation(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	base := drain(t, RedisRand(), 1, 2000)
+	for name, other := range map[string][]trace.Access{
+		"different seed":     drain(t, RedisRand(), 2, 2000),
+		"different workload": drain(t, GraphColoring(), 1, 2000),
+	} {
+		if reflect.DeepEqual(base, other) {
+			t.Errorf("%s returned the same trace", name)
+		}
+	}
+	// A longer request of the same (workload, seed) is a distinct key —
+	// the cache never truncates or extends an existing entry.
+	if got := drain(t, RedisRand(), 1, 3000); len(got) != 3000 {
+		t.Errorf("longer request returned %d accesses", len(got))
+	}
+	if _, misses := TraceCacheStats(); misses != 4 {
+		t.Errorf("misses = %d, want 4 distinct generations", misses)
+	}
+}
+
+// TestTraceCacheSingleFlight hammers one key from many goroutines and
+// requires exactly one generation and one shared backing array.
+func TestTraceCacheSingleFlight(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	w := RedisRand()
+	const goroutines = 32
+	results := make([][]trace.Access, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = sharedTraces.get(RedisRand(), 42, 4000)
+		}(i)
+	}
+	wg.Wait()
+	_ = w
+	for i := 1; i < goroutines; i++ {
+		if &results[i][0] != &results[0][0] {
+			t.Fatalf("goroutine %d got a different backing array", i)
+		}
+	}
+	if hits, misses := TraceCacheStats(); misses != 1 || hits != goroutines-1 {
+		t.Errorf("stats = %d hits / %d misses, want %d/1", hits, misses, goroutines-1)
+	}
+}
+
+// TestTraceCacheEviction forces the budget and checks LRU entries fall
+// out while the newest survives.
+func TestTraceCacheEviction(t *testing.T) {
+	tc := &traceCache{entries: map[traceKey]*traceEntry{}, budget: 10000}
+	ws := []*Workload{RedisRand(), RedisSeq(), GraphColoring()}
+	for _, w := range ws {
+		tc.get(w, 1, 4000) // 3 x 4000 > 10000 after the third insert
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.total > tc.budget {
+		t.Errorf("total %d exceeds budget %d", tc.total, tc.budget)
+	}
+	if _, ok := tc.entries[traceKey{name: "Graph Coloring", seed: 1, n: 4000}]; !ok {
+		t.Errorf("most recent entry was evicted")
+	}
+	if _, ok := tc.entries[traceKey{name: "Redis-Rand", seed: 1, n: 4000}]; ok {
+		t.Errorf("least recently used entry survived over budget")
+	}
+}

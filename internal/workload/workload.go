@@ -70,9 +70,14 @@ func (w *Workload) TrackingStream(seed int64) trace.Stream {
 
 // CacheStream returns n accesses with the workload's temporal-locality
 // profile, for cache-hierarchy simulation. Deterministic for a given seed.
+// The stream is backed by the shared trace cache: workloads with the same
+// name, seed and length share one immutable generated slice (generation is
+// single-flight under concurrency), so the five drivers replaying the same
+// Redis traces — and the parallel sweep points inside one driver — pay the
+// generation cost once. Callers must treat the stream's records as
+// read-only.
 func (w *Workload) CacheStream(seed int64, n int) trace.Stream {
-	rng := rand.New(rand.NewSource(seed))
-	return trace.NewSliceStream(w.cache(rng, w, n))
+	return trace.NewSliceStream(sharedTraces.get(w, seed, n))
 }
 
 // windowedStream lazily generates one window of accesses at a time.
