@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test quick race fuzz bench bench-quick verify
+.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry cover verify
 
 build:
 	$(GO) build ./...
@@ -38,4 +38,17 @@ bench:
 bench-quick:
 	$(GO) run -race ./cmd/kona-bench -run all -quick -parallel 0 -out /dev/null
 
-verify: vet build test race bench-quick
+# Telemetry-overhead guard (DESIGN.md §7): one pass over the
+# disabled/enabled benchmark pairs on the two hottest instrumented paths
+# — the cachesim batched lookup loop and the pooled TCP read — so a
+# change that adds hot-loop instrumentation fails loudly in review.
+# -benchtime=1x keeps it a smoke run; compare properly with -benchtime=1s.
+bench-telemetry:
+	$(GO) test -run='^$$' -bench='BenchmarkTelemetryOverhead' -benchtime=1x ./internal/cachesim ./internal/cluster
+
+# Per-package coverage summary (tier-1 packages only; cmd mains are thin
+# flag wrappers exercised by the daemons' own tests and smoke runs).
+cover:
+	$(GO) test -cover ./internal/... | sort
+
+verify: vet build test race bench-quick bench-telemetry

@@ -10,6 +10,11 @@
 // listener (drop, delay, reset; see internal/cluster.FaultConfig):
 //
 //	kona-controller -listen 127.0.0.1:7070 -fault-drop 0.01 -fault-delay 0.2 -fault-max-delay 5ms -fault-seed 1
+//
+// -metrics-addr serves the telemetry registry over HTTP (DESIGN.md §7):
+// GET /metrics (text, or ?format=json) and GET /debug/events.
+//
+//	kona-controller -listen 127.0.0.1:7070 -metrics-addr 127.0.0.1:9090
 package main
 
 import (
@@ -21,10 +26,12 @@ import (
 	"time"
 
 	"kona/internal/cluster"
+	"kona/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/events on this HTTP address (empty = telemetry disabled)")
 	var (
 		faultDrop    = flag.Float64("fault-drop", 0, "probability an I/O op drops the connection (chaos testing)")
 		faultDelay   = flag.Float64("fault-delay", 0, "probability an I/O op is delayed (chaos testing)")
@@ -35,12 +42,18 @@ func main() {
 	)
 	flag.Parse()
 
+	var reg *telemetry.Registry // nil keeps every metric site a no-op
+	if *metricsAddr != "" {
+		reg = telemetry.New(0)
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kona-controller: %v\n", err)
 		os.Exit(1)
 	}
-	if *faultDrop > 0 || *faultDelay > 0 || *faultPartial > 0 || *faultReset > 0 {
+	faults := *faultDrop > 0 || *faultDelay > 0 || *faultPartial > 0 || *faultReset > 0
+	if faults {
 		l = cluster.NewFaultListener(l, cluster.FaultConfig{
 			Seed:             *faultSeed,
 			DropProb:         *faultDrop,
@@ -48,13 +61,28 @@ func main() {
 			MaxDelay:         *faultMaxWait,
 			PartialWriteProb: *faultPartial,
 			ResetProb:        *faultReset,
+			Metrics:          reg,
 		})
-		fmt.Println("kona-controller: fault injection enabled")
 	}
 
 	ctrl := cluster.NewController()
-	srv := cluster.ServeControllerOn(ctrl, l)
+	srv := cluster.ServeControllerOnWith(ctrl, l, reg)
 	defer srv.Close()
+
+	metrics := "off"
+	if reg != nil {
+		ms, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kona-controller: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		metrics = ms.Addr()
+	}
+	// One structured line with the effective configuration, grep-able in
+	// deployment logs.
+	fmt.Printf("kona-controller: config listen=%s metrics=%s faults=%t fault-drop=%g fault-delay=%g fault-seed=%d\n",
+		srv.Addr(), metrics, faults, *faultDrop, *faultDelay, *faultSeed)
 	fmt.Printf("kona-controller: serving on %s\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -9,6 +9,12 @@
 // The registration client's wire policy is configurable (-dial-timeout,
 // -req-timeout, -retries, -pool), and the daemon's own listener can
 // inject faults for chaos testing (-fault-drop, -fault-delay, ...).
+//
+// -metrics-addr serves the node's telemetry registry over HTTP
+// (DESIGN.md §7): GET /metrics (text, or ?format=json) and
+// GET /debug/events. The registry covers both the serving side (request
+// counters, log/read/write byte volumes) and the registration client's
+// RPC latency histograms.
 package main
 
 import (
@@ -20,14 +26,16 @@ import (
 	"time"
 
 	"kona/internal/cluster"
+	"kona/internal/telemetry"
 )
 
 func main() {
 	var (
-		id       = flag.Int("id", 0, "node identifier (unique per rack)")
-		capacity = flag.Uint64("capacity", 64<<20, "offered memory in bytes")
-		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		ctrlAddr = flag.String("controller", "", "controller address to register with (optional)")
+		id          = flag.Int("id", 0, "node identifier (unique per rack)")
+		capacity    = flag.Uint64("capacity", 64<<20, "offered memory in bytes")
+		listen      = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		ctrlAddr    = flag.String("controller", "", "controller address to register with (optional)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/events on this HTTP address (empty = telemetry disabled)")
 
 		dialTimeout = flag.Duration("dial-timeout", 2*time.Second, "TCP dial timeout")
 		reqTimeout  = flag.Duration("req-timeout", 5*time.Second, "per-attempt request deadline")
@@ -43,12 +51,18 @@ func main() {
 	)
 	flag.Parse()
 
+	var reg *telemetry.Registry // nil keeps every metric site a no-op
+	if *metricsAddr != "" {
+		reg = telemetry.New(0)
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kona-memnode: %v\n", err)
 		os.Exit(1)
 	}
-	if *faultDrop > 0 || *faultDelay > 0 || *faultPartial > 0 || *faultReset > 0 {
+	faults := *faultDrop > 0 || *faultDelay > 0 || *faultPartial > 0 || *faultReset > 0
+	if faults {
 		l = cluster.NewFaultListener(l, cluster.FaultConfig{
 			Seed:             *faultSeed,
 			DropProb:         *faultDrop,
@@ -56,13 +70,28 @@ func main() {
 			MaxDelay:         *faultMaxWait,
 			PartialWriteProb: *faultPartial,
 			ResetProb:        *faultReset,
+			Metrics:          reg,
 		})
-		fmt.Println("kona-memnode: fault injection enabled")
 	}
 
 	node := cluster.NewMemoryNode(*id, *capacity)
-	srv := cluster.ServeMemoryNodeOn(node, l)
+	srv := cluster.ServeMemoryNodeOnWith(node, l, reg)
 	defer srv.Close()
+
+	metrics := "off"
+	if reg != nil {
+		ms, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kona-memnode: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		metrics = ms.Addr()
+	}
+	// One structured line with the effective configuration, grep-able in
+	// deployment logs.
+	fmt.Printf("kona-memnode: config id=%d capacity=%d listen=%s controller=%s metrics=%s pool=%d retries=%d dial-timeout=%s req-timeout=%s faults=%t\n",
+		*id, *capacity, srv.Addr(), *ctrlAddr, metrics, *poolSize, *retries, *dialTimeout, *reqTimeout, faults)
 	fmt.Printf("kona-memnode: node %d serving %d bytes on %s\n", *id, *capacity, srv.Addr())
 
 	if *ctrlAddr != "" {
@@ -71,6 +100,7 @@ func main() {
 			RequestTimeout: *reqTimeout,
 			MaxRetries:     *retries,
 			PoolSize:       *poolSize,
+			Metrics:        reg,
 		}
 		cc := cluster.DialControllerTransport(*ctrlAddr, tr)
 		defer cc.Close()

@@ -25,6 +25,7 @@ import (
 
 	"kona/internal/mem"
 	"kona/internal/simclock"
+	"kona/internal/telemetry"
 )
 
 // Config describes one cache level.
@@ -230,6 +231,27 @@ func (c *Cache) Install(addr mem.Addr) {
 	}
 	c.stats.Prefetches++
 	*victim = way{tag: block, valid: true, lastUse: c.clock}
+}
+
+// Publish syncs the level's counters into reg under
+// "cachesim.<prefix>.": accesses, hits, misses, evictions,
+// dirty_evictions, prefetches. The lookup loop is the hottest code in the
+// repository, so it carries no per-access instrumentation at all —
+// telemetry observes the simulator by syncing these private counters at
+// batch boundaries (Hierarchy.Run publishes once per stream). No-op on a
+// nil registry.
+func (c *Cache) Publish(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	s := c.stats
+	base := "cachesim." + prefix + "."
+	reg.Counter(base + "accesses").Store(s.Accesses)
+	reg.Counter(base + "hits").Store(s.Hits)
+	reg.Counter(base + "misses").Store(s.Misses())
+	reg.Counter(base + "evictions").Store(s.Evictions)
+	reg.Counter(base + "dirty_evictions").Store(s.DirtyEvictions)
+	reg.Counter(base + "prefetches").Store(s.Prefetches)
 }
 
 // Contains reports whether the block holding addr is currently cached,

@@ -3,9 +3,11 @@ package cachesim
 import (
 	"errors"
 	"io"
+	"strings"
 
 	"kona/internal/mem"
 	"kona/internal/simclock"
+	"kona/internal/telemetry"
 	"kona/internal/trace"
 )
 
@@ -17,6 +19,11 @@ type Hierarchy struct {
 	// BackingLatency is paid when every level misses (e.g. the remote
 	// fetch latency of the system under study).
 	BackingLatency simclock.Duration
+	// Metrics, when set, receives per-level hit/miss/eviction counters —
+	// synced at batch boundaries (Run, and each AccessTrace call), never
+	// inside the lookup loop, so the hot path is identical with or
+	// without a registry (BenchmarkTelemetryOverheadCachesim).
+	Metrics *telemetry.Registry
 	// accesses counts memory operations (not level probes).
 	accesses uint64
 	// totalTime accumulates modeled access time for AMAT.
@@ -96,7 +103,21 @@ func (h *Hierarchy) AccessTrace(accs []trace.Access) simclock.Duration {
 			t += h.Access(addr, write)
 		}
 	}
+	h.Publish()
 	return t
+}
+
+// Publish syncs every level's counters (plus the hierarchy's access
+// count) into h.Metrics, keyed by lower-cased level name. No-op without
+// a registry — one nil check per batch, zero per access.
+func (h *Hierarchy) Publish() {
+	if h.Metrics == nil {
+		return
+	}
+	for _, l := range h.levels {
+		l.Publish(h.Metrics, strings.ToLower(l.cfg.Name))
+	}
+	h.Metrics.Counter("cachesim.accesses").Store(h.accesses)
 }
 
 // Run consumes an entire access stream and returns the AMAT. In-memory
@@ -118,6 +139,7 @@ func (h *Hierarchy) Run(s trace.Stream) (simclock.Duration, error) {
 		}
 		h.AccessRange(a.Range(), a.Kind == trace.Write)
 	}
+	h.Publish()
 	return h.AMAT(), nil
 }
 

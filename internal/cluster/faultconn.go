@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"kona/internal/telemetry"
 )
 
 // Fault injection for the TCP transport (§4.5): a listener wrapper whose
@@ -34,6 +36,11 @@ type FaultConfig struct {
 	// ResetProb closes a freshly accepted connection immediately,
 	// simulating a peer that went away between SYN and first byte.
 	ResetProb float64
+	// Metrics, when set, receives per-kind injected-fault counters
+	// (faultconn.drops, .delays, .partials, .resets, .accepts) so chaos
+	// tests can check the client's observed retry counts against the
+	// seeded fault plan instead of eyeballing logs.
+	Metrics *telemetry.Registry
 }
 
 // FaultListener wraps a net.Listener, injecting the configured faults
@@ -42,6 +49,9 @@ type FaultConfig struct {
 type FaultListener struct {
 	inner net.Listener
 	cfg   FaultConfig
+
+	// Per-kind registry counters (nil handles when cfg.Metrics is nil).
+	mDrops, mDelays, mPartials, mResets, mAccepts *telemetry.Counter
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -55,7 +65,15 @@ func NewFaultListener(inner net.Listener, cfg FaultConfig) *FaultListener {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	return &FaultListener{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	l := &FaultListener{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if reg := cfg.Metrics; reg != nil {
+		l.mDrops = reg.Counter("faultconn.drops")
+		l.mDelays = reg.Counter("faultconn.delays")
+		l.mPartials = reg.Counter("faultconn.partials")
+		l.mResets = reg.Counter("faultconn.resets")
+		l.mAccepts = reg.Counter("faultconn.accepts")
+	}
+	return l
 }
 
 // Accept wraps the next connection in the fault injector.
@@ -64,11 +82,13 @@ func (l *FaultListener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.mAccepts.Inc()
 	l.mu.Lock()
 	l.accepted++
 	reset := l.roll(l.cfg.ResetProb)
 	l.mu.Unlock()
 	if reset {
+		l.mResets.Inc()
 		// Returned closed: the server's first read fails immediately,
 		// which is how an instant RST presents.
 		c.Close()
@@ -111,13 +131,22 @@ func (l *FaultListener) roll(p float64) bool {
 // plan decides the faults for one I/O operation.
 func (l *FaultListener) plan(isWrite bool) (drop, partial bool, delay time.Duration) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.roll(l.cfg.DelayProb) && l.cfg.MaxDelay > 0 {
 		delay = time.Duration(l.rng.Int63n(int64(l.cfg.MaxDelay)))
 	}
 	drop = l.roll(l.cfg.DropProb)
 	if isWrite && !drop {
 		partial = l.roll(l.cfg.PartialWriteProb)
+	}
+	l.mu.Unlock()
+	if delay > 0 {
+		l.mDelays.Inc()
+	}
+	if drop {
+		l.mDrops.Inc()
+	}
+	if partial {
+		l.mPartials.Inc()
 	}
 	return drop, partial, delay
 }

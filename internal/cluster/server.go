@@ -6,7 +6,43 @@ import (
 	"sync"
 
 	"kona/internal/slab"
+	"kona/internal/telemetry"
 )
+
+// serverMetrics is a daemon's pre-resolved telemetry: one request counter
+// per RPC kind plus an error counter, resolved once at serve time so the
+// handler path never touches the registry's map lock. nil disables.
+type serverMetrics struct {
+	served map[string]*telemetry.Counter
+	errors *telemetry.Counter
+	trace  *telemetry.Trace
+}
+
+func newServerMetrics(reg *telemetry.Registry, role string) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serverMetrics{
+		served: make(map[string]*telemetry.Counter, len(rpcKinds)),
+		errors: reg.Counter("cluster." + role + ".errors"),
+		trace:  reg.Trace(),
+	}
+	for _, kind := range rpcKinds {
+		m.served[kind] = reg.Counter("cluster." + role + ".served." + kind)
+	}
+	return m
+}
+
+// record counts one handled request; unknown kinds count as errors only.
+func (m *serverMetrics) record(kind string, resp *Response) {
+	if m == nil {
+		return
+	}
+	m.served[kind].Inc()
+	if resp.Err != "" {
+		m.errors.Inc()
+	}
+}
 
 // dedupCache remembers responses to recent identified requests so a
 // retried allocation is answered with its original result instead of
@@ -51,6 +87,8 @@ type ControllerServer struct {
 	l     net.Listener
 	conns *connSet
 	dedup *dedupCache
+	m     *serverMetrics
+	nodes *telemetry.Gauge
 
 	mu    sync.Mutex
 	addrs map[int]string // node id -> TCP address
@@ -69,11 +107,20 @@ func ServeController(ctrl *Controller, addr string) (*ControllerServer, error) {
 // ServeControllerOn starts a controller daemon on an existing listener —
 // the hook the fault-injection harness uses to interpose FaultListener.
 func ServeControllerOn(ctrl *Controller, l net.Listener) *ControllerServer {
+	return ServeControllerOnWith(ctrl, l, nil)
+}
+
+// ServeControllerOnWith is ServeControllerOn reporting into a telemetry
+// registry: per-kind served counters, an error counter, a registered-node
+// gauge, and registration/allocation trace events. nil disables.
+func ServeControllerOnWith(ctrl *Controller, l net.Listener, reg *telemetry.Registry) *ControllerServer {
 	s := &ControllerServer{
 		ctrl:  ctrl,
 		l:     l,
 		conns: newConnSet(),
 		dedup: newDedupCache(4096),
+		m:     newServerMetrics(reg, "controller"),
+		nodes: reg.Gauge("cluster.controller.nodes"),
 		addrs: make(map[int]string),
 	}
 	go serve(l, s.conns, s.handle)
@@ -95,12 +142,22 @@ func (s *ControllerServer) handle(req *Request) *Response {
 	// replayed request with its original slab rather than carving twice.
 	if req.Kind == msgAllocSlab && req.ID != 0 {
 		if resp, ok := s.dedup.get(req.ID); ok {
+			if s.m != nil {
+				s.m.trace.Emit("controller.dedup", fmt.Sprintf("alloc-slab id=%d replayed", req.ID))
+			}
+			s.m.record(req.Kind, resp)
 			return resp
 		}
 	}
 	resp := s.dispatch(req)
 	if req.Kind == msgAllocSlab && req.ID != 0 {
 		s.dedup.put(req.ID, resp)
+	}
+	s.m.record(req.Kind, resp)
+	if s.m != nil && req.Kind == msgRegisterNode && resp.Err == "" {
+		s.nodes.Inc()
+		s.m.trace.Emit("controller.register", fmt.Sprintf("node=%d capacity=%d addr=%s",
+			req.NodeID, req.Capacity, req.Addr))
 	}
 	return resp
 }
@@ -160,6 +217,9 @@ type MemoryNodeServer struct {
 	node  *MemoryNode
 	l     net.Listener
 	conns *connSet
+	m     *serverMetrics
+	// Writeback-volume counters (nil handles when metrics are disabled).
+	logEntries, logBytes, readBytes, writeBytes *telemetry.Counter
 
 	// logMu serializes WriteLog handlers: the node has a single
 	// log-receive region, and concurrent RPCs must not interleave their
@@ -179,7 +239,23 @@ func ServeMemoryNode(node *MemoryNode, addr string) (*MemoryNodeServer, error) {
 // ServeMemoryNodeOn starts a memory-node daemon on an existing listener —
 // the hook the fault-injection harness uses to interpose FaultListener.
 func ServeMemoryNodeOn(node *MemoryNode, l net.Listener) *MemoryNodeServer {
-	s := &MemoryNodeServer{node: node, l: l, conns: newConnSet()}
+	return ServeMemoryNodeOnWith(node, l, nil)
+}
+
+// ServeMemoryNodeOnWith is ServeMemoryNodeOn reporting into a telemetry
+// registry: per-kind served counters plus read/write/log volume counters.
+// nil disables.
+func ServeMemoryNodeOnWith(node *MemoryNode, l net.Listener, reg *telemetry.Registry) *MemoryNodeServer {
+	s := &MemoryNodeServer{
+		node:       node,
+		l:          l,
+		conns:      newConnSet(),
+		m:          newServerMetrics(reg, "memnode"),
+		logEntries: reg.Counter("cluster.memnode.log_entries"),
+		logBytes:   reg.Counter("cluster.memnode.log_bytes"),
+		readBytes:  reg.Counter("cluster.memnode.read_bytes"),
+		writeBytes: reg.Counter("cluster.memnode.write_bytes"),
+	}
 	go serve(l, s.conns, s.handle)
 	return s
 }
@@ -195,6 +271,12 @@ func (s *MemoryNodeServer) Close() error {
 }
 
 func (s *MemoryNodeServer) handle(req *Request) *Response {
+	resp := s.dispatch(req)
+	s.m.record(req.Kind, resp)
+	return resp
+}
+
+func (s *MemoryNodeServer) dispatch(req *Request) *Response {
 	pool := s.node.PoolBytes()
 	switch req.Kind {
 	case msgRead:
@@ -203,12 +285,14 @@ func (s *MemoryNodeServer) handle(req *Request) *Response {
 		}
 		data := make([]byte, req.Length)
 		copy(data, pool[req.Offset:])
+		s.readBytes.Add(uint64(req.Length))
 		return &Response{Data: data}
 	case msgWrite:
 		if req.Offset+uint64(len(req.Data)) > uint64(len(pool)) {
 			return &Response{Err: "memnode: write out of range"}
 		}
 		copy(pool[req.Offset:], req.Data)
+		s.writeBytes.Add(uint64(len(req.Data)))
 		return &Response{}
 	case msgWriteLog:
 		s.logMu.Lock()
@@ -221,6 +305,12 @@ func (s *MemoryNodeServer) handle(req *Request) *Response {
 		entries, _, err := s.node.UnpackLog(len(req.Data))
 		if err != nil {
 			return &Response{Err: err.Error()}
+		}
+		s.logEntries.Add(uint64(entries))
+		s.logBytes.Add(uint64(len(req.Data)))
+		if s.m != nil {
+			s.m.trace.Emit("memnode.writeback",
+				fmt.Sprintf("node=%d entries=%d bytes=%d", s.node.ID(), entries, len(req.Data)))
 		}
 		return &Response{Entries: entries}
 	case msgPing:

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"kona/internal/telemetry"
 )
 
 // Transport is the wire policy for cluster clients: how long to wait, how
@@ -34,6 +36,12 @@ type Transport struct {
 	PoolSize int
 	// Seed seeds the backoff jitter; 0 derives one from the wall clock.
 	Seed int64
+	// Metrics receives the transport's runtime telemetry (per-RPC latency
+	// histograms, retry/redial/dial counters, per-peer in-flight gauges).
+	// nil — the default — disables instrumentation: the pool keeps nil
+	// handles and every record site is a single pointer check (see
+	// BenchmarkTelemetryOverheadTCPRead).
+	Metrics *telemetry.Registry
 }
 
 // DefaultTransport returns the default wire policy.
@@ -86,11 +94,51 @@ func retryable(kind string) bool {
 	return false
 }
 
+// rpcKinds is the closed set of wire messages; poolMetrics pre-resolves
+// one latency histogram per kind so the request path never takes the
+// registry's map lock.
+var rpcKinds = []string{
+	msgRegisterNode, msgAllocSlab, msgNodeAddr, msgRead,
+	msgWrite, msgWriteLog, msgReleaseSlab, msgPing,
+}
+
+// poolMetrics is one pool's pre-resolved telemetry handles. A nil
+// *poolMetrics is the disabled state; sites check it once per round trip.
+type poolMetrics struct {
+	latency  map[string]*telemetry.Histogram // per-kind RPC latency, µs
+	retries  *telemetry.Counter              // backed-off re-sends
+	redials  *telemetry.Counter              // stale pooled conn replaced inline
+	dials    *telemetry.Counter              // fresh TCP connections
+	failures *telemetry.Counter              // round trips exhausted/not retryable
+	inflight *telemetry.Gauge                // requests currently outstanding
+	trace    *telemetry.Trace
+}
+
+func newPoolMetrics(reg *telemetry.Registry, addr string) *poolMetrics {
+	m := &poolMetrics{
+		latency:  make(map[string]*telemetry.Histogram, len(rpcKinds)),
+		retries:  reg.Counter("cluster.rpc.retries"),
+		redials:  reg.Counter("cluster.rpc.redials"),
+		dials:    reg.Counter("cluster.rpc.dials"),
+		failures: reg.Counter("cluster.rpc.failures"),
+		inflight: reg.Gauge("cluster.inflight." + addr),
+		trace:    reg.Trace(),
+	}
+	// 1µs..32ms exponential latency buckets: localhost RPCs land in the
+	// low hundreds of µs, injected delays and real networks in the ms.
+	bounds := telemetry.ExpBounds(1, 2, 16)
+	for _, kind := range rpcKinds {
+		m.latency[kind] = reg.Histogram("cluster.rpc."+kind+".latency_us", bounds)
+	}
+	return m
+}
+
 // pool is a persistent-connection pool to one peer address. All methods
 // are safe for concurrent use.
 type pool struct {
 	addr string
 	tr   Transport
+	m    *poolMetrics
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -104,7 +152,11 @@ func newPool(addr string, tr Transport) *pool {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	return &pool{addr: addr, tr: tr, rng: rand.New(rand.NewSource(seed))}
+	p := &pool{addr: addr, tr: tr, rng: rand.New(rand.NewSource(seed))}
+	if tr.Metrics != nil {
+		p.m = newPoolMetrics(tr.Metrics, addr)
+	}
+	return p
 }
 
 // get pops an idle connection or dials a fresh one. pooled reports which.
@@ -130,6 +182,9 @@ func (p *pool) dial() (net.Conn, error) {
 	c, err := net.DialTimeout("tcp", p.addr, p.tr.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", p.addr, err)
+	}
+	if p.m != nil {
+		p.m.dials.Inc()
 	}
 	return c, nil
 }
@@ -202,6 +257,9 @@ func (p *pool) once(req *Request) (*Response, error) {
 		if !pooled || sent {
 			return nil, err
 		}
+		if p.m != nil {
+			p.m.redials.Inc()
+		}
 		if conn, err = p.dial(); err != nil {
 			return nil, err
 		}
@@ -222,6 +280,12 @@ func (p *pool) roundTrip(req *Request) (*Response, error) {
 	if req.ID == 0 {
 		req.ID = nextReqID()
 	}
+	var start time.Time
+	if p.m != nil {
+		start = time.Now()
+		p.m.inflight.Inc()
+		defer p.m.inflight.Dec()
+	}
 	attempts := 1
 	if retryable(req.Kind) {
 		attempts += p.tr.MaxRetries
@@ -229,16 +293,29 @@ func (p *pool) roundTrip(req *Request) (*Response, error) {
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			if p.m != nil {
+				p.m.retries.Inc()
+				p.m.trace.Emit("rpc.retry",
+					fmt.Sprintf("kind=%s peer=%s attempt=%d err=%v", req.Kind, p.addr, i+1, lastErr))
+			}
 			time.Sleep(p.backoff(i - 1))
 		}
 		resp, err := p.once(req)
 		if err == nil {
+			if p.m != nil {
+				p.m.latency[req.Kind].Observe(time.Since(start).Microseconds())
+			}
 			if e := resp.errOf(); e != nil {
 				return nil, e
 			}
 			return resp, nil
 		}
 		lastErr = err
+	}
+	if p.m != nil {
+		p.m.failures.Inc()
+		p.m.trace.Emit("rpc.failed",
+			fmt.Sprintf("kind=%s peer=%s attempts=%d err=%v", req.Kind, p.addr, attempts, lastErr))
 	}
 	return nil, fmt.Errorf("cluster: %s to %s failed after %d attempts: %w",
 		req.Kind, p.addr, attempts, lastErr)

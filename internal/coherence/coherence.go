@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"kona/internal/mem"
+	"kona/internal/telemetry"
 )
 
 // State is a MESI line state.
@@ -289,6 +290,25 @@ func (c *Cache) State(addr mem.Addr) State {
 // Stats returns hit/miss/writeback counters.
 func (c *Cache) Stats() (hits, misses, writebacks uint64) {
 	return c.hits, c.misses, c.writebacks
+}
+
+// Publish syncs the domain's aggregate hit/miss/writeback counters into
+// reg ("coherence.hits", "coherence.misses", "coherence.writebacks") —
+// the simulators report through the same registry the runtime uses, at
+// sync points rather than per access. No-op on a nil registry.
+func (s *System) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	var hits, misses, writebacks uint64
+	for _, c := range s.caches {
+		hits += c.hits
+		misses += c.misses
+		writebacks += c.writebacks
+	}
+	reg.Counter("coherence.hits").Store(hits)
+	reg.Counter("coherence.misses").Store(misses)
+	reg.Counter("coherence.writebacks").Store(writebacks)
 }
 
 // FlushAll evicts every resident line (modified lines write back). Used by

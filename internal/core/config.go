@@ -12,6 +12,7 @@ import (
 
 	"kona/internal/simclock"
 	"kona/internal/slab"
+	"kona/internal/telemetry"
 )
 
 // Config sizes a Kona runtime instance.
@@ -43,6 +44,11 @@ type Config struct {
 	// paper's choice; §4.4 "Kona can choose the data movement size
 	// between page and cache-line granularity").
 	FetchBytes uint64
+	// Metrics receives the runtime's live telemetry: fetch/eviction
+	// counters, writeback volume, and annotated trace events on the
+	// bounded ring (DESIGN.md §7). nil — the default — disables
+	// instrumentation at the cost of one nil check per site.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns a runtime sized for the given local cache.

@@ -7,7 +7,29 @@ import (
 	"kona/internal/fpga"
 	"kona/internal/mem"
 	"kona/internal/simclock"
+	"kona/internal/telemetry"
 )
+
+// evictMetrics mirrors EvictStats into a registry as the eviction path
+// runs, plus batch-flush trace events. All handles are nil (no-op) when
+// telemetry is disabled.
+type evictMetrics struct {
+	dirtyPages, silent, lines, payloadBytes *telemetry.Counter
+	wireBytes, flushes                      *telemetry.Counter
+	trace                                   *telemetry.Trace
+}
+
+func newEvictMetrics(reg *telemetry.Registry) evictMetrics {
+	return evictMetrics{
+		dirtyPages:   reg.Counter("core.evict.dirty_pages"),
+		silent:       reg.Counter("core.evict.silent"),
+		lines:        reg.Counter("core.evict.lines_shipped"),
+		payloadBytes: reg.Counter("core.evict.payload_bytes"),
+		wireBytes:    reg.Counter("core.evict.wire_bytes"),
+		flushes:      reg.Counter("core.evict.flushes"),
+		trace:        reg.Trace(),
+	}
+}
 
 // Breakdown is the eviction-path time accounting reported in Fig 11c.
 type Breakdown struct {
@@ -67,6 +89,7 @@ type evictor struct {
 
 	breakdown Breakdown
 	stats     EvictStats
+	m         evictMetrics
 }
 
 // nodeBatch is the pending log content for one destination node.
@@ -86,6 +109,7 @@ func newEvictor(rm *resourceManager, cfg Config) *evictor {
 		threshold: cfg.FlushThreshold,
 		perNode:   make(map[int]*nodeBatch),
 		pending:   make(map[mem.Addr]struct{}),
+		m:         newEvictMetrics(cfg.Metrics),
 	}
 }
 
@@ -96,9 +120,11 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 	e.stats.PagesEvicted++
 	if !v.Dirty.Any() {
 		e.stats.SilentEvicted++
+		e.m.silent.Inc()
 		return now, nil
 	}
 	e.stats.DirtyPages++
+	e.m.dirtyPages.Inc()
 	e.pending[v.Base] = struct{}{}
 
 	// Bitmap scan: find the dirty segments.
@@ -124,6 +150,8 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 		e.stats.Segments++
 		e.stats.LinesShipped += uint64(seg.N)
 		e.stats.PayloadBytes += uint64(length)
+		e.m.lines.Add(uint64(seg.N))
+		e.m.payloadBytes.Add(uint64(length))
 
 		for _, pl := range placements {
 			nb := e.batchFor(pl)
@@ -228,6 +256,12 @@ func (e *evictor) flushNode(now simclock.Duration, nb *nodeBatch) (simclock.Dura
 	e.breakdown.RDMAWrite += done - before
 	e.stats.WireBytes += uint64(packed)
 	e.stats.Flushes++
+	e.m.wireBytes.Add(uint64(packed))
+	e.m.flushes.Inc()
+	if e.m.trace != nil {
+		e.m.trace.EmitAt(done, "core.evict.flush",
+			fmt.Sprintf("node=%d entries=%d bytes=%d", nb.link.id(), len(nb.entries), packed))
+	}
 	nb.ackDue = ackDue
 	nb.entries = nb.entries[:0]
 	nb.bytes = 0

@@ -1,11 +1,44 @@
 package core
 
 import (
+	"fmt"
+
 	"kona/internal/cluster"
 	"kona/internal/fpga"
 	"kona/internal/mem"
 	"kona/internal/simclock"
+	"kona/internal/telemetry"
 )
+
+// coreMetrics is the runtime's pre-resolved telemetry handles. With a nil
+// registry every handle is nil and every call below is a no-op costing a
+// pointer check; trace-detail formatting is additionally gated so the
+// disabled path never allocates.
+type coreMetrics struct {
+	fetches        *telemetry.Counter
+	evictions      *telemetry.Counter
+	dirtyEvictions *telemetry.Counter
+	syncs          *telemetry.Counter
+	// Published absolute values of the FPGA's own counters (Store-synced
+	// at Sync/Close and on PublishTelemetry).
+	lineFills, fmemHits, writebacks, prefetches, bytesFetched *telemetry.Counter
+	trace                                                     *telemetry.Trace
+}
+
+func newCoreMetrics(reg *telemetry.Registry) coreMetrics {
+	return coreMetrics{
+		fetches:        reg.Counter("core.fetches"),
+		evictions:      reg.Counter("core.evictions"),
+		dirtyEvictions: reg.Counter("core.dirty_evictions"),
+		syncs:          reg.Counter("core.syncs"),
+		lineFills:      reg.Counter("core.fpga.line_fills"),
+		fmemHits:       reg.Counter("core.fpga.fmem_hits"),
+		writebacks:     reg.Counter("core.fpga.writebacks"),
+		prefetches:     reg.Counter("core.fpga.prefetches"),
+		bytesFetched:   reg.Counter("core.fpga.bytes_fetched"),
+		trace:          reg.Trace(),
+	}
+}
 
 // Kona is the coherence-based remote memory runtime (§4). Applications
 // allocate through Malloc and access memory through Read/Write; underneath,
@@ -17,6 +50,7 @@ type Kona struct {
 	rm    *resourceManager
 	fpga  *fpga.FPGA
 	evict *evictor
+	m     coreMetrics
 
 	// evictErr latches the first asynchronous eviction failure; Sync
 	// surfaces it.
@@ -47,7 +81,7 @@ func NewKonaTCPWith(cfg Config, controllerAddr string, tr cluster.Transport) *Ko
 
 func newKona(cfg Config, r rack) *Kona {
 	rm := newResourceManager(cfg, r)
-	k := &Kona{cfg: cfg, rm: rm}
+	k := &Kona{cfg: cfg, rm: rm, m: newCoreMetrics(cfg.Metrics)}
 	k.evict = newEvictor(rm, cfg)
 	k.fpga = fpga.New(fpga.Config{
 		FMemSize:      cfg.LocalCacheBytes,
@@ -58,8 +92,14 @@ func newKona(cfg Config, r rack) *Kona {
 		FetchBytes:    cfg.FetchBytes,
 	}, rm, k.onEvict)
 	// Write-before-read ordering: a page refetch must not observe remote
-	// memory that is missing buffered eviction-log entries.
+	// memory that is missing buffered eviction-log entries. The hook runs
+	// on every remote fetch, which makes it the caching handler's
+	// fetch-telemetry point too.
 	k.fpga.SetFetchHook(func(now simclock.Duration, base mem.Addr) simclock.Duration {
+		k.m.fetches.Inc()
+		if k.m.trace != nil {
+			k.m.trace.EmitAt(now, "core.fetch", fmt.Sprintf("page=%#x", uint64(base)))
+		}
 		done, err := k.evict.FlushIfPending(now, base)
 		if err != nil && k.evictErr == nil {
 			k.evictErr = err
@@ -74,6 +114,10 @@ func newKona(cfg Config, r rack) *Kona {
 // caller's clock — but it shares the NIC with fetches, so heavy eviction
 // still delays fetch traffic through queueing.
 func (k *Kona) onEvict(now simclock.Duration, v fpga.Victim) simclock.Duration {
+	k.m.evictions.Inc()
+	if v.Dirty.Any() {
+		k.m.dirtyEvictions.Inc()
+	}
 	done, err := k.evict.EvictPage(now, v)
 	if err != nil && k.evictErr == nil {
 		k.evictErr = err
@@ -111,7 +155,26 @@ func (k *Kona) Sync(now simclock.Duration) (simclock.Duration, error) {
 		err = k.evictErr
 		k.evictErr = nil
 	}
+	k.m.syncs.Inc()
+	k.PublishTelemetry()
 	return done, err
+}
+
+// PublishTelemetry syncs the FPGA model's private counters into the
+// configured registry (Store, so re-publishing is idempotent). Sync and
+// Close publish automatically; callers scraping /metrics mid-run can call
+// it directly for fresher caching-handler numbers. No-op without a
+// registry.
+func (k *Kona) PublishTelemetry() {
+	if k.cfg.Metrics == nil {
+		return
+	}
+	st := k.fpga.Stats()
+	k.m.lineFills.Store(st.LineFills)
+	k.m.fmemHits.Store(st.FMemHits)
+	k.m.writebacks.Store(st.Writebacks)
+	k.m.prefetches.Store(st.Prefetches)
+	k.m.bytesFetched.Store(st.BytesFetched)
 }
 
 // Close drains the runtime (Sync) and returns every slab to the rack.

@@ -3,6 +3,7 @@ package core
 import (
 	"kona/internal/rdma"
 	"kona/internal/simclock"
+	"kona/internal/telemetry"
 )
 
 // Poller is KLib's completion-polling component (§4.1): it "optimizes the
@@ -19,6 +20,10 @@ type Poller struct {
 	emptyPolls  uint64
 	// lastSweep is the virtual time of the most recent sweep.
 	lastSweep simclock.Duration
+
+	// Registry handles (nil no-ops when telemetry is disabled); updated
+	// once per sweep, not per QP, to keep the sweep loop tight.
+	mPolls, mCompletions, mEmptyPolls *telemetry.Counter
 }
 
 // pollSweepCost is the CPU cost of one CQ sweep across registered QPs.
@@ -26,6 +31,16 @@ const pollSweepCost = 150 // ns per QP polled
 
 // NewPoller returns an empty poller; register QPs with Watch.
 func NewPoller() *Poller { return &Poller{} }
+
+// NewPollerWith is NewPoller reporting poll/completion counters into a
+// telemetry registry (nil disables).
+func NewPollerWith(reg *telemetry.Registry) *Poller {
+	return &Poller{
+		mPolls:       reg.Counter("core.poller.polls"),
+		mCompletions: reg.Counter("core.poller.completions"),
+		mEmptyPolls:  reg.Counter("core.poller.empty_polls"),
+	}
+}
 
 // Watch adds a queue pair to the sweep set.
 func (p *Poller) Watch(qp *rdma.QP) {
@@ -52,6 +67,9 @@ func (p *Poller) Sweep(now simclock.Duration) ([]rdma.Completion, simclock.Durat
 		now += pollSweepCost
 	}
 	p.lastSweep = now
+	p.mPolls.Store(p.polls)
+	p.mCompletions.Store(p.completions)
+	p.mEmptyPolls.Store(p.emptyPolls)
 	return out, now
 }
 

@@ -49,6 +49,7 @@ func runExtE2E(cfg Config) (*Result, error) {
 		}
 		rc := core.DefaultConfig(alignFMem(cacheBytes))
 		rc.SlabSize = footprint // one slab spans the replay region
+		rc.Metrics = cfg.Metrics
 		konaRes, err := core.ReplayTrace(core.NewKona(rc, mk()), w.TrackingStream(cfg.Seed), footprint, maxAccesses)
 		if err != nil {
 			return nil, fmt.Errorf("%s on Kona: %w", name, err)

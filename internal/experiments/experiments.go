@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"kona/internal/stats"
+	"kona/internal/telemetry"
 )
 
 // Config adjusts experiment scale.
@@ -28,6 +29,13 @@ type Config struct {
 	// DESIGN.md §6: every point derives its RNG from Seed alone and
 	// results join in stable order).
 	Workers int
+	// Metrics, when set, is threaded into the runtimes the drivers build
+	// (core.Config.Metrics), so an artifact run reports the same counters
+	// a production deployment would. Registries hold Store-synced
+	// simulator counters, so callers wanting per-artifact deltas should
+	// run artifacts serially with a fresh registry each (kona-bench
+	// -telemetry does exactly that). Nil disables instrumentation.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns the full-scale deterministic configuration.

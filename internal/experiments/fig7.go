@@ -8,6 +8,7 @@ import (
 	"kona/internal/mem"
 	"kona/internal/simclock"
 	"kona/internal/stats"
+	"kona/internal/telemetry"
 )
 
 func init() {
@@ -98,8 +99,10 @@ func fig7Run(rt accessor, threads, pagesPerThread int) (simclock.Duration, error
 	return latest, nil
 }
 
-// fig7Variant builds and runs one system variant.
-func fig7Variant(name string, threads, pages int) (simclock.Duration, error) {
+// fig7Variant builds and runs one system variant. reg (nil = disabled)
+// instruments the runtime's data path so -telemetry runs of the artifact
+// expose fetch/eviction counters.
+func fig7Variant(name string, threads, pages int, reg *telemetry.Registry) (simclock.Duration, error) {
 	total := uint64(threads*pages) * mem.PageSize
 	ctrl := fig7Cluster(total)
 	cacheBytes := total / 2 // 50% local cache (§6.1)
@@ -109,6 +112,7 @@ func fig7Variant(name string, threads, pages int) (simclock.Duration, error) {
 	}
 	cfg := core.DefaultConfig(cacheBytes)
 	cfg.SlabSize = uint64(pages) * mem.PageSize
+	cfg.Metrics = reg
 
 	switch name {
 	case "Kona", "Kona-NoEvict":
@@ -139,7 +143,7 @@ func runFig7(cfg Config) (*Result, error) {
 		s := stats.Series{Name: v}
 		times[v] = map[int]simclock.Duration{}
 		for _, th := range threadCounts {
-			d, err := fig7Variant(v, th, pages)
+			d, err := fig7Variant(v, th, pages, cfg.Metrics)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%d threads: %w", v, th, err)
 			}

@@ -178,6 +178,56 @@ func TestPlotEmptyAndDegenerate(t *testing.T) {
 	}
 }
 
+// TestSeriesYAtEdges pins YAt on an empty series and on probes outside
+// the observed x range — experiment drivers probe figure curves at
+// paper-quoted x values that a quick run may not have produced.
+func TestSeriesYAtEdges(t *testing.T) {
+	var empty Series
+	if y, ok := empty.YAt(0); ok || y != 0 {
+		t.Errorf("empty YAt = %v,%v, want 0,false", y, ok)
+	}
+	s := Series{Name: "kona", Points: []Point{{1, 10}, {2, 20}}}
+	for _, x := range []float64{0, 1.5, 3, -1} {
+		if y, ok := s.YAt(x); ok || y != 0 {
+			t.Errorf("YAt(%v) = %v,%v, want 0,false", x, y, ok)
+		}
+	}
+	// Duplicate x: first point wins.
+	dup := Series{Points: []Point{{1, 10}, {1, 99}}}
+	if y, ok := dup.YAt(1); !ok || y != 10 {
+		t.Errorf("duplicate-x YAt = %v,%v, want 10,true", y, ok)
+	}
+}
+
+// TestTableMixedCellTypes pins AddRow's %v fallback across cell types:
+// floats trim trailing zeros, everything else renders verbatim.
+func TestTableMixedCellTypes(t *testing.T) {
+	tab := NewTable("metric", "value", "ok")
+	tab.AddRow("fetches", uint64(7170), true)
+	tab.AddRow("speedup", 6.30, false)
+	tab.AddRow(42, "n/a", 1.0)
+	out := tab.String()
+	for _, want := range []string{"7170", "true", "6.3", "false", "42", "n/a", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "6.30") || strings.Contains(out, "1.00") {
+		t.Errorf("floats not trimmed:\n%s", out)
+	}
+	// Every row renders the same number of separator-aligned columns.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(lines))
+	}
+	width := len(lines[1])
+	for i, l := range lines {
+		if len(strings.TrimRight(l, " ")) > width {
+			t.Errorf("line %d wider than separator: %q", i, l)
+		}
+	}
+}
+
 // TestCDFQuantileAtEdges pins the boundary behavior of Quantile and At:
 // empty distributions, a single observation, q=0 and q=1, negative
 // values, and probes outside the observed range.
