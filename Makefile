@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry cover verify
+.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict cover verify
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,15 @@ bench:
 bench-quick:
 	$(GO) run -race ./cmd/kona-bench -run all -quick -parallel 0 -out /dev/null
 
+# Eviction-path guard (DESIGN.md §8): the serial-vs-pipelined 3-replica
+# flush fan-out over real TCP daemons, the steady-state evict and
+# fetch-hit allocation checks (-benchmem must report 0 allocs/op on the
+# arena-backed paths), and the single-vs-batched ReadPages round trip.
+# -benchtime=1x keeps it a smoke run; compare properly with -benchtime=2s.
+bench-evict:
+	$(GO) test -run='^$$' -bench='BenchmarkFlushFanout|BenchmarkEvictSteadyState|BenchmarkFetchHitSteadyState' -benchmem -benchtime=1x ./internal/core
+	$(GO) test -run='^$$' -bench='BenchmarkReadPagesVsSingle' -benchtime=1x ./internal/cluster
+
 # Telemetry-overhead guard (DESIGN.md §7): one pass over the
 # disabled/enabled benchmark pairs on the two hottest instrumented paths
 # — the cachesim batched lookup loop and the pooled TCP read — so a
@@ -51,4 +60,4 @@ bench-telemetry:
 cover:
 	$(GO) test -cover ./internal/... | sort
 
-verify: vet build test race bench-quick bench-telemetry
+verify: vet build test race bench-quick bench-telemetry bench-evict

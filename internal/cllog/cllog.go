@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // HeaderSize is the per-entry header length.
@@ -35,6 +36,29 @@ type Entry struct {
 
 // ErrTruncated reports a log that ends mid-entry.
 var ErrTruncated = errors.New("cllog: truncated log")
+
+// entryPool recycles Entry slices across log-builder lifetimes. Eviction
+// handlers keep one slice per destination node for their whole life, but
+// the experiment engine constructs thousands of short-lived runtimes per
+// sweep; pooling the slices keeps that churn off the garbage collector.
+var entryPool = sync.Pool{New: func() any {
+	s := make([]Entry, 0, 64)
+	return &s
+}}
+
+// GetEntries returns an empty Entry slice from the package pool. Pair
+// with PutEntries when the holder is done with it.
+func GetEntries() []Entry { return (*(entryPool.Get().(*[]Entry)))[:0] }
+
+// PutEntries returns a slice obtained from GetEntries to the pool. The
+// caller must not retain the slice (or any payload aliases) afterwards.
+func PutEntries(s []Entry) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	entryPool.Put(&s)
+}
 
 // PackedSize returns the buffer space entries require when packed.
 func PackedSize(entries []Entry) int {

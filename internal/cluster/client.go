@@ -112,6 +112,26 @@ func (c *MemoryNodeClient) Read(offset uint64, length int) ([]byte, error) {
 	return resp.Data, nil
 }
 
+// ReadPages gathers one span of `length` bytes at each of the given pool
+// offsets in a single round trip — the scatter-gather read the prefetcher
+// and bulk-replay paths use to avoid one RPC per page. The returned
+// slices alias one contiguous response buffer, in request order.
+func (c *MemoryNodeClient) ReadPages(offsets []uint64, length int) ([][]byte, error) {
+	resp, err := c.pool.roundTrip(&Request{Kind: msgReadPages, Offsets: offsets, Length: length})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Data) != length*len(offsets) {
+		return nil, fmt.Errorf("cluster: read-pages returned %d bytes, want %d",
+			len(resp.Data), length*len(offsets))
+	}
+	pages := make([][]byte, len(offsets))
+	for i := range pages {
+		pages[i] = resp.Data[i*length : (i+1)*length]
+	}
+	return pages, nil
+}
+
 // Write stores data at offset in the node's pool. A write is a pure
 // overwrite, so the transport may retry it after a connection fault.
 func (c *MemoryNodeClient) Write(offset uint64, data []byte) error {

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Wire framing for the TCP protocol: every message is a 4-byte big-endian
@@ -20,11 +21,29 @@ import (
 // this is treated as corruption rather than a request to allocate memory.
 const maxFrameSize = 64 << 20
 
+// Buffer pools for the frame codec. Every round trip used to allocate a
+// fresh bytes.Buffer on encode and a fresh payload slice on decode;
+// pooling both keeps the steady-state wire path off the garbage
+// collector (large buffers — a full cache-line log is LogBytes — are
+// worth recycling most of all). Oversized buffers are dropped back to
+// the allocator instead of pinning pool memory.
+const maxPooledBuf = LogRegionSize + 4096
+
+var frameEncPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+var frameDecPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // writeFrame gob-encodes v and writes it as one length-prefixed frame.
 func writeFrame(w io.Writer, v any) error {
-	var buf bytes.Buffer
+	buf := frameEncPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			frameEncPool.Put(buf)
+		}
+	}()
 	buf.Write(make([]byte, 4))
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("cluster: encode frame: %w", err)
 	}
 	b := buf.Bytes()
@@ -38,7 +57,9 @@ func writeFrame(w io.Writer, v any) error {
 
 // readFrame reads one length-prefixed frame and gob-decodes it into v.
 // A clean close at a frame boundary returns io.EOF; truncation or a
-// nonsensical length returns a descriptive error.
+// nonsensical length returns a descriptive error. The scratch payload
+// buffer is pooled; gob copies decoded fields out of it, so it never
+// escapes into v.
 func readFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -51,7 +72,16 @@ func readFrame(r io.Reader, v any) error {
 	if n == 0 || n > maxFrameSize {
 		return fmt.Errorf("cluster: bad frame length %d", n)
 	}
-	payload := make([]byte, n)
+	bp := frameDecPool.Get().(*[]byte)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	payload := (*bp)[:n]
+	defer func() {
+		if cap(*bp) <= maxPooledBuf {
+			frameDecPool.Put(bp)
+		}
+	}()
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return fmt.Errorf("cluster: truncated frame (want %d bytes): %w", n, err)
 	}

@@ -23,6 +23,7 @@ const (
 	msgAllocSlab    = "alloc-slab"
 	msgNodeAddr     = "node-addr"
 	msgRead         = "read"
+	msgReadPages    = "read-pages"
 	msgWrite        = "write"
 	msgWriteLog     = "write-log"
 	msgReleaseSlab  = "release-slab"
@@ -49,6 +50,11 @@ type Request struct {
 	Offset uint64
 	Length int
 	Data   []byte
+
+	// ReadPages: pool offsets of the pages to gather, each Length bytes.
+	// One frame replaces len(Offsets) Read round trips; the reply carries
+	// the payloads concatenated in request order in Data.
+	Offsets []uint64
 }
 
 // Response is the single envelope for every reply.

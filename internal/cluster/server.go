@@ -220,6 +220,9 @@ type MemoryNodeServer struct {
 	m     *serverMetrics
 	// Writeback-volume counters (nil handles when metrics are disabled).
 	logEntries, logBytes, readBytes, writeBytes *telemetry.Counter
+	// Scatter-gather read counters: pages and bytes served through the
+	// batched ReadPages path.
+	readPagesPages, readPagesBytes *telemetry.Counter
 
 	// logMu serializes WriteLog handlers: the node has a single
 	// log-receive region, and concurrent RPCs must not interleave their
@@ -251,10 +254,12 @@ func ServeMemoryNodeOnWith(node *MemoryNode, l net.Listener, reg *telemetry.Regi
 		l:          l,
 		conns:      newConnSet(),
 		m:          newServerMetrics(reg, "memnode"),
-		logEntries: reg.Counter("cluster.memnode.log_entries"),
-		logBytes:   reg.Counter("cluster.memnode.log_bytes"),
-		readBytes:  reg.Counter("cluster.memnode.read_bytes"),
-		writeBytes: reg.Counter("cluster.memnode.write_bytes"),
+		logEntries:     reg.Counter("cluster.memnode.log_entries"),
+		logBytes:       reg.Counter("cluster.memnode.log_bytes"),
+		readBytes:      reg.Counter("cluster.memnode.read_bytes"),
+		writeBytes:     reg.Counter("cluster.memnode.write_bytes"),
+		readPagesPages: reg.Counter("cluster.readpages.pages"),
+		readPagesBytes: reg.Counter("cluster.readpages.bytes"),
 	}
 	go serve(l, s.conns, s.handle)
 	return s
@@ -286,6 +291,28 @@ func (s *MemoryNodeServer) dispatch(req *Request) *Response {
 		data := make([]byte, req.Length)
 		copy(data, pool[req.Offset:])
 		s.readBytes.Add(uint64(req.Length))
+		return &Response{Data: data}
+	case msgReadPages:
+		// Scatter-gather read: each offset names one page-sized span; the
+		// payloads are concatenated in request order so the whole batch
+		// costs one frame each way.
+		if req.Length <= 0 || len(req.Offsets) == 0 {
+			return &Response{Err: "memnode: empty read-pages request"}
+		}
+		total := req.Length * len(req.Offsets)
+		if total > maxFrameSize/2 {
+			return &Response{Err: "memnode: read-pages batch too large"}
+		}
+		data := make([]byte, total)
+		for i, off := range req.Offsets {
+			if off+uint64(req.Length) > uint64(len(pool)) {
+				return &Response{Err: fmt.Sprintf("memnode: read-pages offset %d out of range", off)}
+			}
+			copy(data[i*req.Length:], pool[off:off+uint64(req.Length)])
+		}
+		s.readBytes.Add(uint64(total))
+		s.readPagesPages.Add(uint64(len(req.Offsets)))
+		s.readPagesBytes.Add(uint64(total))
 		return &Response{Data: data}
 	case msgWrite:
 		if req.Offset+uint64(len(req.Data)) > uint64(len(pool)) {

@@ -82,13 +82,13 @@ func init() { reqID.Store(uint64(time.Now().UnixNano())) }
 func nextReqID() uint64 { return reqID.Add(1) }
 
 // retryable reports whether a request may be re-sent after a transport
-// error without changing its effect: Read/Ping/NodeAddr are stateless,
-// Write is a pure overwrite of the same bytes, and AllocSlab carries a
-// request ID the server deduplicates on. RegisterNode, ReleaseSlab and
-// WriteLog are not safe to replay.
+// error without changing its effect: Read/ReadPages/Ping/NodeAddr are
+// stateless, Write is a pure overwrite of the same bytes, and AllocSlab
+// carries a request ID the server deduplicates on. RegisterNode,
+// ReleaseSlab and WriteLog are not safe to replay.
 func retryable(kind string) bool {
 	switch kind {
-	case msgRead, msgPing, msgNodeAddr, msgWrite, msgAllocSlab:
+	case msgRead, msgReadPages, msgPing, msgNodeAddr, msgWrite, msgAllocSlab:
 		return true
 	}
 	return false
@@ -98,7 +98,7 @@ func retryable(kind string) bool {
 // one latency histogram per kind so the request path never takes the
 // registry's map lock.
 var rpcKinds = []string{
-	msgRegisterNode, msgAllocSlab, msgNodeAddr, msgRead,
+	msgRegisterNode, msgAllocSlab, msgNodeAddr, msgRead, msgReadPages,
 	msgWrite, msgWriteLog, msgReleaseSlab, msgPing,
 }
 

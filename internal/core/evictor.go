@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"kona/internal/cllog"
 	"kona/internal/fpga"
@@ -15,19 +17,24 @@ import (
 // telemetry is disabled.
 type evictMetrics struct {
 	dirtyPages, silent, lines, payloadBytes *telemetry.Counter
-	wireBytes, flushes                      *telemetry.Counter
-	trace                                   *telemetry.Trace
+	wireBytes, flushes, remoteEntries       *telemetry.Counter
+	// inflight tracks ships currently on the wire during a concurrent
+	// fan-out (always 0..1 on the serial path).
+	inflight *telemetry.Gauge
+	trace    *telemetry.Trace
 }
 
 func newEvictMetrics(reg *telemetry.Registry) evictMetrics {
 	return evictMetrics{
-		dirtyPages:   reg.Counter("core.evict.dirty_pages"),
-		silent:       reg.Counter("core.evict.silent"),
-		lines:        reg.Counter("core.evict.lines_shipped"),
-		payloadBytes: reg.Counter("core.evict.payload_bytes"),
-		wireBytes:    reg.Counter("core.evict.wire_bytes"),
-		flushes:      reg.Counter("core.evict.flushes"),
-		trace:        reg.Trace(),
+		dirtyPages:    reg.Counter("core.evict.dirty_pages"),
+		silent:        reg.Counter("core.evict.silent"),
+		lines:         reg.Counter("core.evict.lines_shipped"),
+		payloadBytes:  reg.Counter("core.evict.payload_bytes"),
+		wireBytes:     reg.Counter("core.evict.wire_bytes"),
+		flushes:       reg.Counter("core.evict.flushes"),
+		remoteEntries: reg.Counter("core.evict.remote_entries"),
+		inflight:      reg.Gauge("core.evict.inflight"),
+		trace:         reg.Trace(),
 	}
 }
 
@@ -60,6 +67,68 @@ type EvictStats struct {
 	Flushes       uint64
 	AcksReceived  uint64
 	SilentEvicted uint64 // clean pages dropped without network traffic
+	// RemoteEntries is the number of log entries the receivers reported
+	// applying — it must equal Segments (per replica) when every flush
+	// lands intact.
+	RemoteEntries uint64
+}
+
+// payloadArena hands out stable payload slices for eviction-log entries
+// without a per-segment heap allocation. copyIn appends into a chunk and
+// returns an alias; the alias stays valid until reset. When demand
+// outgrows the active chunk mid-cycle the chunk is retired (outstanding
+// entries still alias it) and a larger one takes over; reset then
+// coalesces to a single right-sized chunk, so a steady-state workload
+// settles into zero allocations.
+type payloadArena struct {
+	buf   []byte   // active chunk; len(buf) is the used prefix
+	old   [][]byte // retired chunks, pinned until reset
+	spill int      // bytes handed out from retired chunks
+	chunk int      // minimum size for fresh chunks
+}
+
+func newPayloadArena(chunk int) *payloadArena {
+	if chunk < mem.PageSize {
+		chunk = mem.PageSize
+	}
+	return &payloadArena{buf: make([]byte, 0, chunk), chunk: chunk}
+}
+
+// copyIn copies data into the arena and returns a stable alias, valid
+// until reset.
+func (a *payloadArena) copyIn(data []byte) []byte {
+	if len(a.buf)+len(data) > cap(a.buf) {
+		a.spill += len(a.buf)
+		a.old = append(a.old, a.buf)
+		n := a.chunk
+		for n < len(data) {
+			n *= 2
+		}
+		a.buf = make([]byte, 0, n)
+	}
+	off := len(a.buf)
+	a.buf = a.buf[:off+len(data)]
+	p := a.buf[off : off+len(data) : off+len(data)]
+	copy(p, data)
+	return p
+}
+
+// reset recycles the arena. The caller guarantees no outstanding entry
+// aliases it (every destination batch has been packed and shipped).
+func (a *payloadArena) reset() {
+	if len(a.old) == 0 {
+		a.buf = a.buf[:0]
+		return
+	}
+	// The cycle spilled past the active chunk: coalesce so the next one
+	// fits in a single chunk and stops allocating.
+	n := a.chunk
+	for n < a.spill+len(a.buf) {
+		n *= 2
+	}
+	a.buf = make([]byte, 0, n)
+	a.old = nil
+	a.spill = 0
 }
 
 // evictor is KLib's Eviction Handler (§4.4): it aggregates dirty cache
@@ -68,13 +137,28 @@ type EvictStats struct {
 // node, and waits (asynchronously) for the Cache-line Log Receiver's
 // acknowledgment before reusing the space. With replication enabled the
 // log is shipped to every replica (§4.5).
+//
+// On the pipelined (TCP) transport the per-node ships fan out
+// concurrently — one goroutine per destination, at most fanout in
+// flight — so a replicated flush costs roughly the slowest replica's
+// round trip instead of the sum. The simulated fabric keeps the serial
+// path so its virtual-time NIC ordering stays byte-reproducible.
 type evictor struct {
 	rm *resourceManager
 
-	// logBuf is the pack scratch (the registered ring buffer lives in the
-	// transport link).
+	// logBuf is the serial-path pack scratch (the registered ring buffer
+	// lives in the transport link). Concurrent ships pack into private
+	// per-batch buffers instead.
 	logBuf    []byte
 	threshold int
+
+	// arena backs every entry payload; it recycles once all batches have
+	// drained (each node's previous ack honored first — see flush paths).
+	arena *payloadArena
+	// segScratch/plScratch are reused across EvictPage calls so the
+	// steady-state eviction path performs no heap allocation.
+	segScratch []mem.Segment
+	plScratch  []placement
 
 	// perNode accumulates entries destined for each memory node; order
 	// remembers first-touch sequence so flushes walk the nodes
@@ -87,6 +171,12 @@ type evictor struct {
 	// write-before-read ordering check on refetch.
 	pending map[mem.Addr]struct{}
 
+	// fanout > 1 enables the concurrent ship path; it is forced to 1
+	// when the rack's transport is not pipelined.
+	fanout  int
+	sem     chan struct{}
+	results []shipResult
+
 	breakdown Breakdown
 	stats     EvictStats
 	m         evictMetrics
@@ -97,20 +187,46 @@ type nodeBatch struct {
 	link    nodeLink
 	entries []cllog.Entry
 	bytes   int
+	// packBuf is the private pack scratch for concurrent ships (each
+	// in-flight node needs its own packed image). Lazily sized.
+	packBuf []byte
 	// ackDue is when the receiver's ack for the previous flush lands;
 	// the next flush of this node's log half must wait for it.
 	ackDue simclock.Duration
 }
 
+// shipResult is one node's outcome from a concurrent fan-out, recorded
+// by the shipping goroutine and folded into stats serially after the
+// join (so accounting order never depends on goroutine scheduling).
+type shipResult struct {
+	packed  int // bytes on the wire; 0 means the batch was empty
+	entries int
+	remote  int // entries the receiver reported applying
+	waited  simclock.Duration
+	done    simclock.Duration
+	ackDue  simclock.Duration
+	err     error
+}
+
 func newEvictor(rm *resourceManager, cfg Config) *evictor {
-	return &evictor{
+	fanout := cfg.EvictFanout
+	if !rm.rack.pipelined() {
+		fanout = 1
+	}
+	e := &evictor{
 		rm:        rm,
 		logBuf:    make([]byte, cfg.LogBytes),
 		threshold: cfg.FlushThreshold,
+		arena:     newPayloadArena(cfg.LogBytes),
 		perNode:   make(map[int]*nodeBatch),
 		pending:   make(map[mem.Addr]struct{}),
+		fanout:    fanout,
 		m:         newEvictMetrics(cfg.Metrics),
 	}
+	if fanout > 1 {
+		e.sem = make(chan struct{}, fanout)
+	}
+	return e
 }
 
 // EvictPage handles one FMem victim: clean pages are dropped silently;
@@ -128,11 +244,13 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 	e.pending[v.Base] = struct{}{}
 
 	// Bitmap scan: find the dirty segments.
-	segs := v.Dirty.Segments()
+	e.segScratch = v.Dirty.AppendSegments(e.segScratch[:0])
+	segs := e.segScratch
 	e.breakdown.Bitmap += bitmapScanCost
 	now += bitmapScanCost
 
-	placements, err := e.rm.placementsFor(v.Base)
+	placements, err := e.rm.placementsInto(v.Base, e.plScratch)
+	e.plScratch = placements[:0]
 	if err != nil {
 		return now, err
 	}
@@ -145,7 +263,7 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 		c := segmentCopyFixed + copyCost(length)
 		e.breakdown.Copy += c
 		now += c
-		payload := append([]byte(nil), data...)
+		payload := e.arena.copyIn(data)
 
 		e.stats.Segments++
 		e.stats.LinesShipped += uint64(seg.N)
@@ -163,15 +281,33 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 		}
 	}
 	// Flush any destination whose pending log crossed the threshold.
-	for _, nb := range e.order {
-		if nb.bytes >= e.threshold {
-			var err error
-			now, err = e.flushNode(now, nb)
+	if e.fanout > 1 {
+		full := false
+		for _, nb := range e.order {
+			if nb.bytes >= e.threshold {
+				full = true
+				break
+			}
+		}
+		if full {
+			done, err := e.fanoutShip(now, true)
 			if err != nil {
 				return now, err
 			}
+			now = done
+		}
+	} else {
+		for _, nb := range e.order {
+			if nb.bytes >= e.threshold {
+				var err error
+				now, err = e.flushNode(now, nb)
+				if err != nil {
+					return now, err
+				}
+			}
 		}
 	}
+	e.maybeRecycleArena()
 	return now, nil
 }
 
@@ -179,11 +315,24 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 func (e *evictor) batchFor(pl placement) *nodeBatch {
 	nb, ok := e.perNode[pl.link.id()]
 	if !ok {
-		nb = &nodeBatch{link: pl.link}
+		nb = &nodeBatch{link: pl.link, entries: cllog.GetEntries()}
 		e.perNode[pl.link.id()] = nb
 		e.order = append(e.order, nb)
 	}
 	return nb
+}
+
+// maybeRecycleArena resets the payload arena once no batch holds entries
+// aliasing it. A batch only empties after its ship completed — which in
+// turn waited out the node's previous ack — so by construction the reset
+// never reclaims bytes a receiver has not yet made durable.
+func (e *evictor) maybeRecycleArena() {
+	for _, nb := range e.order {
+		if len(nb.entries) > 0 {
+			return
+		}
+	}
+	e.arena.reset()
 }
 
 // FlushIfPending ships all buffered entries when the page at base has
@@ -196,20 +345,32 @@ func (e *evictor) FlushIfPending(now simclock.Duration, base mem.Addr) (simclock
 	// Ship the batches without draining acks; the ack only gates log
 	// reuse, while the data itself is in remote memory once the RDMA
 	// write completes.
-	for _, nb := range e.order {
-		var err error
-		now, err = e.flushNode(now, nb)
+	if e.fanout > 1 {
+		done, err := e.fanoutShip(now, false)
 		if err != nil {
 			return now, err
 		}
+		now = done
+	} else {
+		for _, nb := range e.order {
+			var err error
+			now, err = e.flushNode(now, nb)
+			if err != nil {
+				return now, err
+			}
+		}
 	}
-	e.pending = make(map[mem.Addr]struct{})
+	clear(e.pending)
+	e.maybeRecycleArena()
 	return now, nil
 }
 
 // Flush ships every pending batch and returns when the eviction path is
 // drained (all acks received).
 func (e *evictor) Flush(now simclock.Duration) (simclock.Duration, error) {
+	if e.fanout > 1 {
+		return e.flushParallel(now)
+	}
 	var latest simclock.Duration = now
 	for _, nb := range e.order {
 		done, err := e.flushNode(now, nb)
@@ -226,11 +387,123 @@ func (e *evictor) Flush(now simclock.Duration) (simclock.Duration, error) {
 			latest = done
 		}
 	}
-	e.pending = make(map[mem.Addr]struct{})
+	clear(e.pending)
+	e.maybeRecycleArena()
 	return latest, nil
 }
 
-// flushNode packs and ships one node's pending entries.
+// flushParallel is Flush over the concurrent fan-out: all ships overlap,
+// then every node's ack is drained.
+func (e *evictor) flushParallel(now simclock.Duration) (simclock.Duration, error) {
+	latest, err := e.fanoutShip(now, false)
+	if err != nil {
+		return now, err
+	}
+	for i, nb := range e.order {
+		done := e.results[i].done
+		if e.results[i].packed == 0 {
+			done = now
+		}
+		if nb.ackDue > done {
+			e.breakdown.AckWait += nb.ackDue - done
+			done = nb.ackDue
+		}
+		e.stats.AcksReceived++
+		if done > latest {
+			latest = done
+		}
+	}
+	clear(e.pending)
+	e.maybeRecycleArena()
+	return latest, nil
+}
+
+// fanoutShip ships batches concurrently — one goroutine per destination
+// node, at most e.fanout on the wire at once — and folds the results
+// into stats serially in first-touch order after the join. onlyFull
+// restricts the ship to batches at or past the flush threshold
+// (threshold-triggered flushes); otherwise every non-empty batch ships.
+// It returns the completion time of the slowest ship. Per-node failures
+// are joined so one dead replica does not mask another's error.
+func (e *evictor) fanoutShip(now simclock.Duration, onlyFull bool) (simclock.Duration, error) {
+	if cap(e.results) < len(e.order) {
+		e.results = make([]shipResult, len(e.order))
+	}
+	e.results = e.results[:len(e.order)]
+	var wg sync.WaitGroup
+	for i, nb := range e.order {
+		e.results[i] = shipResult{}
+		if len(nb.entries) == 0 || (onlyFull && nb.bytes < e.threshold) {
+			continue
+		}
+		wg.Add(1)
+		go func(nb *nodeBatch, res *shipResult) {
+			defer wg.Done()
+			e.sem <- struct{}{}
+			defer func() { <-e.sem }()
+			start := now
+			if nb.ackDue > start {
+				res.waited = nb.ackDue - start
+				start = nb.ackDue
+			}
+			if nb.packBuf == nil {
+				nb.packBuf = make([]byte, len(e.logBuf))
+			}
+			packed, err := cllog.Pack(nb.entries, nb.packBuf)
+			if err != nil {
+				res.err = fmt.Errorf("core: packing eviction log: %w", err)
+				return
+			}
+			e.m.inflight.Inc()
+			done, ackDue, remote, err := nb.link.shipLog(start, nb.packBuf[:packed])
+			e.m.inflight.Dec()
+			if err != nil {
+				res.err = fmt.Errorf("core: shipping eviction log: %w", err)
+				return
+			}
+			res.packed, res.entries, res.remote = packed, len(nb.entries), remote
+			res.done, res.ackDue = done, ackDue
+		}(nb, &e.results[i])
+	}
+	wg.Wait()
+
+	latest := now
+	var errs []error
+	for i, nb := range e.order {
+		res := &e.results[i]
+		if res.err != nil {
+			errs = append(errs, res.err)
+			continue
+		}
+		if res.packed == 0 {
+			continue
+		}
+		e.breakdown.AckWait += res.waited
+		e.breakdown.RDMAWrite += res.done - (now + res.waited)
+		e.stats.WireBytes += uint64(res.packed)
+		e.stats.Flushes++
+		e.stats.RemoteEntries += uint64(res.remote)
+		e.m.wireBytes.Add(uint64(res.packed))
+		e.m.flushes.Inc()
+		e.m.remoteEntries.Add(uint64(res.remote))
+		if e.m.trace != nil {
+			e.m.trace.EmitAt(res.done, "core.evict.flush",
+				fmt.Sprintf("node=%d entries=%d bytes=%d", nb.link.id(), res.entries, res.packed))
+		}
+		nb.ackDue = res.ackDue
+		nb.entries = nb.entries[:0]
+		nb.bytes = 0
+		if res.done > latest {
+			latest = res.done
+		}
+	}
+	if len(errs) > 0 {
+		return latest, errors.Join(errs...)
+	}
+	return latest, nil
+}
+
+// flushNode packs and ships one node's pending entries (serial path).
 func (e *evictor) flushNode(now simclock.Duration, nb *nodeBatch) (simclock.Duration, error) {
 	if len(nb.entries) == 0 {
 		return now, nil
@@ -249,15 +522,17 @@ func (e *evictor) flushNode(now simclock.Duration, nb *nodeBatch) (simclock.Dura
 	// One write ships the whole aggregated log; the receiver unpacks
 	// asynchronously and its acknowledgment gates log-space reuse.
 	before := now
-	done, ackDue, err := nb.link.shipLog(now, e.logBuf[:packed])
+	done, ackDue, remote, err := nb.link.shipLog(now, e.logBuf[:packed])
 	if err != nil {
 		return now, fmt.Errorf("core: shipping eviction log: %w", err)
 	}
 	e.breakdown.RDMAWrite += done - before
 	e.stats.WireBytes += uint64(packed)
 	e.stats.Flushes++
+	e.stats.RemoteEntries += uint64(remote)
 	e.m.wireBytes.Add(uint64(packed))
 	e.m.flushes.Inc()
+	e.m.remoteEntries.Add(uint64(remote))
 	if e.m.trace != nil {
 		e.m.trace.EmitAt(done, "core.evict.flush",
 			fmt.Sprintf("node=%d entries=%d bytes=%d", nb.link.id(), len(nb.entries), packed))
@@ -266,6 +541,17 @@ func (e *evictor) flushNode(now simclock.Duration, nb *nodeBatch) (simclock.Dura
 	nb.entries = nb.entries[:0]
 	nb.bytes = 0
 	return done, nil
+}
+
+// release returns pooled resources at runtime shutdown. The evictor must
+// not be used afterwards.
+func (e *evictor) release() {
+	for _, nb := range e.order {
+		cllog.PutEntries(nb.entries)
+		nb.entries = nil
+	}
+	e.order = nil
+	clear(e.perNode)
 }
 
 // Breakdown returns the accumulated Fig 11c accounting.

@@ -91,6 +91,12 @@ func newKona(cfg Config, r rack) *Kona {
 		StreamBypass:  cfg.StreamBypass,
 		FetchBytes:    cfg.FetchBytes,
 	}, rm, k.onEvict)
+	// Scatter-gather fetches only pay off when round trips are real;
+	// the simulated fabric keeps the serial path so virtual time stays
+	// byte-reproducible.
+	if r.pipelined() {
+		k.fpga.EnableBatchFetch()
+	}
 	// Write-before-read ordering: a page refetch must not observe remote
 	// memory that is missing buffered eviction-log entries. The hook runs
 	// on every remote fetch, which makes it the caching handler's
@@ -183,6 +189,7 @@ func (k *Kona) Close(now simclock.Duration) error {
 	if _, err := k.Sync(now); err != nil {
 		return err
 	}
+	k.evict.release()
 	return k.rm.releaseAll()
 }
 

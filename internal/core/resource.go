@@ -70,23 +70,38 @@ func (rm *resourceManager) growLocked() error {
 // boundPage binds a nodeLink to one page's pool offset; it implements
 // fpga.PageReader.
 type boundPage struct {
+	rm   *resourceManager
+	addr mem.Addr // the translated VFMem address, for re-translation
 	link nodeLink
 	off  uint64
 }
 
-// ReadRange implements fpga.PageReader.
+// ReadRange implements fpga.PageReader. A failed read invalidates the
+// link's cached health verdict (tcpLink.noteFailure), so the single
+// re-translate below probes the node live and fails over to a replica
+// that is still answering — without that retry, a node dying inside the
+// health cache's TTL would surface as a read error instead of a
+// failover.
 func (b boundPage) ReadRange(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error) {
-	return b.link.readPage(now, b.off+off, buf)
+	done, err := b.link.readPage(now, b.off+off, buf)
+	if err == nil {
+		return done, nil
+	}
+	b.rm.mu.Lock()
+	l, poolOff, terr := b.rm.translateLocked(b.addr)
+	b.rm.mu.Unlock()
+	if terr != nil {
+		return now, err
+	}
+	return l.readPage(now, poolOff+off, buf)
 }
 
-// Translate implements fpga.Translator over the slab map, preferring the
-// primary placement and failing over to a live replica.
-func (rm *resourceManager) Translate(addr mem.Addr) (fpga.PageReader, error) {
-	rm.mu.Lock()
-	defer rm.mu.Unlock()
+// translateLocked resolves addr to its live read placement, preferring
+// the primary and failing over to a live replica. Caller holds rm.mu.
+func (rm *resourceManager) translateLocked(addr mem.Addr) (nodeLink, uint64, error) {
 	s, ok := rm.alloc.SlabFor(addr)
 	if !ok {
-		return nil, fmt.Errorf("core: address %v not in any slab", addr)
+		return nil, 0, fmt.Errorf("core: address %v not in any slab", addr)
 	}
 	for i, pl := range rm.replicas[s.ID] {
 		l, err := rm.rack.link(pl.Node)
@@ -96,9 +111,71 @@ func (rm *resourceManager) Translate(addr mem.Addr) (fpga.PageReader, error) {
 		if i > 0 {
 			rm.failovers++
 		}
-		return boundPage{link: l, off: pl.RemoteOff + uint64(addr-pl.Base)}, nil
+		return l, pl.RemoteOff + uint64(addr-pl.Base), nil
 	}
-	return nil, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
+	return nil, 0, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
+}
+
+// Translate implements fpga.Translator over the slab map, preferring the
+// primary placement and failing over to a live replica.
+func (rm *resourceManager) Translate(addr mem.Addr) (fpga.PageReader, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	l, off, err := rm.translateLocked(addr)
+	if err != nil {
+		return nil, err
+	}
+	return boundPage{rm: rm, addr: addr, link: l, off: off}, nil
+}
+
+// batchGroup accumulates one node's share of a scatter-gather read.
+type batchGroup struct {
+	link nodeLink
+	offs []uint64
+	bufs [][]byte
+}
+
+// ReadPagesBatch implements fpga.BatchTranslator: it resolves every base
+// to its live placement, groups the pages by destination node, and
+// issues one scatter-gather read per node. All bases are resolved before
+// any wire traffic, so a translation failure aborts with no partial
+// fetch; per-node reads then run back to back (the caller overlaps
+// batches with demand work, not nodes with each other — one stalled node
+// failing fast beats interleaved partial fills).
+func (rm *resourceManager) ReadPagesBatch(now simclock.Duration, bases []mem.Addr, bufs [][]byte) (simclock.Duration, error) {
+	if len(bases) != len(bufs) {
+		return now, fmt.Errorf("core: batch read: %d bases, %d buffers", len(bases), len(bufs))
+	}
+	rm.mu.Lock()
+	groups := make(map[int]*batchGroup, 2)
+	var order []*batchGroup
+	for i, base := range bases {
+		l, off, err := rm.translateLocked(base)
+		if err != nil {
+			rm.mu.Unlock()
+			return now, err
+		}
+		g, ok := groups[l.id()]
+		if !ok {
+			g = &batchGroup{link: l}
+			groups[l.id()] = g
+			order = append(order, g)
+		}
+		g.offs = append(g.offs, off)
+		g.bufs = append(g.bufs, bufs[i])
+	}
+	rm.mu.Unlock()
+	latest := now
+	for _, g := range order {
+		done, err := g.link.readPages(now, g.offs, g.bufs)
+		if err != nil {
+			return now, err
+		}
+		if done > latest {
+			latest = done
+		}
+	}
+	return latest, nil
 }
 
 // placement is one eviction destination for an address.
@@ -110,27 +187,34 @@ type placement struct {
 // placementsFor returns every live replica destination for addr (for
 // eviction, which must update all copies).
 func (rm *resourceManager) placementsFor(addr mem.Addr) ([]placement, error) {
+	return rm.placementsInto(addr, nil)
+}
+
+// placementsInto is placementsFor appending into a caller-owned scratch
+// slice (reset to length zero first), so the per-eviction lookup does
+// not allocate.
+func (rm *resourceManager) placementsInto(addr mem.Addr, dst []placement) ([]placement, error) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
+	dst = dst[:0]
 	s, ok := rm.alloc.SlabFor(addr)
 	if !ok {
-		return nil, fmt.Errorf("core: address %v not in any slab", addr)
+		return dst, fmt.Errorf("core: address %v not in any slab", addr)
 	}
-	var out []placement
 	for _, pl := range rm.replicas[s.ID] {
 		l, err := rm.rack.link(pl.Node)
 		if err != nil || !l.healthy() {
 			continue
 		}
-		out = append(out, placement{
+		dst = append(dst, placement{
 			link:      l,
 			remoteOff: pl.RemoteOff + uint64(addr-pl.Base),
 		})
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
+	if len(dst) == 0 {
+		return dst, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Malloc allocates size bytes of disaggregated memory, growing the slab

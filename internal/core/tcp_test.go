@@ -10,8 +10,9 @@ import (
 )
 
 // tcpRig spins a controller daemon and n memory-node daemons on localhost
-// and returns the controller's address plus the daemon node objects.
-func tcpRig(t *testing.T, n int) (string, []*cluster.MemoryNode) {
+// and returns the controller's address plus the daemon node objects. It
+// takes testing.TB so benchmarks share the rig.
+func tcpRig(t testing.TB, n int) (string, []*cluster.MemoryNode) {
 	t.Helper()
 	ctrl := cluster.NewController()
 	cs, err := cluster.ServeController(ctrl, "127.0.0.1:0")

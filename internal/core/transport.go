@@ -27,11 +27,16 @@ type nodeLink interface {
 	healthy() bool
 	// readPage fills buf with one page at pool offset off.
 	readPage(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error)
+	// readPages gathers len(offs) equally-sized spans into the matching
+	// bufs elements, coalescing into one round trip when the transport
+	// supports scatter-gather reads.
+	readPages(now simclock.Duration, offs []uint64, bufs [][]byte) (simclock.Duration, error)
 	// writePage stores data at pool offset off.
 	writePage(now simclock.Duration, off uint64, data []byte) (simclock.Duration, error)
 	// shipLog delivers a packed cache-line log to the node's receiver;
-	// ackDue is when the receiver's acknowledgment lands.
-	shipLog(now simclock.Duration, packed []byte) (done, ackDue simclock.Duration, err error)
+	// ackDue is when the receiver's acknowledgment lands, entries how
+	// many log entries the receiver unpacked.
+	shipLog(now simclock.Duration, packed []byte) (done, ackDue simclock.Duration, entries int, err error)
 	// injectDelay adds artificial latency (failure testing); transports
 	// that cannot are explicit about it.
 	injectDelay(d simclock.Duration) error
@@ -44,6 +49,11 @@ type rack interface {
 	allocReplicated(size uint64, replicas int) ([]Slab, error)
 	release(s Slab) error
 	link(node int) (nodeLink, error)
+	// pipelined reports whether the transport benefits from concurrent
+	// per-node operations. The simulated fabric serializes everything
+	// through one virtual-time NIC model and must stay single-threaded
+	// for reproducibility; real TCP links overlap round trips.
+	pipelined() bool
 }
 
 // --- simulated RDMA transport -----------------------------------------
@@ -70,6 +80,8 @@ func (r *simRack) allocReplicated(size uint64, replicas int) ([]Slab, error) {
 }
 
 func (r *simRack) release(s Slab) error { return r.ctrl.ReleaseSlab(s) }
+
+func (r *simRack) pipelined() bool { return false }
 
 func (r *simRack) link(node int) (nodeLink, error) {
 	if l, ok := r.links[node]; ok {
@@ -113,6 +125,19 @@ func (l *rdmaLink) readPage(now simclock.Duration, off uint64, buf []byte) (simc
 	return done, nil
 }
 
+// readPages on the simulated fabric issues the reads back to back: the
+// virtual-time NIC model serializes verbs anyway, so a batched form
+// would not change the timeline — it exists for interface parity.
+func (l *rdmaLink) readPages(now simclock.Duration, offs []uint64, bufs [][]byte) (simclock.Duration, error) {
+	var err error
+	for i, off := range offs {
+		if now, err = l.readPage(now, off, bufs[i]); err != nil {
+			return now, err
+		}
+	}
+	return now, nil
+}
+
 func (l *rdmaLink) writePage(now simclock.Duration, off uint64, data []byte) (simclock.Duration, error) {
 	copy(l.staging.Bytes(), data)
 	done, err := l.qp.PostSend(now, []rdma.WR{{
@@ -126,22 +151,21 @@ func (l *rdmaLink) writePage(now simclock.Duration, off uint64, data []byte) (si
 	return done, nil
 }
 
-func (l *rdmaLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, error) {
+func (l *rdmaLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, int, error) {
 	copy(l.logBuf.Bytes(), packed)
 	done, err := l.qp.PostSend(now, []rdma.WR{{
 		Op: rdma.OpWrite, Local: l.logBuf, RemoteKey: l.node.LogKey(),
 		RemoteOff: 0, Len: len(packed), Signaled: true,
 	}})
 	if err != nil {
-		return now, now, err
+		return now, now, 0, err
 	}
 	l.qp.PollCQ()
 	entries, service, err := l.node.UnpackLog(len(packed))
 	if err != nil {
-		return done, done, err
+		return done, done, 0, err
 	}
-	_ = entries
-	return done, done + service + 500, nil // +ack flight
+	return done, done + service + 500, entries, nil // +ack flight
 }
 
 func (l *rdmaLink) injectDelay(d simclock.Duration) error {
@@ -202,30 +226,79 @@ func (r *tcpRack) allocReplicated(size uint64, replicas int) ([]Slab, error) {
 
 func (r *tcpRack) release(s Slab) error { return r.client.ReleaseSlab(s) }
 
+func (r *tcpRack) pipelined() bool { return true }
+
 func (r *tcpRack) link(node int) (nodeLink, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if l, ok := r.links[node]; ok {
+		r.mu.Unlock()
 		return l, nil
 	}
 	addr, ok := r.addrs[node]
+	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no address known for memory node %d", node)
 	}
+	// Construct the client outside the rack lock: concurrent eviction
+	// shippers and the fetch path both call link(), and holding r.mu
+	// across client construction (and any dial it may one day perform)
+	// would serialize them behind connection setup.
 	l := &tcpLink{nodeID: node, client: cluster.DialMemoryNodeTransport(addr, r.tr)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.links[node]; ok {
+		// Lost the construction race; keep the established link.
+		l.client.Close()
+		return existing, nil
+	}
 	r.links[node] = l
 	return l, nil
 }
+
+// healthTTL is how long a tcpLink trusts its last Ping verdict. Health is
+// consulted on every translation (fetch and eviction placement), so an
+// uncached check would cost one RTT per page operation.
+const healthTTL = 250 * time.Millisecond
 
 // tcpLink reaches a real memory-node daemon.
 type tcpLink struct {
 	nodeID int
 	client *cluster.MemoryNodeClient
+
+	// mu guards the cached health verdict.
+	mu      sync.Mutex
+	lastOK  bool
+	checked time.Time
 }
 
 func (l *tcpLink) id() int { return l.nodeID }
 
-func (l *tcpLink) healthy() bool { return l.client.Ping() == nil }
+// healthy pings the node, trusting a cached verdict for healthTTL. Any
+// data-path error invalidates the cache (noteFailure) so failover does
+// not wait out the TTL on a node that just stopped answering.
+func (l *tcpLink) healthy() bool {
+	l.mu.Lock()
+	if !l.checked.IsZero() && time.Since(l.checked) < healthTTL {
+		ok := l.lastOK
+		l.mu.Unlock()
+		return ok
+	}
+	l.mu.Unlock()
+	ok := l.client.Ping() == nil
+	l.mu.Lock()
+	l.lastOK = ok
+	l.checked = time.Now()
+	l.mu.Unlock()
+	return ok
+}
+
+// noteFailure drops the cached health verdict after a data-path error so
+// the next healthy() probes the node immediately.
+func (l *tcpLink) noteFailure() {
+	l.mu.Lock()
+	l.checked = time.Time{}
+	l.mu.Unlock()
+}
 
 // elapse folds a measured wall-clock duration into virtual time.
 func elapse(now simclock.Duration, start time.Time) simclock.Duration {
@@ -236,27 +309,49 @@ func (l *tcpLink) readPage(now simclock.Duration, off uint64, buf []byte) (simcl
 	start := time.Now()
 	data, err := l.client.Read(off, len(buf))
 	if err != nil {
+		l.noteFailure()
 		return now, err
 	}
 	copy(buf, data)
 	return elapse(now, start), nil
 }
 
+// readPages gathers every span with one scatter-gather RPC instead of
+// len(offs) Read round trips.
+func (l *tcpLink) readPages(now simclock.Duration, offs []uint64, bufs [][]byte) (simclock.Duration, error) {
+	if len(offs) == 0 {
+		return now, nil
+	}
+	start := time.Now()
+	pages, err := l.client.ReadPages(offs, len(bufs[0]))
+	if err != nil {
+		l.noteFailure()
+		return now, err
+	}
+	for i, p := range pages {
+		copy(bufs[i], p)
+	}
+	return elapse(now, start), nil
+}
+
 func (l *tcpLink) writePage(now simclock.Duration, off uint64, data []byte) (simclock.Duration, error) {
 	start := time.Now()
 	if err := l.client.Write(off, data); err != nil {
+		l.noteFailure()
 		return now, err
 	}
 	return elapse(now, start), nil
 }
 
-func (l *tcpLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, error) {
+func (l *tcpLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, int, error) {
 	start := time.Now()
-	if _, err := l.client.WriteLog(packed); err != nil {
-		return now, now, err
+	entries, err := l.client.WriteLog(packed)
+	if err != nil {
+		l.noteFailure()
+		return now, now, 0, err
 	}
 	done := elapse(now, start)
-	return done, done, nil // the RPC reply is the acknowledgment
+	return done, done, entries, nil // the RPC reply is the acknowledgment
 }
 
 func (l *tcpLink) injectDelay(simclock.Duration) error {

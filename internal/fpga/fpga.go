@@ -47,6 +47,15 @@ type Translator interface {
 	Translate(addr mem.Addr) (PageReader, error)
 }
 
+// BatchTranslator is the optional scatter-gather extension of
+// Translator: ReadPagesBatch fetches whole pages for several VFMem bases
+// at once, coalescing the round trips per destination node. The
+// TCP-backed resource manager implements it; the simulated fabric keeps
+// the serial path so its virtual-time NIC ordering stays reproducible.
+type BatchTranslator interface {
+	ReadPagesBatch(now simclock.Duration, bases []mem.Addr, bufs [][]byte) (simclock.Duration, error)
+}
+
 // Victim is an FMem page displaced by a fill, handed to the Eviction
 // Handler. Data aliases the FPGA's frame; handlers copy what they keep.
 type Victim struct {
@@ -143,6 +152,17 @@ type FPGA struct {
 	translate Translator
 	onEvict   EvictHandler
 	onFetch   FetchHook
+
+	// batch, when non-nil, coalesces multi-page fetches (prefetch windows
+	// and page-spanning Reads) into scatter-gather reads — see
+	// EnableBatchFetch.
+	batch BatchTranslator
+	// batchBases/batchBufs are the batch path's reusable scratch: targets
+	// are read into scratch buffers first and only then installed,
+	// because installing mid-batch can evict an earlier target's frame
+	// and the install would alias a buffer still being filled.
+	batchBases []mem.Addr
+	batchBufs  [][]byte
 
 	sets    [][]frame
 	nsets   uint64
@@ -285,6 +305,70 @@ func (f *FPGA) maybePrefetch(now simclock.Duration, page uint64) {
 
 // SetFetchHook installs the pre-fetch ordering hook.
 func (f *FPGA) SetFetchHook(h FetchHook) { f.onFetch = h }
+
+// EnableBatchFetch turns on scatter-gather multi-page fetches when the
+// translator supports them (and fetches are page-granularity). The
+// runtime enables this only on the TCP transport, where coalescing N
+// page reads into one frame per node saves N-1 round trips.
+func (f *FPGA) EnableBatchFetch() {
+	if f.cfg.FetchBytes != mem.PageSize {
+		return
+	}
+	if bt, ok := f.translate.(BatchTranslator); ok {
+		f.batch = bt
+	}
+}
+
+// collectBatch fills batchBases with the non-resident pages among
+// targets and sizes batchBufs to match.
+func (f *FPGA) collectBatch(targets []uint64) []mem.Addr {
+	bases := f.batchBases[:0]
+	for _, t := range targets {
+		if f.lookup(t) == nil {
+			bases = append(bases, mem.PageBase(t))
+		}
+	}
+	return f.sizeBatch(bases)
+}
+
+// sizeBatch stores the collected bases back and grows batchBufs to
+// cover them.
+func (f *FPGA) sizeBatch(bases []mem.Addr) []mem.Addr {
+	f.batchBases = bases
+	for len(f.batchBufs) < len(bases) {
+		f.batchBufs = append(f.batchBufs, make([]byte, mem.PageSize))
+	}
+	return bases
+}
+
+// fetchBatch pulls every base with one scatter-gather read per node and
+// installs the pages. The write-before-read hook runs for every target
+// before any wire traffic: targets are non-resident, so no install
+// during the batch can buffer new eviction entries for them. speculative
+// marks the frames as prefetched (accuracy accounting); errors leave the
+// pages absent for the demand path to refetch and report.
+func (f *FPGA) fetchBatch(now simclock.Duration, bases []mem.Addr, speculative bool) (simclock.Duration, error) {
+	if f.onFetch != nil {
+		for _, base := range bases {
+			now = f.onFetch(now, base)
+		}
+	}
+	bufs := f.batchBufs[:len(bases)]
+	done, err := f.batch.ReadPagesBatch(now, bases, bufs)
+	if err != nil {
+		return now, err
+	}
+	for i, base := range bases {
+		fr := f.demandFrame(now, base.Page())
+		copy(fr.data, bufs[i])
+		fr.filled = ^mem.LineBitmap(0)
+		fr.readyAt = done
+		fr.prefetched = speculative
+		f.stats.RemoteFetches++
+		f.stats.BytesFetched += mem.PageSize
+	}
+	return done, nil
+}
 
 // demandFrame installs an (empty) frame for a demanded page, applying the
 // stream-bypass insertion policy.
@@ -496,10 +580,40 @@ func (f *FPGA) OnCoherenceEvent(e coherence.Event) {
 	}
 }
 
+// batchFillSpan pre-stages the non-resident pages a multi-page Read
+// spans with one scatter-gather fetch per node, so the per-page loop
+// below runs at FMem-hit cost. Best-effort: an error leaves the pages
+// absent and the serial path surfaces the real failure.
+func (f *FPGA) batchFillSpan(now simclock.Duration, addr mem.Addr, n int) simclock.Duration {
+	firstPage := addr.Page()
+	lastPage := (addr + mem.Addr(n-1)).Page()
+	if lastPage <= firstPage {
+		return now
+	}
+	bases := f.batchBases[:0]
+	for p := firstPage; p <= lastPage; p++ {
+		if f.lookup(p) == nil {
+			bases = append(bases, mem.PageBase(p))
+		}
+	}
+	bases = f.sizeBatch(bases)
+	if len(bases) < 2 {
+		return now
+	}
+	done, err := f.fetchBatch(now, bases, false)
+	if err != nil {
+		return now
+	}
+	return done
+}
+
 // Read copies bytes from VFMem into buf, fetching pages as needed, and
 // returns the completion time. This is the functional data path the
 // runtime uses for application loads.
 func (f *FPGA) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	if f.batch != nil && len(buf) > 0 {
+		now = f.batchFillSpan(now, addr, len(buf))
+	}
 	off := 0
 	for off < len(buf) {
 		a := addr + mem.Addr(off)

@@ -10,9 +10,23 @@ import (
 // the paper's §3 observation that faults stop hardware prefetchers cold.
 
 // prefetchStride runs the stride prefetcher for a demand fill at `page`,
-// issuing background fetches at the demand fetch's start time.
+// issuing background fetches at the demand fetch's start time. With
+// batch fetch enabled (TCP transport) the whole window goes out as one
+// scatter-gather read per destination node; otherwise each target is
+// fetched with its own round trip.
 func (f *FPGA) prefetchStride(now simclock.Duration, page uint64) {
-	for _, target := range f.stride.Observe(page) {
+	targets := f.stride.Observe(page)
+	if f.batch != nil && len(targets) > 1 {
+		if bases := f.collectBatch(targets); len(bases) > 1 {
+			// Best-effort, like the serial path: a failed window is
+			// simply not prefetched.
+			if _, err := f.fetchBatch(now, bases, true); err == nil {
+				f.stats.Prefetches += uint64(len(bases))
+			}
+			return
+		}
+	}
+	for _, target := range targets {
 		if f.lookup(target) != nil {
 			continue
 		}

@@ -56,19 +56,25 @@ func (b LineBitmap) Segments() []Segment {
 	if b == 0 {
 		return nil
 	}
-	var segs []Segment
+	return b.AppendSegments(nil)
+}
+
+// AppendSegments appends the maximal contiguous runs of set bits to dst
+// and returns the extended slice — the allocation-free form of Segments
+// for hot paths that reuse a scratch slice across calls.
+func (b LineBitmap) AppendSegments(dst []Segment) []Segment {
 	v := uint64(b)
 	for v != 0 {
 		first := bits.TrailingZeros64(v)
 		// Shift so the run starts at bit 0, then measure the run of ones.
 		run := bits.TrailingZeros64(^(v >> uint(first)))
-		segs = append(segs, Segment{First: first, N: run})
+		dst = append(dst, Segment{First: first, N: run})
 		if first+run >= 64 {
 			break
 		}
 		v &^= ((1 << uint(run)) - 1) << uint(first)
 	}
-	return segs
+	return dst
 }
 
 // MarkWrite sets the dirty bits covered by a write of length n bytes
