@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict cover verify
+.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent cover stress verify
 
 build:
 	$(GO) build ./...
@@ -55,9 +55,26 @@ bench-evict:
 bench-telemetry:
 	$(GO) test -run='^$$' -bench='BenchmarkTelemetryOverhead' -benchtime=1x ./internal/cachesim ./internal/cluster
 
+# Concurrency stress pass (DESIGN.md §9): the data-path and cluster
+# packages, three times each, under the race detector with a rotating
+# schedule seed — every run explores a different interleaving of the
+# concurrent model tests. -short keeps the whole pass under two minutes;
+# for a soak, run it in a loop or raise -count. Pin a failing schedule
+# with KONA_STRESS_SEED=<seed> make stress.
+KONA_STRESS_SEED ?= $(shell date +%s)
+stress:
+	KONA_STRESS_SEED=$(KONA_STRESS_SEED) $(GO) test -race -short -count=3 ./internal/core ./internal/cluster
+
+# Read-hit scaling at 1/2/4/8 application goroutines (DESIGN.md §9).
+# Wall ns/op should drop with goroutines on a multi-core host; the
+# vops/µs metric (aggregate virtual-time throughput) must scale ~linearly
+# on any host, and every row must report 0 allocs/op.
+bench-concurrent:
+	$(GO) test -run='^$$' -bench='BenchmarkConcurrent' -benchmem -benchtime=1x ./internal/core
+
 # Per-package coverage summary (tier-1 packages only; cmd mains are thin
 # flag wrappers exercised by the daemons' own tests and smoke runs).
 cover:
 	$(GO) test -cover ./internal/... | sort
 
-verify: vet build test race bench-quick bench-telemetry bench-evict
+verify: vet build test race stress bench-quick bench-telemetry bench-evict bench-concurrent

@@ -3,7 +3,9 @@ package cllog
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -144,4 +146,52 @@ func FuzzUnpack(f *testing.F) {
 			t.Fatalf("negative entry count")
 		}
 	})
+}
+
+// TestEntryPoolConcurrent churns the package entry pool from many
+// goroutines the way the sharded eviction path does — every evict shard
+// and every per-node merge batch draws from the same pool — while each
+// goroutine round-trips its own entries through Pack/Unpack. Under
+// -race this pins that pooled slices are handed to exactly one holder
+// at a time (double-delivery of one backing array would corrupt two
+// nodes' logs at once).
+func TestEntryPoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				entries := GetEntries()
+				for i := 0; i < 16; i++ {
+					payload := bytes.Repeat([]byte{byte(g + 1)}, 64)
+					entries = append(entries, Entry{
+						RemoteOff: uint64(g)<<32 | uint64(iter)<<8 | uint64(i),
+						Data:      payload,
+					})
+				}
+				buf := make([]byte, PackedSize(entries))
+				packed, err := Pack(entries, buf)
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: pack: %v", g, iter, err)
+					return
+				}
+				i := 0
+				n, err := Unpack(buf[:packed], func(e Entry) error {
+					want := entries[i]
+					if e.RemoteOff != want.RemoteOff || !bytes.Equal(e.Data, want.Data) {
+						return fmt.Errorf("entry %d mismatch (cross-goroutine corruption?)", i)
+					}
+					i++
+					return nil
+				})
+				if err != nil || n != len(entries) {
+					t.Errorf("goroutine %d iter %d: unpack n=%d err=%v", g, iter, n, err)
+					return
+				}
+				PutEntries(entries)
+			}
+		}(g)
+	}
+	wg.Wait()
 }

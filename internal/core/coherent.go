@@ -17,6 +17,13 @@ import (
 //
 // The domain is functional (data-correct) rather than timed; the timed
 // experiments drive the FPGA directly.
+//
+// Concurrency: a CoherentDomain is NOT goroutine-safe. The simulated
+// MESI caches model a snooping bus — protocol steps are globally
+// ordered by construction — so Load/Store/Drain must be issued from one
+// goroutine (or externally serialized), exactly like transactions on
+// the bus they model. The Kona runtime underneath is goroutine-safe;
+// concurrent callers should use it directly (DESIGN.md §9).
 type CoherentDomain struct {
 	sys  *coherence.System
 	kona *Kona

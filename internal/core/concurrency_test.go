@@ -1,0 +1,406 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"kona/internal/mem"
+)
+
+// This file is the concurrency test harness for the sharded data path:
+// K application goroutines drive one runtime through the same
+// read/write/sync surface the single-threaded model test uses, with two
+// kinds of checkable state:
+//
+//   - a private region per worker, mirrored exactly (disjoint pages, so
+//     the mirror is authoritative byte for byte), and
+//   - a shared region every worker touches, laid out as versioned
+//     records so a reader can check atomicity (no torn records) and
+//     monotonicity (versions it observes for a given writer never go
+//     backwards) without knowing the global interleaving.
+//
+// Run with -race; the schedule is randomized per seed, and `make stress`
+// rotates the seed via KONA_STRESS_SEED.
+
+const (
+	ccRecordSize   = 256 // one shared-region record; never crosses a page
+	ccSharedPages  = 16  // pages every worker reads and writes
+	ccPrivatePages = 24  // pages owned by exactly one worker
+)
+
+// stressSeed returns the schedule seed: KONA_STRESS_SEED when set (the
+// `make stress` rotation), otherwise the fixed fallback.
+func stressSeed(fallback int64) int64 {
+	if s := os.Getenv("KONA_STRESS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return fallback
+}
+
+// ccFill derives the fill byte of a record from its header; a reader
+// recomputes it to detect records stitched together from two writes.
+func ccFill(worker, version uint64) byte {
+	return byte(worker*131 + version*29 + 7)
+}
+
+// ccPutRecord assembles a record: [8B worker][8B version][fill bytes].
+func ccPutRecord(buf []byte, worker, version uint64) {
+	binary.LittleEndian.PutUint64(buf[0:8], worker)
+	binary.LittleEndian.PutUint64(buf[8:16], version)
+	fill := ccFill(worker, version)
+	for i := 16; i < ccRecordSize; i++ {
+		buf[i] = fill
+	}
+}
+
+// ccCheckRecord validates one record image. A still-zero record (never
+// written) is legal. Returns the header and whether the record was
+// non-zero; reports torn or corrupt records on t.
+func ccCheckRecord(t *testing.T, rec []byte, where string) (worker, version uint64, written bool) {
+	t.Helper()
+	worker = binary.LittleEndian.Uint64(rec[0:8])
+	version = binary.LittleEndian.Uint64(rec[8:16])
+	if worker == 0 && version == 0 {
+		for i, b := range rec {
+			if b != 0 {
+				t.Errorf("%s: zero header but byte %d = %#x (torn record)", where, i, b)
+				return 0, 0, false
+			}
+		}
+		return 0, 0, false
+	}
+	want := ccFill(worker, version)
+	for i := 16; i < ccRecordSize; i++ {
+		if rec[i] != want {
+			t.Errorf("%s: record (w=%d v=%d) fill byte %d = %#x, want %#x (torn record)",
+				where, worker, version, i, rec[i], want)
+			return worker, version, true
+		}
+	}
+	return worker, version, true
+}
+
+// runModelConcurrent drives rt with workers goroutines for steps
+// operations each. Layout, in allocation order:
+//
+//	[shared: ccSharedPages] [worker 0 private] [worker 1 private] ...
+//
+// Within each shared page, worker w exclusively writes the record slot
+// at offset w*ccRecordSize (so concurrent writers dirty disjoint lines
+// of the same page), and every worker also writes the final slot in the
+// page (so readers check per-page write atomicity under real
+// contention).
+func runModelConcurrent(t *testing.T, rt modelRuntime, seed int64, workers, steps int) {
+	t.Helper()
+	if (workers+1)*ccRecordSize > int(mem.PageSize) {
+		t.Fatalf("%d workers do not fit a page", workers)
+	}
+	sharedBytes := uint64(ccSharedPages * mem.PageSize)
+	privBytes := uint64(ccPrivatePages * mem.PageSize)
+	shared, err := rt.Malloc(sharedBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv := make([]mem.Addr, workers)
+	for w := range priv {
+		if priv[w], err = rt.Malloc(privBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	contendedOff := uint64(mem.PageSize) - ccRecordSize
+
+	// mirrors[w] is written only by worker w, read by the main goroutine
+	// after the join — disjoint indices, no lock needed.
+	mirrors := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			mirror := make([]byte, privBytes)
+			mirrors[w] = mirror
+			var err error
+			// version[p] is this worker's write version on shared page p.
+			version := make([]uint64, ccSharedPages)
+			// seen[p][u] is the highest version this worker has observed
+			// for writer u's slot on page p; observations must be
+			// monotonic because page accesses serialize per shard.
+			seen := make([][]uint64, ccSharedPages)
+			for p := range seen {
+				seen[p] = make([]uint64, workers)
+			}
+			var now simDurT
+			rec := make([]byte, ccRecordSize)
+			page := make([]byte, mem.PageSize)
+			for step := 0; step < steps; step++ {
+				switch r := rng.Intn(20); {
+				case r < 2: // sync (concurrent with everything else)
+					if now, err = rt.Sync(now); err != nil {
+						t.Errorf("worker %d step %d: sync: %v", w, step, err)
+						return
+					}
+				case r < 8: // private write, mirrored exactly
+					off := uint64(rng.Int63n(int64(privBytes - 512)))
+					n := 1 + rng.Intn(511)
+					data := make([]byte, n)
+					rng.Read(data)
+					if now, err = rt.Write(now, priv[w]+mem.Addr(off), data); err != nil {
+						t.Errorf("worker %d step %d: write: %v", w, step, err)
+						return
+					}
+					copy(mirror[off:], data)
+				case r < 12: // private read against the mirror
+					off := uint64(rng.Int63n(int64(privBytes - 512)))
+					n := 1 + rng.Intn(511)
+					buf := make([]byte, n)
+					if now, err = rt.Read(now, priv[w]+mem.Addr(off), buf); err != nil {
+						t.Errorf("worker %d step %d: read: %v", w, step, err)
+						return
+					}
+					if !bytes.Equal(buf, mirror[off:off+uint64(n)]) {
+						t.Errorf("worker %d step %d: private read at +%d/%d diverged from mirror", w, step, off, n)
+						return
+					}
+				case r < 16: // shared write: own slot, occasionally the contended slot
+					p := rng.Intn(ccSharedPages)
+					version[p]++
+					ccPutRecord(rec, uint64(w)+1, version[p])
+					slot := uint64(w) * ccRecordSize
+					if rng.Intn(4) == 0 {
+						slot = contendedOff
+					}
+					addr := shared + mem.Addr(uint64(p)*mem.PageSize+slot)
+					if now, err = rt.Write(now, addr, rec); err != nil {
+						t.Errorf("worker %d step %d: shared write: %v", w, step, err)
+						return
+					}
+				default: // shared read: validate every record on one page
+					p := rng.Intn(ccSharedPages)
+					if now, err = rt.Read(now, shared+mem.Addr(uint64(p)*mem.PageSize), page); err != nil {
+						t.Errorf("worker %d step %d: shared read: %v", w, step, err)
+						return
+					}
+					for u := 0; u < workers; u++ {
+						slot := page[u*ccRecordSize : (u+1)*ccRecordSize]
+						writer, ver, ok := ccCheckRecord(t, slot, "shared slot")
+						if !ok {
+							continue
+						}
+						if writer != uint64(u)+1 {
+							t.Errorf("worker %d: page %d slot %d holds writer %d's record", w, p, u, writer)
+							return
+						}
+						if ver < seen[p][u] {
+							t.Errorf("worker %d: page %d slot %d version went backwards (%d after %d)", w, p, u, ver, seen[p][u])
+							return
+						}
+						seen[p][u] = ver
+					}
+					// The contended slot may hold any worker's record,
+					// but never a torn one.
+					ccCheckRecord(t, page[contendedOff:], "contended slot")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Quiesce, then sweep each private region against its mirror from
+	// the main goroutine — catches anything eviction wrote back wrong
+	// once all workers are done.
+	var now simDurT
+	if now, err = rt.Sync(now); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, mem.PageSize)
+	for w := 0; w < workers; w++ {
+		for p := 0; p < ccPrivatePages; p++ {
+			if now, err = rt.Read(now, priv[w]+mem.Addr(p*mem.PageSize), buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, mirrors[w][p*mem.PageSize:(p+1)*mem.PageSize]) {
+				t.Fatalf("final sweep: worker %d page %d diverged from mirror", w, p)
+			}
+		}
+	}
+}
+
+func concurrentConfig(shards int) Config {
+	cfg := smallConfig()
+	cfg.Shards = shards
+	return cfg
+}
+
+func TestModelConcurrentKona(t *testing.T) {
+	cfg := concurrentConfig(8)
+	runModelConcurrent(t, NewKona(cfg, newCluster(2)), stressSeed(11), 4, 1500)
+}
+
+func TestModelConcurrentKonaTinyCache(t *testing.T) {
+	// 8-page FMem against many concurrent working sets: constant
+	// eviction churn racing demand fills.
+	cfg := concurrentConfig(4)
+	cfg.LocalCacheBytes = 8 * mem.PageSize
+	runModelConcurrent(t, NewKona(cfg, newCluster(2)), stressSeed(12), 4, 1200)
+}
+
+func TestModelConcurrentKonaSerialShard(t *testing.T) {
+	// Shards=1 degenerates to a single global stripe; concurrency must
+	// still be safe (just unscalable).
+	cfg := concurrentConfig(1)
+	cfg.LocalCacheBytes = 16 * mem.PageSize
+	runModelConcurrent(t, NewKona(cfg, newCluster(1)), stressSeed(13), 4, 800)
+}
+
+func TestModelConcurrentKonaVM(t *testing.T) {
+	cfg := concurrentConfig(0)
+	cfg.LocalCacheBytes = 8 * mem.PageSize
+	runModelConcurrent(t, NewKonaVM(cfg, newCluster(1)), stressSeed(14), 4, 800)
+}
+
+func TestModelConcurrentKonaManyWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-worker schedule skipped in -short")
+	}
+	cfg := concurrentConfig(8)
+	cfg.LocalCacheBytes = 32 * mem.PageSize
+	runModelConcurrent(t, NewKona(cfg, newCluster(3)), stressSeed(15), 8, 1000)
+}
+
+// TestSingleFlightFetch pins miss suppression: N goroutines missing on
+// the same non-resident page must issue exactly one remote read — the
+// winner fills under the shard lock, the losers land as FMem hits.
+func TestSingleFlightFetch(t *testing.T) {
+	const readers = 8
+	cfg := concurrentConfig(8)
+	k := NewKona(cfg, newCluster(1))
+	addr, err := k.Malloc(mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			<-start
+			if _, err := k.Read(0, addr, buf); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	st := k.FPGAStats()
+	if st.RemoteFetches != 1 {
+		t.Fatalf("RemoteFetches = %d, want 1 (single-flight violated)", st.RemoteFetches)
+	}
+	if st.FMemHits != readers-1 {
+		t.Fatalf("FMemHits = %d, want %d (losers must resolve as hits)", st.FMemHits, readers-1)
+	}
+}
+
+// TestEvictRetryAfterFailedShip pins the retained-entry protocol: a ship
+// that fails must keep its log entries (and their byte accounting) so the
+// next flush retries them, and after the node recovers a Sync must land
+// every dirty byte.
+func TestEvictRetryAfterFailedShip(t *testing.T) {
+	ctrl := newCluster(1)
+	cfg := concurrentConfig(4)
+	cfg.LocalCacheBytes = 8 * mem.PageSize
+	k := NewKona(cfg, ctrl)
+
+	const pages = 24
+	addr, err := k.Malloc(pages * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := make([]byte, pages*mem.PageSize)
+	rng := rand.New(rand.NewSource(42))
+	rng.Read(mirror)
+	var now simDurT
+	for p := 0; p < pages; p++ {
+		if now, err = k.Write(now, addr+mem.Addr(p*mem.PageSize), mirror[p*mem.PageSize:(p+1)*mem.PageSize]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	n, _ := ctrl.Node(0)
+	n.Fail()
+	if _, err := k.Sync(now); err == nil {
+		t.Fatal("Sync against a failed node returned nil error")
+	}
+	n.Recover()
+	if now, err = k.Sync(now); err != nil {
+		t.Fatalf("Sync after recovery: %v", err)
+	}
+
+	// Every byte must be durable remotely: read back through the cache
+	// (the tiny FMem forces most pages to refetch from the node).
+	buf := make([]byte, mem.PageSize)
+	for p := 0; p < pages; p++ {
+		if now, err = k.Read(now, addr+mem.Addr(p*mem.PageSize), buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, mirror[p*mem.PageSize:(p+1)*mem.PageSize]) {
+			t.Fatalf("page %d diverged after failed-ship retry", p)
+		}
+	}
+}
+
+// TestConcurrentStatsAndFlush races the observer surface (Stats,
+// Breakdown, Occupancy, DirtyLines) against a mutating workload; the
+// race detector is the assertion.
+func TestConcurrentStatsAndFlush(t *testing.T) {
+	cfg := concurrentConfig(4)
+	cfg.LocalCacheBytes = 8 * mem.PageSize
+	k := NewKona(cfg, newCluster(2))
+	addr, err := k.Malloc(64 * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = k.FPGAStats()
+			_ = k.EvictStats()
+			_ = k.EvictBreakdown()
+			_ = k.DirtyLines(addr)
+		}
+	}()
+	var now simDurT
+	buf := make([]byte, 512)
+	for i := 0; i < 3000; i++ {
+		a := addr + mem.Addr((i%64)*int(mem.PageSize))
+		if now, err = k.Write(now, a, buf); err != nil {
+			t.Fatal(err)
+		}
+		if i%500 == 0 {
+			if now, err = k.Sync(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"kona/internal/simclock"
@@ -50,6 +51,14 @@ type Config struct {
 	// paper's choice; §4.4 "Kona can choose the data movement size
 	// between page and cache-line granularity").
 	FetchBytes uint64
+	// Shards is the lock-stripe count for the concurrent data path: FMem
+	// frame state and the eviction handler's append side are partitioned
+	// into this many independently locked shards (DESIGN.md §9). Rounded
+	// up to a power of two and clamped to the FMem set count. 0 derives it
+	// from GOMAXPROCS; 1 yields the fully serial pre-concurrency layout.
+	// Sharding changes lock granularity only — for a fixed seed the
+	// virtual-time results are identical at any value.
+	Shards int
 	// Metrics receives the runtime's live telemetry: fetch/eviction
 	// counters, writeback volume, and annotated trace events on the
 	// bounded ring (DESIGN.md §7). nil — the default — disables
@@ -85,7 +94,25 @@ func (c Config) withDefaults() Config {
 	if c.EvictFanout <= 0 {
 		c.EvictFanout = 4
 	}
+	if c.Shards == 0 {
+		c.Shards = defaultShards()
+	}
 	return c
+}
+
+// defaultShards sizes the lock-stripe count to the host: the next power
+// of two at or above GOMAXPROCS, capped at 64 (beyond that the stripes
+// outnumber any realistic contention and only cost memory).
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	s := 1
+	for s < n && s < 64 {
+		s <<= 1
+	}
+	return s
 }
 
 // Software cost constants for the eviction path (Fig 11c's breakdown).

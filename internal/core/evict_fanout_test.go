@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"testing"
 
 	"kona/internal/cluster"
@@ -126,6 +127,42 @@ func TestHealthyTTLCachesPing(t *testing.T) {
 	}
 	if pings = reg.Counter("cluster.memnode.served.ping").Value(); pings != 2 {
 		t.Fatalf("noteFailure did not force a fresh probe: %d pings, want 2", pings)
+	}
+}
+
+// TestHealthyConcurrent is the race-regression test for the health
+// cache: the verdict and its timestamp are one packed atomic word, so
+// concurrent healthy() probes and noteFailure() invalidations from
+// fan-out goroutines must never tear (a stale-verdict/fresh-timestamp
+// mix would suppress the re-probe after a failure). Run under -race; the
+// functional assertion is that a live node always ends up healthy.
+func TestHealthyConcurrent(t *testing.T) {
+	node := cluster.NewMemoryNode(0, 1<<20)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := cluster.ServeMemoryNodeOnWith(node, ln, telemetry.New(0))
+	defer ns.Close()
+
+	l := &tcpLink{nodeID: 0, client: cluster.DialMemoryNode(ns.Addr())}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g == 0 && i%20 == 19 {
+					l.noteFailure()
+					continue
+				}
+				l.healthy()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !l.healthy() {
+		t.Fatal("healthy() false against a live node after concurrent churn")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"kona/internal/cllog"
 	"kona/internal/fpga"
@@ -73,6 +74,20 @@ type EvictStats struct {
 	RemoteEntries uint64
 }
 
+// add accumulates o into s (shard-stat merge).
+func (s *EvictStats) add(o EvictStats) {
+	s.PagesEvicted += o.PagesEvicted
+	s.DirtyPages += o.DirtyPages
+	s.Segments += o.Segments
+	s.LinesShipped += o.LinesShipped
+	s.PayloadBytes += o.PayloadBytes
+	s.WireBytes += o.WireBytes
+	s.Flushes += o.Flushes
+	s.AcksReceived += o.AcksReceived
+	s.SilentEvicted += o.SilentEvicted
+	s.RemoteEntries += o.RemoteEntries
+}
+
 // payloadArena hands out stable payload slices for eviction-log entries
 // without a per-segment heap allocation. copyIn appends into a chunk and
 // returns an alias; the alias stays valid until reset. When demand
@@ -138,6 +153,17 @@ func (a *payloadArena) reset() {
 // acknowledgment before reusing the space. With replication enabled the
 // log is shipped to every replica (§4.5).
 //
+// Concurrency (DESIGN.md §9): the append side — bitmap scan, arena copy,
+// per-node entry buffering, pending-page tracking — is partitioned into
+// power-of-two lock-striped shards keyed by the victim's page, so
+// evictions issued concurrently from different FMem stripes never
+// serialize against each other. The flush side is serialized by flushMu:
+// a flush first *harvests* every shard's buffered entries into the
+// per-node merge batches (one shard lock at a time), then packs and
+// ships. Per-node byte counts are kept globally (atomic) so threshold
+// semantics — flush node N once its buffered bytes cross the limit — are
+// identical to the serial runtime's at any shard count.
+//
 // On the pipelined (TCP) transport the per-node ships fan out
 // concurrently — one goroutine per destination, at most fanout in
 // flight — so a replicated flush costs roughly the slowest replica's
@@ -146,30 +172,37 @@ func (a *payloadArena) reset() {
 type evictor struct {
 	rm *resourceManager
 
+	shards    []evictShard
+	shardMask uint64
+
 	// logBuf is the serial-path pack scratch (the registered ring buffer
-	// lives in the transport link). Concurrent ships pack into private
-	// per-batch buffers instead.
+	// lives in the transport link), used under flushMu. Concurrent ships
+	// pack into private per-batch buffers instead.
 	logBuf    []byte
 	threshold int
 
-	// arena backs every entry payload; it recycles once all batches have
-	// drained (each node's previous ack honored first — see flush paths).
-	arena *payloadArena
-	// segScratch/plScratch are reused across EvictPage calls so the
-	// steady-state eviction path performs no heap allocation.
-	segScratch []mem.Segment
-	plScratch  []placement
+	// nodeMu guards membership of nodes/order. order remembers
+	// first-touch sequence so flushes walk the nodes deterministically —
+	// map iteration order would let the per-node ackDue values pair up
+	// differently with the NIC's serialized timeline from run to run.
+	// The slice is append-only; a snapshot of its header taken under the
+	// read lock stays valid afterwards.
+	nodeMu sync.RWMutex
+	nodes  map[int]*nodeBatch
+	order  []*nodeBatch
 
-	// perNode accumulates entries destined for each memory node; order
-	// remembers first-touch sequence so flushes walk the nodes
-	// deterministically — map iteration order would let the per-node
-	// ackDue values pair up differently with the NIC's serialized
-	// timeline from run to run.
-	perNode map[int]*nodeBatch
-	order   []*nodeBatch
-	// pending tracks pages with buffered (unflushed) entries, for the
-	// write-before-read ordering check on refetch.
-	pending map[mem.Addr]struct{}
+	// flushMu serializes harvest+pack+ship cycles and guards the
+	// flush-side stats, breakdown, the stolen-pending scratch and every
+	// nodeBatch's merge fields. Lock order: flushMu → shard.mu → nodeMu;
+	// EvictPage's append phase releases its shard lock before taking
+	// flushMu for a threshold flush, so no cycle exists.
+	flushMu sync.Mutex
+	// stolen records pending pages removed from the shards by a
+	// full-flush harvest; restored on ship failure so the
+	// write-before-read check stays conservative (see harvest comments).
+	stolen []mem.Addr
+	fbreak Breakdown  // RDMAWrite + AckWait slices
+	fstats EvictStats // WireBytes, Flushes, AcksReceived, RemoteEntries
 
 	// fanout > 1 enables the concurrent ship path; it is forced to 1
 	// when the rack's transport is not pipelined.
@@ -177,16 +210,58 @@ type evictor struct {
 	sem     chan struct{}
 	results []shipResult
 
-	breakdown Breakdown
-	stats     EvictStats
-	m         evictMetrics
+	m evictMetrics
 }
 
-// nodeBatch is the pending log content for one destination node.
-type nodeBatch struct {
-	link    nodeLink
+// evictShard is one lock stripe of the append side. Everything a dirty
+// eviction touches before the flush — scratch, arena, per-node entry
+// buffers, the pending-page set and the append-side counters — lives
+// here, so concurrent evictions of pages in different stripes share
+// nothing.
+type evictShard struct {
+	mu sync.Mutex
+	// arena backs this shard's entry payloads; it recycles once no
+	// buffered or retained entry can alias it (see maybeRecycleLocked).
+	arena *payloadArena
+	// segScratch/plScratch are reused across EvictPage calls so the
+	// steady-state eviction path performs no heap allocation.
+	segScratch []mem.Segment
+	plScratch  []placement
+	// batches buffers this shard's entries per destination node until a
+	// flush harvests them.
+	batches map[int]*shardBatch
+	// pending tracks pages with buffered (unflushed) entries, for the
+	// write-before-read ordering check on refetch.
+	pending map[mem.Addr]struct{}
+	// stats holds the append-side counters (PagesEvicted, DirtyPages,
+	// SilentEvicted, Segments, LinesShipped, PayloadBytes).
+	stats EvictStats
+	// bitmapT/copyT are the append-side Breakdown slices.
+	bitmapT, copyT simclock.Duration
+}
+
+// shardBatch is one shard's buffered entries for one destination node.
+type shardBatch struct {
 	entries []cllog.Entry
 	bytes   int
+}
+
+// nodeBatch is the per-destination merge point: harvested entries from
+// every shard accumulate here (in shard-index order, preserving per-page
+// append order since a page maps to exactly one shard) until the pack
+// and ship. All fields except link and pendingBytes are guarded by
+// flushMu.
+type nodeBatch struct {
+	link nodeLink
+	// pendingBytes counts the node's unshipped log bytes — buffered in
+	// shards plus harvested-but-retained after a failed ship — and is
+	// only decremented when a ship succeeds, so threshold checks keep
+	// retrying a failed node exactly like the serial runtime did.
+	pendingBytes atomic.Int64
+	// entries/entryBytes are the harvested (and, after a failure,
+	// retained) log content awaiting ship.
+	entries    []cllog.Entry
+	entryBytes int
 	// packBuf is the private pack scratch for concurrent ships (each
 	// in-flight node needs its own packed image). Lazily sized.
 	packBuf []byte
@@ -213,15 +288,24 @@ func newEvictor(rm *resourceManager, cfg Config) *evictor {
 	if !rm.rack.pipelined() {
 		fanout = 1
 	}
+	nshards := uint64(1)
+	for int(nshards) < cfg.Shards {
+		nshards <<= 1
+	}
 	e := &evictor{
 		rm:        rm,
+		shards:    make([]evictShard, nshards),
+		shardMask: nshards - 1,
 		logBuf:    make([]byte, cfg.LogBytes),
 		threshold: cfg.FlushThreshold,
-		arena:     newPayloadArena(cfg.LogBytes),
-		perNode:   make(map[int]*nodeBatch),
-		pending:   make(map[mem.Addr]struct{}),
+		nodes:     make(map[int]*nodeBatch),
 		fanout:    fanout,
 		m:         newEvictMetrics(cfg.Metrics),
+	}
+	for i := range e.shards {
+		e.shards[i].arena = newPayloadArena(cfg.LogBytes)
+		e.shards[i].batches = make(map[int]*shardBatch)
+		e.shards[i].pending = make(map[mem.Addr]struct{})
 	}
 	if fanout > 1 {
 		e.sem = make(chan struct{}, fanout)
@@ -229,31 +313,50 @@ func newEvictor(rm *resourceManager, cfg Config) *evictor {
 	return e
 }
 
+// shardFor returns the append stripe owning the page at base.
+func (e *evictor) shardFor(base mem.Addr) *evictShard {
+	return &e.shards[base.Page()&e.shardMask]
+}
+
+// orderSnapshot returns the current first-touch node sequence.
+func (e *evictor) orderSnapshot() []*nodeBatch {
+	e.nodeMu.RLock()
+	order := e.order
+	e.nodeMu.RUnlock()
+	return order
+}
+
 // EvictPage handles one FMem victim: clean pages are dropped silently;
 // dirty pages have exactly their dirty segments copied into the log.
 // It returns the virtual time when the eviction-path work completes.
+// Callers may invoke it concurrently (the FPGA does, one per FMem
+// stripe); victims in different evict stripes append in parallel.
 func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Duration, error) {
-	e.stats.PagesEvicted++
+	sh := e.shardFor(v.Base)
+	sh.mu.Lock()
+	sh.stats.PagesEvicted++
 	if !v.Dirty.Any() {
-		e.stats.SilentEvicted++
+		sh.stats.SilentEvicted++
+		sh.mu.Unlock()
 		e.m.silent.Inc()
 		return now, nil
 	}
-	e.stats.DirtyPages++
-	e.m.dirtyPages.Inc()
-	e.pending[v.Base] = struct{}{}
+	sh.stats.DirtyPages++
+	sh.pending[v.Base] = struct{}{}
 
 	// Bitmap scan: find the dirty segments.
-	e.segScratch = v.Dirty.AppendSegments(e.segScratch[:0])
-	segs := e.segScratch
-	e.breakdown.Bitmap += bitmapScanCost
+	sh.segScratch = v.Dirty.AppendSegments(sh.segScratch[:0])
+	segs := sh.segScratch
+	sh.bitmapT += bitmapScanCost
 	now += bitmapScanCost
 
-	placements, err := e.rm.placementsInto(v.Base, e.plScratch)
-	e.plScratch = placements[:0]
+	placements, err := e.rm.placementsInto(v.Base, sh.plScratch)
+	sh.plScratch = placements[:0]
 	if err != nil {
+		sh.mu.Unlock()
 		return now, err
 	}
+	var segsN, linesN, payloadN uint64
 	for _, seg := range segs {
 		off := seg.First * mem.CacheLineSize
 		length := seg.N * mem.CacheLineSize
@@ -261,107 +364,225 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 
 		// Copy the segment into the registered log once; entries alias it.
 		c := segmentCopyFixed + copyCost(length)
-		e.breakdown.Copy += c
+		sh.copyT += c
 		now += c
-		payload := e.arena.copyIn(data)
+		payload := sh.arena.copyIn(data)
 
-		e.stats.Segments++
-		e.stats.LinesShipped += uint64(seg.N)
-		e.stats.PayloadBytes += uint64(length)
-		e.m.lines.Add(uint64(seg.N))
-		e.m.payloadBytes.Add(uint64(length))
+		sh.stats.Segments++
+		sh.stats.LinesShipped += uint64(seg.N)
+		sh.stats.PayloadBytes += uint64(length)
+		segsN++
+		linesN += uint64(seg.N)
+		payloadN += uint64(length)
 
 		for _, pl := range placements {
 			nb := e.batchFor(pl)
-			nb.entries = append(nb.entries, cllog.Entry{
+			sb := sh.batchFor(nb.link.id())
+			sb.entries = append(sb.entries, cllog.Entry{
 				RemoteOff: pl.remoteOff + uint64(off),
 				Data:      payload,
 			})
-			nb.bytes += cllog.HeaderSize + length
+			nbytes := cllog.HeaderSize + length
+			sb.bytes += nbytes
+			nb.pendingBytes.Add(int64(nbytes))
 		}
 	}
+	sh.mu.Unlock()
+	e.m.dirtyPages.Inc()
+	e.m.lines.Add(linesN)
+	e.m.payloadBytes.Add(payloadN)
+
 	// Flush any destination whose pending log crossed the threshold.
-	if e.fanout > 1 {
-		full := false
-		for _, nb := range e.order {
-			if nb.bytes >= e.threshold {
-				full = true
-				break
-			}
-		}
-		if full {
-			done, err := e.fanoutShip(now, true)
-			if err != nil {
-				return now, err
-			}
-			now = done
-		}
-	} else {
-		for _, nb := range e.order {
-			if nb.bytes >= e.threshold {
-				var err error
-				now, err = e.flushNode(now, nb)
-				if err != nil {
-					return now, err
-				}
-			}
+	full := false
+	for _, nb := range e.orderSnapshot() {
+		if nb.pendingBytes.Load() >= int64(e.threshold) {
+			full = true
+			break
 		}
 	}
-	e.maybeRecycleArena()
+	if !full {
+		return now, nil
+	}
+	if e.fanout > 1 {
+		e.flushMu.Lock()
+		done, err := e.fanoutShipLocked(now, true)
+		if err == nil {
+			e.maybeRecycleLocked()
+		}
+		e.flushMu.Unlock()
+		if err != nil {
+			return now, err
+		}
+		return done, nil
+	}
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	for _, nb := range e.orderSnapshot() {
+		if nb.pendingBytes.Load() < int64(e.threshold) {
+			continue
+		}
+		e.harvestNode(nb)
+		now, err = e.flushNodeLocked(now, nb)
+		if err != nil {
+			return now, err
+		}
+	}
+	e.maybeRecycleLocked()
 	return now, nil
 }
 
-// batchFor finds or creates the pending batch for a placement's node.
+// batchFor finds or creates the global merge batch for a placement's
+// node. Called with a shard lock held (shard.mu → nodeMu).
 func (e *evictor) batchFor(pl placement) *nodeBatch {
-	nb, ok := e.perNode[pl.link.id()]
-	if !ok {
-		nb = &nodeBatch{link: pl.link, entries: cllog.GetEntries()}
-		e.perNode[pl.link.id()] = nb
-		e.order = append(e.order, nb)
+	id := pl.link.id()
+	e.nodeMu.RLock()
+	nb := e.nodes[id]
+	e.nodeMu.RUnlock()
+	if nb != nil {
+		return nb
 	}
+	e.nodeMu.Lock()
+	defer e.nodeMu.Unlock()
+	if nb := e.nodes[id]; nb != nil {
+		return nb
+	}
+	nb = &nodeBatch{link: pl.link, entries: cllog.GetEntries()}
+	e.nodes[id] = nb
+	e.order = append(e.order, nb)
 	return nb
 }
 
-// maybeRecycleArena resets the payload arena once no batch holds entries
-// aliasing it. A batch only empties after its ship completed — which in
-// turn waited out the node's previous ack — so by construction the reset
-// never reclaims bytes a receiver has not yet made durable.
-func (e *evictor) maybeRecycleArena() {
-	for _, nb := range e.order {
+// batchFor finds or creates the shard's buffer for a destination node.
+// Caller holds sh.mu.
+func (sh *evictShard) batchFor(id int) *shardBatch {
+	sb := sh.batches[id]
+	if sb == nil {
+		sb = &shardBatch{entries: cllog.GetEntries()}
+		sh.batches[id] = sb
+	}
+	return sb
+}
+
+// harvestNode steals every shard's buffered entries for nb into the
+// merge batch, walking shards in index order (per-page entry order is
+// preserved because a page always lands in the same shard). Caller holds
+// flushMu. pendingBytes is left untouched: it only shrinks when the ship
+// succeeds, so a failed ship keeps the node over threshold and the next
+// eviction retries it — same retry behavior as the serial runtime.
+func (e *evictor) harvestNode(nb *nodeBatch) {
+	id := nb.link.id()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		if sb := sh.batches[id]; sb != nil && len(sb.entries) > 0 {
+			nb.entries = append(nb.entries, sb.entries...)
+			nb.entryBytes += sb.bytes
+			sb.entries = sb.entries[:0]
+			sb.bytes = 0
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// stealPendingLocked atomically (per shard) moves every pending page
+// into the stolen scratch as part of a full-flush harvest. Pages
+// appended *after* a shard's steal stay pending — so a later refetch of
+// such a page still triggers its write-before-read flush even though
+// this flush cycle won't cover those entries. Caller holds flushMu; on
+// ship failure restoreStolenLocked puts everything back (a redundant
+// future flush is harmless, a skipped one is stale-read corruption).
+func (e *evictor) stealPendingLocked() {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for a := range sh.pending {
+			e.stolen = append(e.stolen, a)
+		}
+		clear(sh.pending)
+		sh.mu.Unlock()
+	}
+}
+
+// restoreStolenLocked re-marks the stolen pages pending after a failed
+// full flush. Caller holds flushMu.
+func (e *evictor) restoreStolenLocked() {
+	for _, a := range e.stolen {
+		sh := e.shardFor(a)
+		sh.mu.Lock()
+		sh.pending[a] = struct{}{}
+		sh.mu.Unlock()
+	}
+	e.stolen = e.stolen[:0]
+}
+
+// maybeRecycleLocked resets shard arenas once no entry can alias them: a
+// payload alias lives either in a shard's unharvested batch (that
+// shard's arena) or in a node's harvested/retained merge batch (some
+// shard's arena — untracked, so any retained entry blocks every reset).
+// A batch only empties after its ship completed — which in turn waited
+// out the node's previous ack — so by construction the reset never
+// reclaims bytes a receiver has not yet made durable. Caller holds
+// flushMu.
+func (e *evictor) maybeRecycleLocked() {
+	for _, nb := range e.orderSnapshot() {
 		if len(nb.entries) > 0 {
 			return
 		}
 	}
-	e.arena.reset()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		empty := true
+		for _, sb := range sh.batches {
+			if len(sb.entries) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			sh.arena.reset()
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // FlushIfPending ships all buffered entries when the page at base has
 // unflushed eviction data — the write-before-read ordering a refetch
 // requires. It is a no-op otherwise.
 func (e *evictor) FlushIfPending(now simclock.Duration, base mem.Addr) (simclock.Duration, error) {
-	if _, ok := e.pending[base]; !ok {
+	sh := e.shardFor(base)
+	sh.mu.Lock()
+	_, ok := sh.pending[base]
+	sh.mu.Unlock()
+	if !ok {
 		return now, nil
 	}
 	// Ship the batches without draining acks; the ack only gates log
 	// reuse, while the data itself is in remote memory once the RDMA
 	// write completes.
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	e.stealPendingLocked()
 	if e.fanout > 1 {
-		done, err := e.fanoutShip(now, false)
+		done, err := e.fanoutShipLocked(now, false)
 		if err != nil {
+			e.restoreStolenLocked()
 			return now, err
 		}
 		now = done
 	} else {
-		for _, nb := range e.order {
+		for _, nb := range e.orderSnapshot() {
+			e.harvestNode(nb)
 			var err error
-			now, err = e.flushNode(now, nb)
+			now, err = e.flushNodeLocked(now, nb)
 			if err != nil {
+				e.restoreStolenLocked()
 				return now, err
 			}
 		}
 	}
-	clear(e.pending)
-	e.maybeRecycleArena()
+	e.stolen = e.stolen[:0]
+	e.maybeRecycleLocked()
 	return now, nil
 }
 
@@ -371,69 +592,86 @@ func (e *evictor) Flush(now simclock.Duration) (simclock.Duration, error) {
 	if e.fanout > 1 {
 		return e.flushParallel(now)
 	}
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	e.stealPendingLocked()
 	var latest simclock.Duration = now
-	for _, nb := range e.order {
-		done, err := e.flushNode(now, nb)
+	for _, nb := range e.orderSnapshot() {
+		e.harvestNode(nb)
+		done, err := e.flushNodeLocked(now, nb)
 		if err != nil {
+			e.restoreStolenLocked()
 			return now, err
 		}
 		// Drain: wait for this node's ack.
 		if nb.ackDue > done {
-			e.breakdown.AckWait += nb.ackDue - done
+			e.fbreak.AckWait += nb.ackDue - done
 			done = nb.ackDue
 		}
-		e.stats.AcksReceived++
+		e.fstats.AcksReceived++
 		if done > latest {
 			latest = done
 		}
 	}
-	clear(e.pending)
-	e.maybeRecycleArena()
+	e.stolen = e.stolen[:0]
+	e.maybeRecycleLocked()
 	return latest, nil
 }
 
 // flushParallel is Flush over the concurrent fan-out: all ships overlap,
 // then every node's ack is drained.
 func (e *evictor) flushParallel(now simclock.Duration) (simclock.Duration, error) {
-	latest, err := e.fanoutShip(now, false)
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	e.stealPendingLocked()
+	latest, err := e.fanoutShipLocked(now, false)
 	if err != nil {
+		e.restoreStolenLocked()
 		return now, err
 	}
-	for i, nb := range e.order {
+	for i, nb := range e.orderSnapshot() {
 		done := e.results[i].done
 		if e.results[i].packed == 0 {
 			done = now
 		}
 		if nb.ackDue > done {
-			e.breakdown.AckWait += nb.ackDue - done
+			e.fbreak.AckWait += nb.ackDue - done
 			done = nb.ackDue
 		}
-		e.stats.AcksReceived++
+		e.fstats.AcksReceived++
 		if done > latest {
 			latest = done
 		}
 	}
-	clear(e.pending)
-	e.maybeRecycleArena()
+	e.stolen = e.stolen[:0]
+	e.maybeRecycleLocked()
 	return latest, nil
 }
 
-// fanoutShip ships batches concurrently — one goroutine per destination
-// node, at most e.fanout on the wire at once — and folds the results
-// into stats serially in first-touch order after the join. onlyFull
-// restricts the ship to batches at or past the flush threshold
-// (threshold-triggered flushes); otherwise every non-empty batch ships.
-// It returns the completion time of the slowest ship. Per-node failures
-// are joined so one dead replica does not mask another's error.
-func (e *evictor) fanoutShip(now simclock.Duration, onlyFull bool) (simclock.Duration, error) {
-	if cap(e.results) < len(e.order) {
-		e.results = make([]shipResult, len(e.order))
+// fanoutShipLocked harvests and ships batches concurrently — one
+// goroutine per destination node, at most e.fanout on the wire at once —
+// and folds the results into stats serially in first-touch order after
+// the join. onlyFull restricts the cycle to nodes at or past the flush
+// threshold (threshold-triggered flushes); otherwise every node with
+// buffered entries ships. It returns the completion time of the slowest
+// ship. Per-node failures are joined so one dead replica does not mask
+// another's error. Caller holds flushMu.
+func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclock.Duration, error) {
+	order := e.orderSnapshot()
+	for _, nb := range order {
+		if onlyFull && nb.pendingBytes.Load() < int64(e.threshold) {
+			continue
+		}
+		e.harvestNode(nb)
 	}
-	e.results = e.results[:len(e.order)]
+	if cap(e.results) < len(order) {
+		e.results = make([]shipResult, len(order))
+	}
+	e.results = e.results[:len(order)]
 	var wg sync.WaitGroup
-	for i, nb := range e.order {
+	for i, nb := range order {
 		e.results[i] = shipResult{}
-		if len(nb.entries) == 0 || (onlyFull && nb.bytes < e.threshold) {
+		if len(nb.entries) == 0 {
 			continue
 		}
 		wg.Add(1)
@@ -469,7 +707,7 @@ func (e *evictor) fanoutShip(now simclock.Duration, onlyFull bool) (simclock.Dur
 
 	latest := now
 	var errs []error
-	for i, nb := range e.order {
+	for i, nb := range order {
 		res := &e.results[i]
 		if res.err != nil {
 			errs = append(errs, res.err)
@@ -478,11 +716,11 @@ func (e *evictor) fanoutShip(now simclock.Duration, onlyFull bool) (simclock.Dur
 		if res.packed == 0 {
 			continue
 		}
-		e.breakdown.AckWait += res.waited
-		e.breakdown.RDMAWrite += res.done - (now + res.waited)
-		e.stats.WireBytes += uint64(res.packed)
-		e.stats.Flushes++
-		e.stats.RemoteEntries += uint64(res.remote)
+		e.fbreak.AckWait += res.waited
+		e.fbreak.RDMAWrite += res.done - (now + res.waited)
+		e.fstats.WireBytes += uint64(res.packed)
+		e.fstats.Flushes++
+		e.fstats.RemoteEntries += uint64(res.remote)
 		e.m.wireBytes.Add(uint64(res.packed))
 		e.m.flushes.Inc()
 		e.m.remoteEntries.Add(uint64(res.remote))
@@ -491,8 +729,9 @@ func (e *evictor) fanoutShip(now simclock.Duration, onlyFull bool) (simclock.Dur
 				fmt.Sprintf("node=%d entries=%d bytes=%d", nb.link.id(), res.entries, res.packed))
 		}
 		nb.ackDue = res.ackDue
+		nb.pendingBytes.Add(-int64(nb.entryBytes))
+		nb.entryBytes = 0
 		nb.entries = nb.entries[:0]
-		nb.bytes = 0
 		if res.done > latest {
 			latest = res.done
 		}
@@ -503,8 +742,11 @@ func (e *evictor) fanoutShip(now simclock.Duration, onlyFull bool) (simclock.Dur
 	return latest, nil
 }
 
-// flushNode packs and ships one node's pending entries (serial path).
-func (e *evictor) flushNode(now simclock.Duration, nb *nodeBatch) (simclock.Duration, error) {
+// flushNodeLocked packs and ships one node's harvested entries (serial
+// path). Caller holds flushMu; on error the entries stay in the merge
+// batch (and pendingBytes stays credited), so the next flush retries
+// them ahead of newer log content.
+func (e *evictor) flushNodeLocked(now simclock.Duration, nb *nodeBatch) (simclock.Duration, error) {
 	if len(nb.entries) == 0 {
 		return now, nil
 	}
@@ -512,7 +754,7 @@ func (e *evictor) flushNode(now simclock.Duration, nb *nodeBatch) (simclock.Dura
 	// overwriting the log region (double-buffered halves in the real
 	// implementation; the paper reports this wait as small).
 	if nb.ackDue > now {
-		e.breakdown.AckWait += nb.ackDue - now
+		e.fbreak.AckWait += nb.ackDue - now
 		now = nb.ackDue
 	}
 	packed, err := cllog.Pack(nb.entries, e.logBuf)
@@ -526,10 +768,10 @@ func (e *evictor) flushNode(now simclock.Duration, nb *nodeBatch) (simclock.Dura
 	if err != nil {
 		return now, fmt.Errorf("core: shipping eviction log: %w", err)
 	}
-	e.breakdown.RDMAWrite += done - before
-	e.stats.WireBytes += uint64(packed)
-	e.stats.Flushes++
-	e.stats.RemoteEntries += uint64(remote)
+	e.fbreak.RDMAWrite += done - before
+	e.fstats.WireBytes += uint64(packed)
+	e.fstats.Flushes++
+	e.fstats.RemoteEntries += uint64(remote)
 	e.m.wireBytes.Add(uint64(packed))
 	e.m.flushes.Inc()
 	e.m.remoteEntries.Add(uint64(remote))
@@ -538,24 +780,63 @@ func (e *evictor) flushNode(now simclock.Duration, nb *nodeBatch) (simclock.Dura
 			fmt.Sprintf("node=%d entries=%d bytes=%d", nb.link.id(), len(nb.entries), packed))
 	}
 	nb.ackDue = ackDue
+	nb.pendingBytes.Add(-int64(nb.entryBytes))
+	nb.entryBytes = 0
 	nb.entries = nb.entries[:0]
-	nb.bytes = 0
 	return done, nil
 }
 
 // release returns pooled resources at runtime shutdown. The evictor must
 // not be used afterwards.
 func (e *evictor) release() {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	e.nodeMu.Lock()
 	for _, nb := range e.order {
 		cllog.PutEntries(nb.entries)
 		nb.entries = nil
 	}
 	e.order = nil
-	clear(e.perNode)
+	clear(e.nodes)
+	e.nodeMu.Unlock()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, sb := range sh.batches {
+			cllog.PutEntries(sb.entries)
+			sb.entries = nil
+		}
+		clear(sh.batches)
+		sh.mu.Unlock()
+	}
 }
 
 // Breakdown returns the accumulated Fig 11c accounting.
-func (e *evictor) Breakdown() Breakdown { return e.breakdown }
+func (e *evictor) Breakdown() Breakdown {
+	e.flushMu.Lock()
+	out := e.fbreak
+	e.flushMu.Unlock()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		out.Bitmap += sh.bitmapT
+		out.Copy += sh.copyT
+		sh.mu.Unlock()
+	}
+	return out
+}
 
-// Stats returns eviction counters.
-func (e *evictor) Stats() EvictStats { return e.stats }
+// Stats returns eviction counters: the shard-local append-side counts
+// summed with the flush-side counts.
+func (e *evictor) Stats() EvictStats {
+	e.flushMu.Lock()
+	out := e.fstats
+	e.flushMu.Unlock()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		out.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"kona/internal/mem"
+)
+
+// FuzzConcurrentOps decodes the fuzz input into two operation schedules
+// and replays them on concurrent goroutines against one tiny-cache Kona
+// runtime. Each worker owns a disjoint 8-page region mirrored exactly, so
+// every read is fully checkable no matter how the two schedules
+// interleave; the fuzzer's job is to find an op interleaving (reads,
+// writes, syncs, eviction churn) that tears the shared cache, evictor or
+// transport state underneath them. Run it with -race for full effect.
+//
+// Encoding: the input splits in half, one schedule per worker; each op is
+// two bytes [kind, arg]:
+//
+//	kind%8 == 0..3  write  — arg picks page+offset, payload derived
+//	                 from (worker, op index)
+//	kind%8 == 4,5   read   — arg picks page+offset, checked vs mirror
+//	kind%8 == 6     sync
+//	kind%8 == 7     evict-kick — full-page read sweep at arg's page,
+//	                 forcing churn through the 8-page FMem
+func FuzzConcurrentOps(f *testing.F) {
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 1, 4, 1, 6, 0, 7, 3, 0, 200, 4, 200})
+	f.Add(bytes.Repeat([]byte{0, 7, 4, 7, 7, 1}, 20))
+	f.Add([]byte{6, 0, 6, 0, 7, 0, 7, 255, 3, 128, 5, 128, 6, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			workers = 2
+			pages   = 8
+		)
+		if len(data) < 4 {
+			return
+		}
+		if len(data) > 2048 {
+			data = data[:2048] // bound runtime per input
+		}
+		cfg := concurrentConfig(4)
+		cfg.LocalCacheBytes = 8 * mem.PageSize
+		k := NewKona(cfg, newCluster(2))
+		regionBytes := uint64(pages * mem.PageSize)
+
+		regions := make([]mem.Addr, workers)
+		for w := range regions {
+			addr, err := k.Malloc(regionBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regions[w] = addr
+		}
+		half := len(data) / 2
+		schedules := [workers][]byte{data[:half], data[half:]}
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				mirror := make([]byte, regionBytes)
+				sched := schedules[w]
+				var now simDurT
+				var err error
+				buf := make([]byte, 128)
+				for i := 0; i+1 < len(sched); i += 2 {
+					kind, arg := sched[i], uint64(sched[i+1])
+					page := arg % pages
+					off := page*mem.PageSize + (arg*37)%(mem.PageSize-128)
+					switch kind % 8 {
+					case 0, 1, 2, 3: // write
+						n := 1 + int(arg)%128
+						fill := byte(w*83 + i*13 + 1)
+						for j := 0; j < n; j++ {
+							buf[j] = fill
+						}
+						if now, err = k.Write(now, regions[w]+mem.Addr(off), buf[:n]); err != nil {
+							t.Errorf("worker %d op %d: write: %v", w, i, err)
+							return
+						}
+						copy(mirror[off:], buf[:n])
+					case 4, 5: // read
+						n := 1 + int(arg)%128
+						if now, err = k.Read(now, regions[w]+mem.Addr(off), buf[:n]); err != nil {
+							t.Errorf("worker %d op %d: read: %v", w, i, err)
+							return
+						}
+						if !bytes.Equal(buf[:n], mirror[off:off+uint64(n)]) {
+							t.Errorf("worker %d op %d: read at +%d/%d diverged from mirror", w, i, off, n)
+							return
+						}
+					case 6: // sync
+						if now, err = k.Sync(now); err != nil {
+							t.Errorf("worker %d op %d: sync: %v", w, i, err)
+							return
+						}
+					case 7: // evict-kick: sweep own region once, churning FMem
+						page2 := make([]byte, mem.PageSize)
+						for p := uint64(0); p < pages; p++ {
+							if now, err = k.Read(now, regions[w]+mem.Addr(p*mem.PageSize), page2); err != nil {
+								t.Errorf("worker %d op %d: sweep read: %v", w, i, err)
+								return
+							}
+							if !bytes.Equal(page2, mirror[p*mem.PageSize:(p+1)*mem.PageSize]) {
+								t.Errorf("worker %d op %d: sweep page %d diverged", w, i, p)
+								return
+							}
+						}
+					}
+				}
+				// Drain and verify the whole region one last time.
+				if now, err = k.Sync(now); err != nil {
+					t.Errorf("worker %d: final sync: %v", w, err)
+					return
+				}
+				page2 := make([]byte, mem.PageSize)
+				for p := uint64(0); p < pages; p++ {
+					if now, err = k.Read(now, regions[w]+mem.Addr(p*mem.PageSize), page2); err != nil {
+						t.Errorf("worker %d: final read: %v", w, err)
+						return
+					}
+					if !bytes.Equal(page2, mirror[p*mem.PageSize:(p+1)*mem.PageSize]) {
+						t.Errorf("worker %d: final page %d diverged", w, p)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"kona/internal/cluster"
 	"kona/internal/fpga"
@@ -52,11 +53,36 @@ type Kona struct {
 	evict *evictor
 	m     coreMetrics
 
+	// errMu guards evictErr: eviction callbacks run concurrently under
+	// different FMem shard locks, and Sync reads/clears from application
+	// context.
+	errMu sync.Mutex
 	// evictErr latches the first asynchronous eviction failure; Sync
 	// surfaces it.
 	evictErr error
 
 	failures FailureStats
+}
+
+// noteEvictErr latches the first asynchronous eviction failure.
+func (k *Kona) noteEvictErr(err error) {
+	if err == nil {
+		return
+	}
+	k.errMu.Lock()
+	if k.evictErr == nil {
+		k.evictErr = err
+	}
+	k.errMu.Unlock()
+}
+
+// takeEvictErr returns and clears the latched eviction failure.
+func (k *Kona) takeEvictErr() error {
+	k.errMu.Lock()
+	defer k.errMu.Unlock()
+	err := k.evictErr
+	k.evictErr = nil
+	return err
 }
 
 // NewKona builds a runtime against an in-process rack controller (the
@@ -86,6 +112,7 @@ func newKona(cfg Config, r rack) *Kona {
 	k.fpga = fpga.New(fpga.Config{
 		FMemSize:      cfg.LocalCacheBytes,
 		Assoc:         4,
+		Shards:        cfg.Shards,
 		Prefetch:      cfg.Prefetch,
 		PrefetchDepth: cfg.PrefetchDepth,
 		StreamBypass:  cfg.StreamBypass,
@@ -107,9 +134,7 @@ func newKona(cfg Config, r rack) *Kona {
 			k.m.trace.EmitAt(now, "core.fetch", fmt.Sprintf("page=%#x", uint64(base)))
 		}
 		done, err := k.evict.FlushIfPending(now, base)
-		if err != nil && k.evictErr == nil {
-			k.evictErr = err
-		}
+		k.noteEvictErr(err)
 		return done
 	})
 	return k
@@ -125,9 +150,7 @@ func (k *Kona) onEvict(now simclock.Duration, v fpga.Victim) simclock.Duration {
 		k.m.dirtyEvictions.Inc()
 	}
 	done, err := k.evict.EvictPage(now, v)
-	if err != nil && k.evictErr == nil {
-		k.evictErr = err
-	}
+	k.noteEvictErr(err)
 	return done - now
 }
 
@@ -157,9 +180,8 @@ func (k *Kona) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock
 func (k *Kona) Sync(now simclock.Duration) (simclock.Duration, error) {
 	k.fpga.FlushAll(now)
 	done, err := k.evict.Flush(now)
-	if err == nil && k.evictErr != nil {
-		err = k.evictErr
-		k.evictErr = nil
+	if err == nil {
+		err = k.takeEvictErr()
 	}
 	k.m.syncs.Inc()
 	k.PublishTelemetry()

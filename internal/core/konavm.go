@@ -3,6 +3,7 @@ package core
 import (
 	"container/list"
 	"fmt"
+	"sync"
 	"time"
 
 	"kona/internal/cluster"
@@ -67,7 +68,14 @@ type vmPage struct {
 }
 
 // KonaVM is the virtual-memory baseline runtime.
+//
+// Concurrency: one big lock. That is deliberate fidelity, not a
+// shortcut — the VM baseline's defining bottleneck is the kernel's
+// serialized fault path (mmap_sem and friends, §2.1), so its Go model
+// serializes whole accesses the same way. The sharded Kona data path
+// exists precisely to beat this.
 type KonaVM struct {
+	mu  sync.Mutex
 	cfg Config
 	rm  *resourceManager
 	as  *vm.AddressSpace
@@ -139,14 +147,24 @@ func (k *KonaVM) Free(addr mem.Addr) error { return k.rm.Free(addr) }
 // EnableLeapPrefetch turns on Leap-style software prefetching in the
 // fault handler with the given maximum window.
 func (k *KonaVM) EnableLeapPrefetch(maxDepth int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	k.leap = prefetch.New(maxDepth)
 }
 
 // Stats returns the event counters.
-func (k *KonaVM) Stats() VMStats { return k.stats }
+func (k *KonaVM) Stats() VMStats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.stats
+}
 
 // VMStats exposes the underlying address-space counters (faults, TLB).
-func (k *KonaVM) AddressSpaceStats() vm.Stats { return k.as.Stats() }
+func (k *KonaVM) AddressSpaceStats() vm.Stats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.as.Stats()
+}
 
 // Read copies remote memory into buf and returns the completion time.
 func (k *KonaVM) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
@@ -158,8 +176,12 @@ func (k *KonaVM) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclo
 	return k.access(now, addr, buf, true)
 }
 
-// access walks the buffer page by page through the fault machinery.
+// access walks the buffer page by page through the fault machinery,
+// holding the big lock for the whole call (accesses serialize like they
+// would behind the kernel's fault path).
 func (k *KonaVM) access(now simclock.Duration, addr mem.Addr, buf []byte, write bool) (simclock.Duration, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	off := 0
 	for off < len(buf) {
 		a := addr + mem.Addr(off)
@@ -360,6 +382,8 @@ func (k *KonaVM) touch(pg *vmPage) {
 
 // Sync writes every dirty cached page back to remote memory.
 func (k *KonaVM) Sync(now simclock.Duration) (simclock.Duration, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	for _, pg := range k.cache {
 		if !pg.dirty {
 			continue
@@ -397,4 +421,8 @@ func (k *KonaVM) Close(now simclock.Duration) error {
 }
 
 // CachedPages returns the current cache occupancy.
-func (k *KonaVM) CachedPages() int { return len(k.cache) }
+func (k *KonaVM) CachedPages() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.cache)
+}

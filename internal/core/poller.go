@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"kona/internal/rdma"
 	"kona/internal/simclock"
 	"kona/internal/telemetry"
@@ -12,7 +14,12 @@ import (
 // own CQ, the Poller sweeps every registered queue pair on one thread,
 // batching the per-poll cost and exposing outstanding-work accounting to
 // the rest of the runtime.
+//
+// The mutex makes registration and sweeping safe from concurrent
+// goroutines; a sweep holds it end to end, so the "one polling thread"
+// discipline the paper describes is enforced rather than assumed.
 type Poller struct {
+	mu  sync.Mutex
 	qps []*rdma.QP
 
 	polls       uint64
@@ -44,6 +51,8 @@ func NewPollerWith(reg *telemetry.Registry) *Poller {
 
 // Watch adds a queue pair to the sweep set.
 func (p *Poller) Watch(qp *rdma.QP) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, existing := range p.qps {
 		if existing == qp {
 			return
@@ -55,6 +64,8 @@ func (p *Poller) Watch(qp *rdma.QP) {
 // Sweep polls every watched CQ once at virtual time now, returning the
 // drained completions and the time after the sweep.
 func (p *Poller) Sweep(now simclock.Duration) ([]rdma.Completion, simclock.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var out []rdma.Completion
 	for _, qp := range p.qps {
 		p.polls++
@@ -75,8 +86,14 @@ func (p *Poller) Sweep(now simclock.Duration) ([]rdma.Completion, simclock.Durat
 
 // Stats returns poll/completion counters.
 func (p *Poller) Stats() (polls, completions, emptyPolls uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.polls, p.completions, p.emptyPolls
 }
 
 // Watched returns the number of registered queue pairs.
-func (p *Poller) Watched() int { return len(p.qps) }
+func (p *Poller) Watched() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.qps)
+}

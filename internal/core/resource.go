@@ -212,6 +212,25 @@ func (rm *resourceManager) placementsInto(addr mem.Addr, dst []placement) ([]pla
 		})
 	}
 	if len(dst) == 0 {
+		// Every replica looks dead. Placement is pure translation, so
+		// return the configured destinations anyway instead of failing:
+		// callers that were about to ship eviction-log entries must get
+		// to buffer them (the ship fails, the retained-entry protocol
+		// keeps the payload, and a later flush retries once a node
+		// recovers). Erroring here would drop the only copy of the
+		// victim's dirty lines on the floor.
+		for _, pl := range rm.replicas[s.ID] {
+			l, err := rm.rack.link(pl.Node)
+			if err != nil {
+				continue
+			}
+			dst = append(dst, placement{
+				link:      l,
+				remoteOff: pl.RemoteOff + uint64(addr-pl.Base),
+			})
+		}
+	}
+	if len(dst) == 0 {
 		return dst, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
 	}
 	return dst, nil

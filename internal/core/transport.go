@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kona/internal/cluster"
@@ -58,10 +59,14 @@ type rack interface {
 
 // --- simulated RDMA transport -----------------------------------------
 
-// simRack adapts the in-process controller.
+// simRack adapts the in-process controller. mu guards the lazily built
+// link map: links are created from the fetch path (under the resource
+// manager's lock) but also from eviction placement, which may run
+// concurrently under a different shard's lock.
 type simRack struct {
 	ctrl    *cluster.Controller
 	localEP *rdma.Endpoint
+	mu      sync.Mutex
 	links   map[int]*rdmaLink
 }
 
@@ -84,6 +89,8 @@ func (r *simRack) release(s Slab) error { return r.ctrl.ReleaseSlab(s) }
 func (r *simRack) pipelined() bool { return false }
 
 func (r *simRack) link(node int) (nodeLink, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if l, ok := r.links[node]; ok {
 		return l, nil
 	}
@@ -101,9 +108,16 @@ func (r *simRack) link(node int) (nodeLink, error) {
 	return l, nil
 }
 
-// rdmaLink reaches a simulated memory node with one-sided verbs.
+// rdmaLink reaches a simulated memory node with one-sided verbs. Its
+// mutex is the serial-NIC funnel for the concurrent runtime: the link
+// owns one staging MR, one log MR and one QP, so every verb — from any
+// FMem shard — passes through the lock one at a time. That matches the
+// hardware (one QP has one send queue) and keeps the virtual-time NIC
+// model's serialization assumption intact under concurrent callers.
 type rdmaLink struct {
-	node    *cluster.MemoryNode
+	node *cluster.MemoryNode
+
+	mu      sync.Mutex
 	qp      *rdma.QP
 	staging *rdma.MR
 	logBuf  *rdma.MR
@@ -113,6 +127,12 @@ func (l *rdmaLink) id() int       { return l.node.ID() }
 func (l *rdmaLink) healthy() bool { return !l.node.Failed() }
 
 func (l *rdmaLink) readPage(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readPageLocked(now, off, buf)
+}
+
+func (l *rdmaLink) readPageLocked(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error) {
 	done, err := l.qp.PostSend(now, []rdma.WR{{
 		Op: rdma.OpRead, Local: l.staging, RemoteKey: l.node.PoolKey(),
 		RemoteOff: int(off), Len: len(buf), Signaled: true,
@@ -129,9 +149,11 @@ func (l *rdmaLink) readPage(now simclock.Duration, off uint64, buf []byte) (simc
 // virtual-time NIC model serializes verbs anyway, so a batched form
 // would not change the timeline — it exists for interface parity.
 func (l *rdmaLink) readPages(now simclock.Duration, offs []uint64, bufs [][]byte) (simclock.Duration, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var err error
 	for i, off := range offs {
-		if now, err = l.readPage(now, off, bufs[i]); err != nil {
+		if now, err = l.readPageLocked(now, off, bufs[i]); err != nil {
 			return now, err
 		}
 	}
@@ -139,6 +161,8 @@ func (l *rdmaLink) readPages(now simclock.Duration, offs []uint64, bufs [][]byte
 }
 
 func (l *rdmaLink) writePage(now simclock.Duration, off uint64, data []byte) (simclock.Duration, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	copy(l.staging.Bytes(), data)
 	done, err := l.qp.PostSend(now, []rdma.WR{{
 		Op: rdma.OpWrite, Local: l.staging, RemoteKey: l.node.PoolKey(),
@@ -152,6 +176,8 @@ func (l *rdmaLink) writePage(now simclock.Duration, off uint64, data []byte) (si
 }
 
 func (l *rdmaLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	copy(l.logBuf.Bytes(), packed)
 	done, err := l.qp.PostSend(now, []rdma.WR{{
 		Op: rdma.OpWrite, Local: l.logBuf, RemoteKey: l.node.LogKey(),
@@ -169,6 +195,8 @@ func (l *rdmaLink) shipLog(now simclock.Duration, packed []byte) (simclock.Durat
 }
 
 func (l *rdmaLink) injectDelay(d simclock.Duration) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.qp.InjectDelay(d)
 	return nil
 }
@@ -265,10 +293,13 @@ type tcpLink struct {
 	nodeID int
 	client *cluster.MemoryNodeClient
 
-	// mu guards the cached health verdict.
-	mu      sync.Mutex
-	lastOK  bool
-	checked time.Time
+	// health is the cached Ping verdict and its timestamp packed into one
+	// atomic word: UnixNano()<<1 | okBit, with 0 meaning never checked /
+	// invalidated. Verdict and timestamp travel together, so a reader can
+	// never pair a fresh timestamp with a stale verdict (or vice versa) —
+	// the torn read a two-field cache would allow now that every FMem
+	// shard consults health on its own goroutine.
+	health atomic.Int64
 }
 
 func (l *tcpLink) id() int { return l.nodeID }
@@ -277,27 +308,26 @@ func (l *tcpLink) id() int { return l.nodeID }
 // data-path error invalidates the cache (noteFailure) so failover does
 // not wait out the TTL on a node that just stopped answering.
 func (l *tcpLink) healthy() bool {
-	l.mu.Lock()
-	if !l.checked.IsZero() && time.Since(l.checked) < healthTTL {
-		ok := l.lastOK
-		l.mu.Unlock()
-		return ok
+	if h := l.health.Load(); h != 0 {
+		if time.Since(time.Unix(0, h>>1)) < healthTTL {
+			return h&1 == 1
+		}
 	}
-	l.mu.Unlock()
 	ok := l.client.Ping() == nil
-	l.mu.Lock()
-	l.lastOK = ok
-	l.checked = time.Now()
-	l.mu.Unlock()
+	w := time.Now().UnixNano() << 1
+	if ok {
+		w |= 1
+	}
+	// Concurrent probes race benignly: last Store wins and every candidate
+	// value is a valid fresh verdict.
+	l.health.Store(w)
 	return ok
 }
 
 // noteFailure drops the cached health verdict after a data-path error so
 // the next healthy() probes the node immediately.
 func (l *tcpLink) noteFailure() {
-	l.mu.Lock()
-	l.checked = time.Time{}
-	l.mu.Unlock()
+	l.health.Store(0)
 }
 
 // elapse folds a measured wall-clock duration into virtual time.

@@ -16,13 +16,25 @@
 //   - Remote translation is a consult-only map from VFMem addresses to
 //     (node, offset) — the FPGA never updates it (§4.4).
 //
-// Time is virtual: the single directory pipeline is modeled as a
-// simclock.Server, so concurrent simulated threads contend for it the way
-// they would for the real FPGA's port.
+// Time is virtual: the directory pipeline is modeled as a set of
+// simclock.Server banks (one per shard), so concurrent simulated threads
+// contend for a bank the way they would for the real FPGA's ports, while
+// requests to different banks pipeline freely.
+//
+// Concurrency: FMem state is lock-striped into power-of-two shards, each
+// owning the sets whose index maps to it (DESIGN.md §9). Every per-page
+// operation takes exactly one shard lock; cross-shard work (prefetch
+// issue, multi-page batch fills, FlushAll) takes shard locks one at a
+// time, never two at once, so no lock cycle exists. A shard's epoch
+// counter advances on every install/evict, letting optimistic multi-page
+// collectors detect a frame torn out between their residency scan and
+// their install without re-walking the set.
 package fpga
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"kona/internal/coherence"
 	"kona/internal/mem"
@@ -57,7 +69,9 @@ type BatchTranslator interface {
 }
 
 // Victim is an FMem page displaced by a fill, handed to the Eviction
-// Handler. Data aliases the FPGA's frame; handlers copy what they keep.
+// Handler. Data aliases the FPGA's frame; handlers copy what they keep
+// before returning — the caller still holds the frame's shard lock, so
+// the alias is stable for exactly the duration of the callback.
 type Victim struct {
 	// Base is the page's VFMem base address.
 	Base mem.Addr
@@ -77,6 +91,10 @@ type Config struct {
 	FMemSize uint64
 	// Assoc is the FMem set associativity (paper: 4).
 	Assoc int
+	// Shards is the number of lock stripes over the FMem sets. Rounded to
+	// a power of two and clamped to the set count; 0 means 1 (fully
+	// serial, the pre-concurrency behavior).
+	Shards int
 	// Prefetch enables next-page prefetch on sequential fill patterns
 	// (§4.4: the hardware prefetcher can reach remote memory under Kona).
 	Prefetch bool
@@ -139,12 +157,87 @@ type Stats struct {
 	BytesFetched uint64
 }
 
+// add accumulates o into s (shard-stat merge for Stats()).
+func (s *Stats) add(o Stats) {
+	s.LineFills += o.LineFills
+	s.FMemHits += o.FMemHits
+	s.RemoteFetches += o.RemoteFetches
+	s.Writebacks += o.Writebacks
+	s.Evictions += o.Evictions
+	s.DirtyEvicts += o.DirtyEvicts
+	s.Prefetches += o.Prefetches
+	s.Bypasses += o.Bypasses
+	s.BytesFetched += o.BytesFetched
+}
+
 // FetchHook runs before a remote page fetch. The runtime uses it to
 // enforce write-before-read ordering: any buffered eviction-log entries
 // covering the page must reach remote memory before the page is re-read,
 // or the fetch would observe stale data. It returns the virtual time
-// after its work.
+// after its work. The hook must synchronize itself; it is invoked
+// concurrently from every shard.
 type FetchHook func(now simclock.Duration, pageBase mem.Addr) simclock.Duration
+
+// shard is one lock stripe of FMem. It owns every set whose index maps
+// to it and all per-access state that set's frames need: the LRU tick,
+// the fetch staging buffer and the activity counters, so the hot path
+// touches nothing outside its stripe.
+type shard struct {
+	mu sync.Mutex
+	// epoch counts structural changes (install/evict) to the shard's
+	// frames. Optimistic cross-shard collectors (batch fills, prefetch
+	// windows) snapshot it during their residency scan and revalidate at
+	// install time: an unchanged epoch proves no frame was installed or
+	// torn out in between.
+	epoch   atomic.Uint64
+	tick    uint64
+	scratch []byte
+	stats   Stats
+	// directory is this stripe's bank of the directory pipeline. Real
+	// coherence directories are banked by address for port bandwidth;
+	// banking by set (= by shard) means requests to different stripes
+	// never queue against each other in virtual time, while one thread's
+	// sequential accesses see identical timing to a single-ported
+	// directory (a lone caller re-arrives ≥ one service time later, so
+	// the bank is always idle — fixed-seed artifacts are unchanged).
+	directory simclock.Server
+}
+
+// front is the fill-pattern tracker feeding the prefetcher and the
+// stream-bypass policy. It is deliberately tiny: one mutex over a few
+// words, taken only when Prefetch or StreamBypass is configured. Lock
+// order: a shard lock may be held when front.mu is taken, never the
+// reverse.
+type front struct {
+	mu             sync.Mutex
+	lastFillPage   uint64
+	seqRun         int
+	lastDemandPage uint64
+	// stride is the adaptive stride prefetcher (PrefetchDepth > 1).
+	stride *prefetch.Detector
+}
+
+// prefetchIntent is a deferred prefetch decision captured while a shard
+// lock is held and executed after it is released, so issuing the
+// prefetch (which locks the target page's shard) never nests two shard
+// locks.
+type prefetchIntent struct {
+	want bool
+	at   simclock.Duration
+	page uint64
+}
+
+// batchScratch is the pooled staging area for scatter-gather fetches.
+// Each concurrent batch fill owns one instance for the duration of the
+// wire read, because targets are read into scratch buffers first and
+// only then installed — installing mid-batch can evict an earlier
+// target's frame and the install would alias a buffer still being
+// filled.
+type batchScratch struct {
+	bases  []mem.Addr
+	epochs []uint64
+	bufs   [][]byte
+}
 
 // FPGA is the memory agent.
 type FPGA struct {
@@ -156,30 +249,16 @@ type FPGA struct {
 	// batch, when non-nil, coalesces multi-page fetches (prefetch windows
 	// and page-spanning Reads) into scatter-gather reads — see
 	// EnableBatchFetch.
-	batch BatchTranslator
-	// batchBases/batchBufs are the batch path's reusable scratch: targets
-	// are read into scratch buffers first and only then installed,
-	// because installing mid-batch can evict an earlier target's frame
-	// and the install would alias a buffer still being filled.
-	batchBases []mem.Addr
-	batchBufs  [][]byte
+	batch     BatchTranslator
+	batchPool sync.Pool
 
-	sets    [][]frame
-	nsets   uint64
-	tick    uint64
-	scratch []byte
+	sets  [][]frame
+	nsets uint64
 
-	directory simclock.Server
-	stats     Stats
+	shards    []shard
+	shardMask uint64
 
-	// lastFillPage detects sequential fills for the prefetcher.
-	lastFillPage uint64
-	// seqRun counts consecutive sequential demand fetches, and
-	// lastDemandPage the previous one, for the bypass policy.
-	seqRun         int
-	lastDemandPage uint64
-	// stride is the adaptive stride prefetcher (PrefetchDepth > 1).
-	stride *prefetch.Detector
+	front front
 }
 
 // New builds the FPGA model. It panics on invalid geometry (experiment
@@ -210,23 +289,71 @@ func New(cfg Config, tr Translator, onEvict EvictHandler) *FPGA {
 		// knob.
 		cfg.Prefetch = false
 	}
-	f := &FPGA{cfg: cfg, translate: tr, onEvict: onEvict, sets: sets, nsets: nsets}
+	nshards := shardCount(cfg.Shards, nsets)
+	f := &FPGA{
+		cfg:       cfg,
+		translate: tr,
+		onEvict:   onEvict,
+		sets:      sets,
+		nsets:     nsets,
+		shards:    make([]shard, nshards),
+		shardMask: nshards - 1,
+	}
+	f.batchPool.New = func() any { return &batchScratch{} }
 	if cfg.Prefetch && cfg.PrefetchDepth > 1 {
-		f.stride = newPrefetcher(cfg.PrefetchDepth)
+		f.front.stride = newPrefetcher(cfg.PrefetchDepth)
 	}
 	return f
 }
 
-// Stats returns a copy of the counters.
-func (f *FPGA) Stats() Stats { return f.stats }
+// shardCount resolves the configured stripe count against the geometry:
+// a power of two, at least 1, at most the number of sets (a stripe with
+// no sets would be dead weight).
+func shardCount(want int, nsets uint64) uint64 {
+	if want < 1 {
+		want = 1
+	}
+	n := uint64(1)
+	for n < uint64(want) {
+		n <<= 1
+	}
+	for n > nsets {
+		n >>= 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
-// set returns the FMem set for a VFMem page.
-func (f *FPGA) set(page uint64) []frame { return f.sets[page%f.nsets] }
+// Shards reports the number of lock stripes chosen for this geometry.
+func (f *FPGA) Shards() int { return len(f.shards) }
 
-// lookup finds the frame caching the page, or nil.
-func (f *FPGA) lookup(page uint64) *frame {
+// Stats returns a consistent-enough snapshot of the counters: each
+// shard's block is read under its lock, so per-shard values are exact
+// and the sum is at worst a few in-flight operations stale.
+func (f *FPGA) Stats() Stats {
+	var out Stats
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		out.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// setIndex returns the FMem set index for a VFMem page.
+func (f *FPGA) setIndex(page uint64) uint64 { return page % f.nsets }
+
+// shardFor returns the lock stripe owning the page's set.
+func (f *FPGA) shardFor(page uint64) *shard { return &f.shards[f.setIndex(page)&f.shardMask] }
+
+// lookupLocked finds the frame caching the page, or nil. The caller
+// holds the page's shard lock.
+func (f *FPGA) lookupLocked(page uint64) *frame {
 	base := mem.PageBase(page)
-	set := f.set(page)
+	set := f.sets[f.setIndex(page)]
 	for i := range set {
 		if set[i].valid && set[i].base == base {
 			return &set[i]
@@ -236,70 +363,115 @@ func (f *FPGA) lookup(page uint64) *frame {
 }
 
 // Resident reports whether the page holding addr is cached in FMem.
-func (f *FPGA) Resident(addr mem.Addr) bool { return f.lookup(addr.Page()) != nil }
+func (f *FPGA) Resident(addr mem.Addr) bool {
+	page := addr.Page()
+	sh := f.shardFor(page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return f.lookupLocked(page) != nil
+}
 
 // LineFill services one CPU cache-line request to VFMem at virtual time
 // now and returns the completion time. This is the cache-remote-data
 // primitive: no page fault is involved; a miss in FMem triggers a
 // page-granularity remote fetch.
 func (f *FPGA) LineFill(now simclock.Duration, addr mem.Addr) (simclock.Duration, error) {
-	f.stats.LineFills++
-	// The directory pipeline serializes all requests.
-	now = f.directory.Serve(now, simclock.FPGADirectory)
+	sh := f.shardFor(addr.Page())
+	sh.mu.Lock()
+	done, pf, err := f.lineFillLocked(sh, now, addr)
+	sh.mu.Unlock()
+	if err != nil {
+		return done, err
+	}
+	f.runPrefetch(pf)
+	return done, nil
+}
+
+// lineFillLocked is LineFill under the page's shard lock. It returns the
+// prefetch intent for the caller to execute once the lock is dropped.
+func (f *FPGA) lineFillLocked(sh *shard, now simclock.Duration, addr mem.Addr) (simclock.Duration, prefetchIntent, error) {
+	sh.stats.LineFills++
+	// The directory bank serializes this stripe's requests.
+	now = sh.directory.Serve(now, simclock.FPGADirectory)
 	page := addr.Page()
 	line := addr.LineInPage()
-	if fr := f.lookup(page); fr != nil {
-		f.stats.FMemHits++
-		f.tick++
-		fr.lastUse = f.tick // LRU refresh on hit
+	if fr := f.lookupLocked(page); fr != nil {
+		sh.stats.FMemHits++
+		sh.tick++
+		fr.lastUse = sh.tick // LRU refresh on hit
 		if fr.readyAt > now {
-			// In-flight prefetch: wait for the fill to land.
+			// In-flight or just-landed prefetch: wait for the fill. This
+			// is also the single-flight suppression point — a concurrent
+			// miss that lost the shard-lock race arrives here as a hit on
+			// the winner's frame instead of issuing its own remote read.
 			now = fr.readyAt
 		}
 		if fr.prefetched {
 			fr.prefetched = false
-			if f.stride != nil {
-				f.stride.MarkUseful()
-			}
+			f.markPrefetchUseful()
 		}
-		done, err := f.ensureLines(now, fr, page, line, line)
+		done, err := f.ensureLinesLocked(sh, now, fr, page, line, line)
 		if err != nil {
-			return now, err
+			return now, prefetchIntent{}, err
 		}
-		f.maybePrefetch(now, page)
-		f.lastFillPage = page
-		return done + simclock.FMemAccess, nil
+		return done + simclock.FMemAccess, prefetchIntent{want: f.cfg.Prefetch, at: now, page: page}, nil
 	}
-	fr := f.demandFrame(now, page)
-	done, err := f.ensureLines(now, fr, page, line, line)
+	fr := f.demandFrameLocked(sh, now, page)
+	done, err := f.ensureLinesLocked(sh, now, fr, page, line, line)
 	if err != nil {
-		return now, err
+		return now, prefetchIntent{}, err
 	}
 	fr.readyAt = done
 	// Prefetch is issued at the demand fetch's start time, not its
 	// completion: the FPGA pipelines the two NIC operations.
-	f.maybePrefetch(now, page)
-	f.lastFillPage = page
-	return done + simclock.FMemAccess, nil
+	return done + simclock.FMemAccess, prefetchIntent{want: f.cfg.Prefetch, at: now, page: page}, nil
 }
 
-// maybePrefetch issues background fetches on a recognized fill pattern.
-// It costs NIC occupancy but no caller latency.
-func (f *FPGA) maybePrefetch(now simclock.Duration, page uint64) {
-	if !f.cfg.Prefetch {
+// markPrefetchUseful rewards the stride detector for a demanded
+// speculative page.
+func (f *FPGA) markPrefetchUseful() {
+	if f.front.stride == nil {
 		return
 	}
-	if f.stride != nil {
-		f.prefetchStride(now, page)
+	f.front.mu.Lock()
+	f.front.stride.MarkUseful()
+	f.front.mu.Unlock()
+}
+
+// runPrefetch executes a deferred prefetch intent: recognize the fill
+// pattern under the front lock, then fetch targets under their own shard
+// locks. No shard lock is held on entry.
+func (f *FPGA) runPrefetch(pf prefetchIntent) {
+	if !pf.want {
+		return
+	}
+	if f.front.stride != nil {
+		f.prefetchStride(pf.at, pf.page)
 		return
 	}
 	// Classic depth-1 next-page prefetch on sequential fills.
-	if page != f.lastFillPage+1 || f.lookup(page+1) != nil {
+	f.front.mu.Lock()
+	seq := pf.page == f.front.lastFillPage+1
+	f.front.lastFillPage = pf.page
+	f.front.mu.Unlock()
+	if !seq {
 		return
 	}
-	if _, fr, err := f.fetchPage(now, page+1); err == nil {
+	f.prefetchOne(pf.at, pf.page+1)
+}
+
+// prefetchOne pulls one page speculatively under its shard lock,
+// skipping pages already (or concurrently made) resident.
+func (f *FPGA) prefetchOne(now simclock.Duration, target uint64) {
+	sh := f.shardFor(target)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f.lookupLocked(target) != nil {
+		return
+	}
+	if _, fr, err := f.fetchPageLocked(sh, now, target); err == nil {
 		fr.prefetched = true
-		f.stats.Prefetches++
+		sh.stats.Prefetches++
 	}
 }
 
@@ -319,84 +491,110 @@ func (f *FPGA) EnableBatchFetch() {
 	}
 }
 
-// collectBatch fills batchBases with the non-resident pages among
-// targets and sizes batchBufs to match.
-func (f *FPGA) collectBatch(targets []uint64) []mem.Addr {
-	bases := f.batchBases[:0]
+// collectBatch fills bs with the non-resident pages among targets,
+// recording each page's shard epoch so the install step can detect a
+// concurrent install/evict in that stripe.
+func (f *FPGA) collectBatch(bs *batchScratch, targets []uint64) {
+	bs.bases = bs.bases[:0]
+	bs.epochs = bs.epochs[:0]
 	for _, t := range targets {
-		if f.lookup(t) == nil {
-			bases = append(bases, mem.PageBase(t))
+		sh := f.shardFor(t)
+		sh.mu.Lock()
+		resident := f.lookupLocked(t) != nil
+		epoch := sh.epoch.Load()
+		sh.mu.Unlock()
+		if !resident {
+			bs.bases = append(bs.bases, mem.PageBase(t))
+			bs.epochs = append(bs.epochs, epoch)
 		}
 	}
-	return f.sizeBatch(bases)
+	bs.size()
 }
 
-// sizeBatch stores the collected bases back and grows batchBufs to
-// cover them.
-func (f *FPGA) sizeBatch(bases []mem.Addr) []mem.Addr {
-	f.batchBases = bases
-	for len(f.batchBufs) < len(bases) {
-		f.batchBufs = append(f.batchBufs, make([]byte, mem.PageSize))
+// size grows bufs to cover the collected bases.
+func (bs *batchScratch) size() {
+	for len(bs.bufs) < len(bs.bases) {
+		bs.bufs = append(bs.bufs, make([]byte, mem.PageSize))
 	}
-	return bases
 }
 
-// fetchBatch pulls every base with one scatter-gather read per node and
-// installs the pages. The write-before-read hook runs for every target
-// before any wire traffic: targets are non-resident, so no install
-// during the batch can buffer new eviction entries for them. speculative
-// marks the frames as prefetched (accuracy accounting); errors leave the
-// pages absent for the demand path to refetch and report.
-func (f *FPGA) fetchBatch(now simclock.Duration, bases []mem.Addr, speculative bool) (simclock.Duration, error) {
+// fetchBatch pulls every base in bs with one scatter-gather read per
+// node and installs the pages. The write-before-read hook runs for every
+// target before any wire traffic: targets were non-resident at collect
+// time, so no install during the batch can buffer new eviction entries
+// for them. speculative marks the frames as prefetched (accuracy
+// accounting); errors leave the pages absent for the demand path to
+// refetch and report. A page whose shard epoch moved since collection is
+// re-checked and skipped if a concurrent fill already installed it.
+func (f *FPGA) fetchBatch(now simclock.Duration, bs *batchScratch, speculative bool) (simclock.Duration, error) {
 	if f.onFetch != nil {
-		for _, base := range bases {
+		for _, base := range bs.bases {
 			now = f.onFetch(now, base)
 		}
 	}
-	bufs := f.batchBufs[:len(bases)]
-	done, err := f.batch.ReadPagesBatch(now, bases, bufs)
+	bufs := bs.bufs[:len(bs.bases)]
+	done, err := f.batch.ReadPagesBatch(now, bs.bases, bufs)
 	if err != nil {
 		return now, err
 	}
-	for i, base := range bases {
-		fr := f.demandFrame(now, base.Page())
+	for i, base := range bs.bases {
+		page := base.Page()
+		sh := f.shardFor(page)
+		sh.mu.Lock()
+		if sh.epoch.Load() != bs.epochs[i] && f.lookupLocked(page) != nil {
+			// The stripe changed under us and a concurrent fill won the
+			// page; its frame may hold newer local writes — keep it.
+			sh.mu.Unlock()
+			continue
+		}
+		fr := f.demandFrameLocked(sh, now, page)
 		copy(fr.data, bufs[i])
 		fr.filled = ^mem.LineBitmap(0)
 		fr.readyAt = done
 		fr.prefetched = speculative
-		f.stats.RemoteFetches++
-		f.stats.BytesFetched += mem.PageSize
+		sh.stats.RemoteFetches++
+		sh.stats.BytesFetched += mem.PageSize
+		if speculative {
+			sh.stats.Prefetches++
+		}
+		sh.mu.Unlock()
 	}
 	return done, nil
 }
 
-// demandFrame installs an (empty) frame for a demanded page, applying the
-// stream-bypass insertion policy.
-func (f *FPGA) demandFrame(now simclock.Duration, page uint64) *frame {
-	fr := f.install(now, mem.PageBase(page))
+// demandFrameLocked installs an (empty) frame for a demanded page,
+// applying the stream-bypass insertion policy. Caller holds sh.mu.
+func (f *FPGA) demandFrameLocked(sh *shard, now simclock.Duration, page uint64) *frame {
+	fr := f.installLocked(sh, now, mem.PageBase(page))
 	if f.cfg.StreamBypass {
 		// Stream detection keys on demand fetches only, so interleaved
 		// hits on a hot working set do not break the run.
-		if page == f.lastDemandPage+1 {
-			f.seqRun++
-		} else if page != f.lastDemandPage {
-			f.seqRun = 0
+		f.front.mu.Lock()
+		if page == f.front.lastDemandPage+1 {
+			f.front.seqRun++
+		} else if page != f.front.lastDemandPage {
+			f.front.seqRun = 0
 		}
-		f.lastDemandPage = page
-		if f.seqRun > streamRunThreshold {
+		f.front.lastDemandPage = page
+		streaming := f.front.seqRun > streamRunThreshold
+		f.front.mu.Unlock()
+		if streaming {
 			// Transient insertion: the page leaves FMem before any
 			// re-referenced frame in its set.
 			fr.lastUse = 0
-			f.stats.Bypasses++
+			sh.stats.Bypasses++
 		}
 	}
 	return fr
 }
 
-// ensureLines fetches the missing fetch-granularity blocks covering lines
-// [lo, hi] of the frame, returning the completion time. Already-filled
-// lines are never overwritten (they may hold newer local writes).
-func (f *FPGA) ensureLines(now simclock.Duration, fr *frame, page uint64, lo, hi int) (simclock.Duration, error) {
+// ensureLinesLocked fetches the missing fetch-granularity blocks covering
+// lines [lo, hi] of the frame, returning the completion time.
+// Already-filled lines are never overwritten (they may hold newer local
+// writes). Caller holds sh.mu; the remote read happens under it, which is
+// what makes concurrent misses on one page single-flight: the losers
+// block here and find the lines filled.
+func (f *FPGA) ensureLinesLocked(sh *shard, now simclock.Duration, fr *frame, page uint64, lo, hi int) (simclock.Duration, error) {
 	fb := int(f.cfg.FetchBytes)
 	linesPerBlock := fb / mem.CacheLineSize
 	done := now
@@ -426,21 +624,21 @@ func (f *FPGA) ensureLines(now simclock.Duration, fr *frame, page uint64, lo, hi
 			if err != nil {
 				return now, fmt.Errorf("fpga: translate %v: %w", base, err)
 			}
-			if f.scratch == nil {
-				f.scratch = make([]byte, mem.PageSize)
+			if sh.scratch == nil {
+				sh.scratch = make([]byte, mem.PageSize)
 			}
 		}
 		off := uint64(first * mem.CacheLineSize)
-		blockDone, err := pr.ReadRange(now, off, f.scratch[:fb])
+		blockDone, err := pr.ReadRange(now, off, sh.scratch[:fb])
 		if err != nil {
 			return now, fmt.Errorf("fpga: remote fetch %v+%d: %w", base, off, err)
 		}
-		f.stats.RemoteFetches++
-		f.stats.BytesFetched += uint64(fb)
+		sh.stats.RemoteFetches++
+		sh.stats.BytesFetched += uint64(fb)
 		for l := first; l < first+linesPerBlock; l++ {
 			if !fr.filled.Get(l) {
 				lineOff := l * mem.CacheLineSize
-				copy(fr.data[lineOff:lineOff+mem.CacheLineSize], f.scratch[lineOff-first*mem.CacheLineSize:])
+				copy(fr.data[lineOff:lineOff+mem.CacheLineSize], sh.scratch[lineOff-first*mem.CacheLineSize:])
 				fr.filled.Set(l)
 			}
 		}
@@ -451,11 +649,12 @@ func (f *FPGA) ensureLines(now simclock.Duration, fr *frame, page uint64, lo, hi
 	return done, nil
 }
 
-// fetchPage pulls a whole page from remote memory into FMem — the
-// prefetcher's fill path (page-granularity mode only).
-func (f *FPGA) fetchPage(now simclock.Duration, page uint64) (simclock.Duration, *frame, error) {
-	fr := f.demandFrame(now, page)
-	done, err := f.ensureLines(now, fr, page, 0, mem.LinesPerPage-1)
+// fetchPageLocked pulls a whole page from remote memory into FMem — the
+// prefetcher's fill path (page-granularity mode only). Caller holds the
+// page's shard lock.
+func (f *FPGA) fetchPageLocked(sh *shard, now simclock.Duration, page uint64) (simclock.Duration, *frame, error) {
+	fr := f.demandFrameLocked(sh, now, page)
+	done, err := f.ensureLinesLocked(sh, now, fr, page, 0, mem.LinesPerPage-1)
 	if err != nil {
 		return now, nil, err
 	}
@@ -467,9 +666,11 @@ func (f *FPGA) fetchPage(now simclock.Duration, page uint64) (simclock.Duration,
 // treated as streaming.
 const streamRunThreshold = 16
 
-// install places a page frame, evicting the set's LRU victim if needed.
-func (f *FPGA) install(now simclock.Duration, base mem.Addr) *frame {
-	set := f.set(base.Page())
+// installLocked places a page frame, evicting the set's LRU victim if
+// needed, and advances the shard epoch so optimistic collectors see the
+// structural change. Caller holds sh.mu.
+func (f *FPGA) installLocked(sh *shard, now simclock.Duration, base mem.Addr) *frame {
+	set := f.sets[f.setIndex(base.Page())]
 	victim := &set[0]
 	for i := range set {
 		w := &set[i]
@@ -481,10 +682,11 @@ func (f *FPGA) install(now simclock.Duration, base mem.Addr) *frame {
 			victim = w
 		}
 	}
+	sh.epoch.Add(1)
 	if victim.valid {
-		f.evictFrame(now, victim)
+		f.evictFrameLocked(sh, now, victim)
 	}
-	f.tick++
+	sh.tick++
 	if victim.data == nil {
 		victim.data = make([]byte, mem.PageSize)
 	}
@@ -492,20 +694,26 @@ func (f *FPGA) install(now simclock.Duration, base mem.Addr) *frame {
 	victim.base = base
 	victim.dirty = 0
 	victim.filled = 0
-	victim.lastUse = f.tick
+	victim.lastUse = sh.tick
 	victim.readyAt = now
 	victim.prefetched = false
 	return victim
 }
 
-// evictFrame hands a victim to the Eviction Handler.
-func (f *FPGA) evictFrame(now simclock.Duration, fr *frame) {
-	if fr.prefetched && f.stride != nil {
-		f.stride.MarkWasted()
+// evictFrameLocked hands a victim to the Eviction Handler. The shard
+// lock is held across the callback, so the Victim's data alias is stable
+// until the handler returns (it copies what it keeps — the ack-gated
+// arena discipline) and no reader can observe the frame mid-teardown.
+func (f *FPGA) evictFrameLocked(sh *shard, now simclock.Duration, fr *frame) {
+	sh.epoch.Add(1)
+	if fr.prefetched && f.front.stride != nil {
+		f.front.mu.Lock()
+		f.front.stride.MarkWasted()
+		f.front.mu.Unlock()
 	}
-	f.stats.Evictions++
+	sh.stats.Evictions++
 	if fr.dirty.Any() {
-		f.stats.DirtyEvicts++
+		sh.stats.DirtyEvicts++
 	}
 	if f.onEvict != nil {
 		f.onEvict(now, Victim{Base: fr.base, Data: fr.data, Dirty: fr.dirty})
@@ -519,15 +727,26 @@ func (f *FPGA) evictFrame(now simclock.Duration, fr *frame) {
 // re-fetch the page first (the CPU held the line longer than FMem held the
 // page).
 func (f *FPGA) ObserveWriteback(now simclock.Duration, addr mem.Addr, data []byte) (simclock.Duration, error) {
-	f.stats.Writebacks++
-	now = f.directory.Serve(now, simclock.FPGADirectory)
+	sh := f.shardFor(addr.Page())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	done, _, err := f.observeWritebackLocked(sh, now, addr, data)
+	return done, err
+}
+
+// observeWritebackLocked is ObserveWriteback under the page's shard
+// lock; it also returns the frame so Write can extend the dirty marking
+// to the rest of its chunk without a second lookup.
+func (f *FPGA) observeWritebackLocked(sh *shard, now simclock.Duration, addr mem.Addr, data []byte) (simclock.Duration, *frame, error) {
+	sh.stats.Writebacks++
+	now = sh.directory.Serve(now, simclock.FPGADirectory)
 	page := addr.Page()
-	fr := f.lookup(page)
+	fr := f.lookupLocked(page)
 	if fr == nil {
-		fr = f.demandFrame(now, page)
+		fr = f.demandFrameLocked(sh, now, page)
 	} else {
-		f.tick++
-		fr.lastUse = f.tick // LRU refresh on write hit
+		sh.tick++
+		fr.lastUse = sh.tick // LRU refresh on write hit
 		if fr.readyAt > now {
 			now = fr.readyAt
 		}
@@ -549,13 +768,13 @@ func (f *FPGA) ObserveWriteback(now simclock.Duration, addr mem.Addr, data []byt
 	firstLineStart := uint64(firstLine) * mem.CacheLineSize
 	lastLineEnd := uint64(lastLine+1) * mem.CacheLineSize
 	if len(data) == 0 || off > firstLineStart || end < firstLineStart+mem.CacheLineSize {
-		if now, err = f.ensureLines(now, fr, page, firstLine, firstLine); err != nil {
-			return now, err
+		if now, err = f.ensureLinesLocked(sh, now, fr, page, firstLine, firstLine); err != nil {
+			return now, fr, err
 		}
 	}
 	if lastLine != firstLine && end < lastLineEnd {
-		if now, err = f.ensureLines(now, fr, page, lastLine, lastLine); err != nil {
-			return now, err
+		if now, err = f.ensureLinesLocked(sh, now, fr, page, lastLine, lastLine); err != nil {
+			return now, fr, err
 		}
 	}
 	if len(data) > 0 {
@@ -563,7 +782,7 @@ func (f *FPGA) ObserveWriteback(now simclock.Duration, addr mem.Addr, data []byt
 		fr.filled.SetRange(firstLine, lastLine+1)
 	}
 	fr.dirty.Set(firstLine)
-	return now + simclock.FMemAccess, nil
+	return now + simclock.FMemAccess, fr, nil
 }
 
 // OnCoherenceEvent adapts the FPGA to a coherence.System observer: fills
@@ -590,17 +809,26 @@ func (f *FPGA) batchFillSpan(now simclock.Duration, addr mem.Addr, n int) simclo
 	if lastPage <= firstPage {
 		return now
 	}
-	bases := f.batchBases[:0]
+	bs := f.batchPool.Get().(*batchScratch)
+	defer f.batchPool.Put(bs)
+	bs.bases = bs.bases[:0]
+	bs.epochs = bs.epochs[:0]
 	for p := firstPage; p <= lastPage; p++ {
-		if f.lookup(p) == nil {
-			bases = append(bases, mem.PageBase(p))
+		sh := f.shardFor(p)
+		sh.mu.Lock()
+		resident := f.lookupLocked(p) != nil
+		epoch := sh.epoch.Load()
+		sh.mu.Unlock()
+		if !resident {
+			bs.bases = append(bs.bases, mem.PageBase(p))
+			bs.epochs = append(bs.epochs, epoch)
 		}
 	}
-	bases = f.sizeBatch(bases)
-	if len(bases) < 2 {
+	bs.size()
+	if len(bs.bases) < 2 {
 		return now
 	}
-	done, err := f.fetchBatch(now, bases, false)
+	done, err := f.fetchBatch(now, bs, false)
 	if err != nil {
 		return now
 	}
@@ -609,7 +837,9 @@ func (f *FPGA) batchFillSpan(now simclock.Duration, addr mem.Addr, n int) simclo
 
 // Read copies bytes from VFMem into buf, fetching pages as needed, and
 // returns the completion time. This is the functional data path the
-// runtime uses for application loads.
+// runtime uses for application loads. Each page's fill-and-copy runs
+// under that page's shard lock, so single-page reads are atomic with
+// respect to concurrent writers; multi-page reads are atomic per page.
 func (f *FPGA) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
 	if f.batch != nil && len(buf) > 0 {
 		now = f.batchFillSpan(now, addr, len(buf))
@@ -617,12 +847,16 @@ func (f *FPGA) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.
 	off := 0
 	for off < len(buf) {
 		a := addr + mem.Addr(off)
-		done, err := f.LineFill(now, a)
+		page := a.Page()
+		sh := f.shardFor(page)
+		sh.mu.Lock()
+		done, pf, err := f.lineFillLocked(sh, now, a)
 		if err != nil {
+			sh.mu.Unlock()
 			return now, err
 		}
 		now = done
-		fr := f.lookup(a.Page())
+		fr := f.lookupLocked(page)
 		pageOff := a.PageOffset()
 		n := len(buf) - off
 		if rem := int(mem.PageSize - pageOff); n > rem {
@@ -631,10 +865,13 @@ func (f *FPGA) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.
 		// With sub-page fetch granularity the chunk may span blocks the
 		// LineFill did not cover.
 		lastLine := int((pageOff + uint64(n) - 1) / mem.CacheLineSize)
-		if now, err = f.ensureLines(now, fr, a.Page(), a.LineInPage(), lastLine); err != nil {
+		if now, err = f.ensureLinesLocked(sh, now, fr, page, a.LineInPage(), lastLine); err != nil {
+			sh.mu.Unlock()
 			return now, err
 		}
 		copy(buf[off:off+n], fr.data[pageOff:])
+		sh.mu.Unlock()
+		f.runPrefetch(pf)
 		off += n
 	}
 	return now, nil
@@ -644,6 +881,7 @@ func (f *FPGA) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.
 // bits for every touched line, and returns the completion time. It models
 // the store hitting the CPU cache and the eventual writeback reaching the
 // FPGA; for dirty-tracking purposes the two coincide in virtual time.
+// Like Read, each page's chunk lands atomically under its shard lock.
 func (f *FPGA) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
 	off := 0
 	for off < len(buf) {
@@ -653,15 +891,18 @@ func (f *FPGA) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock
 		if rem := int(mem.PageSize - pageOff); n > rem {
 			n = rem
 		}
-		done, err := f.ObserveWriteback(now, a, buf[off:off+n])
+		sh := f.shardFor(a.Page())
+		sh.mu.Lock()
+		done, fr, err := f.observeWritebackLocked(sh, now, a, buf[off:off+n])
 		if err != nil {
+			sh.mu.Unlock()
 			return now, err
 		}
 		now = done
-		// Mark every line the chunk covers (ObserveWriteback marked the
+		// Mark every line the chunk covers (observeWriteback marked the
 		// first).
-		fr := f.lookup(a.Page())
 		fr.dirty.MarkWrite(pageOff, uint64(n))
+		sh.mu.Unlock()
 		off += n
 	}
 	return now, nil
@@ -670,7 +911,11 @@ func (f *FPGA) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock
 // DirtyLines returns the dirty bitmap of the page holding addr (zero if
 // not resident).
 func (f *FPGA) DirtyLines(addr mem.Addr) mem.LineBitmap {
-	if fr := f.lookup(addr.Page()); fr != nil {
+	page := addr.Page()
+	sh := f.shardFor(page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr := f.lookupLocked(page); fr != nil {
 		return fr.dirty
 	}
 	return 0
@@ -679,34 +924,47 @@ func (f *FPGA) DirtyLines(addr mem.Addr) mem.LineBitmap {
 // FlushPage force-evicts the page holding addr (if resident), pushing it
 // through the Eviction Handler. Used by explicit sync/teardown paths.
 func (f *FPGA) FlushPage(now simclock.Duration, addr mem.Addr) bool {
-	fr := f.lookup(addr.Page())
+	page := addr.Page()
+	sh := f.shardFor(page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fr := f.lookupLocked(page)
 	if fr == nil {
 		return false
 	}
-	f.evictFrame(now, fr)
+	f.evictFrameLocked(sh, now, fr)
 	return true
 }
 
-// FlushAll evicts every resident page.
+// FlushAll evicts every resident page, walking the sets in index order
+// (one shard lock at a time) so the eviction sequence matches the serial
+// runtime's.
 func (f *FPGA) FlushAll(now simclock.Duration) {
-	for si := range f.sets {
-		for wi := range f.sets[si] {
-			if f.sets[si][wi].valid {
-				f.evictFrame(now, &f.sets[si][wi])
+	for si := uint64(0); si < f.nsets; si++ {
+		sh := &f.shards[si&f.shardMask]
+		sh.mu.Lock()
+		set := f.sets[si]
+		for wi := range set {
+			if set[wi].valid {
+				f.evictFrameLocked(sh, now, &set[wi])
 			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // Occupancy returns the number of resident pages.
 func (f *FPGA) Occupancy() int {
 	n := 0
-	for _, set := range f.sets {
-		for _, fr := range set {
+	for si := uint64(0); si < f.nsets; si++ {
+		sh := &f.shards[si&f.shardMask]
+		sh.mu.Lock()
+		for _, fr := range f.sets[si] {
 			if fr.valid {
 				n++
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

@@ -12,6 +12,7 @@ package rdma
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"kona/internal/simclock"
@@ -90,8 +91,13 @@ func (m *MR) Key() uint32 { return m.key }
 func (m *MR) Bytes() []byte { return m.data }
 
 // Endpoint is one RDMA-capable host side: a registry of memory regions.
+// The registry lock mirrors a real verbs stack, where ibv_reg_mr pins and
+// maps pages under kernel locks while the data path stays lock-free: a
+// compute node's shards share one local endpoint, so a lazily created
+// link can register MRs while another link's verbs resolve keys.
 type Endpoint struct {
 	name    string
+	mu      sync.RWMutex
 	mrs     map[uint32]*MR
 	nextKey uint32
 	// nic serializes this endpoint's posted batches.
@@ -105,6 +111,8 @@ func NewEndpoint(name string) *Endpoint {
 
 // RegisterMR registers size bytes and returns the region.
 func (e *Endpoint) RegisterMR(size int) *MR {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.nextKey++
 	mr := &MR{key: e.nextKey, data: make([]byte, size)}
 	e.mrs[mr.key] = mr
@@ -113,12 +121,18 @@ func (e *Endpoint) RegisterMR(size int) *MR {
 
 // LookupMR resolves a registered key.
 func (e *Endpoint) LookupMR(key uint32) (*MR, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	mr, ok := e.mrs[key]
 	return mr, ok
 }
 
 // DeregisterMR removes a region; posted WRs naming it will fail.
-func (e *Endpoint) DeregisterMR(key uint32) { delete(e.mrs, key) }
+func (e *Endpoint) DeregisterMR(key uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.mrs, key)
+}
 
 // WR is one work request in a batch.
 type WR struct {
@@ -210,7 +224,7 @@ func (qp *QP) execute(wr *WR) error {
 	if wr.Local == nil {
 		return fmt.Errorf("nil local MR")
 	}
-	if _, ok := qp.local.mrs[wr.Local.key]; !ok {
+	if _, ok := qp.local.LookupMR(wr.Local.key); !ok {
 		return fmt.Errorf("local MR %d not registered", wr.Local.key)
 	}
 	remote, ok := qp.remote.LookupMR(wr.RemoteKey)

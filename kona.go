@@ -20,10 +20,14 @@
 // node's cache and the memory nodes' pools through the simulated RDMA
 // fabric or, for the daemons in cmd/, over TCP.
 //
-// Concurrency: a Runtime models one compute node and is driven by one
-// goroutine at a time; simulated multi-threading is expressed through
-// virtual timestamps (see the Fig 7 harness in internal/experiments),
-// not Go goroutines. Cluster and MemoryNode are safe for concurrent use.
+// Concurrency: a Runtime models one compute node whose data path —
+// Read, Write, Sync, Malloc — is safe for concurrent goroutines; the
+// FMem cache is lock-striped into Config.Shards shards with
+// single-flight miss suppression (DESIGN.md §9). Virtual timestamps
+// remain per-caller: each goroutine threads its own kona.Time, and the
+// Fig 7 harness in internal/experiments still expresses simulated
+// multi-threading through timestamps alone. Cluster and MemoryNode are
+// safe for concurrent use. Cluster and MemoryNode are safe for concurrent use.
 package kona
 
 import (
