@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent cover stress verify
+.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent cover stress chaos verify
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,16 @@ KONA_STRESS_SEED ?= $(shell date +%s)
 stress:
 	KONA_STRESS_SEED=$(KONA_STRESS_SEED) $(GO) test -race -short -count=3 ./internal/core ./internal/cluster
 
+# Fault-tolerance chaos pass (DESIGN.md §10): the kill/repair/verify and
+# crash-rejoin suites plus the repair/rate-limiter unit tests, under the
+# race detector with a rotating workload seed — every run kills replicas
+# at a different point in the access stream. Well under 60s. Pin a
+# failing run with KONA_CHAOS_SEED=<seed> make chaos.
+KONA_CHAOS_SEED ?= $(shell date +%s)
+chaos:
+	KONA_CHAOS_SEED=$(KONA_CHAOS_SEED) $(GO) test -race -count=1 \
+		-run 'Chaos|Rejoin|Repair|ByteBudget' ./internal/core ./internal/cluster
+
 # Read-hit scaling at 1/2/4/8 application goroutines (DESIGN.md §9).
 # Wall ns/op should drop with goroutines on a multi-core host; the
 # vops/µs metric (aggregate virtual-time throughput) must scale ~linearly
@@ -77,4 +87,4 @@ bench-concurrent:
 cover:
 	$(GO) test -cover ./internal/... | sort
 
-verify: vet build test race stress bench-quick bench-telemetry bench-evict bench-concurrent
+verify: vet build test race stress chaos bench-quick bench-telemetry bench-evict bench-concurrent

@@ -32,6 +32,8 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/events on this HTTP address (empty = telemetry disabled)")
+	sweepInterval := flag.Duration("sweep-interval", 500*time.Millisecond, "health-sweep + repair cadence (0 disables repair)")
+	repairBudget := flag.Float64("repair-budget", 64<<20, "re-replication copy budget in bytes/sec (0 = unlimited)")
 	var (
 		faultDrop    = flag.Float64("fault-drop", 0, "probability an I/O op drops the connection (chaos testing)")
 		faultDelay   = flag.Float64("fault-delay", 0, "probability an I/O op is delayed (chaos testing)")
@@ -68,6 +70,21 @@ func main() {
 	ctrl := cluster.NewController()
 	srv := cluster.ServeControllerOnWith(ctrl, l, reg)
 	defer srv.Close()
+
+	// Background repair: sweep node health and re-replicate degraded slabs
+	// onto healthy nodes over the data-RPC transport (§10).
+	if *sweepInterval > 0 {
+		repairTr := cluster.NewTCPRepairTransport(srv.NodeAddr, cluster.DefaultTransport())
+		defer repairTr.Close()
+		engine := cluster.NewRepairEngine(ctrl, repairTr, cluster.RepairConfig{
+			BytesPerSec: *repairBudget,
+			Interval:    *sweepInterval,
+			Metrics:     reg,
+		})
+		stopRepair := make(chan struct{})
+		defer close(stopRepair)
+		go engine.Run(stopRepair)
+	}
 
 	metrics := "off"
 	if reg != nil {

@@ -104,11 +104,15 @@ func main() {
 		}
 		cc := cluster.DialControllerTransport(*ctrlAddr, tr)
 		defer cc.Close()
-		if err := cc.RegisterNode(*id, *capacity, srv.Addr()); err != nil {
+		epoch, err := cc.RegisterNodeEpoch(*id, *capacity, srv.Addr())
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "kona-memnode: registration failed: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("kona-memnode: registered with controller %s\n", *ctrlAddr)
+		// Adopt the assigned incarnation: data RPCs stamped with an older
+		// incarnation (pre-crash placements) are now fenced off (§10).
+		node.SetIncarnation(epoch)
+		fmt.Printf("kona-memnode: registered with controller %s (incarnation %d)\n", *ctrlAddr, epoch)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"kona/internal/slab"
 )
@@ -29,10 +30,52 @@ func (c *ControllerClient) Close() error { return c.pool.Close() }
 
 // RegisterNode announces a memory node's capacity and TCP address.
 func (c *ControllerClient) RegisterNode(id int, capacity uint64, nodeAddr string) error {
-	_, err := c.pool.roundTrip(&Request{
+	_, err := c.RegisterNodeEpoch(id, capacity, nodeAddr)
+	return err
+}
+
+// RegisterNodeEpoch is RegisterNode returning the incarnation the
+// controller assigned to this node instance — a rejoining daemon adopts
+// it so its epoch fence rejects pre-crash placements.
+func (c *ControllerClient) RegisterNodeEpoch(id int, capacity uint64, nodeAddr string) (uint64, error) {
+	resp, err := c.pool.roundTrip(&Request{
 		Kind: msgRegisterNode, NodeID: id, Capacity: capacity, Addr: nodeAddr,
 	})
-	return err
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// SlabPlacements returns a placement group's current members and the
+// node address map — the compute-side refresh after a repair flip.
+func (c *ControllerClient) SlabPlacements(group uint64) ([]slab.Slab, map[int]string, error) {
+	resp, err := c.pool.roundTrip(&Request{Kind: msgSlabPlacements, SlabID: group})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Slabs, resp.Addrs, nil
+}
+
+// ReportFailure tells the controller a node's log ships keep failing.
+// The controller probes the node itself before expelling it; the return
+// reports whether it was removed.
+func (c *ControllerClient) ReportFailure(node int) (bool, error) {
+	resp, err := c.pool.roundTrip(&Request{Kind: msgReportFailure, NodeID: node})
+	if err != nil {
+		return false, err
+	}
+	return resp.Entries == 1, nil
+}
+
+// Epoch returns the controller's placement epoch (advances on every
+// register, remove and repair flip).
+func (c *ControllerClient) Epoch() (uint64, error) {
+	resp, err := c.pool.roundTrip(&Request{Kind: msgPing})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
 }
 
 // AllocSlab requests one slab and returns it with the hosting node's
@@ -86,7 +129,15 @@ func (c *ControllerClient) Ping() error {
 // persistent connections. Safe for concurrent use.
 type MemoryNodeClient struct {
 	pool *pool
+	// epoch, when nonzero, stamps every data RPC with the node
+	// incarnation the client believes it is talking to; a restarted node
+	// rejects mismatches (epoch fencing, DESIGN.md §10).
+	epoch atomic.Uint64
 }
+
+// SetEpoch sets the incarnation stamp for subsequent data RPCs (0
+// disables fencing).
+func (c *MemoryNodeClient) SetEpoch(epoch uint64) { c.epoch.Store(epoch) }
 
 // DialMemoryNode returns a client for the node at addr with the default
 // transport policy.
@@ -105,7 +156,7 @@ func (c *MemoryNodeClient) Close() error { return c.pool.Close() }
 
 // Read fetches length bytes at offset from the node's pool.
 func (c *MemoryNodeClient) Read(offset uint64, length int) ([]byte, error) {
-	resp, err := c.pool.roundTrip(&Request{Kind: msgRead, Offset: offset, Length: length})
+	resp, err := c.pool.roundTrip(&Request{Kind: msgRead, Offset: offset, Length: length, Epoch: c.epoch.Load()})
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +168,7 @@ func (c *MemoryNodeClient) Read(offset uint64, length int) ([]byte, error) {
 // and bulk-replay paths use to avoid one RPC per page. The returned
 // slices alias one contiguous response buffer, in request order.
 func (c *MemoryNodeClient) ReadPages(offsets []uint64, length int) ([][]byte, error) {
-	resp, err := c.pool.roundTrip(&Request{Kind: msgReadPages, Offsets: offsets, Length: length})
+	resp, err := c.pool.roundTrip(&Request{Kind: msgReadPages, Offsets: offsets, Length: length, Epoch: c.epoch.Load()})
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +186,7 @@ func (c *MemoryNodeClient) ReadPages(offsets []uint64, length int) ([][]byte, er
 // Write stores data at offset in the node's pool. A write is a pure
 // overwrite, so the transport may retry it after a connection fault.
 func (c *MemoryNodeClient) Write(offset uint64, data []byte) error {
-	_, err := c.pool.roundTrip(&Request{Kind: msgWrite, Offset: offset, Data: data})
+	_, err := c.pool.roundTrip(&Request{Kind: msgWrite, Offset: offset, Data: data, Epoch: c.epoch.Load()})
 	return err
 }
 
@@ -144,7 +195,7 @@ func (c *MemoryNodeClient) Write(offset uint64, data []byte) error {
 // (it counts entries), so the transport does not retry it; the eviction
 // layer decides whether to replay.
 func (c *MemoryNodeClient) WriteLog(packed []byte) (int, error) {
-	resp, err := c.pool.roundTrip(&Request{Kind: msgWriteLog, Data: packed})
+	resp, err := c.pool.roundTrip(&Request{Kind: msgWriteLog, Data: packed, Epoch: c.epoch.Load()})
 	if err != nil {
 		return 0, err
 	}

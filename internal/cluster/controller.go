@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"kona/internal/mem"
@@ -11,6 +12,17 @@ import (
 // Controller is the centralized rack controller (§4.1): memory nodes
 // register their offered capacity with it, and compute nodes request
 // coarse slabs from it, off the application's critical path.
+//
+// Fault tolerance (DESIGN.md §10): the controller tracks every slab as a
+// member of a placement group (one group per logical slab, one member per
+// replica). When a node dies — detected by HealthSweep, a ship-failure
+// report from a compute node's evictor, or a rejoin of the same id — the
+// dead members are marked degraded but stay in their groups, so compute
+// nodes keep buffering dirty lines for them (the retained-entry protocol)
+// until the repair engine copies the slab onto a healthy node and commits
+// an atomic placement flip. Node incarnations fence stale placements:
+// every registration of an id bumps its incarnation, and a member whose
+// Epoch no longer matches its node's incarnation is dead by definition.
 type Controller struct {
 	mu sync.Mutex
 
@@ -20,6 +32,48 @@ type Controller struct {
 	// rr rotates slab placement across nodes.
 	rr  []int
 	pos int
+
+	// groups maps a slab/group id to its replica members. All members
+	// share the id and Base; they differ in Node/RemoteOff/Epoch. A dead
+	// member stays in its group (marked degraded) until a repair flips it
+	// to a new node.
+	groups map[uint64][]slab.Slab
+
+	// incarn is the per-id registration count. It persists across Remove
+	// so a rejoining node always gets a higher incarnation than any of
+	// its dead predecessors.
+	incarn map[int]uint64
+
+	// degraded tracks group members that lost their node, keyed so a
+	// group that loses two distinct replicas gets two entries.
+	degraded map[degradedKey]DegradedSlab
+
+	// epoch is the placement epoch: bumped on every register, remove and
+	// repair flip. Compute nodes compare it against a cached value to
+	// decide when to refresh placements.
+	epoch uint64
+
+	// prober decides whether a registered node is alive; injectable so
+	// the TCP server can probe over the wire and tests can lie. The
+	// default trusts the in-process failure flag.
+	prober func(id int, n *MemoryNode) bool
+}
+
+type degradedKey struct {
+	group uint64
+	node  int
+}
+
+// DegradedSlab identifies one lost replica of one placement group: the
+// repair engine's unit of work.
+type DegradedSlab struct {
+	// Group is the placement-group (slab) id.
+	Group uint64
+	// LostNode is the id of the node that held the lost member.
+	LostNode int
+	// LostEpoch is the incarnation the lost member was carved under; it
+	// fences the entry against the node rejoining with a new incarnation.
+	LostEpoch uint64
 }
 
 // VFMemBase is the fake-physical base address at which the controller
@@ -29,26 +83,89 @@ const VFMemBase mem.Addr = 1 << 40
 
 // NewController returns an empty controller.
 func NewController() *Controller {
-	return &Controller{nodes: make(map[int]*MemoryNode), nextVA: VFMemBase}
+	return &Controller{
+		nodes:    make(map[int]*MemoryNode),
+		nextVA:   VFMemBase,
+		groups:   make(map[uint64][]slab.Slab),
+		incarn:   make(map[int]uint64),
+		degraded: make(map[degradedKey]DegradedSlab),
+	}
 }
 
-// Register adds a memory node's offered memory to the pool.
-func (c *Controller) Register(n *MemoryNode) error {
+// SetProber installs the liveness check used to arbitrate rejoins and
+// failure reports. The default is the in-process failure flag.
+func (c *Controller) SetProber(p func(id int, n *MemoryNode) bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.nodes[n.ID()]; dup {
-		return fmt.Errorf("controller: node %d already registered", n.ID())
-	}
-	c.nodes[n.ID()] = n
-	c.rr = append(c.rr, n.ID())
-	return nil
+	c.prober = p
 }
 
-// Remove expels a node (e.g. after failure detection). Existing slabs on
-// it become unreachable; the runtime's replication layer handles that.
+func (c *Controller) proberLocked() func(id int, n *MemoryNode) bool {
+	if c.prober != nil {
+		return c.prober
+	}
+	return func(_ int, n *MemoryNode) bool { return !n.Failed() }
+}
+
+// Register adds a memory node's offered memory to the pool. Registering
+// an id that is already held by a live node is an error (double
+// registration); if the incumbent is dead, it is expelled — degrading its
+// slabs — and the newcomer is admitted under a higher incarnation
+// (crash-rejoin, §10).
+func (c *Controller) Register(n *MemoryNode) error {
+	id := n.ID()
+	for {
+		c.mu.Lock()
+		old, dup := c.nodes[id]
+		if !dup {
+			c.registerLocked(n)
+			c.mu.Unlock()
+			return nil
+		}
+		prober := c.proberLocked()
+		c.mu.Unlock()
+		// Probe outside the lock: the TCP prober performs a network ping.
+		if prober(id, old) {
+			return fmt.Errorf("controller: node %d already registered", id)
+		}
+		c.mu.Lock()
+		if c.nodes[id] == old {
+			c.removeLocked(id)
+		}
+		c.mu.Unlock()
+		// Loop: re-check for a racing registration before admitting n.
+	}
+}
+
+// registerLocked admits n under the next incarnation of its id.
+func (c *Controller) registerLocked(n *MemoryNode) {
+	id := n.ID()
+	c.incarn[id]++
+	n.SetIncarnation(c.incarn[id])
+	c.nodes[id] = n
+	c.rr = append(c.rr, id)
+	c.epoch++
+}
+
+// Remove expels a node (e.g. after failure detection). Its slab-group
+// members become degraded but stay in their groups so the replication
+// layer keeps retaining dirty lines for them until repair flips them.
 func (c *Controller) Remove(id int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.nodes[id]; !ok {
+		return
+	}
+	c.removeLocked(id)
+}
+
+// removeLocked deletes the node and atomically marks every group member
+// it hosted (at its current incarnation) degraded. Doing both under one
+// critical section closes the window where a repair could be planned
+// against placement state that no longer includes the dead node — the
+// "repaired onto itself" bug.
+func (c *Controller) removeLocked(id int) {
+	inc := c.incarn[id]
 	delete(c.nodes, id)
 	for i, nid := range c.rr {
 		if nid == id {
@@ -58,6 +175,18 @@ func (c *Controller) Remove(id int) {
 	}
 	if len(c.rr) > 0 {
 		c.pos %= len(c.rr)
+	}
+	c.epoch++
+	for gid, members := range c.groups {
+		for _, m := range members {
+			if m.Node != id || m.Epoch != inc {
+				continue
+			}
+			k := degradedKey{group: gid, node: id}
+			if _, seen := c.degraded[k]; !seen {
+				c.degraded[k] = DegradedSlab{Group: gid, LostNode: id, LostEpoch: m.Epoch}
+			}
+		}
 	}
 }
 
@@ -76,34 +205,275 @@ func (c *Controller) Nodes() int {
 	return len(c.nodes)
 }
 
-// ReleaseSlab returns a slab's memory to its node for reuse.
+// Incarnation returns the current incarnation of id (0 if never
+// registered).
+func (c *Controller) Incarnation(id int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.incarn[id]
+}
+
+// PlacementEpoch returns the placement epoch: it advances on every
+// register, remove and repair flip, so compute nodes can cheaply detect
+// that cached placements may be stale.
+func (c *Controller) PlacementEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Placements returns the current members of a placement group, replica
+// order preserved (index 0 is the primary).
+func (c *Controller) Placements(group uint64) ([]slab.Slab, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	members, ok := c.groups[group]
+	if !ok {
+		return nil, false
+	}
+	out := make([]slab.Slab, len(members))
+	copy(out, members)
+	return out, true
+}
+
+// DegradedSlabs returns the outstanding repair work, deterministically
+// ordered.
+func (c *Controller) DegradedSlabs() []DegradedSlab {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DegradedSlab, 0, len(c.degraded))
+	for _, d := range c.degraded {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].LostNode < out[j].LostNode
+	})
+	return out
+}
+
+// DegradedCount returns the number of lost replicas awaiting repair.
+func (c *Controller) DegradedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.degraded)
+}
+
+// ReleaseSlab returns a slab's memory to its node for reuse and prunes
+// the member from its placement group. Releasing a member whose node is
+// gone succeeds — the memory died with the node — and also retires any
+// degraded entry for it.
 func (c *Controller) ReleaseSlab(s slab.Slab) error {
 	c.mu.Lock()
+	grouped := false
+	if members, ok := c.groups[s.ID]; ok {
+		kept := members[:0]
+		for _, m := range members {
+			if m.Node == s.Node && m.RemoteOff == s.RemoteOff {
+				grouped = true
+				delete(c.degraded, degradedKey{group: s.ID, node: m.Node})
+				continue
+			}
+			kept = append(kept, m)
+		}
+		if len(kept) == 0 {
+			delete(c.groups, s.ID)
+		} else {
+			c.groups[s.ID] = kept
+		}
+	}
 	n, ok := c.nodes[s.Node]
+	live := ok && (s.Epoch == 0 || c.incarn[s.Node] == s.Epoch)
 	c.mu.Unlock()
 	if !ok {
+		if grouped || s.Epoch > 0 {
+			// The hosting node is gone; its memory went with it.
+			return nil
+		}
 		return fmt.Errorf("controller: slab %d's node %d not registered", s.ID, s.Node)
 	}
-	n.ReleaseSlab(s.RemoteOff, s.Size)
+	if live {
+		n.ReleaseSlab(s.RemoteOff, s.Size)
+	}
 	return nil
 }
 
-// HealthSweep checks every registered node and removes the failed ones,
+// HealthSweep probes every registered node and removes the dead ones,
 // returning their ids — the controller-side half of §4.5's failure
-// handling (the runtime's replication handles the data).
+// handling. Removal re-verifies node identity under the lock, so a node
+// that was replaced (rejoined) between probe and removal is untouched.
 func (c *Controller) HealthSweep() []int {
 	c.mu.Lock()
-	var dead []int
+	type probeTarget struct {
+		id int
+		n  *MemoryNode
+	}
+	snapshot := make([]probeTarget, 0, len(c.nodes))
 	for id, n := range c.nodes {
+		snapshot = append(snapshot, probeTarget{id, n})
+	}
+	prober := c.proberLocked()
+	c.mu.Unlock()
+
+	var dead []int
+	for _, t := range snapshot {
+		if prober(t.id, t.n) {
+			continue
+		}
+		c.mu.Lock()
+		if c.nodes[t.id] == t.n {
+			c.removeLocked(t.id)
+			dead = append(dead, t.id)
+		}
+		c.mu.Unlock()
+	}
+	sort.Ints(dead)
+	return dead
+}
+
+// ReportNodeFailure handles a compute node's ship-failure report: the
+// node is probed and, if confirmed dead, removed (degrading its slabs).
+// Returns whether the node was removed. A false report against a live
+// node is a no-op.
+func (c *Controller) ReportNodeFailure(id int) bool {
+	c.mu.Lock()
+	n, ok := c.nodes[id]
+	prober := c.proberLocked()
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if prober(id, n) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nodes[id] != n {
+		return false
+	}
+	c.removeLocked(id)
+	return true
+}
+
+// CarveRepairTarget picks a healthy node for the lost member of d and
+// carves an extent there, returning the replacement member. The lost
+// node itself is excluded unless it has rejoined under a higher
+// incarnation (a dead node must never be its own repair target), as are
+// all nodes already holding a member of the group.
+func (c *Controller) CarveRepairTarget(d DegradedSlab) (slab.Slab, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.degraded[degradedKey{group: d.Group, node: d.LostNode}]; !ok {
+		return slab.Slab{}, fmt.Errorf("controller: group %d/node %d not degraded", d.Group, d.LostNode)
+	}
+	members := c.groups[d.Group]
+	var lost *slab.Slab
+	occupied := make(map[int]bool, len(members))
+	for i := range members {
+		m := &members[i]
+		if m.Node == d.LostNode && m.Epoch == d.LostEpoch {
+			lost = m
+			continue
+		}
+		occupied[m.Node] = true
+	}
+	if lost == nil {
+		return slab.Slab{}, fmt.Errorf("controller: group %d lost member on node %d vanished", d.Group, d.LostNode)
+	}
+	for tries := 0; tries < len(c.rr); tries++ {
+		id := c.rr[c.pos]
+		c.pos = (c.pos + 1) % len(c.rr)
+		if occupied[id] {
+			continue
+		}
+		if id == d.LostNode && c.incarn[id] == d.LostEpoch {
+			// Same incarnation as the lost member: this is the dead node
+			// lingering in placement state — never repair onto it.
+			continue
+		}
+		n := c.nodes[id]
 		if n.Failed() {
-			dead = append(dead, id)
+			continue
+		}
+		off, err := n.CarveSlab(lost.Size)
+		if err != nil {
+			continue
+		}
+		return slab.Slab{
+			ID:        d.Group,
+			Base:      lost.Base,
+			Size:      lost.Size,
+			Node:      id,
+			RemoteKey: n.PoolKey(),
+			RemoteOff: off,
+			Epoch:     c.incarn[id],
+		}, nil
+	}
+	return slab.Slab{}, fmt.Errorf("controller: no healthy target for group %d (lost node %d)", d.Group, d.LostNode)
+}
+
+// CommitRepair atomically flips the degraded member of d to the freshly
+// copied replacement: the lost member leaves the group, the new member
+// takes its replica slot, the degraded entry retires and the placement
+// epoch advances. It fails — and the caller must AbandonRepair — if the
+// degraded entry was already resolved or the target node changed
+// incarnation or died during the copy.
+func (c *Controller) CommitRepair(d DegradedSlab, repaired slab.Slab) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := degradedKey{group: d.Group, node: d.LostNode}
+	if _, ok := c.degraded[k]; !ok {
+		return fmt.Errorf("controller: group %d/node %d no longer degraded", d.Group, d.LostNode)
+	}
+	n, ok := c.nodes[repaired.Node]
+	if !ok || c.incarn[repaired.Node] != repaired.Epoch {
+		return fmt.Errorf("controller: repair target node %d (epoch %d) gone", repaired.Node, repaired.Epoch)
+	}
+	if n.Failed() {
+		return fmt.Errorf("controller: repair target node %d failed during copy", repaired.Node)
+	}
+	members := c.groups[d.Group]
+	for i := range members {
+		if members[i].Node == d.LostNode && members[i].Epoch == d.LostEpoch {
+			members[i] = repaired
+			delete(c.degraded, k)
+			c.epoch++
+			return nil
 		}
 	}
+	return fmt.Errorf("controller: group %d lost member on node %d vanished", d.Group, d.LostNode)
+}
+
+// AbandonRepair returns a carved-but-uncommitted repair extent to its
+// node, if that node is still around at the same incarnation.
+func (c *Controller) AbandonRepair(repaired slab.Slab) {
+	c.mu.Lock()
+	n, ok := c.nodes[repaired.Node]
+	live := ok && c.incarn[repaired.Node] == repaired.Epoch
 	c.mu.Unlock()
-	for _, id := range dead {
-		c.Remove(id)
+	if live {
+		n.ReleaseSlab(repaired.RemoteOff, repaired.Size)
 	}
-	return dead
+}
+
+// repairSource picks a live group member to copy the slab's pages from:
+// registered at its carved incarnation, not the lost member, not failed.
+func (c *Controller) repairSource(d DegradedSlab) (slab.Slab, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.groups[d.Group] {
+		if m.Node == d.LostNode && m.Epoch == d.LostEpoch {
+			continue
+		}
+		n, ok := c.nodes[m.Node]
+		if !ok || c.incarn[m.Node] != m.Epoch || n.Failed() {
+			continue
+		}
+		return m, true
+	}
+	return slab.Slab{}, false
 }
 
 // AllocSlab places a slab of the given size on a memory node (round-robin
@@ -134,17 +504,20 @@ func (c *Controller) AllocSlab(size uint64) (slab.Slab, error) {
 			Node:      id,
 			RemoteKey: n.PoolKey(),
 			RemoteOff: off,
+			Epoch:     c.incarn[id],
 		}
 		c.nextVA += mem.Addr(size)
+		c.groups[s.ID] = []slab.Slab{s}
 		return s, nil
 	}
 	return slab.Slab{}, fmt.Errorf("controller: no node can host %d bytes", size)
 }
 
 // AllocReplicatedSlab places the same logical slab on `replicas` distinct
-// nodes and returns one descriptor per replica; all share the same Base
-// (the compute node addresses them identically). Used by the §4.5
-// replication path.
+// nodes and returns one descriptor per replica. All members share one
+// group id and one Base (the compute node addresses them identically);
+// they form one placement group for degraded-state tracking. Used by the
+// §4.5 replication path.
 func (c *Controller) AllocReplicatedSlab(size uint64, replicas int) ([]slab.Slab, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -156,6 +529,7 @@ func (c *Controller) AllocReplicatedSlab(size uint64, replicas int) ([]slab.Slab
 	}
 	var out []slab.Slab
 	base := c.nextVA
+	gid := c.nextSlabID + 1
 	placed := map[int]bool{}
 	for tries := 0; tries < len(c.rr) && len(out) < replicas; tries++ {
 		id := c.rr[c.pos]
@@ -168,20 +542,27 @@ func (c *Controller) AllocReplicatedSlab(size uint64, replicas int) ([]slab.Slab
 		if err != nil {
 			continue
 		}
-		c.nextSlabID++
 		out = append(out, slab.Slab{
-			ID:        c.nextSlabID,
+			ID:        gid,
 			Base:      base,
 			Size:      size,
 			Node:      id,
 			RemoteKey: n.PoolKey(),
 			RemoteOff: off,
+			Epoch:     c.incarn[id],
 		})
 		placed[id] = true
 	}
 	if len(out) < replicas {
+		for _, s := range out {
+			c.nodes[s.Node].ReleaseSlab(s.RemoteOff, s.Size)
+		}
 		return nil, fmt.Errorf("controller: only %d of %d replicas placeable", len(out), replicas)
 	}
+	c.nextSlabID = gid
 	c.nextVA += mem.Addr(size)
+	members := make([]slab.Slab, len(out))
+	copy(members, out)
+	c.groups[gid] = members
 	return out, nil
 }

@@ -38,6 +38,13 @@ type MemoryNode struct {
 	// failed simulates a crashed node: all operations error.
 	failed bool
 
+	// incarnation is the controller-assigned epoch of this node instance.
+	// It increments every time a node with the same id crashes and
+	// rejoins, so stale placements (and RPCs stamped with the old epoch)
+	// can be fenced. Zero means "not assigned" — nodes used outside a
+	// controller skip fencing entirely.
+	incarnation uint64
+
 	linesUnpacked uint64
 	logsUnpacked  uint64
 }
@@ -131,6 +138,55 @@ func (n *MemoryNode) Recover() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.failed = false
+}
+
+// Incarnation returns the node's controller-assigned epoch (0 if the
+// node was never registered through an incarnation-tracking controller).
+func (n *MemoryNode) Incarnation() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.incarnation
+}
+
+// SetIncarnation records the controller-assigned epoch for this node
+// instance; the memnode daemon calls it after (re-)registering.
+func (n *MemoryNode) SetIncarnation(epoch uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.incarnation = epoch
+}
+
+// ReadAt copies len(buf) pool bytes starting at off into buf. Unlike
+// PoolBytes it synchronizes with the log receiver, so the repair engine
+// (and the memnode server's data RPCs) can read concurrently with
+// UnpackLog scattering lines into the pool.
+func (n *MemoryNode) ReadAt(off uint64, buf []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return fmt.Errorf("memnode %d: failed", n.id)
+	}
+	pool := n.pool.Bytes()
+	if off+uint64(len(buf)) > uint64(len(pool)) {
+		return fmt.Errorf("memnode %d: read [%d,+%d) overruns pool", n.id, off, len(buf))
+	}
+	copy(buf, pool[off:])
+	return nil
+}
+
+// WriteAt stores data into the pool at off, synchronized like ReadAt.
+func (n *MemoryNode) WriteAt(off uint64, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return fmt.Errorf("memnode %d: failed", n.id)
+	}
+	pool := n.pool.Bytes()
+	if off+uint64(len(data)) > uint64(len(pool)) {
+		return fmt.Errorf("memnode %d: write [%d,+%d) overruns pool", n.id, off, len(data))
+	}
+	copy(pool[off:], data)
+	return nil
 }
 
 // UnpackLog runs the Cache-line Log Receiver once (§4.4): it parses the

@@ -28,6 +28,12 @@ const (
 	msgWriteLog     = "write-log"
 	msgReleaseSlab  = "release-slab"
 	msgPing         = "ping"
+	// Fault-tolerance RPCs (DESIGN.md §10): compute nodes fetch a
+	// placement group's current members after a repair flip, and report
+	// nodes whose log ships keep failing so the controller can probe and
+	// expel them.
+	msgSlabPlacements = "slab-placements"
+	msgReportFailure  = "report-failure"
 )
 
 // Request is the single envelope for every RPC.
@@ -55,6 +61,14 @@ type Request struct {
 	// One frame replaces len(Offsets) Read round trips; the reply carries
 	// the payloads concatenated in request order in Data.
 	Offsets []uint64
+
+	// SlabPlacements: the placement-group id to look up.
+	SlabID uint64
+
+	// Epoch stamps data RPCs to a memory node with the incarnation the
+	// sender believes it is talking to; a restarted node rejects
+	// mismatches (epoch fencing, §10). Zero disables the fence.
+	Epoch uint64
 }
 
 // Response is the single envelope for every reply.
@@ -70,6 +84,11 @@ type Response struct {
 	Data []byte
 	// WriteLog
 	Entries int
+
+	// Epoch carries incarnation/placement-epoch values back to clients:
+	// RegisterNode returns the node's assigned incarnation, Ping (to the
+	// controller) the current placement epoch.
+	Epoch uint64
 }
 
 // errOf converts a Response error field back to error.

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kona/internal/mem"
+	"kona/internal/slab"
+	"kona/internal/telemetry"
+)
+
+// RepairTransport is how the repair engine moves slab pages between
+// memory nodes: batched page reads from the copy source and bulk writes
+// to the target. Both carry the node's expected incarnation so a node
+// that crash-rejoined mid-copy fences the stale operation instead of
+// serving wrong-generation bytes.
+type RepairTransport interface {
+	ReadPages(node int, epoch uint64, offs []uint64, pageLen int) ([][]byte, error)
+	Write(node int, epoch uint64, off uint64, data []byte) error
+}
+
+// RepairConfig tunes the background re-replication engine.
+type RepairConfig struct {
+	// BytesPerSec caps repair traffic (<= 0: unlimited). Repair shares
+	// the fabric with fetch/evict; the budget keeps it from starving
+	// them.
+	BytesPerSec float64
+	// BatchPages is how many pages each ReadPages RPC gathers (default 16).
+	BatchPages int
+	// PageSize is the copy granularity (default mem.PageSize).
+	PageSize int
+	// Interval is the Run loop's sweep-and-repair period (default 50ms).
+	Interval time.Duration
+	// Metrics, if set, receives repair counters and gauges.
+	Metrics *telemetry.Registry
+}
+
+func (c RepairConfig) withDefaults() RepairConfig {
+	if c.BatchPages <= 0 {
+		c.BatchPages = 16
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = int(mem.PageSize)
+	}
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	return c
+}
+
+// RepairStats is a snapshot of the engine's lifetime work.
+type RepairStats struct {
+	// Flips counts committed repairs (degraded member replaced).
+	Flips uint64
+	// Failures counts abandoned repair attempts.
+	Failures uint64
+	// BytesCopied is the total page payload moved.
+	BytesCopied uint64
+}
+
+// RepairEngine is the controller-side background re-replication loop
+// (DESIGN.md §10): it drains the controller's degraded-slab set by
+// copying each lost member's pages from a live replica onto a freshly
+// carved extent on a healthy node, then committing an atomic placement
+// flip. Dirty lines landed during the copy window are retained by the
+// compute-side evictor and replayed onto the new member after the flip,
+// so the copy itself does not need to chase writers.
+type RepairEngine struct {
+	ctrl   *Controller
+	tr     RepairTransport
+	cfg    RepairConfig
+	budget *byteBudget
+
+	flips, failures, bytesCopied atomic.Uint64
+
+	mDegraded *telemetry.Gauge
+	mBytes    *telemetry.Counter
+	mFlips    *telemetry.Counter
+	mFailures *telemetry.Counter
+}
+
+// NewRepairEngine wires an engine to a controller and a transport.
+func NewRepairEngine(ctrl *Controller, tr RepairTransport, cfg RepairConfig) *RepairEngine {
+	cfg = cfg.withDefaults()
+	e := &RepairEngine{
+		ctrl:   ctrl,
+		tr:     tr,
+		cfg:    cfg,
+		budget: newByteBudget(cfg.BytesPerSec, 0),
+	}
+	if cfg.Metrics != nil {
+		e.mDegraded = cfg.Metrics.Gauge("cluster.repair.degraded")
+		e.mBytes = cfg.Metrics.Counter("cluster.repair.bytes_copied")
+		e.mFlips = cfg.Metrics.Counter("cluster.repair.flips")
+		e.mFailures = cfg.Metrics.Counter("cluster.repair.failures")
+	}
+	return e
+}
+
+// Stats returns the engine's lifetime counters.
+func (e *RepairEngine) Stats() RepairStats {
+	return RepairStats{
+		Flips:       e.flips.Load(),
+		Failures:    e.failures.Load(),
+		BytesCopied: e.bytesCopied.Load(),
+	}
+}
+
+// RepairOnce attempts every outstanding degraded slab once and returns
+// the number of successful flips. Entries that cannot be repaired yet
+// (no live source, no healthy target) stay degraded for the next pass.
+func (e *RepairEngine) RepairOnce() int {
+	flips := 0
+	for _, d := range e.ctrl.DegradedSlabs() {
+		if err := e.repairOne(d); err == nil {
+			flips++
+		}
+	}
+	if e.mDegraded != nil {
+		e.mDegraded.Set(int64(e.ctrl.DegradedCount()))
+	}
+	return flips
+}
+
+// repairOne copies one lost member onto a fresh target and flips it in.
+func (e *RepairEngine) repairOne(d DegradedSlab) error {
+	src, ok := e.ctrl.repairSource(d)
+	if !ok {
+		return fmt.Errorf("repair: group %d has no live source", d.Group)
+	}
+	target, err := e.ctrl.CarveRepairTarget(d)
+	if err != nil {
+		return err
+	}
+	if err := e.copySlab(src, target); err != nil {
+		e.ctrl.AbandonRepair(target)
+		e.failures.Add(1)
+		if e.mFailures != nil {
+			e.mFailures.Inc()
+		}
+		return err
+	}
+	if err := e.ctrl.CommitRepair(d, target); err != nil {
+		e.ctrl.AbandonRepair(target)
+		e.failures.Add(1)
+		if e.mFailures != nil {
+			e.mFailures.Inc()
+		}
+		return err
+	}
+	e.flips.Add(1)
+	if e.mFlips != nil {
+		e.mFlips.Inc()
+	}
+	return nil
+}
+
+// copySlab streams the slab's pages source→target in rate-limited
+// batches: full pages through the batched ReadPages RPC, plus one
+// smaller read for a non-page-aligned tail (never reading past the
+// slab's extent).
+func (e *RepairEngine) copySlab(src, target slab.Slab) error {
+	pageLen := uint64(e.cfg.PageSize)
+	copyBatch := func(start uint64, offs []uint64, spanLen int) error {
+		span := uint64(len(offs)-1)*pageLen + uint64(spanLen)
+		e.budget.take(int(span))
+		pages, err := e.tr.ReadPages(src.Node, src.Epoch, offs, spanLen)
+		if err != nil {
+			return fmt.Errorf("repair: read from node %d: %w", src.Node, err)
+		}
+		buf := make([]byte, 0, span)
+		for _, p := range pages {
+			buf = append(buf, p...)
+		}
+		if err := e.tr.Write(target.Node, target.Epoch, target.RemoteOff+start, buf); err != nil {
+			return fmt.Errorf("repair: write to node %d: %w", target.Node, err)
+		}
+		e.bytesCopied.Add(uint64(len(buf)))
+		if e.mBytes != nil {
+			e.mBytes.Add(uint64(len(buf)))
+		}
+		return nil
+	}
+	fullPages := src.Size / pageLen
+	offs := make([]uint64, 0, e.cfg.BatchPages)
+	for p := uint64(0); p < fullPages; {
+		offs = offs[:0]
+		start := p * pageLen
+		for len(offs) < e.cfg.BatchPages && p < fullPages {
+			offs = append(offs, src.RemoteOff+p*pageLen)
+			p++
+		}
+		if err := copyBatch(start, offs, int(pageLen)); err != nil {
+			return err
+		}
+	}
+	if rem := src.Size % pageLen; rem > 0 {
+		start := fullPages * pageLen
+		if err := copyBatch(start, []uint64{src.RemoteOff + start}, int(rem)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run sweeps for dead nodes and repairs degraded slabs every Interval
+// until stop closes. The daemon's background loop.
+func (e *RepairEngine) Run(stop <-chan struct{}) {
+	t := time.NewTicker(e.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			e.ctrl.HealthSweep()
+			e.RepairOnce()
+		}
+	}
+}
+
+// LocalRepairTransport moves pages between in-process MemoryNodes
+// through their locked pool accessors — the simulated fabric's repair
+// path.
+type LocalRepairTransport struct {
+	Ctrl *Controller
+}
+
+func (t *LocalRepairTransport) node(id int, epoch uint64) (*MemoryNode, error) {
+	n, ok := t.Ctrl.Node(id)
+	if !ok {
+		return nil, fmt.Errorf("repair: node %d not registered", id)
+	}
+	if epoch != 0 && n.Incarnation() != epoch {
+		return nil, fmt.Errorf("repair: node %d incarnation %d, want %d", id, n.Incarnation(), epoch)
+	}
+	return n, nil
+}
+
+// ReadPages gathers len(offs) pages from the node's pool.
+func (t *LocalRepairTransport) ReadPages(node int, epoch uint64, offs []uint64, pageLen int) ([][]byte, error) {
+	n, err := t.node(node, epoch)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(offs))
+	for i, off := range offs {
+		buf := make([]byte, pageLen)
+		if err := n.ReadAt(off, buf); err != nil {
+			return nil, err
+		}
+		out[i] = buf
+	}
+	return out, nil
+}
+
+// Write stores data into the node's pool at off.
+func (t *LocalRepairTransport) Write(node int, epoch uint64, off uint64, data []byte) error {
+	n, err := t.node(node, epoch)
+	if err != nil {
+		return err
+	}
+	return n.WriteAt(off, data)
+}
+
+// TCPRepairTransport moves pages between memnode daemons over the wire
+// protocol, stamping every RPC with the node's expected incarnation so
+// the daemon's epoch fence rejects stale copies.
+type TCPRepairTransport struct {
+	// Addr resolves a node id to its daemon address (the controller
+	// server's registration table).
+	Addr func(node int) (string, bool)
+	// Transport is the client policy; zero value means defaults.
+	Transport Transport
+
+	mu      sync.Mutex
+	clients map[string]*MemoryNodeClient
+}
+
+// NewTCPRepairTransport returns a transport resolving node addresses
+// through addr (typically ControllerServer.NodeAddr).
+func NewTCPRepairTransport(addr func(node int) (string, bool), tr Transport) *TCPRepairTransport {
+	return &TCPRepairTransport{Addr: addr, Transport: tr}
+}
+
+func (t *TCPRepairTransport) client(node int) (*MemoryNodeClient, error) {
+	addr, ok := t.Addr(node)
+	if !ok {
+		return nil, fmt.Errorf("repair: no address for node %d", node)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.clients == nil {
+		t.clients = make(map[string]*MemoryNodeClient)
+	}
+	if c, ok := t.clients[addr]; ok {
+		return c, nil
+	}
+	c := DialMemoryNodeTransport(addr, t.Transport)
+	t.clients[addr] = c
+	return c, nil
+}
+
+// ReadPages fetches a batch of pages from the node's daemon.
+func (t *TCPRepairTransport) ReadPages(node int, epoch uint64, offs []uint64, pageLen int) ([][]byte, error) {
+	c, err := t.client(node)
+	if err != nil {
+		return nil, err
+	}
+	c.SetEpoch(epoch)
+	return c.ReadPages(offs, pageLen)
+}
+
+// Write stores data on the node's daemon.
+func (t *TCPRepairTransport) Write(node int, epoch uint64, off uint64, data []byte) error {
+	c, err := t.client(node)
+	if err != nil {
+		return err
+	}
+	c.SetEpoch(epoch)
+	return c.Write(off, data)
+}
+
+// Close tears down any dialed memnode clients.
+func (t *TCPRepairTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range t.clients {
+		c.Close()
+	}
+	t.clients = nil
+}

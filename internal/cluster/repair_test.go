@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kona/internal/slab"
+)
+
+// repairRack builds a controller with n registered 8MB memory nodes.
+func repairRack(t *testing.T, n int) *Controller {
+	t.Helper()
+	c := NewController()
+	for i := 0; i < n; i++ {
+		if err := c.Register(NewMemoryNode(i, 8<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// fillMember writes a deterministic pattern into one replica's extent.
+func fillMember(t *testing.T, c *Controller, s slab.Slab, seed byte) []byte {
+	t.Helper()
+	data := make([]byte, s.Size)
+	for i := range data {
+		data[i] = seed + byte(i)
+	}
+	n, ok := c.Node(s.Node)
+	if !ok {
+		t.Fatalf("member node %d not registered", s.Node)
+	}
+	if err := n.WriteAt(s.RemoteOff, data); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func readMember(t *testing.T, c *Controller, s slab.Slab) []byte {
+	t.Helper()
+	n, ok := c.Node(s.Node)
+	if !ok {
+		t.Fatalf("member node %d not registered", s.Node)
+	}
+	buf := make([]byte, s.Size)
+	if err := n.ReadAt(s.RemoteOff, buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func drainRepairs(t *testing.T, e *RepairEngine, c *Controller) {
+	t.Helper()
+	for i := 0; c.DegradedCount() > 0; i++ {
+		if i > 100 {
+			t.Fatalf("repair did not converge: %d slabs still degraded", c.DegradedCount())
+		}
+		e.RepairOnce()
+	}
+}
+
+// TestRepairRestoresReplication kills one replica of a group and checks
+// the engine copies the slab onto a healthy node, flips the placement,
+// and the new member's bytes match the surviving source exactly.
+func TestRepairRestoresReplication(t *testing.T) {
+	c := repairRack(t, 3)
+	members, err := c.AllocReplicatedSlab(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillMember(t, c, members[0], 7)
+	fillMember(t, c, members[1], 7)
+	gid := members[0].ID
+
+	// A failure report against a live node must be a no-op.
+	if c.ReportNodeFailure(members[1].Node) {
+		t.Fatalf("live node expelled by a false failure report")
+	}
+
+	epochBefore := c.PlacementEpoch()
+	victim := members[1].Node
+	vn, _ := c.Node(victim)
+	vn.Fail()
+	if !c.ReportNodeFailure(victim) {
+		t.Fatalf("confirmed-dead node not removed")
+	}
+	d := c.DegradedSlabs()
+	if len(d) != 1 || d[0].Group != gid || d[0].LostNode != victim {
+		t.Fatalf("degraded set = %+v, want group %d / node %d", d, gid, victim)
+	}
+
+	e := NewRepairEngine(c, &LocalRepairTransport{Ctrl: c}, RepairConfig{})
+	if flips := e.RepairOnce(); flips != 1 {
+		t.Fatalf("RepairOnce flips = %d, want 1", flips)
+	}
+	if c.DegradedCount() != 0 {
+		t.Fatalf("degraded entry leaked after repair")
+	}
+	st := e.Stats()
+	if st.Flips != 1 || st.BytesCopied != 1<<20 {
+		t.Fatalf("stats = %+v, want 1 flip / %d bytes", st, 1<<20)
+	}
+	if c.PlacementEpoch() <= epochBefore {
+		t.Fatalf("placement epoch did not advance across remove+flip")
+	}
+
+	cur, ok := c.Placements(gid)
+	if !ok || len(cur) != 2 {
+		t.Fatalf("placements = %v", cur)
+	}
+	for _, m := range cur {
+		if m.Node == victim {
+			t.Fatalf("dead node still in placement group: %+v", cur)
+		}
+		if got := c.Incarnation(m.Node); m.Epoch != got {
+			t.Fatalf("member epoch %d, node incarnation %d", m.Epoch, got)
+		}
+		if got := readMember(t, c, m); !bytes.Equal(got, want) {
+			t.Fatalf("member on node %d diverged after repair", m.Node)
+		}
+	}
+}
+
+// TestRepairSkipsLostNodeAsTarget is the regression test for the
+// sweep/repair race: a node that died between the health sweep and the
+// repair enqueue must never be chosen as its own repair target — but the
+// same id rejoining under a fresh incarnation is a valid target.
+func TestRepairSkipsLostNodeAsTarget(t *testing.T) {
+	c := repairRack(t, 2)
+	members, err := c.AllocReplicatedSlab(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillMember(t, c, members[0], 3)
+	fillMember(t, c, members[1], 3)
+	victim := members[1].Node
+	lostEpoch := c.Incarnation(victim)
+	vn, _ := c.Node(victim)
+	vn.Fail()
+	c.HealthSweep()
+
+	d := c.DegradedSlabs()
+	if len(d) != 1 {
+		t.Fatalf("degraded = %+v", d)
+	}
+	// Only the surviving node is left and it already holds a member: the
+	// dead node must not be offered as a target, so the carve fails.
+	if s, err := c.CarveRepairTarget(d[0]); err == nil {
+		t.Fatalf("carved repair target %+v with no eligible node", s)
+	}
+	e := NewRepairEngine(c, &LocalRepairTransport{Ctrl: c}, RepairConfig{})
+	if flips := e.RepairOnce(); flips != 0 {
+		t.Fatalf("repaired with no eligible target (flips=%d)", flips)
+	}
+	if c.DegradedCount() != 1 {
+		t.Fatalf("degraded entry lost by a failed repair")
+	}
+
+	// Crash-rejoin: the same id comes back empty under a new incarnation
+	// and is now a legitimate repair target.
+	if err := c.Register(NewMemoryNode(victim, 8<<20)); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if got := c.Incarnation(victim); got != lostEpoch+1 {
+		t.Fatalf("rejoin incarnation = %d, want %d", got, lostEpoch+1)
+	}
+	target, err := c.CarveRepairTarget(d[0])
+	if err != nil {
+		t.Fatalf("rejoined node rejected as repair target: %v", err)
+	}
+	if target.Node != victim || target.Epoch != lostEpoch+1 {
+		t.Fatalf("target = %+v, want node %d at epoch %d", target, victim, lostEpoch+1)
+	}
+	c.AbandonRepair(target)
+	drainRepairs(t, e, c)
+	cur, _ := c.Placements(members[0].ID)
+	for _, m := range cur {
+		if got := readMember(t, c, m); !bytes.Equal(got, want) {
+			t.Fatalf("member on node %d diverged after rejoin repair", m.Node)
+		}
+	}
+}
+
+// TestCommitRepairFencesStaleFlips covers the copy-window failure modes:
+// the target dying mid-copy and a double commit must both be rejected
+// without losing the degraded entry.
+func TestCommitRepairFencesStaleFlips(t *testing.T) {
+	c := repairRack(t, 3)
+	members, err := c.AllocReplicatedSlab(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillMember(t, c, members[0], 11)
+	fillMember(t, c, members[1], 11)
+	vn, _ := c.Node(members[1].Node)
+	vn.Fail()
+	c.HealthSweep()
+	d := c.DegradedSlabs()[0]
+
+	target, err := c.CarveRepairTarget(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target dies during the copy window: the flip must be refused.
+	tn, _ := c.Node(target.Node)
+	tn.Fail()
+	if err := c.CommitRepair(d, target); err == nil {
+		t.Fatalf("committed repair onto a node that died mid-copy")
+	}
+	c.AbandonRepair(target)
+	if c.DegradedCount() != 1 {
+		t.Fatalf("degraded entry lost by an aborted flip")
+	}
+
+	// Target recovers; the next pass completes, and a second commit of the
+	// same degraded entry is stale.
+	tn.Recover()
+	e := NewRepairEngine(c, &LocalRepairTransport{Ctrl: c}, RepairConfig{})
+	drainRepairs(t, e, c)
+	if err := c.CommitRepair(d, target); err == nil {
+		t.Fatalf("double commit accepted")
+	}
+}
+
+// TestRepairTransportEpochFence checks both transports reject operations
+// stamped with a stale incarnation — the fence that keeps a pre-crash
+// placement from reading or writing a rejoined node's fresh pool.
+func TestRepairTransportEpochFence(t *testing.T) {
+	c := repairRack(t, 1)
+	tr := &LocalRepairTransport{Ctrl: c}
+	inc := c.Incarnation(0)
+	if _, err := tr.ReadPages(0, inc, []uint64{0}, 64); err != nil {
+		t.Fatalf("current-incarnation read rejected: %v", err)
+	}
+	if _, err := tr.ReadPages(0, inc+1, []uint64{0}, 64); err == nil {
+		t.Fatalf("stale-incarnation read served")
+	}
+	if err := tr.Write(0, inc+1, 0, make([]byte, 64)); err == nil {
+		t.Fatalf("stale-incarnation write applied")
+	}
+
+	// The same fence over the wire: a memnode daemon refuses data RPCs
+	// from a client stamped with the wrong epoch.
+	node := NewMemoryNode(9, 1<<20)
+	node.SetIncarnation(3)
+	srv := mustServeNode(t, node)
+	defer srv.Close()
+	mc := DialMemoryNode(srv.Addr())
+	defer mc.Close()
+	mc.SetEpoch(2)
+	if _, err := mc.Read(0, 16); err == nil {
+		t.Fatalf("TCP read with stale epoch served")
+	}
+	mc.SetEpoch(3)
+	if _, err := mc.Read(0, 16); err != nil {
+		t.Fatalf("TCP read with current epoch rejected: %v", err)
+	}
+	mc.SetEpoch(0)
+	if _, err := mc.Read(0, 16); err != nil {
+		t.Fatalf("unfenced TCP read rejected: %v", err)
+	}
+}
+
+func mustServeNode(t *testing.T, n *MemoryNode) *MemoryNodeServer {
+	t.Helper()
+	srv, err := ServeMemoryNode(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestRegisterArbitratesRejoin: registering an id held by a live node is
+// rejected; once the incumbent is dead the newcomer is admitted under a
+// higher incarnation, the dead node's members degrade, and repair can
+// then land the lost replica back on the rejoined node.
+func TestRegisterArbitratesRejoin(t *testing.T) {
+	c := repairRack(t, 2)
+	members, err := c.AllocReplicatedSlab(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillMember(t, c, members[0], 5)
+	fillMember(t, c, members[1], 5)
+
+	if err := c.Register(NewMemoryNode(0, 8<<20)); err == nil {
+		t.Fatalf("double registration of a live id accepted")
+	}
+
+	n0, _ := c.Node(0)
+	n0.Fail()
+	// No sweep ran: Register itself must detect the dead incumbent, expel
+	// it (degrading its member) and admit the newcomer.
+	if err := c.Register(NewMemoryNode(0, 8<<20)); err != nil {
+		t.Fatalf("rejoin over dead incumbent: %v", err)
+	}
+	if got := c.Incarnation(0); got != 2 {
+		t.Fatalf("incarnation after rejoin = %d, want 2", got)
+	}
+	if c.Nodes() != 2 {
+		t.Fatalf("nodes = %d, want 2", c.Nodes())
+	}
+	if c.DegradedCount() != 1 {
+		t.Fatalf("dead incumbent's member not degraded on expulsion")
+	}
+
+	e := NewRepairEngine(c, &LocalRepairTransport{Ctrl: c}, RepairConfig{})
+	drainRepairs(t, e, c)
+	cur, _ := c.Placements(members[0].ID)
+	if len(cur) != 2 {
+		t.Fatalf("placements = %+v", cur)
+	}
+	for _, m := range cur {
+		if m.Node == 0 && m.Epoch != 2 {
+			t.Fatalf("repaired member on rejoined node carries stale epoch %d", m.Epoch)
+		}
+		if got := readMember(t, c, m); !bytes.Equal(got, want) {
+			t.Fatalf("member on node %d diverged", m.Node)
+		}
+	}
+}
+
+// TestByteBudgetEnforcesRate runs the token bucket on a fake clock and
+// checks the slept-out time matches the configured bytes/sec exactly:
+// total traffic beyond the initial burst must take (bytes/rate) seconds.
+func TestByteBudgetEnforcesRate(t *testing.T) {
+	const rate, burst = 1 << 20, 64 << 10
+	clock := time.Unix(0, 0)
+	var slept time.Duration
+	b := newByteBudget(rate, burst)
+	b.now = func() time.Time { return clock }
+	b.sleep = func(d time.Duration) {
+		if d < 0 {
+			t.Fatalf("negative sleep %v", d)
+		}
+		slept += d
+		clock = clock.Add(d)
+	}
+
+	total := 0
+	for i := 0; i < 64; i++ {
+		b.take(64 << 10)
+		total += 64 << 10
+	}
+	want := time.Duration(float64(total-burst) / rate * float64(time.Second))
+	if slept < want {
+		t.Fatalf("slept %v for %d bytes at %d B/s, want >= %v (budget exceeded)", slept, total, rate, want)
+	}
+	if slept > want+time.Millisecond {
+		t.Fatalf("slept %v, want ~%v (budget overly conservative)", slept, want)
+	}
+}
+
+func TestByteBudgetUnlimited(t *testing.T) {
+	b := newByteBudget(0, 0)
+	b.sleep = func(d time.Duration) { t.Fatalf("unlimited budget slept %v", d) }
+	for i := 0; i < 100; i++ {
+		b.take(1 << 30)
+	}
+}
+
+// TestRepairRespectsByteBudget times a real repair against a small
+// budget: copying 256KB at 1MB/s (100KB default burst) must sleep out at
+// least ~150ms of deficit — background re-replication cannot exceed its
+// configured share of the fabric.
+func TestRepairRespectsByteBudget(t *testing.T) {
+	c := repairRack(t, 3)
+	members, err := c.AllocReplicatedSlab(256<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillMember(t, c, members[0], 1)
+	fillMember(t, c, members[1], 1)
+	vn, _ := c.Node(members[1].Node)
+	vn.Fail()
+	c.HealthSweep()
+
+	e := NewRepairEngine(c, &LocalRepairTransport{Ctrl: c}, RepairConfig{BytesPerSec: 1 << 20})
+	start := time.Now()
+	drainRepairs(t, e, c)
+	elapsed := time.Since(start)
+	// 256KB - ~100KB burst at 1MB/s => >= ~150ms of enforced pacing.
+	if min := 140 * time.Millisecond; elapsed < min {
+		t.Fatalf("256KB repair at 1MB/s took %v, want >= %v", elapsed, min)
+	}
+	if st := e.Stats(); st.BytesCopied != 256<<10 {
+		t.Fatalf("bytes copied = %d, want %d", st.BytesCopied, 256<<10)
+	}
+}

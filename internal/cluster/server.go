@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"kona/internal/slab"
 	"kona/internal/telemetry"
@@ -123,8 +124,53 @@ func ServeControllerOnWith(ctrl *Controller, l net.Listener, reg *telemetry.Regi
 		nodes: reg.Gauge("cluster.controller.nodes"),
 		addrs: make(map[int]string),
 	}
+	// Arbitrate rejoins and failure reports by pinging the node's daemon
+	// over the wire (falling back to the in-process flag when no address
+	// is known — e.g. tests registering nodes directly).
+	ctrl.SetProber(s.probeNode)
 	go serve(l, s.conns, s.handle)
 	return s
+}
+
+// probeNode is the TCP liveness check: ping the daemon address the node
+// registered with.
+func (s *ControllerServer) probeNode(id int, n *MemoryNode) bool {
+	s.mu.Lock()
+	addr, ok := s.addrs[id]
+	s.mu.Unlock()
+	if !ok {
+		return !n.Failed()
+	}
+	return pingAddr(addr, time.Second) == nil
+}
+
+// pingAddr performs one framed ping over a throwaway connection with a
+// hard deadline — the probe must return promptly even against a
+// half-dead peer.
+func pingAddr(addr string, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := writeFrame(conn, &Request{Kind: msgPing, ID: nextReqID()}); err != nil {
+		return err
+	}
+	var resp Response
+	if err := readFrame(conn, &resp); err != nil {
+		return err
+	}
+	return resp.errOf()
+}
+
+// NodeAddr returns the daemon address a node registered with — the
+// repair engine's transport resolver.
+func (s *ControllerServer) NodeAddr(id int) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr, ok := s.addrs[id]
+	return addr, ok
 }
 
 // Addr returns the listening address.
@@ -154,10 +200,14 @@ func (s *ControllerServer) handle(req *Request) *Response {
 		s.dedup.put(req.ID, resp)
 	}
 	s.m.record(req.Kind, resp)
-	if s.m != nil && req.Kind == msgRegisterNode && resp.Err == "" {
-		s.nodes.Inc()
-		s.m.trace.Emit("controller.register", fmt.Sprintf("node=%d capacity=%d addr=%s",
-			req.NodeID, req.Capacity, req.Addr))
+	if req.Kind == msgRegisterNode && resp.Err == "" {
+		// Set (not Inc): a crash-rejoin re-registers the same id, which
+		// must not double-count.
+		s.nodes.Set(int64(s.ctrl.Nodes()))
+		if s.m != nil {
+			s.m.trace.Emit("controller.register", fmt.Sprintf("node=%d capacity=%d addr=%s",
+				req.NodeID, req.Capacity, req.Addr))
+		}
 	}
 	return resp
 }
@@ -166,13 +216,17 @@ func (s *ControllerServer) dispatch(req *Request) *Response {
 	switch req.Kind {
 	case msgRegisterNode:
 		n := NewMemoryNode(req.NodeID, req.Capacity)
+		// Register probes any incumbent via probeNode, which pings the
+		// OLD daemon address (addrs is updated only after admission) —
+		// a live holder rejects the duplicate, a dead one is expelled
+		// and the newcomer admitted under a higher incarnation.
 		if err := s.ctrl.Register(n); err != nil {
 			return &Response{Err: err.Error()}
 		}
 		s.mu.Lock()
 		s.addrs[req.NodeID] = req.Addr
 		s.mu.Unlock()
-		return &Response{}
+		return &Response{Epoch: n.Incarnation()}
 	case msgAllocSlab:
 		if req.Replicas > 1 {
 			slabs, err := s.ctrl.AllocReplicatedSlab(req.Size, req.Replicas)
@@ -194,8 +248,21 @@ func (s *ControllerServer) dispatch(req *Request) *Response {
 		return &Response{}
 	case msgNodeAddr:
 		return &Response{Addrs: s.snapshotAddrs()}
+	case msgSlabPlacements:
+		members, ok := s.ctrl.Placements(req.SlabID)
+		if !ok {
+			return &Response{Err: fmt.Sprintf("controller: unknown placement group %d", req.SlabID)}
+		}
+		return &Response{Slabs: members, Addrs: s.snapshotAddrs(), Epoch: s.ctrl.PlacementEpoch()}
+	case msgReportFailure:
+		removed := s.ctrl.ReportNodeFailure(req.NodeID)
+		resp := &Response{Epoch: s.ctrl.PlacementEpoch()}
+		if removed {
+			resp.Entries = 1
+		}
+		return resp
 	case msgPing:
-		return &Response{}
+		return &Response{Epoch: s.ctrl.PlacementEpoch()}
 	default:
 		return &Response{Err: fmt.Sprintf("controller: unknown request %q", req.Kind)}
 	}
@@ -250,10 +317,10 @@ func ServeMemoryNodeOn(node *MemoryNode, l net.Listener) *MemoryNodeServer {
 // nil disables.
 func ServeMemoryNodeOnWith(node *MemoryNode, l net.Listener, reg *telemetry.Registry) *MemoryNodeServer {
 	s := &MemoryNodeServer{
-		node:       node,
-		l:          l,
-		conns:      newConnSet(),
-		m:          newServerMetrics(reg, "memnode"),
+		node:           node,
+		l:              l,
+		conns:          newConnSet(),
+		m:              newServerMetrics(reg, "memnode"),
 		logEntries:     reg.Counter("cluster.memnode.log_entries"),
 		logBytes:       reg.Counter("cluster.memnode.log_bytes"),
 		readBytes:      reg.Counter("cluster.memnode.read_bytes"),
@@ -282,14 +349,27 @@ func (s *MemoryNodeServer) handle(req *Request) *Response {
 }
 
 func (s *MemoryNodeServer) dispatch(req *Request) *Response {
-	pool := s.node.PoolBytes()
+	// Epoch fence (DESIGN.md §10): a data RPC stamped with an incarnation
+	// this node instance does not hold is from a peer whose placements
+	// predate a crash-restart. Reject it as a RemoteError — delivered and
+	// processed, never retried — so the stale peer refreshes instead of
+	// corrupting the new incarnation's pool.
+	switch req.Kind {
+	case msgRead, msgReadPages, msgWrite, msgWriteLog:
+		if req.Epoch != 0 {
+			if inc := s.node.Incarnation(); inc != 0 && inc != req.Epoch {
+				return &Response{Err: fmt.Sprintf(
+					"memnode %d: epoch fence: request for incarnation %d, node is %d",
+					s.node.ID(), req.Epoch, inc)}
+			}
+		}
+	}
 	switch req.Kind {
 	case msgRead:
-		if req.Offset+uint64(req.Length) > uint64(len(pool)) {
-			return &Response{Err: "memnode: read out of range"}
-		}
 		data := make([]byte, req.Length)
-		copy(data, pool[req.Offset:])
+		if err := s.node.ReadAt(req.Offset, data); err != nil {
+			return &Response{Err: err.Error()}
+		}
 		s.readBytes.Add(uint64(req.Length))
 		return &Response{Data: data}
 	case msgReadPages:
@@ -305,20 +385,18 @@ func (s *MemoryNodeServer) dispatch(req *Request) *Response {
 		}
 		data := make([]byte, total)
 		for i, off := range req.Offsets {
-			if off+uint64(req.Length) > uint64(len(pool)) {
-				return &Response{Err: fmt.Sprintf("memnode: read-pages offset %d out of range", off)}
+			if err := s.node.ReadAt(off, data[i*req.Length:(i+1)*req.Length]); err != nil {
+				return &Response{Err: err.Error()}
 			}
-			copy(data[i*req.Length:], pool[off:off+uint64(req.Length)])
 		}
 		s.readBytes.Add(uint64(total))
 		s.readPagesPages.Add(uint64(len(req.Offsets)))
 		s.readPagesBytes.Add(uint64(total))
 		return &Response{Data: data}
 	case msgWrite:
-		if req.Offset+uint64(len(req.Data)) > uint64(len(pool)) {
-			return &Response{Err: "memnode: write out of range"}
+		if err := s.node.WriteAt(req.Offset, req.Data); err != nil {
+			return &Response{Err: err.Error()}
 		}
-		copy(pool[req.Offset:], req.Data)
 		s.writeBytes.Add(uint64(len(req.Data)))
 		return &Response{}
 	case msgWriteLog:

@@ -88,7 +88,8 @@ func nextReqID() uint64 { return reqID.Add(1) }
 // ReleaseSlab and WriteLog are not safe to replay.
 func retryable(kind string) bool {
 	switch kind {
-	case msgRead, msgReadPages, msgPing, msgNodeAddr, msgWrite, msgAllocSlab:
+	case msgRead, msgReadPages, msgPing, msgNodeAddr, msgWrite, msgAllocSlab,
+		msgSlabPlacements, msgReportFailure:
 		return true
 	}
 	return false
@@ -100,6 +101,7 @@ func retryable(kind string) bool {
 var rpcKinds = []string{
 	msgRegisterNode, msgAllocSlab, msgNodeAddr, msgRead, msgReadPages,
 	msgWrite, msgWriteLog, msgReleaseSlab, msgPing,
+	msgSlabPlacements, msgReportFailure,
 }
 
 // poolMetrics is one pool's pre-resolved telemetry handles. A nil

@@ -19,6 +19,9 @@ import (
 type evictMetrics struct {
 	dirtyPages, silent, lines, payloadBytes *telemetry.Counter
 	wireBytes, flushes, remoteEntries       *telemetry.Counter
+	// shipFailures counts outages reported to the controller; remapped
+	// counts retained entries rebased onto a repaired replica.
+	shipFailures, remapped *telemetry.Counter
 	// inflight tracks ships currently on the wire during a concurrent
 	// fan-out (always 0..1 on the serial path).
 	inflight *telemetry.Gauge
@@ -34,6 +37,8 @@ func newEvictMetrics(reg *telemetry.Registry) evictMetrics {
 		wireBytes:     reg.Counter("core.evict.wire_bytes"),
 		flushes:       reg.Counter("core.evict.flushes"),
 		remoteEntries: reg.Counter("core.evict.remote_entries"),
+		shipFailures:  reg.Counter("core.evict.ship_failure_reports"),
+		remapped:      reg.Counter("core.evict.remapped_entries"),
 		inflight:      reg.Gauge("core.evict.inflight"),
 		trace:         reg.Trace(),
 	}
@@ -181,14 +186,28 @@ type evictor struct {
 	logBuf    []byte
 	threshold int
 
+	// replicated enables §4.5 outage semantics: a flush skips unhealthy
+	// destinations (entries retained, failure reported to the controller)
+	// instead of erroring — the other replicas hold the data, and a
+	// repair flip later remaps the retained entries. Unreplicated configs
+	// keep wait-for-recovery semantics: the ship is attempted and its
+	// error surfaces, because no other copy of the dirty lines exists.
+	replicated bool
+	// shipReports/remapped are fault-tolerance counters (FailureStats).
+	shipReports atomic.Uint64
+	remapped    atomic.Uint64
+
 	// nodeMu guards membership of nodes/order. order remembers
 	// first-touch sequence so flushes walk the nodes deterministically —
 	// map iteration order would let the per-node ackDue values pair up
 	// differently with the NIC's serialized timeline from run to run.
 	// The slice is append-only; a snapshot of its header taken under the
-	// read lock stays valid afterwards.
+	// read lock stays valid afterwards. Batches are keyed by link key —
+	// (node, incarnation) — so a node that crashes and rejoins gets a
+	// fresh batch instead of inheriting the dead incarnation's retained
+	// entries.
 	nodeMu sync.RWMutex
-	nodes  map[int]*nodeBatch
+	nodes  map[uint64]*nodeBatch
 	order  []*nodeBatch
 
 	// flushMu serializes harvest+pack+ship cycles and guards the
@@ -227,9 +246,9 @@ type evictShard struct {
 	// steady-state eviction path performs no heap allocation.
 	segScratch []mem.Segment
 	plScratch  []placement
-	// batches buffers this shard's entries per destination node until a
-	// flush harvests them.
-	batches map[int]*shardBatch
+	// batches buffers this shard's entries per destination link key until
+	// a flush harvests them.
+	batches map[uint64]*shardBatch
 	// pending tracks pages with buffered (unflushed) entries, for the
 	// write-before-read ordering check on refetch.
 	pending map[mem.Addr]struct{}
@@ -268,6 +287,10 @@ type nodeBatch struct {
 	// ackDue is when the receiver's ack for the previous flush lands;
 	// the next flush of this node's log half must wait for it.
 	ackDue simclock.Duration
+	// reported marks that this destination's outage has been reported to
+	// the controller; reset on the next successful ship so a fresh outage
+	// reports again. Guarded by flushMu.
+	reported bool
 }
 
 // shipResult is one node's outcome from a concurrent fan-out, recorded
@@ -281,6 +304,9 @@ type shipResult struct {
 	done    simclock.Duration
 	ackDue  simclock.Duration
 	err     error
+	// skipped marks a replicated destination whose ship was withheld (or
+	// failed) with the entries retained; it must not count as drained.
+	skipped bool
 }
 
 func newEvictor(rm *resourceManager, cfg Config) *evictor {
@@ -293,18 +319,19 @@ func newEvictor(rm *resourceManager, cfg Config) *evictor {
 		nshards <<= 1
 	}
 	e := &evictor{
-		rm:        rm,
-		shards:    make([]evictShard, nshards),
-		shardMask: nshards - 1,
-		logBuf:    make([]byte, cfg.LogBytes),
-		threshold: cfg.FlushThreshold,
-		nodes:     make(map[int]*nodeBatch),
-		fanout:    fanout,
-		m:         newEvictMetrics(cfg.Metrics),
+		rm:         rm,
+		shards:     make([]evictShard, nshards),
+		shardMask:  nshards - 1,
+		logBuf:     make([]byte, cfg.LogBytes),
+		threshold:  cfg.FlushThreshold,
+		replicated: cfg.Replicas > 1,
+		nodes:      make(map[uint64]*nodeBatch),
+		fanout:     fanout,
+		m:          newEvictMetrics(cfg.Metrics),
 	}
 	for i := range e.shards {
 		e.shards[i].arena = newPayloadArena(cfg.LogBytes)
-		e.shards[i].batches = make(map[int]*shardBatch)
+		e.shards[i].batches = make(map[uint64]*shardBatch)
 		e.shards[i].pending = make(map[mem.Addr]struct{})
 	}
 	if fanout > 1 {
@@ -376,8 +403,8 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 		payloadN += uint64(length)
 
 		for _, pl := range placements {
-			nb := e.batchFor(pl)
-			sb := sh.batchFor(nb.link.id())
+			nb := e.batchFor(pl.link)
+			sb := sh.batchFor(nb.link.key())
 			sb.entries = append(sb.entries, cllog.Entry{
 				RemoteOff: pl.remoteOff + uint64(off),
 				Data:      payload,
@@ -405,7 +432,7 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 	}
 	if e.fanout > 1 {
 		e.flushMu.Lock()
-		done, err := e.fanoutShipLocked(now, true)
+		done, _, err := e.fanoutShipLocked(now, true)
 		if err == nil {
 			e.maybeRecycleLocked()
 		}
@@ -422,8 +449,14 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 			continue
 		}
 		e.harvestNode(nb)
+		if e.skipUnhealthyLocked(nb) {
+			continue
+		}
 		now, err = e.flushNodeLocked(now, nb)
 		if err != nil {
+			if e.retainAfterErrLocked(nb) {
+				continue
+			}
 			return now, err
 		}
 	}
@@ -431,34 +464,74 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 	return now, nil
 }
 
-// batchFor finds or creates the global merge batch for a placement's
-// node. Called with a shard lock held (shard.mu → nodeMu).
-func (e *evictor) batchFor(pl placement) *nodeBatch {
-	id := pl.link.id()
+// skipUnhealthyLocked reports whether a replicated flush should withhold
+// this destination's ship: the link is unhealthy, so the attempt would
+// fail anyway — the entries stay retained (§4.5), the outage is reported
+// to the controller once, and a repair flip later remaps them. Always
+// false for unreplicated configs: with no other copy of the dirty lines,
+// the ship must be attempted and its error surfaced. Caller holds flushMu.
+func (e *evictor) skipUnhealthyLocked(nb *nodeBatch) bool {
+	if !e.replicated || len(nb.entries) == 0 || nb.link.healthy() {
+		return false
+	}
+	e.reportShipFailureLocked(nb)
+	return true
+}
+
+// retainAfterErrLocked handles a ship attempt that failed: with
+// replication the entries stay retained and the flush continues (the
+// outage is reported once); without it the caller must surface the
+// error. Caller holds flushMu.
+func (e *evictor) retainAfterErrLocked(nb *nodeBatch) bool {
+	if !e.replicated {
+		return false
+	}
+	e.reportShipFailureLocked(nb)
+	return true
+}
+
+// reportShipFailureLocked tells the controller this destination's ships
+// are failing, once per outage. Only meaningful with replication: an
+// unreplicated outage is §4.5's wait-for-recovery case and must not get
+// the node expelled. Caller holds flushMu.
+func (e *evictor) reportShipFailureLocked(nb *nodeBatch) {
+	if nb.reported {
+		return
+	}
+	nb.reported = true
+	e.shipReports.Add(1)
+	e.m.shipFailures.Inc()
+	_ = e.rm.rack.reportShipFailure(nb.link.id())
+}
+
+// batchFor finds or creates the global merge batch for a destination
+// link. Called with a shard lock held (shard.mu → nodeMu).
+func (e *evictor) batchFor(l nodeLink) *nodeBatch {
+	k := l.key()
 	e.nodeMu.RLock()
-	nb := e.nodes[id]
+	nb := e.nodes[k]
 	e.nodeMu.RUnlock()
 	if nb != nil {
 		return nb
 	}
 	e.nodeMu.Lock()
 	defer e.nodeMu.Unlock()
-	if nb := e.nodes[id]; nb != nil {
+	if nb := e.nodes[k]; nb != nil {
 		return nb
 	}
-	nb = &nodeBatch{link: pl.link, entries: cllog.GetEntries()}
-	e.nodes[id] = nb
+	nb = &nodeBatch{link: l, entries: cllog.GetEntries()}
+	e.nodes[k] = nb
 	e.order = append(e.order, nb)
 	return nb
 }
 
-// batchFor finds or creates the shard's buffer for a destination node.
-// Caller holds sh.mu.
-func (sh *evictShard) batchFor(id int) *shardBatch {
-	sb := sh.batches[id]
+// batchFor finds or creates the shard's buffer for a destination link
+// key. Caller holds sh.mu.
+func (sh *evictShard) batchFor(key uint64) *shardBatch {
+	sb := sh.batches[key]
 	if sb == nil {
 		sb = &shardBatch{entries: cllog.GetEntries()}
-		sh.batches[id] = sb
+		sh.batches[key] = sb
 	}
 	return sb
 }
@@ -470,11 +543,11 @@ func (sh *evictShard) batchFor(id int) *shardBatch {
 // succeeds, so a failed ship keeps the node over threshold and the next
 // eviction retries it — same retry behavior as the serial runtime.
 func (e *evictor) harvestNode(nb *nodeBatch) {
-	id := nb.link.id()
+	k := nb.link.key()
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
-		if sb := sh.batches[id]; sb != nil && len(sb.entries) > 0 {
+		if sb := sh.batches[k]; sb != nil && len(sb.entries) > 0 {
 			nb.entries = append(nb.entries, sb.entries...)
 			nb.entryBytes += sb.bytes
 			sb.entries = sb.entries[:0]
@@ -563,27 +636,50 @@ func (e *evictor) FlushIfPending(now simclock.Duration, base mem.Addr) (simclock
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
 	e.stealPendingLocked()
+	retained := false
 	if e.fanout > 1 {
-		done, err := e.fanoutShipLocked(now, false)
+		done, skipped, err := e.fanoutShipLocked(now, false)
 		if err != nil {
 			e.restoreStolenLocked()
 			return now, err
 		}
+		retained = skipped
 		now = done
 	} else {
 		for _, nb := range e.orderSnapshot() {
 			e.harvestNode(nb)
+			if e.skipUnhealthyLocked(nb) {
+				retained = true
+				continue
+			}
 			var err error
 			now, err = e.flushNodeLocked(now, nb)
 			if err != nil {
+				if e.retainAfterErrLocked(nb) {
+					retained = true
+					continue
+				}
 				e.restoreStolenLocked()
 				return now, err
 			}
 		}
 	}
-	e.stolen = e.stolen[:0]
+	e.settleStolenLocked(retained)
 	e.maybeRecycleLocked()
 	return now, nil
+}
+
+// settleStolenLocked finishes a steal cycle: when any destination's
+// entries were retained (dead replica), the stolen pages go back to
+// pending so a refetch still triggers its write-before-read flush;
+// otherwise the cycle fully drained and the scratch is dropped. Caller
+// holds flushMu.
+func (e *evictor) settleStolenLocked(retained bool) {
+	if retained {
+		e.restoreStolenLocked()
+		return
+	}
+	e.stolen = e.stolen[:0]
 }
 
 // Flush ships every pending batch and returns when the eviction path is
@@ -596,10 +692,21 @@ func (e *evictor) Flush(now simclock.Duration) (simclock.Duration, error) {
 	defer e.flushMu.Unlock()
 	e.stealPendingLocked()
 	var latest simclock.Duration = now
+	retained := false
 	for _, nb := range e.orderSnapshot() {
 		e.harvestNode(nb)
+		if e.skipUnhealthyLocked(nb) {
+			// Dead replica: entries retained, no ack to drain. The other
+			// replicas hold the data, so the drain still succeeds (§4.5).
+			retained = true
+			continue
+		}
 		done, err := e.flushNodeLocked(now, nb)
 		if err != nil {
+			if e.retainAfterErrLocked(nb) {
+				retained = true
+				continue
+			}
 			e.restoreStolenLocked()
 			return now, err
 		}
@@ -613,7 +720,7 @@ func (e *evictor) Flush(now simclock.Duration) (simclock.Duration, error) {
 			latest = done
 		}
 	}
-	e.stolen = e.stolen[:0]
+	e.settleStolenLocked(retained)
 	e.maybeRecycleLocked()
 	return latest, nil
 }
@@ -624,12 +731,15 @@ func (e *evictor) flushParallel(now simclock.Duration) (simclock.Duration, error
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
 	e.stealPendingLocked()
-	latest, err := e.fanoutShipLocked(now, false)
+	latest, retained, err := e.fanoutShipLocked(now, false)
 	if err != nil {
 		e.restoreStolenLocked()
 		return now, err
 	}
 	for i, nb := range e.orderSnapshot() {
+		if e.results[i].skipped {
+			continue
+		}
 		done := e.results[i].done
 		if e.results[i].packed == 0 {
 			done = now
@@ -643,7 +753,7 @@ func (e *evictor) flushParallel(now simclock.Duration) (simclock.Duration, error
 			latest = done
 		}
 	}
-	e.stolen = e.stolen[:0]
+	e.settleStolenLocked(retained)
 	e.maybeRecycleLocked()
 	return latest, nil
 }
@@ -654,9 +764,11 @@ func (e *evictor) flushParallel(now simclock.Duration) (simclock.Duration, error
 // the join. onlyFull restricts the cycle to nodes at or past the flush
 // threshold (threshold-triggered flushes); otherwise every node with
 // buffered entries ships. It returns the completion time of the slowest
-// ship. Per-node failures are joined so one dead replica does not mask
-// another's error. Caller holds flushMu.
-func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclock.Duration, error) {
+// ship and whether any replicated destination's entries were retained
+// (unhealthy skip or failed ship). Per-node failures are joined so one
+// dead replica does not mask another's error; with replication they are
+// absorbed into retention instead. Caller holds flushMu.
+func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclock.Duration, bool, error) {
 	order := e.orderSnapshot()
 	for _, nb := range order {
 		if onlyFull && nb.pendingBytes.Load() < int64(e.threshold) {
@@ -672,6 +784,10 @@ func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclo
 	for i, nb := range order {
 		e.results[i] = shipResult{}
 		if len(nb.entries) == 0 {
+			continue
+		}
+		if e.skipUnhealthyLocked(nb) {
+			e.results[i].skipped = true
 			continue
 		}
 		wg.Add(1)
@@ -706,10 +822,20 @@ func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclo
 	wg.Wait()
 
 	latest := now
+	skipped := false
 	var errs []error
 	for i, nb := range order {
 		res := &e.results[i]
+		if res.skipped {
+			skipped = true
+			continue
+		}
 		if res.err != nil {
+			if e.retainAfterErrLocked(nb) {
+				res.skipped = true
+				skipped = true
+				continue
+			}
 			errs = append(errs, res.err)
 			continue
 		}
@@ -729,6 +855,7 @@ func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclo
 				fmt.Sprintf("node=%d entries=%d bytes=%d", nb.link.id(), res.entries, res.packed))
 		}
 		nb.ackDue = res.ackDue
+		nb.reported = false
 		nb.pendingBytes.Add(-int64(nb.entryBytes))
 		nb.entryBytes = 0
 		nb.entries = nb.entries[:0]
@@ -737,9 +864,9 @@ func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclo
 		}
 	}
 	if len(errs) > 0 {
-		return latest, errors.Join(errs...)
+		return latest, skipped, errors.Join(errs...)
 	}
-	return latest, nil
+	return latest, skipped, nil
 }
 
 // flushNodeLocked packs and ships one node's harvested entries (serial
@@ -780,10 +907,87 @@ func (e *evictor) flushNodeLocked(now simclock.Duration, nb *nodeBatch) (simcloc
 			fmt.Sprintf("node=%d entries=%d bytes=%d", nb.link.id(), len(nb.entries), packed))
 	}
 	nb.ackDue = ackDue
+	nb.reported = false
 	nb.pendingBytes.Add(-int64(nb.entryBytes))
 	nb.entryBytes = 0
 	nb.entries = nb.entries[:0]
 	return done, nil
+}
+
+// remap rebases retained eviction entries after a placement refresh:
+// every buffered entry destined for a replaced (node, incarnation) whose
+// pool offset falls inside the old member's extent moves to the repaired
+// member's batch, rebased onto the new extent. Entries move in buffered
+// order and a page's entries all live in one shard, so per-page replay
+// order — oldest line version first — is preserved; replay at the new
+// node is then an idempotent overwrite like any other ship. Returns the
+// number of entries moved.
+func (e *evictor) remap(moves []replicaMove) int {
+	if len(moves) == 0 {
+		return 0
+	}
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	moved := 0
+	for _, mv := range moves {
+		e.nodeMu.RLock()
+		src := e.nodes[mv.oldKey]
+		e.nodeMu.RUnlock()
+		dst := e.batchFor(mv.newLink)
+		if src == nil || src == dst {
+			continue
+		}
+		// Merge-batch entries (harvested/retained) first — they are older
+		// than anything still buffered in the shards.
+		moved += moveEntries(&src.entries, &dst.entries, mv, func(n int) {
+			src.entryBytes -= n
+			src.pendingBytes.Add(-int64(n))
+			dst.entryBytes += n
+			dst.pendingBytes.Add(int64(n))
+		})
+		// Then each shard's buffered entries, staying within the shard so
+		// arena-recycle tracking keeps working.
+		for i := range e.shards {
+			sh := &e.shards[i]
+			sh.mu.Lock()
+			if sb := sh.batches[mv.oldKey]; sb != nil && len(sb.entries) > 0 {
+				dsb := sh.batchFor(dst.link.key())
+				moved += moveEntries(&sb.entries, &dsb.entries, mv, func(n int) {
+					sb.bytes -= n
+					src.pendingBytes.Add(-int64(n))
+					dsb.bytes += n
+					dst.pendingBytes.Add(int64(n))
+				})
+			}
+			sh.mu.Unlock()
+		}
+	}
+	if moved > 0 {
+		e.remapped.Add(uint64(moved))
+		e.m.remapped.Add(uint64(moved))
+	}
+	return moved
+}
+
+// moveEntries filters *srcEntries in place, rebasing every entry inside
+// the move's old-extent window onto the new extent and appending it to
+// *dstEntries. account is called with each moved entry's log bytes.
+func moveEntries(srcEntries, dstEntries *[]cllog.Entry, mv replicaMove, account func(n int)) int {
+	moved := 0
+	kept := (*srcEntries)[:0]
+	for _, en := range *srcEntries {
+		if en.RemoteOff < mv.oldOff || en.RemoteOff >= mv.oldOff+mv.size {
+			kept = append(kept, en)
+			continue
+		}
+		n := cllog.HeaderSize + len(en.Data)
+		en.RemoteOff = mv.newOff + (en.RemoteOff - mv.oldOff)
+		*dstEntries = append(*dstEntries, en)
+		account(n)
+		moved++
+	}
+	*srcEntries = kept
+	return moved
 }
 
 // release returns pooled resources at runtime shutdown. The evictor must

@@ -41,6 +41,15 @@ type FailureStats struct {
 	MCEs uint64
 	// Failovers is the number of reads served by a non-primary replica.
 	Failovers uint64
+	// ShipFailureReports is the number of replica outages the evictor
+	// reported to the controller (degraded-slab detection feed, §10).
+	ShipFailureReports uint64
+	// PlacementRefreshes counts placement-table refreshes that observed a
+	// change (repair flips picked up by this runtime).
+	PlacementRefreshes uint64
+	// RemappedEntries counts retained eviction-log entries rebased onto a
+	// repaired replica.
+	RemappedEntries uint64
 }
 
 // ReadChecked is Read plus MCE detection: fetch latencies beyond
@@ -62,6 +71,9 @@ func (k *Kona) ReadChecked(now simclock.Duration, addr mem.Addr, buf []byte) (si
 // by the Resource Manager when Translate skips a dead primary.
 func (k *Kona) FailureStats() FailureStats {
 	k.failures.Failovers = k.rm.failovers
+	k.failures.ShipFailureReports = k.evict.shipReports.Load()
+	k.failures.PlacementRefreshes = k.refreshes.Load()
+	k.failures.RemappedEntries = k.evict.remapped.Load()
 	return k.failures
 }
 
@@ -69,7 +81,7 @@ func (k *Kona) FailureStats() FailureStats {
 // node (failure injection; 0 clears). Only the simulated transport
 // supports it.
 func (k *Kona) InjectNetworkDelay(nodeID int, d simclock.Duration) error {
-	l, err := k.rm.rack.link(nodeID)
+	l, err := k.rm.rack.link(nodeID, 0)
 	if err != nil {
 		return err
 	}

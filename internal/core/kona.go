@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"kona/internal/cluster"
 	"kona/internal/fpga"
@@ -60,6 +61,13 @@ type Kona struct {
 	// evictErr latches the first asynchronous eviction failure; Sync
 	// surfaces it.
 	evictErr error
+
+	// placementEpoch is the controller's placement epoch as of the last
+	// refresh; Sync re-checks it and refreshes placements when a repair
+	// flip (or membership change) advanced it.
+	placementEpoch atomic.Uint64
+	// refreshes counts completed placement refreshes (FailureStats).
+	refreshes atomic.Uint64
 
 	failures FailureStats
 }
@@ -174,10 +182,42 @@ func (k *Kona) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock
 	return k.fpga.Write(now, addr, buf)
 }
 
+// RefreshPlacements re-fetches every placement group from the controller
+// and, when a repair flip replaced a member, remaps the evictor's
+// retained entries onto the replacement node. It reports whether any
+// placement changed. Sync calls it automatically when the controller's
+// placement epoch advances; callers driving repair externally can invoke
+// it directly.
+func (k *Kona) RefreshPlacements() (bool, error) {
+	moves, changed, err := k.rm.refreshPlacements()
+	if err != nil {
+		return changed, err
+	}
+	if changed {
+		k.refreshes.Add(1)
+		k.evict.remap(moves)
+	}
+	return changed, nil
+}
+
 // Sync flushes every cached page through the eviction path and drains the
 // cache-line log, making remote memory fully current. It returns the drain
-// completion time.
+// completion time. With replication enabled, entries destined for a dead
+// replica are retained rather than drained (§4.5) — a repair flip moves
+// them to the replacement node — so Sync succeeds while an outage is
+// in progress; unreplicated outages surface as errors.
 func (k *Kona) Sync(now simclock.Duration) (simclock.Duration, error) {
+	// Pick up repair flips before flushing so retained entries land on the
+	// repaired replica in this drain, not the next. The epoch check is one
+	// control-path lookup; in a healthy steady state the epoch never moves
+	// and no refresh happens.
+	if ep, eerr := k.rm.rack.placementEpoch(); eerr == nil {
+		if k.placementEpoch.Swap(ep) != ep {
+			if _, rerr := k.RefreshPlacements(); rerr != nil {
+				k.noteEvictErr(rerr)
+			}
+		}
+	}
 	k.fpga.FlushAll(now)
 	done, err := k.evict.Flush(now)
 	if err == nil {

@@ -257,12 +257,16 @@ func (k *KonaVM) majorFault(now simclock.Duration, a mem.Addr, write bool) (simc
 		}
 	}
 
-	// Page read from the primary placement.
+	// Page read from the primary placement (failing over past dead
+	// replicas, like the Kona fetch path).
 	pls, err := k.rm.placementsFor(a.AlignDown(mem.PageSize))
 	if err != nil {
 		return now, err
 	}
-	pl := pls[0]
+	pl, ok := liveFirst(pls)
+	if !ok {
+		return now, fmt.Errorf("core: vm fetch: %w", ErrRemoteUnavailable)
+	}
 	pg := &vmPage{page: a.Page(), data: make([]byte, mem.PageSize)}
 	done, err := pl.link.readPage(now, pl.remoteOff, pg.data)
 	if err != nil {
@@ -312,13 +316,17 @@ func (k *KonaVM) leapPrefetch(now simclock.Duration, a mem.Addr) simclock.Durati
 		if err != nil {
 			continue // outside the mapped region: skip quietly
 		}
+		pl, ok := liveFirst(pls)
+		if !ok {
+			continue
+		}
 		if k.EvictEnabled {
 			if n, err := k.evictIfFull(now); err == nil {
 				now = n
 			}
 		}
 		pg := &vmPage{page: page, data: make([]byte, mem.PageSize)}
-		done, err := pls[0].link.readPage(now, pls[0].remoteOff, pg.data)
+		done, err := pl.link.readPage(now, pl.remoteOff, pg.data)
 		if err != nil {
 			continue
 		}
@@ -365,13 +373,31 @@ func (k *KonaVM) evictIfFull(now simclock.Duration) (simclock.Duration, error) {
 	if err != nil {
 		return now, err
 	}
+	wrote := false
 	for _, pl := range pls {
+		if len(pls) > 1 && !pl.link.healthy() {
+			continue // dead replica; the live copies carry the page
+		}
 		if _, err := pl.link.writePage(now, pl.remoteOff, pg.data); err != nil {
 			return now, fmt.Errorf("core: vm eviction write: %w", err)
 		}
+		wrote = true
 		k.stats.WireBytes += mem.PageSize
 	}
+	if !wrote {
+		return now, fmt.Errorf("core: vm eviction write: %w", ErrRemoteUnavailable)
+	}
 	return now, nil
+}
+
+// liveFirst returns the first healthy placement (read failover order).
+func liveFirst(pls []placement) (placement, bool) {
+	for _, pl := range pls {
+		if pl.link.healthy() {
+			return pl, true
+		}
+	}
+	return placement{}, false
 }
 
 // touch promotes a page in the LRU on hit. Called from access's cache-hit
@@ -394,13 +420,21 @@ func (k *KonaVM) Sync(now simclock.Duration) (simclock.Duration, error) {
 		if err != nil {
 			return now, err
 		}
+		wrote := false
 		for _, pl := range pls {
+			if len(pls) > 1 && !pl.link.healthy() {
+				continue // dead replica; the live copies carry the page
+			}
 			done, err := pl.link.writePage(now, pl.remoteOff, pg.data)
 			if err != nil {
 				return now, err
 			}
+			wrote = true
 			now = done
 			k.stats.WireBytes += mem.PageSize
+		}
+		if !wrote {
+			return now, fmt.Errorf("core: vm sync write: %w", ErrRemoteUnavailable)
 		}
 		pg.dirty = false
 		// Re-arm tracking for the next epoch.

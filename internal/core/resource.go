@@ -104,7 +104,7 @@ func (rm *resourceManager) translateLocked(addr mem.Addr) (nodeLink, uint64, err
 		return nil, 0, fmt.Errorf("core: address %v not in any slab", addr)
 	}
 	for i, pl := range rm.replicas[s.ID] {
-		l, err := rm.rack.link(pl.Node)
+		l, err := rm.rack.link(pl.Node, pl.Epoch)
 		if err != nil || !l.healthy() {
 			continue
 		}
@@ -147,7 +147,7 @@ func (rm *resourceManager) ReadPagesBatch(now simclock.Duration, bases []mem.Add
 		return now, fmt.Errorf("core: batch read: %d bases, %d buffers", len(bases), len(bufs))
 	}
 	rm.mu.Lock()
-	groups := make(map[int]*batchGroup, 2)
+	groups := make(map[uint64]*batchGroup, 2)
 	var order []*batchGroup
 	for i, base := range bases {
 		l, off, err := rm.translateLocked(base)
@@ -155,10 +155,10 @@ func (rm *resourceManager) ReadPagesBatch(now simclock.Duration, bases []mem.Add
 			rm.mu.Unlock()
 			return now, err
 		}
-		g, ok := groups[l.id()]
+		g, ok := groups[l.key()]
 		if !ok {
 			g = &batchGroup{link: l}
-			groups[l.id()] = g
+			groups[l.key()] = g
 			order = append(order, g)
 		}
 		g.offs = append(g.offs, off)
@@ -184,15 +184,21 @@ type placement struct {
 	remoteOff uint64 // byte offset of addr within the node's pool
 }
 
-// placementsFor returns every live replica destination for addr (for
-// eviction, which must update all copies).
+// placementsFor returns every configured replica destination for addr
+// (for eviction, which must update all copies).
 func (rm *resourceManager) placementsFor(addr mem.Addr) ([]placement, error) {
 	return rm.placementsInto(addr, nil)
 }
 
 // placementsInto is placementsFor appending into a caller-owned scratch
 // slice (reset to length zero first), so the per-eviction lookup does
-// not allocate.
+// not allocate. Placement is pure translation: every configured replica
+// is returned, live or not. A replica the rack cannot link (expelled
+// node, stale incarnation) gets a deadLink stand-in — the ship to it
+// fails, the retained-entry protocol keeps the payload, and a repair
+// flip later remaps the retained entries onto the replacement node.
+// Dropping a dead placement here would silently discard the only copy
+// of a victim's dirty lines.
 func (rm *resourceManager) placementsInto(addr mem.Addr, dst []placement) ([]placement, error) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
@@ -202,9 +208,9 @@ func (rm *resourceManager) placementsInto(addr mem.Addr, dst []placement) ([]pla
 		return dst, fmt.Errorf("core: address %v not in any slab", addr)
 	}
 	for _, pl := range rm.replicas[s.ID] {
-		l, err := rm.rack.link(pl.Node)
-		if err != nil || !l.healthy() {
-			continue
+		l, err := rm.rack.link(pl.Node, pl.Epoch)
+		if err != nil {
+			l = deadLink{nodeID: pl.Node, ep: pl.Epoch}
 		}
 		dst = append(dst, placement{
 			link:      l,
@@ -212,28 +218,73 @@ func (rm *resourceManager) placementsInto(addr mem.Addr, dst []placement) ([]pla
 		})
 	}
 	if len(dst) == 0 {
-		// Every replica looks dead. Placement is pure translation, so
-		// return the configured destinations anyway instead of failing:
-		// callers that were about to ship eviction-log entries must get
-		// to buffer them (the ship fails, the retained-entry protocol
-		// keeps the payload, and a later flush retries once a node
-		// recovers). Erroring here would drop the only copy of the
-		// victim's dirty lines on the floor.
-		for _, pl := range rm.replicas[s.ID] {
-			l, err := rm.rack.link(pl.Node)
-			if err != nil {
-				continue
-			}
-			dst = append(dst, placement{
-				link:      l,
-				remoteOff: pl.RemoteOff + uint64(addr-pl.Base),
-			})
-		}
-	}
-	if len(dst) == 0 {
-		return dst, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
+		return dst, fmt.Errorf("core: address %v has no configured placement", addr)
 	}
 	return dst, nil
+}
+
+// replicaMove describes one placement change discovered by a refresh: the
+// retained eviction entries buffered for the old (node, incarnation) in
+// the pool-offset window [oldOff, oldOff+size) must be rebased onto
+// newLink at newOff.
+type replicaMove struct {
+	oldKey  uint64 // linkKeyFor(old node, old incarnation)
+	oldOff  uint64 // old member's pool base offset
+	size    uint64
+	newLink nodeLink
+	newOff  uint64 // new member's pool base offset
+}
+
+// refreshPlacements re-fetches every placement group from the controller
+// and swaps in the current membership. It returns the set of replica
+// moves (old member replaced by a repaired copy elsewhere) for the
+// evictor to remap its retained entries, and whether anything changed.
+func (rm *resourceManager) refreshPlacements() ([]replicaMove, bool, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	var moves []replicaMove
+	changed := false
+	for gid, old := range rm.replicas {
+		cur, err := rm.rack.slabPlacements(gid)
+		if err != nil {
+			return moves, changed, fmt.Errorf("core: placement refresh for group %d: %w", gid, err)
+		}
+		if len(cur) != len(old) {
+			return moves, changed, fmt.Errorf("core: placement group %d changed size %d -> %d",
+				gid, len(old), len(cur))
+		}
+		same := true
+		for i := range cur {
+			if cur[i].Node != old[i].Node || cur[i].Epoch != old[i].Epoch ||
+				cur[i].RemoteOff != old[i].RemoteOff {
+				same = false
+				break
+			}
+		}
+		if same {
+			continue
+		}
+		for i := range cur {
+			o, n := old[i], cur[i]
+			if o.Node == n.Node && o.Epoch == n.Epoch && o.RemoteOff == n.RemoteOff {
+				continue
+			}
+			nl, err := rm.rack.link(n.Node, n.Epoch)
+			if err != nil {
+				return moves, changed, fmt.Errorf("core: link repaired placement node %d: %w", n.Node, err)
+			}
+			moves = append(moves, replicaMove{
+				oldKey:  linkKeyFor(o.Node, o.Epoch),
+				oldOff:  o.RemoteOff,
+				size:    o.Size,
+				newLink: nl,
+				newOff:  n.RemoteOff,
+			})
+		}
+		rm.replicas[gid] = cur
+		changed = true
+	}
+	return moves, changed, nil
 }
 
 // Malloc allocates size bytes of disaggregated memory, growing the slab

@@ -22,9 +22,14 @@ import (
 //     cmd/kona-memnode processes, with wall-clock time folded into the
 //     virtual clock — what a networked deployment uses.
 
-// nodeLink is the transport to one memory node.
+// nodeLink is the transport to one memory node incarnation.
 type nodeLink interface {
 	id() int
+	// key uniquely identifies the (node, incarnation) pair this link
+	// reaches. The evictor buffers per-key, so a node that crashes and
+	// rejoins under a new incarnation gets a fresh batch instead of
+	// inheriting the dead incarnation's retained entries.
+	key() uint64
 	healthy() bool
 	// readPage fills buf with one page at pool offset off.
 	readPage(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error)
@@ -43,19 +48,73 @@ type nodeLink interface {
 	injectDelay(d simclock.Duration) error
 }
 
-// rack is the control plane: slab allocation, release and link
-// construction.
+// rack is the control plane: slab allocation, release, link construction
+// and the fault-tolerance surface (failure reports, placement refresh).
 type rack interface {
 	allocSlab(size uint64) (slab Slab, err error)
 	allocReplicated(size uint64, replicas int) ([]Slab, error)
 	release(s Slab) error
-	link(node int) (nodeLink, error)
+	// link returns the transport to a node at a specific incarnation
+	// (epoch); 0 means "the current incarnation". Linking a node the
+	// rack no longer knows (or a stale incarnation) errors; callers that
+	// must keep buffering for such a placement substitute a deadLink.
+	link(node int, epoch uint64) (nodeLink, error)
+	// reportShipFailure tells the controller a node's log ships keep
+	// failing so it can probe and expel the node (DESIGN.md §10).
+	reportShipFailure(node int) error
+	// slabPlacements returns a placement group's current members.
+	slabPlacements(group uint64) ([]Slab, error)
+	// placementEpoch returns the controller's placement epoch; a change
+	// means cached placements may be stale.
+	placementEpoch() (uint64, error)
 	// pipelined reports whether the transport benefits from concurrent
 	// per-node operations. The simulated fabric serializes everything
 	// through one virtual-time NIC model and must stay single-threaded
 	// for reproducibility; real TCP links overlap round trips.
 	pipelined() bool
 }
+
+// linkKeyFor packs a (node id, incarnation) pair into one evictor/link
+// map key.
+func linkKeyFor(node int, epoch uint64) uint64 {
+	return uint64(uint32(node))<<32 | (epoch & 0xffffffff)
+}
+
+// deadLink stands in for a placement whose node the rack cannot link —
+// removed from the controller, or a stale incarnation. Every operation
+// errors and healthy() is false, but its existence lets the evictor keep
+// buffering entries for the lost replica (the retained-entry protocol)
+// until a repair flip remaps them onto the replacement node.
+type deadLink struct {
+	nodeID int
+	ep     uint64
+}
+
+func (l deadLink) id() int       { return l.nodeID }
+func (l deadLink) key() uint64   { return linkKeyFor(l.nodeID, l.ep) }
+func (l deadLink) healthy() bool { return false }
+
+func (l deadLink) err() error {
+	return fmt.Errorf("core: memory node %d (epoch %d) unavailable", l.nodeID, l.ep)
+}
+
+func (l deadLink) readPage(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error) {
+	return now, l.err()
+}
+
+func (l deadLink) readPages(now simclock.Duration, offs []uint64, bufs [][]byte) (simclock.Duration, error) {
+	return now, l.err()
+}
+
+func (l deadLink) writePage(now simclock.Duration, off uint64, data []byte) (simclock.Duration, error) {
+	return now, l.err()
+}
+
+func (l deadLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, int, error) {
+	return now, now, 0, l.err()
+}
+
+func (l deadLink) injectDelay(simclock.Duration) error { return l.err() }
 
 // --- simulated RDMA transport -----------------------------------------
 
@@ -67,14 +126,14 @@ type simRack struct {
 	ctrl    *cluster.Controller
 	localEP *rdma.Endpoint
 	mu      sync.Mutex
-	links   map[int]*rdmaLink
+	links   map[uint64]*rdmaLink // keyed by linkKeyFor(node, incarnation)
 }
 
 func newSimRack(ctrl *cluster.Controller) *simRack {
 	return &simRack{
 		ctrl:    ctrl,
 		localEP: rdma.NewEndpoint("klib"),
-		links:   make(map[int]*rdmaLink),
+		links:   make(map[uint64]*rdmaLink),
 	}
 }
 
@@ -88,23 +147,52 @@ func (r *simRack) release(s Slab) error { return r.ctrl.ReleaseSlab(s) }
 
 func (r *simRack) pipelined() bool { return false }
 
-func (r *simRack) link(node int) (nodeLink, error) {
+func (r *simRack) reportShipFailure(node int) error {
+	r.ctrl.ReportNodeFailure(node)
+	return nil
+}
+
+func (r *simRack) slabPlacements(group uint64) ([]Slab, error) {
+	members, ok := r.ctrl.Placements(group)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown placement group %d", group)
+	}
+	return members, nil
+}
+
+func (r *simRack) placementEpoch() (uint64, error) {
+	return r.ctrl.PlacementEpoch(), nil
+}
+
+func (r *simRack) link(node int, epoch uint64) (nodeLink, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if l, ok := r.links[node]; ok {
+	n, registered := r.ctrl.Node(node)
+	if epoch == 0 {
+		// Resolve "current incarnation".
+		if !registered {
+			return nil, fmt.Errorf("core: memory node %d not registered", node)
+		}
+		epoch = n.Incarnation()
+	}
+	k := linkKeyFor(node, epoch)
+	if l, ok := r.links[k]; ok {
 		return l, nil
 	}
-	n, ok := r.ctrl.Node(node)
-	if !ok {
+	if !registered {
 		return nil, fmt.Errorf("core: memory node %d not registered", node)
 	}
+	if inc := n.Incarnation(); inc != 0 && epoch != 0 && inc != epoch {
+		return nil, fmt.Errorf("core: memory node %d is incarnation %d, want %d", node, inc, epoch)
+	}
 	l := &rdmaLink{
+		lkey:    k,
 		node:    n,
 		qp:      rdma.Connect(r.localEP, n.Endpoint(), rdma.DefaultCostModel()),
 		staging: r.localEP.RegisterMR(mem.PageSize),
 		logBuf:  r.localEP.RegisterMR(cluster.LogRegionSize),
 	}
-	r.links[node] = l
+	r.links[k] = l
 	return l, nil
 }
 
@@ -116,6 +204,7 @@ func (r *simRack) link(node int) (nodeLink, error) {
 // model's serialization assumption intact under concurrent callers.
 type rdmaLink struct {
 	node *cluster.MemoryNode
+	lkey uint64
 
 	mu      sync.Mutex
 	qp      *rdma.QP
@@ -124,6 +213,7 @@ type rdmaLink struct {
 }
 
 func (l *rdmaLink) id() int       { return l.node.ID() }
+func (l *rdmaLink) key() uint64   { return l.lkey }
 func (l *rdmaLink) healthy() bool { return !l.node.Failed() }
 
 func (l *rdmaLink) readPage(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error) {
@@ -212,7 +302,10 @@ type tcpRack struct {
 	tr     cluster.Transport
 	client *cluster.ControllerClient
 	addrs  map[int]string
-	links  map[int]*tcpLink
+	// epochs is the last incarnation learned for each node (from slab
+	// epochs and placement refreshes); link(node, 0) resolves through it.
+	epochs map[int]uint64
+	links  map[uint64]*tcpLink // keyed by linkKeyFor(node, incarnation)
 }
 
 func newTCPRack(controllerAddr string) *tcpRack {
@@ -224,7 +317,15 @@ func newTCPRackWith(controllerAddr string, tr cluster.Transport) *tcpRack {
 		tr:     tr,
 		client: cluster.DialControllerTransport(controllerAddr, tr),
 		addrs:  make(map[int]string),
-		links:  make(map[int]*tcpLink),
+		epochs: make(map[int]uint64),
+		links:  make(map[uint64]*tcpLink),
+	}
+}
+
+// noteEpochLocked records a node's incarnation learned from a slab.
+func (r *tcpRack) noteEpochLocked(s Slab) {
+	if s.Epoch != 0 {
+		r.epochs[s.Node] = s.Epoch
 	}
 }
 
@@ -235,6 +336,7 @@ func (r *tcpRack) allocSlab(size uint64) (Slab, error) {
 	}
 	r.mu.Lock()
 	r.addrs[s.Node] = addr
+	r.noteEpochLocked(s)
 	r.mu.Unlock()
 	return s, nil
 }
@@ -248,6 +350,9 @@ func (r *tcpRack) allocReplicated(size uint64, replicas int) ([]Slab, error) {
 	for id, a := range addrs {
 		r.addrs[id] = a
 	}
+	for _, s := range slabs {
+		r.noteEpochLocked(s)
+	}
 	r.mu.Unlock()
 	return slabs, nil
 }
@@ -256,9 +361,36 @@ func (r *tcpRack) release(s Slab) error { return r.client.ReleaseSlab(s) }
 
 func (r *tcpRack) pipelined() bool { return true }
 
-func (r *tcpRack) link(node int) (nodeLink, error) {
+func (r *tcpRack) reportShipFailure(node int) error {
+	_, err := r.client.ReportFailure(node)
+	return err
+}
+
+func (r *tcpRack) slabPlacements(group uint64) ([]Slab, error) {
+	members, addrs, err := r.client.SlabPlacements(group)
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
-	if l, ok := r.links[node]; ok {
+	for id, a := range addrs {
+		r.addrs[id] = a
+	}
+	for _, s := range members {
+		r.noteEpochLocked(s)
+	}
+	r.mu.Unlock()
+	return members, nil
+}
+
+func (r *tcpRack) placementEpoch() (uint64, error) { return r.client.Epoch() }
+
+func (r *tcpRack) link(node int, epoch uint64) (nodeLink, error) {
+	r.mu.Lock()
+	if epoch == 0 {
+		epoch = r.epochs[node]
+	}
+	k := linkKeyFor(node, epoch)
+	if l, ok := r.links[k]; ok {
 		r.mu.Unlock()
 		return l, nil
 	}
@@ -271,15 +403,16 @@ func (r *tcpRack) link(node int) (nodeLink, error) {
 	// shippers and the fetch path both call link(), and holding r.mu
 	// across client construction (and any dial it may one day perform)
 	// would serialize them behind connection setup.
-	l := &tcpLink{nodeID: node, client: cluster.DialMemoryNodeTransport(addr, r.tr)}
+	l := &tcpLink{nodeID: node, epoch: epoch, client: cluster.DialMemoryNodeTransport(addr, r.tr)}
+	l.client.SetEpoch(epoch)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if existing, ok := r.links[node]; ok {
+	if existing, ok := r.links[k]; ok {
 		// Lost the construction race; keep the established link.
 		l.client.Close()
 		return existing, nil
 	}
-	r.links[node] = l
+	r.links[k] = l
 	return l, nil
 }
 
@@ -291,6 +424,7 @@ const healthTTL = 250 * time.Millisecond
 // tcpLink reaches a real memory-node daemon.
 type tcpLink struct {
 	nodeID int
+	epoch  uint64
 	client *cluster.MemoryNodeClient
 
 	// health is the cached Ping verdict and its timestamp packed into one
@@ -302,7 +436,8 @@ type tcpLink struct {
 	health atomic.Int64
 }
 
-func (l *tcpLink) id() int { return l.nodeID }
+func (l *tcpLink) id() int     { return l.nodeID }
+func (l *tcpLink) key() uint64 { return linkKeyFor(l.nodeID, l.epoch) }
 
 // healthy pings the node, trusting a cached verdict for healthTTL. Any
 // data-path error invalidates the cache (noteFailure) so failover does

@@ -26,6 +26,12 @@ type Slab struct {
 	Size uint64
 	// Node is the memory node hosting the slab.
 	Node int
+	// Epoch is the hosting node's incarnation number at carve time. A
+	// node that crashes and rejoins registers under a higher incarnation;
+	// placements stamped with the old epoch are fenced off (§4.5 fault
+	// tolerance). Zero means "incarnation tracking not in use" (in-process
+	// nodes created outside a controller).
+	Epoch uint64
 	// RemoteKey/RemoteOff locate the slab in the node's registered memory.
 	RemoteKey uint32
 	RemoteOff uint64
