@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent cover stress chaos verify
+.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent bench-wire cover stress chaos verify
 
 build:
 	$(GO) build ./...
@@ -22,11 +22,14 @@ quick:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz session over the wire codec (frames + legacy gob). The seed
-# corpus also runs as ordinary tests under `make test`.
+# Short fuzz session over the wire codec: arbitrary bytes into the frame
+# reader (must error, never panic or desync) and lossless round trips
+# over randomized Request/Response field sets. The seed corpus also runs
+# as ordinary tests under `make test`.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=15s ./internal/cluster
 	$(GO) test -run='^$$' -fuzz=FuzzRequestRoundTrip -fuzztime=15s ./internal/cluster
+	$(GO) test -run='^$$' -fuzz=FuzzResponseRoundTrip -fuzztime=15s ./internal/cluster
 
 # Pooled persistent connections vs the per-request-dial baseline.
 bench:
@@ -75,6 +78,15 @@ chaos:
 	KONA_CHAOS_SEED=$(KONA_CHAOS_SEED) $(GO) test -race -count=1 \
 		-run 'Chaos|Rejoin|Repair|ByteBudget' ./internal/core ./internal/cluster
 
+# Zero-copy wire-path guard (DESIGN.md §11): the evict ship and fetch
+# fill must move payloads with zero staged bytes (copiedB/op must print
+# 0 for WriteLogVec, and the guard test fails if a copy creeps back into
+# the write-log or *Into paths). -benchmem shows allocs/op; the gob-era
+# baseline was ~483 allocs and 3x-staged payloads per pooled read.
+bench-wire:
+	$(GO) test -run='TestWireEvictPathZeroCopies' -count=1 ./internal/cluster
+	$(GO) test -run='^$$' -bench='BenchmarkWire' -benchmem -benchtime=100x ./internal/cluster
+
 # Read-hit scaling at 1/2/4/8 application goroutines (DESIGN.md §9).
 # Wall ns/op should drop with goroutines on a multi-core host; the
 # vops/µs metric (aggregate virtual-time throughput) must scale ~linearly
@@ -87,4 +99,4 @@ bench-concurrent:
 cover:
 	$(GO) test -cover ./internal/... | sort
 
-verify: vet build test race stress chaos bench-quick bench-telemetry bench-evict bench-concurrent
+verify: vet build test race stress chaos bench-quick bench-telemetry bench-evict bench-concurrent bench-wire

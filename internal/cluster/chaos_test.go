@@ -56,11 +56,11 @@ func TestServeKeepsConnectionOpen(t *testing.T) {
 	}
 	defer conn.Close()
 	for i := 0; i < 10; i++ {
-		if err := writeFrame(conn, &Request{Kind: msgPing, ID: nextReqID()}); err != nil {
+		if _, err := writeRequestFrame(conn, &Request{Kind: msgPing, ID: nextReqID()}); err != nil {
 			t.Fatalf("request %d: write: %v", i, err)
 		}
 		var resp Response
-		if err := readFrame(conn, &resp); err != nil {
+		if _, err := readResponseFrame(conn, &resp, nil); err != nil {
 			t.Fatalf("request %d: read: %v (server closed the conn?)", i, err)
 		}
 		if resp.Err != "" {

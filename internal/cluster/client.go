@@ -154,13 +154,25 @@ func DialMemoryNodeTransport(addr string, tr Transport) *MemoryNodeClient {
 // Close releases the client's pooled connections.
 func (c *MemoryNodeClient) Close() error { return c.pool.Close() }
 
-// Read fetches length bytes at offset from the node's pool.
+// Read fetches length bytes at offset from the node's pool into a fresh
+// buffer. Callers that own the destination (a page frame) should use
+// ReadInto, which lands the reply there without the staging allocation.
 func (c *MemoryNodeClient) Read(offset uint64, length int) ([]byte, error) {
 	resp, err := c.pool.roundTrip(&Request{Kind: msgRead, Offset: offset, Length: length, Epoch: c.epoch.Load()})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
+}
+
+// ReadInto fetches len(buf) bytes at offset directly into buf: the reply
+// payload is read off the socket straight into the caller's memory — no
+// intermediate buffer, no copy.
+func (c *MemoryNodeClient) ReadInto(offset uint64, buf []byte) error {
+	_, err := c.pool.roundTripIO(
+		&Request{Kind: msgRead, Offset: offset, Length: len(buf), Epoch: c.epoch.Load()},
+		nil, [][]byte{buf})
+	return err
 }
 
 // ReadPages gathers one span of `length` bytes at each of the given pool
@@ -183,10 +195,44 @@ func (c *MemoryNodeClient) ReadPages(offsets []uint64, length int) ([][]byte, er
 	return pages, nil
 }
 
+// ReadPagesInto is ReadPages with the reply scattered directly into the
+// caller's buffers — typically non-contiguous page frames — one per
+// offset, all the same length. The concatenated reply payload is read
+// off the socket segment by segment into bufs in request order; nothing
+// is staged or copied.
+func (c *MemoryNodeClient) ReadPagesInto(offsets []uint64, bufs [][]byte) error {
+	if len(bufs) != len(offsets) {
+		return fmt.Errorf("cluster: read-pages: %d offsets but %d buffers", len(offsets), len(bufs))
+	}
+	if len(bufs) == 0 {
+		return fmt.Errorf("cluster: empty read-pages request")
+	}
+	length := len(bufs[0])
+	for _, b := range bufs {
+		if len(b) != length {
+			return fmt.Errorf("cluster: read-pages buffers must be equal length")
+		}
+	}
+	_, err := c.pool.roundTripIO(
+		&Request{Kind: msgReadPages, Offsets: offsets, Length: length, Epoch: c.epoch.Load()},
+		nil, bufs)
+	return err
+}
+
 // Write stores data at offset in the node's pool. A write is a pure
 // overwrite, so the transport may retry it after a connection fault.
 func (c *MemoryNodeClient) Write(offset uint64, data []byte) error {
-	_, err := c.pool.roundTrip(&Request{Kind: msgWrite, Offset: offset, Data: data, Epoch: c.epoch.Load()})
+	return c.WriteVec(offset, data)
+}
+
+// WriteVec stores the concatenation of segs at offset in the node's
+// pool. Each segment becomes one writev iovec shipped straight from the
+// caller's buffer — the repair engine uses this to forward a slab's page
+// images without first gluing them into one contiguous allocation.
+func (c *MemoryNodeClient) WriteVec(offset uint64, segs ...[]byte) error {
+	_, err := c.pool.roundTripIO(
+		&Request{Kind: msgWrite, Offset: offset, Epoch: c.epoch.Load()},
+		segs, nil)
 	return err
 }
 
@@ -195,7 +241,16 @@ func (c *MemoryNodeClient) Write(offset uint64, data []byte) error {
 // (it counts entries), so the transport does not retry it; the eviction
 // layer decides whether to replay.
 func (c *MemoryNodeClient) WriteLog(packed []byte) (int, error) {
-	resp, err := c.pool.roundTrip(&Request{Kind: msgWriteLog, Data: packed, Epoch: c.epoch.Load()})
+	return c.WriteLogVec(packed)
+}
+
+// WriteLogVec is WriteLog taking the packed log as scatter segments:
+// each segment goes from its arena to the kernel as one writev iovec,
+// and the receiver lands the whole payload directly in its log region —
+// zero copies on either side of the wire.
+func (c *MemoryNodeClient) WriteLogVec(segs ...[]byte) (int, error) {
+	resp, err := c.pool.roundTripIO(
+		&Request{Kind: msgWriteLog, Epoch: c.epoch.Load()}, segs, nil)
 	if err != nil {
 		return 0, err
 	}

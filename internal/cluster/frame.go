@@ -1,92 +1,238 @@
 package cluster
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 )
 
-// Wire framing for the TCP protocol: every message is a 4-byte big-endian
-// length followed by that many bytes of standalone gob. Self-contained
-// frames (a fresh encoder per message) cost a few descriptor bytes each,
-// but they keep a long-lived connection restartable at any frame boundary
-// and make corrupt or truncated input fail fast with an error instead of
-// desynchronizing a stateful gob stream.
+// Wire framing for the TCP protocol (DESIGN.md §11): every message is a
+// fixed 12-byte prefix, a small fixed-layout binary header (codec.go),
+// and an optional raw payload.
+//
+//	[0]     'k'            magic
+//	[1]     'w'            magic
+//	[2]     0x02           wire version
+//	[3]     kind           request kind byte, or kindResponse
+//	[4:8]   header length  big-endian uint32
+//	[8:12]  payload length big-endian uint32
+//
+// The split between header and payload is the point: the header is tiny
+// and staged through a pooled scratch buffer, while payload bytes are
+// handed to the kernel as separate writev iovecs (net.Buffers) on send
+// and ReadFull'd straight into their destination — a caller's page
+// frame, the memnode's log region — on receive. Payloads cross the wire
+// path without ever being copied into an intermediate buffer.
+//
+// A peer speaking the legacy gob framing (4-byte length prefix, gob
+// body) fails the magic check on the first frame and is rejected with a
+// version-mismatch error instead of producing garbage.
 
-// maxFrameSize bounds a single frame. The largest legitimate payloads are
-// cache-line logs (LogRegionSize, 4MB) and bulk writes; anything beyond
-// this is treated as corruption rather than a request to allocate memory.
+const (
+	frameMagic0  = 'k'
+	frameMagic1  = 'w'
+	frameVersion = 2
+	// framePrefixLen is the fixed prefix: magic, version, kind, lengths.
+	framePrefixLen = 12
+)
+
+// maxFrameSize bounds a single frame's payload. The largest legitimate
+// payloads are cache-line logs (LogRegionSize, 4MB) and bulk writes;
+// anything beyond this is treated as corruption rather than a request to
+// allocate memory.
 const maxFrameSize = 64 << 20
 
-// Buffer pools for the frame codec. Every round trip used to allocate a
-// fresh bytes.Buffer on encode and a fresh payload slice on decode;
-// pooling both keeps the steady-state wire path off the garbage
-// collector (large buffers — a full cache-line log is LogBytes — are
-// worth recycling most of all). Oversized buffers are dropped back to
-// the allocator instead of pinning pool memory.
+// maxHeaderSize bounds the encoded header. Headers hold scalar fields
+// plus bounded collections (ReadPages offsets, slab/address tables); a
+// larger claim is corruption.
+const maxHeaderSize = 1 << 20
+
+// maxPooledBuf caps what the buffer pools retain. Oversized buffers are
+// dropped back to the allocator instead of pinning pool memory.
 const maxPooledBuf = LogRegionSize + 4096
 
-var frameEncPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+// hdrPool recycles prefix+header encode scratch and header decode
+// scratch; headers are tens to hundreds of bytes, so the steady-state
+// wire path never allocates for them.
+var hdrPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
 
-var frameDecPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+// payloadPool recycles the server's payload staging buffers (inbound
+// Write bodies, outbound Read/ReadPages images).
+var payloadPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
-// writeFrame gob-encodes v and writes it as one length-prefixed frame.
-func writeFrame(w io.Writer, v any) error {
-	buf := frameEncPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	defer func() {
-		if buf.Cap() <= maxPooledBuf {
-			frameEncPool.Put(buf)
-		}
-	}()
-	buf.Write(make([]byte, 4))
-	if err := gob.NewEncoder(buf).Encode(v); err != nil {
-		return fmt.Errorf("cluster: encode frame: %w", err)
-	}
-	b := buf.Bytes()
-	if len(b)-4 > maxFrameSize {
-		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(b)-4)
-	}
-	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
-	_, err := w.Write(b)
-	return err
-}
+// vecPool recycles the net.Buffers scratch assembled for each writev.
+var vecPool = sync.Pool{New: func() any { b := make(net.Buffers, 0, 8); return &b }}
 
-// readFrame reads one length-prefixed frame and gob-decodes it into v.
-// A clean close at a frame boundary returns io.EOF; truncation or a
-// nonsensical length returns a descriptive error. The scratch payload
-// buffer is pooled; gob copies decoded fields out of it, so it never
-// escapes into v.
-func readFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return io.EOF
-		}
-		return fmt.Errorf("cluster: read frame header: %w", err)
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > maxFrameSize {
-		return fmt.Errorf("cluster: bad frame length %d", n)
-	}
-	bp := frameDecPool.Get().(*[]byte)
-	if cap(*bp) < int(n) {
+// getPayloadBuf returns a pooled n-byte buffer and its pool handle.
+func getPayloadBuf(n int) (*[]byte, []byte) {
+	bp := payloadPool.Get().(*[]byte)
+	if cap(*bp) < n {
 		*bp = make([]byte, n)
 	}
-	payload := (*bp)[:n]
-	defer func() {
-		if cap(*bp) <= maxPooledBuf {
-			frameDecPool.Put(bp)
-		}
-	}()
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("cluster: truncated frame (want %d bytes): %w", n, err)
+	return bp, (*bp)[:n]
+}
+
+// putPayloadBuf returns a staging buffer to the pool.
+func putPayloadBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledBuf {
+		payloadPool.Put(bp)
 	}
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
-		return fmt.Errorf("cluster: decode frame: %w", err)
+}
+
+// writeFrameVec assembles the frame prefix around an already-encoded
+// header buffer b (which must start with framePrefixLen reserved bytes)
+// and ships header + payload slices with a single scatter-gather write.
+// On a *net.TCPConn, net.Buffers becomes one writev; payload bytes go
+// from their owning arena to the kernel untouched. Returns bytes
+// written.
+func writeFrameVec(w io.Writer, b []byte, payload [][]byte) (int, error) {
+	payLen := 0
+	for _, p := range payload {
+		payLen += len(p)
+	}
+	if payLen > maxFrameSize {
+		return 0, fmt.Errorf("cluster: frame payload of %d bytes exceeds limit", payLen)
+	}
+	if hdrLen := len(b) - framePrefixLen; hdrLen > maxHeaderSize {
+		return 0, fmt.Errorf("cluster: frame header of %d bytes exceeds limit", hdrLen)
+	}
+	binary.BigEndian.PutUint32(b[4:8], uint32(len(b)-framePrefixLen))
+	binary.BigEndian.PutUint32(b[8:12], uint32(payLen))
+	if payLen == 0 {
+		return w.Write(b)
+	}
+	vp := vecPool.Get().(*net.Buffers)
+	bufs := append((*vp)[:0], b)
+	for _, p := range payload {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
+	*vp = bufs
+	n, err := bufs.WriteTo(w)
+	// WriteTo consumed the local slice; clear the retained backing array
+	// so pooled scratch does not pin payload arenas.
+	for i := range *vp {
+		(*vp)[i] = nil
+	}
+	*vp = (*vp)[:0]
+	vecPool.Put(vp)
+	return int(n), err
+}
+
+// framePrefix starts an encode buffer: magic, version, kind, and
+// placeholder length fields that writeFrameVec patches.
+func framePrefix(b []byte, kind byte) []byte {
+	return append(b, frameMagic0, frameMagic1, frameVersion, kind,
+		0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// writeRequestFrame encodes req's header and ships it with the given
+// payload slices (req.Data is NOT implicit — callers pass it, or a
+// scatter list replacing it). Returns bytes written.
+func writeRequestFrame(w io.Writer, req *Request, payload ...[]byte) (int, error) {
+	kb, ok := kindBytes[req.Kind]
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown request kind %q", req.Kind)
+	}
+	bp := hdrPool.Get().(*[]byte)
+	b := appendRequestHeader(framePrefix((*bp)[:0], kb), req)
+	*bp = b
+	n, err := writeFrameVec(w, b, payload)
+	if cap(*bp) <= maxPooledBuf {
+		hdrPool.Put(bp)
+	}
+	return n, err
+}
+
+// writeResponseFrame encodes resp's header and ships it with the given
+// payload slices. Returns bytes written.
+func writeResponseFrame(w io.Writer, resp *Response, payload ...[]byte) (int, error) {
+	bp := hdrPool.Get().(*[]byte)
+	b := appendResponseHeader(framePrefix((*bp)[:0], kindResponse), resp)
+	*bp = b
+	n, err := writeFrameVec(w, b, payload)
+	if cap(*bp) <= maxPooledBuf {
+		hdrPool.Put(bp)
+	}
+	return n, err
+}
+
+// readFrameHeader reads one frame's prefix and header. The returned hdr
+// aliases *scratch (grown as needed); payLen bytes of payload remain on
+// the stream for the caller to place. A clean close at a frame boundary
+// returns io.EOF; truncation, a bad magic (e.g. a legacy gob-framed
+// peer), or a nonsensical length returns a descriptive error.
+func readFrameHeader(r io.Reader, scratch *[]byte) (kind byte, hdr []byte, payLen int, err error) {
+	var pre [framePrefixLen]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, 0, io.EOF
+		}
+		return 0, nil, 0, fmt.Errorf("cluster: read frame prefix: %w", err)
+	}
+	if pre[0] != frameMagic0 || pre[1] != frameMagic1 {
+		return 0, nil, 0, fmt.Errorf(
+			"cluster: bad frame magic %02x%02x: peer does not speak the kw wire protocol (legacy gob-framed peer?)",
+			pre[0], pre[1])
+	}
+	if pre[2] != frameVersion {
+		return 0, nil, 0, fmt.Errorf("cluster: wire version mismatch: peer speaks v%d, this build v%d",
+			pre[2], frameVersion)
+	}
+	kind = pre[3]
+	hdrLen := binary.BigEndian.Uint32(pre[4:8])
+	pl := binary.BigEndian.Uint32(pre[8:12])
+	if hdrLen > maxHeaderSize {
+		return 0, nil, 0, fmt.Errorf("cluster: bad frame header length %d", hdrLen)
+	}
+	if pl > maxFrameSize {
+		return 0, nil, 0, fmt.Errorf("cluster: bad frame payload length %d", pl)
+	}
+	if cap(*scratch) < int(hdrLen) {
+		*scratch = make([]byte, hdrLen)
+	}
+	hdr = (*scratch)[:hdrLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, 0, fmt.Errorf("cluster: truncated frame header (want %d bytes): %w", hdrLen, err)
+	}
+	return kind, hdr, int(pl), nil
+}
+
+// readPayloadInto scatters a frame's payLen payload bytes into dsts in
+// order. The destination lengths must sum to exactly payLen — the frame
+// says how many bytes follow, and landing them anywhere else would
+// desynchronize the stream.
+func readPayloadInto(r io.Reader, payLen int, dsts ...[]byte) error {
+	total := 0
+	for _, d := range dsts {
+		total += len(d)
+	}
+	if total != payLen {
+		return fmt.Errorf("cluster: frame payload is %d bytes, destination holds %d", payLen, total)
+	}
+	for _, d := range dsts {
+		if len(d) == 0 {
+			continue
+		}
+		if _, err := io.ReadFull(r, d); err != nil {
+			return fmt.Errorf("cluster: truncated frame payload (want %d bytes): %w", payLen, err)
+		}
+	}
+	return nil
+}
+
+// discardPayload drains n payload bytes the receiver refused (bad
+// header, refused sink), keeping the stream framed so the connection can
+// carry an error response instead of being torn down.
+func discardPayload(r io.Reader, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+		return fmt.Errorf("cluster: draining refused payload: %w", err)
 	}
 	return nil
 }

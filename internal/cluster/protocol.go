@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -9,7 +11,7 @@ import (
 )
 
 // TCP wire protocol for the standalone daemons (cmd/kona-controller and
-// cmd/kona-memnode). Messages are length-prefixed gob frames (frame.go)
+// cmd/kona-memnode). Messages are binary frames (frame.go, codec.go)
 // carried over persistent connections: a client keeps a small pool of
 // conns per peer (transport.go) and a server keeps answering requests on
 // each conn until the peer closes it. The in-process runtime does not use
@@ -36,7 +38,10 @@ const (
 	msgReportFailure  = "report-failure"
 )
 
-// Request is the single envelope for every RPC.
+// Request is the single envelope for every RPC. Data is the frame
+// payload: it never passes through the header codec — the sender ships
+// it as writev iovecs straight from its owning buffer, and the server
+// lands it directly in its destination (payloadSink).
 type Request struct {
 	Kind string
 	// ID uniquely identifies the request across retries; servers use it
@@ -59,7 +64,7 @@ type Request struct {
 
 	// ReadPages: pool offsets of the pages to gather, each Length bytes.
 	// One frame replaces len(Offsets) Read round trips; the reply carries
-	// the payloads concatenated in request order in Data.
+	// the payloads concatenated in request order.
 	Offsets []uint64
 
 	// SlabPlacements: the placement-group id to look up.
@@ -71,7 +76,9 @@ type Request struct {
 	Epoch uint64
 }
 
-// Response is the single envelope for every reply.
+// Response is the single envelope for every reply. Data is the frame
+// payload (see Request.Data); on the client it can land directly in
+// caller-provided frames instead (pool.roundTripIO's recv vector).
 type Response struct {
 	Err string
 
@@ -105,10 +112,56 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return e.Msg }
 
+// readResponseFrame reads one response frame into resp. When recv is
+// non-nil the payload is scattered into recv's slices in order — the
+// zero-copy receive path landing reply bytes directly in caller frames;
+// otherwise a payload is returned in a freshly allocated resp.Data.
+// Returns total bytes consumed off the stream.
+func readResponseFrame(r io.Reader, resp *Response, recv [][]byte) (int, error) {
+	bp := hdrPool.Get().(*[]byte)
+	defer func() {
+		if cap(*bp) <= maxPooledBuf {
+			hdrPool.Put(bp)
+		}
+	}()
+	kind, hdr, payLen, err := readFrameHeader(r, bp)
+	if err != nil {
+		return 0, err
+	}
+	if kind != kindResponse {
+		return 0, fmt.Errorf("cluster: expected a response frame, got kind 0x%02x", kind)
+	}
+	if err := decodeResponseHeader(hdr, resp); err != nil {
+		return 0, err
+	}
+	n := framePrefixLen + len(hdr) + payLen
+	if resp.Err != "" && payLen > 0 {
+		// An error response never carries a payload; a peer that sends
+		// one is desynced. Tear the connection down rather than guess.
+		return 0, fmt.Errorf("cluster: error response carried %d payload bytes", payLen)
+	}
+	switch {
+	case recv != nil && resp.Err == "":
+		return n, readPayloadInto(r, payLen, recv...)
+	case payLen > 0:
+		resp.Data = make([]byte, payLen)
+		return n, readPayloadInto(r, payLen, resp.Data)
+	}
+	return n, nil
+}
+
+// roundTripTimeout bounds a throwaway-connection exchange (roundTrip,
+// pingAddr callers pass their own): without it a hung peer stalls the
+// dial-per-request baseline forever, since unlike the pooled transport
+// it sets no per-attempt deadline.
+const roundTripTimeout = 5 * time.Second
+
 // roundTrip performs one request/response over a fresh throwaway
-// connection — no pooling, no deadlines, no retries. It is the
-// per-request-dial baseline the pooled transport replaced; tests and the
-// transport benchmark keep it around for comparison.
+// connection — no pooling, no retries. It is the per-request-dial
+// baseline the pooled transport replaced; tests and the transport
+// benchmark keep it around for comparison. The whole exchange runs
+// under an I/O deadline consistent with the pooled transport's
+// per-attempt deadlines.
 func roundTrip(addr string, req *Request) (*Response, error) {
 	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
@@ -118,11 +171,12 @@ func roundTrip(addr string, req *Request) (*Response, error) {
 	if req.ID == 0 {
 		req.ID = nextReqID()
 	}
-	if err := writeFrame(conn, req); err != nil {
+	_ = conn.SetDeadline(time.Now().Add(roundTripTimeout))
+	if _, err := writeRequestFrame(conn, req, req.Data); err != nil {
 		return nil, err
 	}
 	var resp Response
-	if err := readFrame(conn, &resp); err != nil {
+	if _, err := readResponseFrame(conn, &resp, nil); err != nil {
 		return nil, err
 	}
 	if err := resp.errOf(); err != nil {
@@ -175,11 +229,40 @@ func (s *connSet) closeAll() {
 	s.conns = map[net.Conn]struct{}{}
 }
 
+// connHandler is a server's side of the wire protocol. Splitting payload
+// placement (payloadSink) from execution (serveReq) is what makes the
+// receive path zero-copy: the sink can hand back the payload's final
+// destination — the memnode's log region for WriteLog — and the serve
+// loop ReadFulls the wire straight into it.
+type connHandler interface {
+	// payloadSink returns the buffer an inbound request's n-byte payload
+	// lands in. release, if non-nil, runs after the request has been
+	// handled (it guards the destination, e.g. the memnode's log-region
+	// lock). A returned error refuses the payload: the bytes are drained
+	// off the stream and err becomes the response.
+	payloadSink(req *Request, n int) (dst []byte, release func(), err error)
+	// serveReq executes one request (its payload, if any, already placed
+	// in req.Data) and returns the response; done, if non-nil, runs after
+	// the response has hit the wire, releasing buffers resp.Data aliases.
+	serveReq(req *Request) (resp *Response, done func())
+	// countWire records one exchange's wire volume (rx covers the
+	// request's prefix+header+payload, tx the response's).
+	countWire(kind string, rx, tx int)
+}
+
+// stagePayload is the generic payload sink: a pooled buffer for requests
+// whose payload has no in-place destination (controller RPCs, Write
+// bodies that must be bounds-checked before touching the pool).
+func stagePayload(n int) ([]byte, func(), error) {
+	bp, buf := getPayloadBuf(n)
+	return buf, func() { putPayloadBuf(bp) }, nil
+}
+
 // serve accepts connections and answers framed requests on each until the
 // peer closes it, the frame stream turns invalid, or the server shuts
-// down. One goroutine per connection; handle must be safe for concurrent
-// use.
-func serve(l net.Listener, cs *connSet, handle func(*Request) *Response) {
+// down. One goroutine per connection; the handler must be safe for
+// concurrent use.
+func serve(l net.Listener, cs *connSet, h connHandler) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -193,16 +276,61 @@ func serve(l net.Listener, cs *connSet, handle func(*Request) *Response) {
 				cs.remove(conn)
 				conn.Close()
 			}()
+			var scratch []byte
+			var req Request
 			for {
-				var req Request
-				if err := readFrame(conn, &req); err != nil {
+				kind, hdr, payLen, err := readFrameHeader(conn, &scratch)
+				if err != nil {
 					// EOF at a frame boundary is a clean close; anything
-					// else (garbage, truncation) is unrecoverable on a
+					// else (bad magic, truncation) is unrecoverable on a
 					// framed stream — drop the conn either way.
 					return
 				}
+				// Reset the envelope but keep the Offsets backing array so
+				// steady-state ReadPages decoding reuses it.
+				offs := req.Offsets
+				req = Request{Offsets: offs}
+				var resp *Response
+				var done func()
+				if derr := decodeRequestHeader(kind, hdr, &req); derr != nil {
+					// The header is consumed and the payload length known,
+					// so the stream stays framed: drain and answer.
+					if discardPayload(conn, payLen) != nil {
+						return
+					}
+					resp = &Response{Err: derr.Error()}
+				} else if payLen > 0 {
+					dst, release, serr := h.payloadSink(&req, payLen)
+					if serr != nil {
+						if discardPayload(conn, payLen) != nil {
+							return
+						}
+						resp = &Response{Err: serr.Error()}
+					} else {
+						rerr := readPayloadInto(conn, payLen, dst)
+						if rerr != nil {
+							if release != nil {
+								release()
+							}
+							return
+						}
+						req.Data = dst
+						resp, done = h.serveReq(&req)
+						if release != nil {
+							release()
+						}
+						req.Data = nil
+					}
+				} else {
+					resp, done = h.serveReq(&req)
+				}
 				_ = conn.SetWriteDeadline(time.Now().Add(writeDeadline))
-				if err := writeFrame(conn, handle(&req)); err != nil {
+				tx, werr := writeResponseFrame(conn, resp, resp.Data)
+				if done != nil {
+					done()
+				}
+				h.countWire(req.Kind, framePrefixLen+len(hdr)+payLen, tx)
+				if werr != nil {
 					return
 				}
 				_ = conn.SetWriteDeadline(time.Time{})

@@ -13,12 +13,15 @@ import (
 
 // RepairTransport is how the repair engine moves slab pages between
 // memory nodes: batched page reads from the copy source and bulk writes
-// to the target. Both carry the node's expected incarnation so a node
-// that crash-rejoined mid-copy fences the stale operation instead of
-// serving wrong-generation bytes.
+// to the target. Write takes the data as scatter segments stored
+// contiguously at off — the TCP transport ships each segment as one
+// writev iovec, so the engine never concatenates page buffers. Both
+// RPCs carry the node's expected incarnation so a node that
+// crash-rejoined mid-copy fences the stale operation instead of serving
+// wrong-generation bytes.
 type RepairTransport interface {
 	ReadPages(node int, epoch uint64, offs []uint64, pageLen int) ([][]byte, error)
-	Write(node int, epoch uint64, off uint64, data []byte) error
+	Write(node int, epoch uint64, off uint64, segs [][]byte) error
 }
 
 // RepairConfig tunes the background re-replication engine.
@@ -170,16 +173,15 @@ func (e *RepairEngine) copySlab(src, target slab.Slab) error {
 		if err != nil {
 			return fmt.Errorf("repair: read from node %d: %w", src.Node, err)
 		}
-		buf := make([]byte, 0, span)
-		for _, p := range pages {
-			buf = append(buf, p...)
-		}
-		if err := e.tr.Write(target.Node, target.Epoch, target.RemoteOff+start, buf); err != nil {
+		// The page buffers go to the transport as a scatter list; the TCP
+		// path writev's them straight onto the wire, so the old
+		// concatenate-into-one-buffer copy is gone.
+		if err := e.tr.Write(target.Node, target.Epoch, target.RemoteOff+start, pages); err != nil {
 			return fmt.Errorf("repair: write to node %d: %w", target.Node, err)
 		}
-		e.bytesCopied.Add(uint64(len(buf)))
+		e.bytesCopied.Add(span)
 		if e.mBytes != nil {
-			e.mBytes.Add(uint64(len(buf)))
+			e.mBytes.Add(span)
 		}
 		return nil
 	}
@@ -256,13 +258,19 @@ func (t *LocalRepairTransport) ReadPages(node int, epoch uint64, offs []uint64, 
 	return out, nil
 }
 
-// Write stores data into the node's pool at off.
-func (t *LocalRepairTransport) Write(node int, epoch uint64, off uint64, data []byte) error {
+// Write stores the concatenation of segs into the node's pool at off.
+func (t *LocalRepairTransport) Write(node int, epoch uint64, off uint64, segs [][]byte) error {
 	n, err := t.node(node, epoch)
 	if err != nil {
 		return err
 	}
-	return n.WriteAt(off, data)
+	for _, seg := range segs {
+		if err := n.WriteAt(off, seg); err != nil {
+			return err
+		}
+		off += uint64(len(seg))
+	}
+	return nil
 }
 
 // TCPRepairTransport moves pages between memnode daemons over the wire
@@ -313,14 +321,15 @@ func (t *TCPRepairTransport) ReadPages(node int, epoch uint64, offs []uint64, pa
 	return c.ReadPages(offs, pageLen)
 }
 
-// Write stores data on the node's daemon.
-func (t *TCPRepairTransport) Write(node int, epoch uint64, off uint64, data []byte) error {
+// Write stores segs on the node's daemon: one WriteVec RPC whose payload
+// is the segments writev'd straight from the repair read buffers.
+func (t *TCPRepairTransport) Write(node int, epoch uint64, off uint64, segs [][]byte) error {
 	c, err := t.client(node)
 	if err != nil {
 		return err
 	}
 	c.SetEpoch(epoch)
-	return c.Write(off, data)
+	return c.WriteVec(off, segs...)
 }
 
 // Close tears down any dialed memnode clients.

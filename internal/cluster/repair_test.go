@@ -236,7 +236,7 @@ func TestRepairTransportEpochFence(t *testing.T) {
 	if _, err := tr.ReadPages(0, inc+1, []uint64{0}, 64); err == nil {
 		t.Fatalf("stale-incarnation read served")
 	}
-	if err := tr.Write(0, inc+1, 0, make([]byte, 64)); err == nil {
+	if err := tr.Write(0, inc+1, 0, [][]byte{make([]byte, 64)}); err == nil {
 		t.Fatalf("stale-incarnation write applied")
 	}
 

@@ -11,12 +11,23 @@ import (
 )
 
 // serverMetrics is a daemon's pre-resolved telemetry: one request counter
-// per RPC kind plus an error counter, resolved once at serve time so the
-// handler path never touches the registry's map lock. nil disables.
+// per RPC kind plus an error counter, per-kind wire-volume counters
+// (tx_bytes/rx_bytes) and the payload-copies counter backing the
+// bytes-copied-per-op guard (make bench-wire), resolved once at serve
+// time so the handler path never touches the registry's map lock. nil
+// disables.
 type serverMetrics struct {
-	served map[string]*telemetry.Counter
-	errors *telemetry.Counter
-	trace  *telemetry.Trace
+	served  map[string]*telemetry.Counter
+	txBytes map[string]*telemetry.Counter
+	rxBytes map[string]*telemetry.Counter
+	// payloadCopies counts payload bytes staged through an intermediate
+	// buffer on their way between the wire and their true destination.
+	// The zero-copy paths (WriteLog into the log region) keep it at 0;
+	// Read/ReadPages/Write count one staging copy through the locked
+	// pool accessors.
+	payloadCopies *telemetry.Counter
+	errors        *telemetry.Counter
+	trace         *telemetry.Trace
 }
 
 func newServerMetrics(reg *telemetry.Registry, role string) *serverMetrics {
@@ -24,12 +35,17 @@ func newServerMetrics(reg *telemetry.Registry, role string) *serverMetrics {
 		return nil
 	}
 	m := &serverMetrics{
-		served: make(map[string]*telemetry.Counter, len(rpcKinds)),
-		errors: reg.Counter("cluster." + role + ".errors"),
-		trace:  reg.Trace(),
+		served:        make(map[string]*telemetry.Counter, len(rpcKinds)),
+		txBytes:       make(map[string]*telemetry.Counter, len(rpcKinds)),
+		rxBytes:       make(map[string]*telemetry.Counter, len(rpcKinds)),
+		payloadCopies: reg.Counter("cluster." + role + ".payload_copies"),
+		errors:        reg.Counter("cluster." + role + ".errors"),
+		trace:         reg.Trace(),
 	}
 	for _, kind := range rpcKinds {
 		m.served[kind] = reg.Counter("cluster." + role + ".served." + kind)
+		m.txBytes[kind] = reg.Counter("cluster." + role + ".tx_bytes." + kind)
+		m.rxBytes[kind] = reg.Counter("cluster." + role + ".rx_bytes." + kind)
 	}
 	return m
 }
@@ -43,6 +59,24 @@ func (m *serverMetrics) record(kind string, resp *Response) {
 	if resp.Err != "" {
 		m.errors.Inc()
 	}
+}
+
+// countWire records one exchange's request/response wire volume.
+func (m *serverMetrics) countWire(kind string, rx, tx int) {
+	if m == nil {
+		return
+	}
+	m.rxBytes[kind].Add(uint64(rx))
+	m.txBytes[kind].Add(uint64(tx))
+}
+
+// countCopies records payload bytes that took an intermediate staging
+// copy on the server.
+func (m *serverMetrics) countCopies(n int) {
+	if m == nil {
+		return
+	}
+	m.payloadCopies.Add(uint64(n))
 }
 
 // dedupCache remembers responses to recent identified requests so a
@@ -112,8 +146,9 @@ func ServeControllerOn(ctrl *Controller, l net.Listener) *ControllerServer {
 }
 
 // ServeControllerOnWith is ServeControllerOn reporting into a telemetry
-// registry: per-kind served counters, an error counter, a registered-node
-// gauge, and registration/allocation trace events. nil disables.
+// registry: per-kind served and wire-volume counters, an error counter, a
+// registered-node gauge, and registration/allocation trace events. nil
+// disables.
 func ServeControllerOnWith(ctrl *Controller, l net.Listener, reg *telemetry.Registry) *ControllerServer {
 	s := &ControllerServer{
 		ctrl:  ctrl,
@@ -128,7 +163,7 @@ func ServeControllerOnWith(ctrl *Controller, l net.Listener, reg *telemetry.Regi
 	// over the wire (falling back to the in-process flag when no address
 	// is known — e.g. tests registering nodes directly).
 	ctrl.SetProber(s.probeNode)
-	go serve(l, s.conns, s.handle)
+	go serve(l, s.conns, s)
 	return s
 }
 
@@ -154,11 +189,11 @@ func pingAddr(addr string, timeout time.Duration) error {
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(timeout))
-	if err := writeFrame(conn, &Request{Kind: msgPing, ID: nextReqID()}); err != nil {
+	if _, err := writeRequestFrame(conn, &Request{Kind: msgPing, ID: nextReqID()}); err != nil {
 		return err
 	}
 	var resp Response
-	if err := readFrame(conn, &resp); err != nil {
+	if _, err := readResponseFrame(conn, &resp, nil); err != nil {
 		return err
 	}
 	return resp.errOf()
@@ -181,6 +216,22 @@ func (s *ControllerServer) Close() error {
 	err := s.l.Close()
 	s.conns.closeAll()
 	return err
+}
+
+// payloadSink implements connHandler. Controller RPCs carry no payload;
+// a peer that sends one anyway gets it staged and ignored, so the
+// request can still be answered with a proper error instead of a torn
+// connection.
+func (s *ControllerServer) payloadSink(req *Request, n int) ([]byte, func(), error) {
+	return stagePayload(n)
+}
+
+// countWire implements connHandler.
+func (s *ControllerServer) countWire(kind string, rx, tx int) { s.m.countWire(kind, rx, tx) }
+
+// serveReq implements connHandler.
+func (s *ControllerServer) serveReq(req *Request) (*Response, func()) {
+	return s.handle(req), nil
 }
 
 func (s *ControllerServer) handle(req *Request) *Response {
@@ -293,7 +344,9 @@ type MemoryNodeServer struct {
 
 	// logMu serializes WriteLog handlers: the node has a single
 	// log-receive region, and concurrent RPCs must not interleave their
-	// copies into it.
+	// payloads landing in it. It is taken in payloadSink (the wire bytes
+	// are ReadFull'd straight into the region — the zero-copy receive
+	// path) and held until the request has been handled.
 	logMu sync.Mutex
 }
 
@@ -313,8 +366,8 @@ func ServeMemoryNodeOn(node *MemoryNode, l net.Listener) *MemoryNodeServer {
 }
 
 // ServeMemoryNodeOnWith is ServeMemoryNodeOn reporting into a telemetry
-// registry: per-kind served counters plus read/write/log volume counters.
-// nil disables.
+// registry: per-kind served and wire-volume counters plus
+// read/write/log volume counters. nil disables.
 func ServeMemoryNodeOnWith(node *MemoryNode, l net.Listener, reg *telemetry.Registry) *MemoryNodeServer {
 	s := &MemoryNodeServer{
 		node:           node,
@@ -328,7 +381,7 @@ func ServeMemoryNodeOnWith(node *MemoryNode, l net.Listener, reg *telemetry.Regi
 		readPagesPages: reg.Counter("cluster.readpages.pages"),
 		readPagesBytes: reg.Counter("cluster.readpages.bytes"),
 	}
-	go serve(l, s.conns, s.handle)
+	go serve(l, s.conns, s)
 	return s
 }
 
@@ -342,13 +395,33 @@ func (s *MemoryNodeServer) Close() error {
 	return err
 }
 
-func (s *MemoryNodeServer) handle(req *Request) *Response {
-	resp := s.dispatch(req)
-	s.m.record(req.Kind, resp)
-	return resp
+// payloadSink implements connHandler: WriteLog payloads land directly in
+// the node's log-receive region — the same bytes UnpackLog scatters from
+// — under logMu, so the log body crosses the server without a single
+// intermediate copy. Everything else stages through a pooled buffer.
+func (s *MemoryNodeServer) payloadSink(req *Request, n int) ([]byte, func(), error) {
+	if req.Kind == msgWriteLog {
+		logBuf := s.node.logMR.Bytes()
+		if n > len(logBuf) {
+			return nil, nil, fmt.Errorf("memnode: log too large")
+		}
+		s.logMu.Lock()
+		return logBuf[:n], s.logMu.Unlock, nil
+	}
+	return stagePayload(n)
 }
 
-func (s *MemoryNodeServer) dispatch(req *Request) *Response {
+// countWire implements connHandler.
+func (s *MemoryNodeServer) countWire(kind string, rx, tx int) { s.m.countWire(kind, rx, tx) }
+
+// serveReq implements connHandler.
+func (s *MemoryNodeServer) serveReq(req *Request) (*Response, func()) {
+	resp, done := s.dispatch(req)
+	s.m.record(req.Kind, resp)
+	return resp, done
+}
+
+func (s *MemoryNodeServer) dispatch(req *Request) (*Response, func()) {
 	// Epoch fence (DESIGN.md §10): a data RPC stamped with an incarnation
 	// this node instance does not hold is from a peer whose placements
 	// predate a crash-restart. Reject it as a RemoteError — delivered and
@@ -360,56 +433,62 @@ func (s *MemoryNodeServer) dispatch(req *Request) *Response {
 			if inc := s.node.Incarnation(); inc != 0 && inc != req.Epoch {
 				return &Response{Err: fmt.Sprintf(
 					"memnode %d: epoch fence: request for incarnation %d, node is %d",
-					s.node.ID(), req.Epoch, inc)}
+					s.node.ID(), req.Epoch, inc)}, nil
 			}
 		}
 	}
 	switch req.Kind {
 	case msgRead:
-		data := make([]byte, req.Length)
-		if err := s.node.ReadAt(req.Offset, data); err != nil {
-			return &Response{Err: err.Error()}
+		if req.Length <= 0 || req.Length > maxFrameSize {
+			return &Response{Err: fmt.Sprintf("memnode: bad read length %d", req.Length)}, nil
 		}
+		bp, buf := getPayloadBuf(req.Length)
+		if err := s.node.ReadAt(req.Offset, buf); err != nil {
+			putPayloadBuf(bp)
+			return &Response{Err: err.Error()}, nil
+		}
+		s.m.countCopies(len(buf))
 		s.readBytes.Add(uint64(req.Length))
-		return &Response{Data: data}
+		// The response payload aliases the pooled staging buffer; it is
+		// recycled only after the frame has hit the wire (the done hook).
+		return &Response{Data: buf}, func() { putPayloadBuf(bp) }
 	case msgReadPages:
 		// Scatter-gather read: each offset names one page-sized span; the
 		// payloads are concatenated in request order so the whole batch
 		// costs one frame each way.
 		if req.Length <= 0 || len(req.Offsets) == 0 {
-			return &Response{Err: "memnode: empty read-pages request"}
+			return &Response{Err: "memnode: empty read-pages request"}, nil
 		}
 		total := req.Length * len(req.Offsets)
 		if total > maxFrameSize/2 {
-			return &Response{Err: "memnode: read-pages batch too large"}
+			return &Response{Err: "memnode: read-pages batch too large"}, nil
 		}
-		data := make([]byte, total)
+		bp, data := getPayloadBuf(total)
 		for i, off := range req.Offsets {
 			if err := s.node.ReadAt(off, data[i*req.Length:(i+1)*req.Length]); err != nil {
-				return &Response{Err: err.Error()}
+				putPayloadBuf(bp)
+				return &Response{Err: err.Error()}, nil
 			}
 		}
+		s.m.countCopies(total)
 		s.readBytes.Add(uint64(total))
 		s.readPagesPages.Add(uint64(len(req.Offsets)))
 		s.readPagesBytes.Add(uint64(total))
-		return &Response{Data: data}
+		return &Response{Data: data}, func() { putPayloadBuf(bp) }
 	case msgWrite:
 		if err := s.node.WriteAt(req.Offset, req.Data); err != nil {
-			return &Response{Err: err.Error()}
+			return &Response{Err: err.Error()}, nil
 		}
+		s.m.countCopies(len(req.Data))
 		s.writeBytes.Add(uint64(len(req.Data)))
-		return &Response{}
+		return &Response{}, nil
 	case msgWriteLog:
-		s.logMu.Lock()
-		defer s.logMu.Unlock()
-		logBuf := s.node.logMR.Bytes()
-		if len(req.Data) > len(logBuf) {
-			return &Response{Err: "memnode: log too large"}
-		}
-		copy(logBuf, req.Data)
+		// The payload already sits in the log region (payloadSink holds
+		// logMu until this handler returns); all that is left is to run
+		// the receiver over it.
 		entries, _, err := s.node.UnpackLog(len(req.Data))
 		if err != nil {
-			return &Response{Err: err.Error()}
+			return &Response{Err: err.Error()}, nil
 		}
 		s.logEntries.Add(uint64(entries))
 		s.logBytes.Add(uint64(len(req.Data)))
@@ -417,10 +496,10 @@ func (s *MemoryNodeServer) dispatch(req *Request) *Response {
 			s.m.trace.Emit("memnode.writeback",
 				fmt.Sprintf("node=%d entries=%d bytes=%d", s.node.ID(), entries, len(req.Data)))
 		}
-		return &Response{Entries: entries}
+		return &Response{Entries: entries}, nil
 	case msgPing:
-		return &Response{}
+		return &Response{}, nil
 	default:
-		return &Response{Err: fmt.Sprintf("memnode: unknown request %q", req.Kind)}
+		return &Response{Err: fmt.Sprintf("memnode: unknown request %q", req.Kind)}, nil
 	}
 }

@@ -37,10 +37,10 @@ type Transport struct {
 	// Seed seeds the backoff jitter; 0 derives one from the wall clock.
 	Seed int64
 	// Metrics receives the transport's runtime telemetry (per-RPC latency
-	// histograms, retry/redial/dial counters, per-peer in-flight gauges).
-	// nil — the default — disables instrumentation: the pool keeps nil
-	// handles and every record site is a single pointer check (see
-	// BenchmarkTelemetryOverheadTCPRead).
+	// histograms, retry/redial/dial counters, per-kind wire-volume
+	// counters, per-peer in-flight gauges). nil — the default — disables
+	// instrumentation: the pool keeps nil handles and every record site
+	// is a single pointer check (see BenchmarkTelemetryOverheadTCPRead).
 	Metrics *telemetry.Registry
 }
 
@@ -96,8 +96,8 @@ func retryable(kind string) bool {
 }
 
 // rpcKinds is the closed set of wire messages; poolMetrics pre-resolves
-// one latency histogram per kind so the request path never takes the
-// registry's map lock.
+// one latency histogram and one tx/rx byte counter per kind so the
+// request path never takes the registry's map lock.
 var rpcKinds = []string{
 	msgRegisterNode, msgAllocSlab, msgNodeAddr, msgRead, msgReadPages,
 	msgWrite, msgWriteLog, msgReleaseSlab, msgPing,
@@ -108,29 +108,40 @@ var rpcKinds = []string{
 // *poolMetrics is the disabled state; sites check it once per round trip.
 type poolMetrics struct {
 	latency  map[string]*telemetry.Histogram // per-kind RPC latency, µs
-	retries  *telemetry.Counter              // backed-off re-sends
-	redials  *telemetry.Counter              // stale pooled conn replaced inline
-	dials    *telemetry.Counter              // fresh TCP connections
-	failures *telemetry.Counter              // round trips exhausted/not retryable
-	inflight *telemetry.Gauge                // requests currently outstanding
-	trace    *telemetry.Trace
+	txBytes  map[string]*telemetry.Counter   // per-kind request wire volume
+	rxBytes  map[string]*telemetry.Counter   // per-kind response wire volume
+	// payloadCopies counts reply payload bytes landed in an allocated
+	// staging buffer instead of the caller's own memory — the legacy
+	// Read/ReadPages paths. The *Into scatter receives keep it at 0.
+	payloadCopies *telemetry.Counter
+	retries       *telemetry.Counter // backed-off re-sends
+	redials       *telemetry.Counter // stale pooled conn replaced inline
+	dials         *telemetry.Counter // fresh TCP connections
+	failures      *telemetry.Counter // round trips exhausted/not retryable
+	inflight      *telemetry.Gauge   // requests currently outstanding
+	trace         *telemetry.Trace
 }
 
 func newPoolMetrics(reg *telemetry.Registry, addr string) *poolMetrics {
 	m := &poolMetrics{
-		latency:  make(map[string]*telemetry.Histogram, len(rpcKinds)),
-		retries:  reg.Counter("cluster.rpc.retries"),
-		redials:  reg.Counter("cluster.rpc.redials"),
-		dials:    reg.Counter("cluster.rpc.dials"),
-		failures: reg.Counter("cluster.rpc.failures"),
-		inflight: reg.Gauge("cluster.inflight." + addr),
-		trace:    reg.Trace(),
+		latency:       make(map[string]*telemetry.Histogram, len(rpcKinds)),
+		txBytes:       make(map[string]*telemetry.Counter, len(rpcKinds)),
+		rxBytes:       make(map[string]*telemetry.Counter, len(rpcKinds)),
+		payloadCopies: reg.Counter("cluster.rpc.payload_copies"),
+		retries:       reg.Counter("cluster.rpc.retries"),
+		redials:       reg.Counter("cluster.rpc.redials"),
+		dials:         reg.Counter("cluster.rpc.dials"),
+		failures:      reg.Counter("cluster.rpc.failures"),
+		inflight:      reg.Gauge("cluster.inflight." + addr),
+		trace:         reg.Trace(),
 	}
 	// 1µs..32ms exponential latency buckets: localhost RPCs land in the
 	// low hundreds of µs, injected delays and real networks in the ms.
 	bounds := telemetry.ExpBounds(1, 2, 16)
 	for _, kind := range rpcKinds {
 		m.latency[kind] = reg.Histogram("cluster.rpc."+kind+".latency_us", bounds)
+		m.txBytes[kind] = reg.Counter("cluster.rpc.tx_bytes." + kind)
+		m.rxBytes[kind] = reg.Counter("cluster.rpc.rx_bytes." + kind)
 	}
 	return m
 }
@@ -229,56 +240,74 @@ func (p *pool) backoff(n int) time.Duration {
 }
 
 // exchange performs one framed request/response on conn under the
-// per-attempt deadline. sent reports whether the request hit the wire —
-// if false, the peer cannot have processed it.
-func (p *pool) exchange(conn net.Conn, req *Request) (resp *Response, sent bool, err error) {
+// per-attempt deadline. send is the request's payload as writev iovecs
+// shipped straight from their owning buffers; recv, when non-nil,
+// receives the reply payload scattered directly into the caller's
+// slices. sent reports whether the request hit the wire — if false, the
+// peer cannot have processed it. tx and rx report wire volume.
+func (p *pool) exchange(conn net.Conn, req *Request, send, recv [][]byte) (resp *Response, tx, rx int, sent bool, err error) {
 	_ = conn.SetDeadline(time.Now().Add(p.tr.RequestTimeout))
-	if err := writeFrame(conn, req); err != nil {
-		return nil, false, err
+	tx, err = writeRequestFrame(conn, req, send...)
+	if err != nil {
+		return nil, tx, 0, false, err
 	}
 	var r Response
-	if err := readFrame(conn, &r); err != nil {
-		return nil, true, err
+	rx, err = readResponseFrame(conn, &r, recv)
+	if err != nil {
+		return nil, tx, rx, true, err
 	}
 	_ = conn.SetDeadline(time.Time{})
-	return &r, true, nil
+	return &r, tx, rx, true, nil
 }
 
 // once performs a single logical attempt. A write failure on a reused
 // idle connection means the peer closed it while pooled and the request
 // was never processed, so one immediate redial is safe even for
 // non-idempotent requests.
-func (p *pool) once(req *Request) (*Response, error) {
+func (p *pool) once(req *Request, send, recv [][]byte) (resp *Response, tx, rx int, err error) {
 	conn, pooled, err := p.get()
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	resp, sent, err := p.exchange(conn, req)
+	resp, tx, rx, sent, err := p.exchange(conn, req, send, recv)
 	if err != nil {
 		conn.Close()
 		if !pooled || sent {
-			return nil, err
+			return nil, tx, rx, err
 		}
 		if p.m != nil {
 			p.m.redials.Inc()
 		}
 		if conn, err = p.dial(); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
-		if resp, _, err = p.exchange(conn, req); err != nil {
+		if resp, tx, rx, _, err = p.exchange(conn, req, send, recv); err != nil {
 			conn.Close()
-			return nil, err
+			return nil, tx, rx, err
 		}
 	}
 	p.put(conn)
-	return resp, nil
+	return resp, tx, rx, nil
 }
 
 // roundTrip sends req and awaits its response over a pooled persistent
-// connection, retrying idempotent requests with exponential backoff and
-// jitter. Application-level errors (Response.Err) are returned verbatim
-// and never retried.
+// connection. req.Data, if set, travels as the (single-segment) payload;
+// the reply payload, if any, lands in an allocated resp.Data.
 func (p *pool) roundTrip(req *Request) (*Response, error) {
+	if req.Data != nil {
+		return p.roundTripIO(req, [][]byte{req.Data}, nil)
+	}
+	return p.roundTripIO(req, nil, nil)
+}
+
+// roundTripIO is the scatter-gather round trip: send's segments are
+// writev'd as the request payload without being copied or concatenated,
+// and — when recv is non-nil — the reply payload is read directly into
+// recv's slices (which must sum to the expected length). Idempotent
+// requests are retried with exponential backoff and jitter; a retried
+// receive simply overwrites recv. Application-level errors
+// (Response.Err) are returned verbatim and never retried.
+func (p *pool) roundTripIO(req *Request, send, recv [][]byte) (*Response, error) {
 	if req.ID == 0 {
 		req.ID = nextReqID()
 	}
@@ -302,10 +331,15 @@ func (p *pool) roundTrip(req *Request) (*Response, error) {
 			}
 			time.Sleep(p.backoff(i - 1))
 		}
-		resp, err := p.once(req)
+		resp, tx, rx, err := p.once(req, send, recv)
 		if err == nil {
 			if p.m != nil {
 				p.m.latency[req.Kind].Observe(time.Since(start).Microseconds())
+				p.m.txBytes[req.Kind].Add(uint64(tx))
+				p.m.rxBytes[req.Kind].Add(uint64(rx))
+				if recv == nil && len(resp.Data) > 0 {
+					p.m.payloadCopies.Add(uint64(len(resp.Data)))
+				}
 			}
 			if e := resp.errOf(); e != nil {
 				return nil, e

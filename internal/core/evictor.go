@@ -183,7 +183,11 @@ type evictor struct {
 	// logBuf is the serial-path pack scratch (the registered ring buffer
 	// lives in the transport link), used under flushMu. Concurrent ships
 	// pack into private per-batch buffers instead.
-	logBuf    []byte
+	logBuf []byte
+	// shipVec is the serial path's single-segment scatter list handed to
+	// shipLog, kept on the evictor (used under flushMu) so building it
+	// allocates nothing in steady state.
+	shipVec   [1][]byte
 	threshold int
 
 	// replicated enables §4.5 outage semantics: a flush skips unhealthy
@@ -284,6 +288,9 @@ type nodeBatch struct {
 	// packBuf is the private pack scratch for concurrent ships (each
 	// in-flight node needs its own packed image). Lazily sized.
 	packBuf []byte
+	// shipVec is the batch's scatter list for shipLog — one segment of
+	// packBuf — kept here so pipelined ships stay allocation-free.
+	shipVec [1][]byte
 	// ackDue is when the receiver's ack for the previous flush lands;
 	// the next flush of this node's log half must wait for it.
 	ackDue simclock.Duration
@@ -809,7 +816,8 @@ func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclo
 				return
 			}
 			e.m.inflight.Inc()
-			done, ackDue, remote, err := nb.link.shipLog(start, nb.packBuf[:packed])
+			nb.shipVec[0] = nb.packBuf[:packed]
+			done, ackDue, remote, err := nb.link.shipLog(start, nb.shipVec[:])
 			e.m.inflight.Dec()
 			if err != nil {
 				res.err = fmt.Errorf("core: shipping eviction log: %w", err)
@@ -891,7 +899,8 @@ func (e *evictor) flushNodeLocked(now simclock.Duration, nb *nodeBatch) (simcloc
 	// One write ships the whole aggregated log; the receiver unpacks
 	// asynchronously and its acknowledgment gates log-space reuse.
 	before := now
-	done, ackDue, remote, err := nb.link.shipLog(now, e.logBuf[:packed])
+	e.shipVec[0] = e.logBuf[:packed]
+	done, ackDue, remote, err := nb.link.shipLog(now, e.shipVec[:])
 	if err != nil {
 		return now, fmt.Errorf("core: shipping eviction log: %w", err)
 	}

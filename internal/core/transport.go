@@ -39,10 +39,13 @@ type nodeLink interface {
 	readPages(now simclock.Duration, offs []uint64, bufs [][]byte) (simclock.Duration, error)
 	// writePage stores data at pool offset off.
 	writePage(now simclock.Duration, off uint64, data []byte) (simclock.Duration, error)
-	// shipLog delivers a packed cache-line log to the node's receiver;
-	// ackDue is when the receiver's acknowledgment lands, entries how
-	// many log entries the receiver unpacked.
-	shipLog(now simclock.Duration, packed []byte) (done, ackDue simclock.Duration, entries int, err error)
+	// shipLog delivers a packed cache-line log — given as scatter
+	// segments in ship order, typically one slice of the evictor's pack
+	// arena — to the node's receiver; ackDue is when the receiver's
+	// acknowledgment lands, entries how many log entries the receiver
+	// unpacked. The TCP transport writev's the segments straight from
+	// their arena; the simulated fabric stages them into its log MR.
+	shipLog(now simclock.Duration, packed [][]byte) (done, ackDue simclock.Duration, entries int, err error)
 	// injectDelay adds artificial latency (failure testing); transports
 	// that cannot are explicit about it.
 	injectDelay(d simclock.Duration) error
@@ -110,7 +113,7 @@ func (l deadLink) writePage(now simclock.Duration, off uint64, data []byte) (sim
 	return now, l.err()
 }
 
-func (l deadLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, int, error) {
+func (l deadLink) shipLog(now simclock.Duration, packed [][]byte) (simclock.Duration, simclock.Duration, int, error) {
 	return now, now, 0, l.err()
 }
 
@@ -265,19 +268,27 @@ func (l *rdmaLink) writePage(now simclock.Duration, off uint64, data []byte) (si
 	return done, nil
 }
 
-func (l *rdmaLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, int, error) {
+func (l *rdmaLink) shipLog(now simclock.Duration, packed [][]byte) (simclock.Duration, simclock.Duration, int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	copy(l.logBuf.Bytes(), packed)
+	// Stage the segments contiguously into the log MR — the simulated
+	// one-sided write needs the bytes in registered memory, and the
+	// virtual-time cost depends only on the total length, so the timeline
+	// is byte-identical to the old single-slice form.
+	dst := l.logBuf.Bytes()
+	total := 0
+	for _, seg := range packed {
+		total += copy(dst[total:], seg)
+	}
 	done, err := l.qp.PostSend(now, []rdma.WR{{
 		Op: rdma.OpWrite, Local: l.logBuf, RemoteKey: l.node.LogKey(),
-		RemoteOff: 0, Len: len(packed), Signaled: true,
+		RemoteOff: 0, Len: total, Signaled: true,
 	}})
 	if err != nil {
 		return now, now, 0, err
 	}
 	l.qp.PollCQ()
-	entries, service, err := l.node.UnpackLog(len(packed))
+	entries, service, err := l.node.UnpackLog(total)
 	if err != nil {
 		return done, done, 0, err
 	}
@@ -472,29 +483,26 @@ func elapse(now simclock.Duration, start time.Time) simclock.Duration {
 
 func (l *tcpLink) readPage(now simclock.Duration, off uint64, buf []byte) (simclock.Duration, error) {
 	start := time.Now()
-	data, err := l.client.Read(off, len(buf))
-	if err != nil {
+	// ReadInto lands the reply payload directly in the caller's page
+	// frame — no staging allocation, no copy.
+	if err := l.client.ReadInto(off, buf); err != nil {
 		l.noteFailure()
 		return now, err
 	}
-	copy(buf, data)
 	return elapse(now, start), nil
 }
 
 // readPages gathers every span with one scatter-gather RPC instead of
-// len(offs) Read round trips.
+// len(offs) Read round trips; the concatenated reply is scattered off
+// the socket directly into the (non-contiguous) caller frames.
 func (l *tcpLink) readPages(now simclock.Duration, offs []uint64, bufs [][]byte) (simclock.Duration, error) {
 	if len(offs) == 0 {
 		return now, nil
 	}
 	start := time.Now()
-	pages, err := l.client.ReadPages(offs, len(bufs[0]))
-	if err != nil {
+	if err := l.client.ReadPagesInto(offs, bufs); err != nil {
 		l.noteFailure()
 		return now, err
-	}
-	for i, p := range pages {
-		copy(bufs[i], p)
 	}
 	return elapse(now, start), nil
 }
@@ -508,9 +516,11 @@ func (l *tcpLink) writePage(now simclock.Duration, off uint64, data []byte) (sim
 	return elapse(now, start), nil
 }
 
-func (l *tcpLink) shipLog(now simclock.Duration, packed []byte) (simclock.Duration, simclock.Duration, int, error) {
+func (l *tcpLink) shipLog(now simclock.Duration, packed [][]byte) (simclock.Duration, simclock.Duration, int, error) {
 	start := time.Now()
-	entries, err := l.client.WriteLog(packed)
+	// Each segment is one writev iovec straight out of the pack arena;
+	// the daemon lands the payload directly in its log region.
+	entries, err := l.client.WriteLogVec(packed...)
 	if err != nil {
 		l.noteFailure()
 		return now, now, 0, err
