@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent bench-wire cover stress chaos verify
+.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent bench-wire kv-bench kv-soak cover stress chaos verify
 
 build:
 	$(GO) build ./...
@@ -76,7 +76,20 @@ stress:
 KONA_CHAOS_SEED ?= $(shell date +%s)
 chaos:
 	KONA_CHAOS_SEED=$(KONA_CHAOS_SEED) $(GO) test -race -count=1 \
-		-run 'Chaos|Rejoin|Repair|ByteBudget' ./internal/core ./internal/cluster
+		-run 'Chaos|Rejoin|Repair|ByteBudget' ./internal/core ./internal/cluster ./internal/kv
+
+# KV service SLO guard (DESIGN.md §12): the fixed-seed open-loop zipfian
+# run against kona-kvd on a full TCP rack — the tail must hold under the
+# SLO, every acknowledged write must verify intact, and the fetch/evict
+# counters must prove the values actually lived in remote memory.
+kv-bench:
+	$(GO) test -run 'TestKVBenchSLO' -count=1 -v ./internal/kv
+
+# KV service soak (DESIGN.md §12): a longer mixed workload over the full
+# TCP stack under the race detector. KONA_KV_SOAK sets the horizon.
+KONA_KV_SOAK ?= 30s
+kv-soak:
+	KONA_KV_SOAK=$(KONA_KV_SOAK) $(GO) test -race -run 'TestKVSoak' -count=1 -v ./internal/kv
 
 # Zero-copy wire-path guard (DESIGN.md §11): the evict ship and fetch
 # fill must move payloads with zero staged bytes (copiedB/op must print
@@ -99,4 +112,4 @@ bench-concurrent:
 cover:
 	$(GO) test -cover ./internal/... | sort
 
-verify: vet build test race stress chaos bench-quick bench-telemetry bench-evict bench-concurrent bench-wire
+verify: vet build test race stress chaos bench-quick bench-telemetry bench-evict bench-concurrent bench-wire kv-bench kv-soak

@@ -23,6 +23,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"kona/internal/cluster"
@@ -34,6 +35,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/events on this HTTP address (empty = telemetry disabled)")
 	sweepInterval := flag.Duration("sweep-interval", 500*time.Millisecond, "health-sweep + repair cadence (0 disables repair)")
 	repairBudget := flag.Float64("repair-budget", 64<<20, "re-replication copy budget in bytes/sec (0 = unlimited)")
+	grace := flag.Duration("drain-grace", 5*time.Second, "shutdown drain budget for in-flight RPCs")
 	var (
 		faultDrop    = flag.Float64("fault-drop", 0, "probability an I/O op drops the connection (chaos testing)")
 		faultDelay   = flag.Float64("fault-delay", 0, "probability an I/O op is delayed (chaos testing)")
@@ -103,7 +105,10 @@ func main() {
 	fmt.Printf("kona-controller: serving on %s\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("kona-controller: shutting down")
+	// Graceful drain: stop accepting, let in-flight RPCs finish, close.
+	fmt.Println("kona-controller: draining")
+	n := srv.Shutdown(*grace)
+	fmt.Printf("kona-controller: drained %d connections, shutting down\n", n)
 }

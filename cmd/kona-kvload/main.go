@@ -1,0 +1,165 @@
+// Command kona-kvload is the open-loop load generator for kona-kvd
+// (DESIGN.md §12): it simulates a large population of distinct users —
+// zipfian key popularity, configurable read/write mix and value-size
+// distribution — arriving as a Poisson process whose rate does not slow
+// down when the server does, so queueing delay lands in the reported
+// latencies instead of being silently absorbed. It reports p50/p99/p999
+// per op class against a configurable SLO and can re-read every
+// acknowledged write afterwards to prove none was lost or torn.
+//
+//	kona-kvload -addr 127.0.0.1:11211 -ops 1000000 -rate 20000 \
+//	    -keys 1000000 -zipf 1.1 -read-frac 0.9 -conns 8 \
+//	    -slo-p99 5ms -slo-p999 20ms -verify
+//
+// The exit status encodes the outcome for CI: 0 = run clean and SLO
+// met, 1 = setup/transport failure, 2 = SLO missed, 3 = verify found
+// lost/torn/stale acknowledged writes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"kona/internal/kv"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:11211", "kona-kvd address")
+		ops      = flag.Uint64("ops", 100000, "operations to issue (0 = run for -duration)")
+		duration = flag.Duration("duration", 0, "generated arrival-time horizon when -ops 0")
+		rate     = flag.Float64("rate", 5000, "Poisson arrival rate, ops/sec")
+		keys     = flag.Uint64("keys", 1_000_000, "distinct keys (simulated users)")
+		zipfS    = flag.Float64("zipf", 1.1, "zipf skew (>1; higher = hotter hot set)")
+		readFrac = flag.Float64("read-frac", 0.9, "fraction of ops that are GETs")
+		sizes    = flag.String("value-sizes", "", "value-size distribution as bytes:weight[,bytes:weight...] (default small-object mix)")
+		conns    = flag.Int("conns", 8, "client connections (keys hash-route to conns)")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		sloP99   = flag.Duration("slo-p99", 0, "p99 latency objective (0 = unchecked)")
+		sloP999  = flag.Duration("slo-p999", 0, "p999 latency objective (0 = unchecked)")
+		verify   = flag.Bool("verify", false, "after the run, re-read every acknowledged write and prove none was lost or torn")
+		progress = flag.Duration("progress", 5*time.Second, "progress report cadence (0 = quiet)")
+	)
+	flag.Parse()
+
+	sizeClasses, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kona-kvload: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := kv.LoadConfig{
+		Workload: kv.WorkloadConfig{
+			Keys:         *keys,
+			ZipfS:        *zipfS,
+			ReadFraction: *readFrac,
+			ValueSizes:   sizeClasses,
+			RatePerSec:   *rate,
+			Seed:         *seed,
+		},
+		Conns:    *conns,
+		Ops:      *ops,
+		Duration: *duration,
+		SLOp99:   *sloP99,
+		SLOp999:  *sloP999,
+		Verify:   *verify,
+	}
+	engine, err := kv.NewEngine(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kona-kvload: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("kona-kvload: config addr=%s ops=%d duration=%s rate=%g keys=%d zipf=%g read-frac=%g conns=%d seed=%d verify=%t\n",
+		*addr, *ops, *duration, *rate, *keys, *zipfS, *readFrac, *conns, *seed, *verify)
+
+	stopProgress := make(chan struct{})
+	if *progress > 0 {
+		go func() {
+			t := time.NewTicker(*progress)
+			defer t.Stop()
+			start := time.Now()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-t.C:
+					fmt.Printf("kona-kvload: %s elapsed, %d issued, %d completed, %d errors\n",
+						time.Since(start).Round(time.Second), engine.Issued(), engine.Completed(), engine.Errors())
+				}
+			}
+		}()
+	}
+
+	res, err := engine.Run(*addr)
+	close(stopProgress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kona-kvload: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nkona-kvload: %d/%d ops completed in %s (%d errors)\n",
+		res.Completed, res.Issued, res.Wall.Round(time.Millisecond), res.Errors)
+	fmt.Printf("  offered %.0f ops/s, achieved %.0f ops/s\n", res.OfferedRate, res.AchievedRate)
+	fmt.Printf("  gets: %d (%d hits, %d misses)   sets: %d\n", res.Get.Count, res.Hits, res.Misses, res.Set.Count)
+	printLat := func(name string, l kv.LatencySummary) {
+		if l.Count == 0 {
+			return
+		}
+		fmt.Printf("  %-5s p50=%-10s p99=%-10s p999=%-10s mean=%s\n",
+			name, l.P50, l.P99, l.P999, l.Mean)
+	}
+	printLat("get", res.Get)
+	printLat("set", res.Set)
+	printLat("all", res.All)
+	if *sloP99 > 0 || *sloP999 > 0 {
+		verdict := "MET"
+		if res.SLOViolated {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("  SLO (p99<=%s p999<=%s): %s\n", orDash(*sloP99), orDash(*sloP999), verdict)
+	}
+	if *verify {
+		fmt.Printf("  verify: %d acknowledged keys checked, %d missing, %d torn, %d stale\n",
+			res.VerifiedKeys, res.Missing, res.Torn, res.Stale)
+	}
+
+	switch {
+	case *verify && res.Missing+res.Torn+res.Stale > 0:
+		os.Exit(3)
+	case res.SLOViolated:
+		os.Exit(2)
+	}
+}
+
+func orDash(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.String()
+}
+
+// parseSizes reads "64:30,512:20" into size classes.
+func parseSizes(s string) ([]kv.SizeClass, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []kv.SizeClass
+	for _, part := range strings.Split(s, ",") {
+		bw := strings.SplitN(part, ":", 2)
+		if len(bw) != 2 {
+			return nil, fmt.Errorf("bad size class %q (want bytes:weight)", part)
+		}
+		b, berr := strconv.Atoi(strings.TrimSpace(bw[0]))
+		w, werr := strconv.ParseFloat(strings.TrimSpace(bw[1]), 64)
+		if berr != nil || werr != nil {
+			return nil, fmt.Errorf("bad size class %q (want bytes:weight)", part)
+		}
+		out = append(out, kv.SizeClass{Bytes: b, Weight: w})
+	}
+	return out, nil
+}

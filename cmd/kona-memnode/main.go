@@ -23,6 +23,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"kona/internal/cluster"
@@ -41,6 +42,7 @@ func main() {
 		reqTimeout  = flag.Duration("req-timeout", 5*time.Second, "per-attempt request deadline")
 		retries     = flag.Int("retries", 3, "retry budget for idempotent requests (-1 disables)")
 		poolSize    = flag.Int("pool", 4, "persistent connections kept per peer")
+		grace       = flag.Duration("drain-grace", 5*time.Second, "shutdown drain budget for in-flight RPCs")
 
 		faultDrop    = flag.Float64("fault-drop", 0, "probability an I/O op drops the connection (chaos testing)")
 		faultDelay   = flag.Float64("fault-delay", 0, "probability an I/O op is delayed (chaos testing)")
@@ -116,7 +118,10 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("kona-memnode: shutting down")
+	// Graceful drain: stop accepting, let in-flight RPCs finish, close.
+	fmt.Println("kona-memnode: draining")
+	n := srv.Shutdown(*grace)
+	fmt.Printf("kona-memnode: drained %d connections, shutting down\n", n)
 }

@@ -1,135 +1,115 @@
-// kvstore: a Redis-like in-memory key-value store whose value heap lives
-// in disaggregated memory, run against both runtimes — Kona and the
-// page-fault-based Kona-VM — under the same uniform-random workload (the
-// paper's motivating application, §2.1/§6.1).
+// kvstore: the paper's motivating application (§2.1/§6.1) — a
+// memcached-style key-value store whose value heap lives in
+// disaggregated memory. This demo is a thin driver over the real
+// service engine in internal/kv (the sharded store, size-class value
+// heap and zipfian workload model that kona-kvd serves over TCP): the
+// same store code runs against both runtimes — cache-coherent Kona and
+// the page-fault-based Kona-VM — under an identical op stream, and the
+// virtual-time ratio is the coherence speedup.
 //
 //	go run ./examples/kvstore
 package main
 
 import (
+	"bytes"
 	"fmt"
-	"hash/fnv"
 	"log"
-	"math/rand"
 
 	"kona"
+	"kona/internal/kv"
 )
 
-// store is a fixed-slot hash table over disaggregated memory: each slot
-// holds a 128-byte value; keys map to slots by hash. Collisions overwrite
-// (a cache, not a database), which keeps the example focused on the
-// runtime.
-type store struct {
-	rt interface {
-		Malloc(uint64) (kona.Addr, error)
-		Read(kona.Time, kona.Addr, []byte) (kona.Time, error)
-		Write(kona.Time, kona.Addr, []byte) (kona.Time, error)
-	}
-	base  kona.Addr
-	slots uint64
-	now   kona.Time
-}
+const ops = 30000
 
-const valueSize = 128
-
-func newStore(rt interface {
-	Malloc(uint64) (kona.Addr, error)
-	Read(kona.Time, kona.Addr, []byte) (kona.Time, error)
-	Write(kona.Time, kona.Addr, []byte) (kona.Time, error)
-}, slots uint64) (*store, error) {
-	base, err := rt.Malloc(slots * valueSize)
+// runStore drives one store through the shared zipfian op stream and
+// returns the final virtual time (the modeled execution time).
+func runStore(rt kv.Runtime, seed int64) (kona.Time, *kv.Store, error) {
+	store := kv.NewStore(rt, kv.Config{Shards: 8})
+	gen, err := kv.NewGenerator(kv.WorkloadConfig{
+		Keys:         50_000,
+		ZipfS:        1.1,
+		ReadFraction: 0.5,
+		RatePerSec:   100_000,
+		Seed:         seed,
+	})
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	return &store{rt: rt, base: base, slots: slots}, nil
-}
-
-func (s *store) slotOf(key string) kona.Addr {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return s.base + kona.Addr(h.Sum64()%s.slots*valueSize)
-}
-
-// Set stores a value (truncated/padded to the slot size).
-func (s *store) Set(key string, value []byte) error {
-	var buf [valueSize]byte
-	copy(buf[:], value)
-	var err error
-	s.now, err = s.rt.Write(s.now, s.slotOf(key), buf[:])
-	return err
-}
-
-// Get fetches a value.
-func (s *store) Get(key string) ([]byte, error) {
-	buf := make([]byte, valueSize)
-	var err error
-	s.now, err = s.rt.Read(s.now, s.slotOf(key), buf)
-	return buf, err
-}
-
-// run executes the same GET/SET workload on a store and returns the final
-// virtual time (i.e. the modeled execution time).
-func run(s *store, ops int, seed int64) (kona.Time, error) {
-	rng := rand.New(rand.NewSource(seed))
+	now := store.Clock()
+	var getBuf, setBuf []byte
 	for i := 0; i < ops; i++ {
-		key := fmt.Sprintf("user:%d", rng.Intn(50000))
-		if rng.Intn(2) == 0 {
-			if err := s.Set(key, []byte(key+"-value")); err != nil {
-				return 0, err
+		op := gen.Next()
+		if op.Read {
+			val, _, t, ok, err := store.Get(now, op.Key, getBuf)
+			if err != nil {
+				return 0, nil, err
+			}
+			now = t
+			if ok {
+				getBuf = val
+				if _, intact := kv.ParseValue(val); !intact {
+					return 0, nil, fmt.Errorf("torn value for %s", op.Key)
+				}
 			}
 		} else {
-			if _, err := s.Get(key); err != nil {
-				return 0, err
+			if cap(setBuf) < op.ValueLen {
+				setBuf = make([]byte, op.ValueLen)
 			}
+			setBuf = kv.MakeValue(setBuf[:op.ValueLen], op)
+			t, err := store.Set(now, op.Key, setBuf, 0)
+			if err != nil {
+				return 0, nil, err
+			}
+			now = t
 		}
 	}
-	return s.now, nil
+	// Drain the dirty cache lines to the memory nodes before reading
+	// the clock: writeback is part of the work.
+	t, err := store.Sync(now)
+	if err != nil {
+		return 0, nil, err
+	}
+	return t, store, nil
 }
 
 func main() {
-	const (
-		slots = 64 << 10 // 64K slots x 128B = 8MB of values
-		ops   = 30000
-	)
-	// 25% of the value heap fits in the local cache — the regime where
-	// the paper reports >60% throughput loss for page-based systems.
+	// 2MB of local cache under several MB of live values — the regime
+	// where the paper reports >60% throughput loss for page-based
+	// systems.
 	cfg := kona.DefaultConfig(2 << 20)
 
 	konaRT := kona.New(cfg, kona.NewCluster(2, 64<<20))
-	ks, err := newStore(konaRT, slots)
-	if err != nil {
-		log.Fatal(err)
-	}
-	konaTime, err := run(ks, ops, 7)
+	konaTime, ks, err := runStore(konaRT, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	vmRT := kona.NewVM(cfg, kona.NewCluster(2, 64<<20))
-	vs, err := newStore(vmRT, slots)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vmTime, err := run(vs, ops, 7)
+	vmTime, vs, err := runStore(vmRT, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Functional check: both stores answer identically.
-	a, _ := ks.Get("user:31")
-	b, _ := vs.Get("user:31")
-	if string(a) != string(b) {
+	// Functional check: same op stream, so both stores answer the
+	// hottest key identically.
+	a, _, _, aok, _ := ks.Get(konaTime, "user:1", nil)
+	b, _, _, bok, _ := vs.Get(vmTime, "user:1", nil)
+	if aok != bok || !bytes.Equal(a, b) {
 		log.Fatal("stores diverged")
 	}
 
-	fmt.Printf("kv-store, %d ops over %dMB of values, 25%% local cache:\n", ops, slots*valueSize>>20)
+	st := ks.Stats()
+	fmt.Printf("kv-store (internal/kv), %d zipfian ops, %d keys live, %dKB of values, 2MB local cache:\n",
+		ops, st.Keys, st.LiveBytes>>10)
 	fmt.Printf("  Kona    : %v  (%.0f ops/s simulated)\n", konaTime, float64(ops)/konaTime.Seconds())
 	fmt.Printf("  Kona-VM : %v  (%.0f ops/s simulated)\n", vmTime, float64(ops)/vmTime.Seconds())
 	fmt.Printf("  speedup : %.1fx from coherence-based remote memory\n", float64(vmTime)/float64(konaTime))
+	fmt.Printf("  store   : %d hits, %d misses, %d sets, %d corrupt\n",
+		st.Hits, st.Misses, st.Sets, st.Corrupt)
 
-	st := konaRT.FPGAStats()
+	fst := konaRT.FPGAStats()
 	fmt.Printf("  Kona FPGA: %d fills, %d FMem hits (%.0f%%), %d remote fetches\n",
-		st.LineFills, st.FMemHits, 100*float64(st.FMemHits)/float64(st.LineFills), st.RemoteFetches)
+		fst.LineFills, fst.FMemHits, 100*float64(fst.FMemHits)/float64(fst.LineFills), fst.RemoteFetches)
 	vm := vmRT.Stats()
 	fmt.Printf("  Kona-VM: %d major faults, %d write-protect faults, %d evictions\n",
 		vm.Fetches, vm.WPFaults, vm.Evictions)

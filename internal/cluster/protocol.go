@@ -190,32 +190,102 @@ func roundTrip(addr string, req *Request) (*Response, error) {
 const writeDeadline = 30 * time.Second
 
 // connSet tracks a server's live connections so Close can tear them down;
-// persistent connections otherwise outlive a closed listener.
+// persistent connections otherwise outlive a closed listener. It also
+// carries the graceful-drain state: per-connection busy flags written
+// under the same lock drain reads them, so waking an idle reader can
+// never clobber the deadline protecting a request in flight.
 type connSet struct {
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu       sync.Mutex
+	conns    map[net.Conn]*srvConn
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup // live connection goroutines
 }
 
-func newConnSet() *connSet { return &connSet{conns: make(map[net.Conn]struct{})} }
+// srvConn is one connection's drain state: busy spans from a request's
+// frame header arriving to its response hitting the wire.
+type srvConn struct {
+	busy bool
+}
 
-// add registers a connection; it reports false (and closes the conn) if
+func newConnSet() *connSet { return &connSet{conns: make(map[net.Conn]*srvConn)} }
+
+// add registers a connection; it returns nil (and closes the conn) if
 // the server is already shutting down.
-func (s *connSet) add(c net.Conn) bool {
+func (s *connSet) add(c net.Conn) *srvConn {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.draining {
 		c.Close()
-		return false
+		return nil
 	}
-	s.conns[c] = struct{}{}
-	return true
+	sc := &srvConn{}
+	s.conns[c] = sc
+	s.wg.Add(1)
+	return sc
 }
 
 func (s *connSet) remove(c net.Conn) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.conns, c)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// serveReqDeadline bounds one request's payload read + handling once its
+// frame header has arrived, so a drain is never hostage to a peer that
+// stalls mid-frame.
+const serveReqDeadline = 30 * time.Second
+
+// beginReq marks a connection busy for the span of one request and arms
+// the per-request deadline — under the drain lock, so a concurrent
+// drain either already woke this reader (the frame header would have
+// timed out) or sees busy and leaves the deadline alone.
+func (s *connSet) beginReq(c net.Conn, sc *srvConn) {
+	s.mu.Lock()
+	sc.busy = true
+	_ = c.SetReadDeadline(time.Now().Add(serveReqDeadline))
+	s.mu.Unlock()
+}
+
+// endReq returns the connection to idle; true means the server is
+// draining and the connection loop should exit at this boundary.
+func (s *connSet) endReq(c net.Conn, sc *srvConn) bool {
+	s.mu.Lock()
+	sc.busy = false
+	_ = c.SetReadDeadline(time.Time{})
+	draining := s.draining
+	s.mu.Unlock()
+	return draining
+}
+
+// drain shuts down gracefully: refuse new connections, wake every reader
+// blocked at a frame boundary, let in-flight requests finish, and close
+// whatever is still busy once the grace budget runs out. It returns the
+// number of connections that were live when the drain began.
+func (s *connSet) drain(grace time.Duration) int {
+	s.mu.Lock()
+	s.draining = true
+	n := len(s.conns)
+	for c, sc := range s.conns {
+		if !sc.busy {
+			_ = c.SetReadDeadline(time.Now())
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.closeAll()
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return n
 }
 
 // closeAll closes every live connection and rejects future ones.
@@ -226,7 +296,7 @@ func (s *connSet) closeAll() {
 	for c := range s.conns {
 		c.Close()
 	}
-	s.conns = map[net.Conn]struct{}{}
+	s.conns = map[net.Conn]*srvConn{}
 }
 
 // connHandler is a server's side of the wire protocol. Splitting payload
@@ -268,10 +338,13 @@ func serve(l net.Listener, cs *connSet, h connHandler) {
 		if err != nil {
 			return // listener closed
 		}
-		if !cs.add(conn) {
-			return
+		sc := cs.add(conn)
+		if sc == nil {
+			// Shutting down: the listener is closed (or about to be), so
+			// the next Accept fails and ends the loop.
+			continue
 		}
-		go func(conn net.Conn) {
+		go func(conn net.Conn, sc *srvConn) {
 			defer func() {
 				cs.remove(conn)
 				conn.Close()
@@ -281,11 +354,16 @@ func serve(l net.Listener, cs *connSet, h connHandler) {
 			for {
 				kind, hdr, payLen, err := readFrameHeader(conn, &scratch)
 				if err != nil {
-					// EOF at a frame boundary is a clean close; anything
-					// else (bad magic, truncation) is unrecoverable on a
-					// framed stream — drop the conn either way.
+					// EOF at a frame boundary is a clean close; a timeout
+					// here is the drain wake-up; anything else (bad magic,
+					// truncation) is unrecoverable on a framed stream —
+					// drop the conn either way.
 					return
 				}
+				// A request is in flight: mark the conn busy and give the
+				// rest of the frame its own deadline, under the same lock
+				// drain uses, so a concurrent drain waits for us.
+				cs.beginReq(conn, sc)
 				// Reset the envelope but keep the Offsets backing array so
 				// steady-state ReadPages decoding reuses it.
 				offs := req.Offsets
@@ -334,7 +412,12 @@ func serve(l net.Listener, cs *connSet, h connHandler) {
 					return
 				}
 				_ = conn.SetWriteDeadline(time.Time{})
+				// Back to idle at the frame boundary; if a drain started
+				// while we served, this is where the connection exits.
+				if cs.endReq(conn, sc) {
+					return
+				}
 			}
-		}(conn)
+		}(conn, sc)
 	}
 }

@@ -218,6 +218,15 @@ func (s *ControllerServer) Close() error {
 	return err
 }
 
+// Shutdown drains the daemon gracefully: stop accepting, let in-flight
+// RPCs finish, then close everything. Connections still busy past the
+// grace budget are closed hard. It returns the number of connections
+// that were live when the drain began.
+func (s *ControllerServer) Shutdown(grace time.Duration) int {
+	s.l.Close()
+	return s.conns.drain(grace)
+}
+
 // payloadSink implements connHandler. Controller RPCs carry no payload;
 // a peer that sends one anyway gets it staged and ignored, so the
 // request can still be answered with a proper error instead of a torn
@@ -393,6 +402,15 @@ func (s *MemoryNodeServer) Close() error {
 	err := s.l.Close()
 	s.conns.closeAll()
 	return err
+}
+
+// Shutdown drains the daemon gracefully: stop accepting, let in-flight
+// RPCs (including a WriteLog mid-payload) finish, then close everything.
+// Connections still busy past the grace budget are closed hard. It
+// returns the number of connections live when the drain began.
+func (s *MemoryNodeServer) Shutdown(grace time.Duration) int {
+	s.l.Close()
+	return s.conns.drain(grace)
 }
 
 // payloadSink implements connHandler: WriteLog payloads land directly in

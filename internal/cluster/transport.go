@@ -107,9 +107,9 @@ var rpcKinds = []string{
 // poolMetrics is one pool's pre-resolved telemetry handles. A nil
 // *poolMetrics is the disabled state; sites check it once per round trip.
 type poolMetrics struct {
-	latency  map[string]*telemetry.Histogram // per-kind RPC latency, µs
-	txBytes  map[string]*telemetry.Counter   // per-kind request wire volume
-	rxBytes  map[string]*telemetry.Counter   // per-kind response wire volume
+	latency map[string]*telemetry.Histogram // per-kind RPC latency, µs
+	txBytes map[string]*telemetry.Counter   // per-kind request wire volume
+	rxBytes map[string]*telemetry.Counter   // per-kind response wire volume
 	// payloadCopies counts reply payload bytes landed in an allocated
 	// staging buffer instead of the caller's own memory — the legacy
 	// Read/ReadPages paths. The *Into scatter receives keep it at 0.

@@ -404,3 +404,15 @@ func TestConcurrentStatsAndFlush(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestModelConcurrentKonaTCP runs the concurrent model over real TCP
+// daemons: the wire protocol's pooled buffers and the transport's retry
+// machinery join the interleaving. This is the schedule that caught the
+// kv soak corruption — the local-cluster variants above cannot see races
+// confined to the TCP data path.
+func TestModelConcurrentKonaTCP(t *testing.T) {
+	addr, _ := tcpChaosRig(t, 2, nil)
+	cfg := concurrentConfig(8)
+	cfg.LocalCacheBytes = 8 * mem.PageSize
+	runModelConcurrent(t, NewKonaTCPWith(cfg, addr, chaosTr()), stressSeed(15), 4, 1200)
+}

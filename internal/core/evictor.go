@@ -224,8 +224,27 @@ type evictor struct {
 	// full-flush harvest; restored on ship failure so the
 	// write-before-read check stays conservative (see harvest comments).
 	stolen []mem.Addr
-	fbreak Breakdown  // RDMAWrite + AckWait slices
-	fstats EvictStats // WireBytes, Flushes, AcksReceived, RemoteEntries
+	// stealing is nonzero while a steal-harvest-ship cycle is in flight:
+	// from just before stealPendingLocked empties the pending sets until
+	// the cycle's entries are shipped (or restored). FlushIfPending's
+	// lock-free fast path is only sound when this is zero — a stolen
+	// page is no longer *pending* but its entries may not have reached
+	// remote memory yet, and fetching it in that window reads stale
+	// bytes. Set and cleared under flushMu; read without it.
+	stealing atomic.Int32
+	fbreak   Breakdown  // RDMAWrite + AckWait slices
+	fstats   EvictStats // WireBytes, Flushes, AcksReceived, RemoteEntries
+
+	// moves records every repair flip, keyed by the dead member's link
+	// key, for the life of the runtime. Each flush re-applies them
+	// (applyMovesLocked) before shipping: an eviction that resolved its
+	// placements just before the flip can append entries for the dead
+	// member just after the remap pass ran, and without the re-apply
+	// those dirty lines would sit retained forever. Once a move's source
+	// and destination batches have both drained, the repaired replica has
+	// caught up and settleMovesLocked clears its suspect flag so reads
+	// may use it. Guarded by flushMu.
+	moves map[uint64]replicaMove
 
 	// fanout > 1 enables the concurrent ship path; it is forced to 1
 	// when the rack's transport is not pipelined.
@@ -311,6 +330,9 @@ type shipResult struct {
 	done    simclock.Duration
 	ackDue  simclock.Duration
 	err     error
+	// flushes counts the wire logs the batch was shipped as (one in
+	// steady state; a post-outage catch-up batch may chunk).
+	flushes int
 	// skipped marks a replicated destination whose ship was withheld (or
 	// failed) with the entries retained; it must not count as drained.
 	skipped bool
@@ -333,6 +355,7 @@ func newEvictor(rm *resourceManager, cfg Config) *evictor {
 		threshold:  cfg.FlushThreshold,
 		replicated: cfg.Replicas > 1,
 		nodes:      make(map[uint64]*nodeBatch),
+		moves:      make(map[uint64]replicaMove),
 		fanout:     fanout,
 		m:          newEvictMetrics(cfg.Metrics),
 	}
@@ -451,6 +474,7 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 	}
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
+	e.applyMovesLocked()
 	for _, nb := range e.orderSnapshot() {
 		if nb.pendingBytes.Load() < int64(e.threshold) {
 			continue
@@ -572,6 +596,7 @@ func (e *evictor) harvestNode(nb *nodeBatch) {
 // ship failure restoreStolenLocked puts everything back (a redundant
 // future flush is harmless, a skipped one is stale-read corruption).
 func (e *evictor) stealPendingLocked() {
+	e.stealing.Store(1)
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
@@ -593,6 +618,8 @@ func (e *evictor) restoreStolenLocked() {
 		sh.mu.Unlock()
 	}
 	e.stolen = e.stolen[:0]
+	// The pages are pending again, so the refetch fast path is sound.
+	e.stealing.Store(0)
 }
 
 // maybeRecycleLocked resets shard arenas once no entry can alias them: a
@@ -634,7 +661,17 @@ func (e *evictor) FlushIfPending(now simclock.Duration, base mem.Addr) (simclock
 	sh.mu.Lock()
 	_, ok := sh.pending[base]
 	sh.mu.Unlock()
-	if !ok {
+	// Fast path: no buffered entries for this page AND no steal cycle in
+	// flight. The second condition is load-bearing: a concurrent full
+	// flush empties the pending sets *before* shipping, so "not pending"
+	// alone does not mean the page's entries have reached remote memory
+	// — fetching in that window would read stale bytes. (The shard lock
+	// above orders this page's own EvictPage before the loads, and the
+	// stealer writes e.stealing before taking any shard lock, so a steal
+	// that cleared this page is visible here.) On the simulated fabric
+	// every remote op serializes through one NIC model and the race
+	// cannot fire; over real TCP links fetches overlap flushes.
+	if !ok && e.stealing.Load() == 0 {
 		return now, nil
 	}
 	// Ship the batches without draining acks; the ack only gates log
@@ -642,6 +679,15 @@ func (e *evictor) FlushIfPending(now simclock.Duration, base mem.Addr) (simclock
 	// write completes.
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
+	// Re-check under flushMu: the steal cycle we raced with has settled
+	// (shipped, or restored the pages to pending).
+	sh.mu.Lock()
+	_, ok = sh.pending[base]
+	sh.mu.Unlock()
+	if !ok {
+		return now, nil
+	}
+	e.applyMovesLocked()
 	e.stealPendingLocked()
 	retained := false
 	if e.fanout > 1 {
@@ -672,6 +718,7 @@ func (e *evictor) FlushIfPending(now simclock.Duration, base mem.Addr) (simclock
 		}
 	}
 	e.settleStolenLocked(retained)
+	e.settleMovesLocked()
 	e.maybeRecycleLocked()
 	return now, nil
 }
@@ -687,6 +734,9 @@ func (e *evictor) settleStolenLocked(retained bool) {
 		return
 	}
 	e.stolen = e.stolen[:0]
+	// The cycle's entries reached remote memory; refetches may trust the
+	// (now empty) pending sets again.
+	e.stealing.Store(0)
 }
 
 // Flush ships every pending batch and returns when the eviction path is
@@ -697,6 +747,7 @@ func (e *evictor) Flush(now simclock.Duration) (simclock.Duration, error) {
 	}
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
+	e.applyMovesLocked()
 	e.stealPendingLocked()
 	var latest simclock.Duration = now
 	retained := false
@@ -728,6 +779,7 @@ func (e *evictor) Flush(now simclock.Duration) (simclock.Duration, error) {
 		}
 	}
 	e.settleStolenLocked(retained)
+	e.settleMovesLocked()
 	e.maybeRecycleLocked()
 	return latest, nil
 }
@@ -761,6 +813,7 @@ func (e *evictor) flushParallel(now simclock.Duration) (simclock.Duration, error
 		}
 	}
 	e.settleStolenLocked(retained)
+	e.settleMovesLocked()
 	e.maybeRecycleLocked()
 	return latest, nil
 }
@@ -776,6 +829,7 @@ func (e *evictor) flushParallel(now simclock.Duration) (simclock.Duration, error
 // dead replica does not mask another's error; with replication they are
 // absorbed into retention instead. Caller holds flushMu.
 func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclock.Duration, bool, error) {
+	e.applyMovesLocked()
 	order := e.orderSnapshot()
 	for _, nb := range order {
 		if onlyFull && nb.pendingBytes.Load() < int64(e.threshold) {
@@ -802,29 +856,19 @@ func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclo
 			defer wg.Done()
 			e.sem <- struct{}{}
 			defer func() { <-e.sem }()
-			start := now
-			if nb.ackDue > start {
-				res.waited = nb.ackDue - start
-				start = nb.ackDue
-			}
 			if nb.packBuf == nil {
 				nb.packBuf = make([]byte, len(e.logBuf))
 			}
-			packed, err := cllog.Pack(nb.entries, nb.packBuf)
-			if err != nil {
-				res.err = fmt.Errorf("core: packing eviction log: %w", err)
-				return
-			}
 			e.m.inflight.Inc()
-			nb.shipVec[0] = nb.packBuf[:packed]
-			done, ackDue, remote, err := nb.link.shipLog(start, nb.shipVec[:])
+			cs, err := shipChunks(now, nb.link, nb.entries, nb.packBuf, &nb.shipVec, nb.ackDue)
 			e.m.inflight.Dec()
 			if err != nil {
-				res.err = fmt.Errorf("core: shipping eviction log: %w", err)
+				res.err = err
 				return
 			}
-			res.packed, res.entries, res.remote = packed, len(nb.entries), remote
-			res.done, res.ackDue = done, ackDue
+			res.packed, res.entries, res.remote = cs.packed, len(nb.entries), cs.remote
+			res.waited, res.flushes = cs.waited, cs.flushes
+			res.done, res.ackDue = cs.done, cs.ackDue
 		}(nb, &e.results[i])
 	}
 	wg.Wait()
@@ -853,10 +897,10 @@ func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclo
 		e.fbreak.AckWait += res.waited
 		e.fbreak.RDMAWrite += res.done - (now + res.waited)
 		e.fstats.WireBytes += uint64(res.packed)
-		e.fstats.Flushes++
+		e.fstats.Flushes += uint64(res.flushes)
 		e.fstats.RemoteEntries += uint64(res.remote)
 		e.m.wireBytes.Add(uint64(res.packed))
-		e.m.flushes.Inc()
+		e.m.flushes.Add(uint64(res.flushes))
 		e.m.remoteEntries.Add(uint64(res.remote))
 		if e.m.trace != nil {
 			e.m.trace.EmitAt(res.done, "core.evict.flush",
@@ -885,42 +929,90 @@ func (e *evictor) flushNodeLocked(now simclock.Duration, nb *nodeBatch) (simcloc
 	if len(nb.entries) == 0 {
 		return now, nil
 	}
-	// Ring-buffer reuse: wait for the previous flush's ack before
-	// overwriting the log region (double-buffered halves in the real
-	// implementation; the paper reports this wait as small).
-	if nb.ackDue > now {
-		e.fbreak.AckWait += nb.ackDue - now
-		now = nb.ackDue
-	}
-	packed, err := cllog.Pack(nb.entries, e.logBuf)
-	if err != nil {
-		return now, fmt.Errorf("core: packing eviction log: %w", err)
-	}
-	// One write ships the whole aggregated log; the receiver unpacks
-	// asynchronously and its acknowledgment gates log-space reuse.
 	before := now
-	e.shipVec[0] = e.logBuf[:packed]
-	done, ackDue, remote, err := nb.link.shipLog(now, e.shipVec[:])
+	cs, err := shipChunks(now, nb.link, nb.entries, e.logBuf, &e.shipVec, nb.ackDue)
 	if err != nil {
-		return now, fmt.Errorf("core: shipping eviction log: %w", err)
+		return now, err
 	}
-	e.fbreak.RDMAWrite += done - before
-	e.fstats.WireBytes += uint64(packed)
-	e.fstats.Flushes++
-	e.fstats.RemoteEntries += uint64(remote)
-	e.m.wireBytes.Add(uint64(packed))
-	e.m.flushes.Inc()
-	e.m.remoteEntries.Add(uint64(remote))
+	e.fbreak.AckWait += cs.waited
+	e.fbreak.RDMAWrite += cs.done - before - cs.waited
+	e.fstats.WireBytes += uint64(cs.packed)
+	e.fstats.Flushes += uint64(cs.flushes)
+	e.fstats.RemoteEntries += uint64(cs.remote)
+	e.m.wireBytes.Add(uint64(cs.packed))
+	e.m.flushes.Add(uint64(cs.flushes))
+	e.m.remoteEntries.Add(uint64(cs.remote))
 	if e.m.trace != nil {
-		e.m.trace.EmitAt(done, "core.evict.flush",
-			fmt.Sprintf("node=%d entries=%d bytes=%d", nb.link.id(), len(nb.entries), packed))
+		e.m.trace.EmitAt(cs.done, "core.evict.flush",
+			fmt.Sprintf("node=%d entries=%d bytes=%d", nb.link.id(), len(nb.entries), cs.packed))
 	}
-	nb.ackDue = ackDue
+	nb.ackDue = cs.ackDue
 	nb.reported = false
 	nb.pendingBytes.Add(-int64(nb.entryBytes))
 	nb.entryBytes = 0
 	nb.entries = nb.entries[:0]
-	return done, nil
+	return cs.done, nil
+}
+
+// chunkShip is the outcome of shipping one merge batch, possibly split
+// across several wire logs.
+type chunkShip struct {
+	done    simclock.Duration // completion of the last chunk's write
+	ackDue  simclock.Duration // ack gate for the buffer's next reuse
+	waited  simclock.Duration // total time spent waiting out prior acks
+	packed  int               // total bytes on the wire
+	remote  int               // entries the receiver reported applying
+	flushes int               // wire logs shipped
+}
+
+// shipChunks packs entries and ships them to l, splitting the batch
+// across several wire logs when it exceeds the pack buffer. A steady-
+// state batch always fits — the flush threshold sits far below the log
+// budget — but entries retained across an outage are bounded by the
+// outage's length, not the budget, and the post-repair catch-up batch
+// must chunk rather than wedge: a batch that can never pack would retry
+// (and fail) forever, leaving the repaired replica permanently behind.
+// Chunks ship in entry order; each waits out the previous chunk's ack
+// before reusing the buffer (the ring's double-buffer-half rule). On a
+// mid-batch error the caller retains the whole batch; re-shipping the
+// already-applied prefix is idempotent (same lines, same order).
+func shipChunks(now simclock.Duration, l nodeLink, entries []cllog.Entry, buf []byte, vec *[1][]byte, prevAck simclock.Duration) (chunkShip, error) {
+	cs := chunkShip{done: now, ackDue: prevAck}
+	for len(entries) > 0 {
+		n, size := 0, 8 // terminator
+		for n < len(entries) {
+			esz := cllog.HeaderSize + len(entries[n].Data)
+			if size+esz > len(buf) {
+				break
+			}
+			size += esz
+			n++
+		}
+		if n == 0 {
+			return cs, fmt.Errorf("core: eviction entry payload %d exceeds log buffer %d",
+				len(entries[0].Data), len(buf))
+		}
+		if cs.ackDue > now {
+			cs.waited += cs.ackDue - now
+			now = cs.ackDue
+		}
+		packed, err := cllog.Pack(entries[:n], buf)
+		if err != nil {
+			return cs, fmt.Errorf("core: packing eviction log: %w", err)
+		}
+		vec[0] = buf[:packed]
+		done, ackDue, remote, err := l.shipLog(now, vec[:])
+		if err != nil {
+			return cs, fmt.Errorf("core: shipping eviction log: %w", err)
+		}
+		cs.packed += packed
+		cs.remote += remote
+		cs.flushes++
+		cs.done, cs.ackDue = done, ackDue
+		now = done
+		entries = entries[n:]
+	}
+	return cs, nil
 }
 
 // remap rebases retained eviction entries after a placement refresh:
@@ -937,8 +1029,23 @@ func (e *evictor) remap(moves []replicaMove) int {
 	}
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
-	moved := 0
 	for _, mv := range moves {
+		e.moves[mv.oldKey] = mv
+	}
+	return e.applyMovesLocked()
+}
+
+// applyMovesLocked rebases every buffered or retained entry still keyed
+// by a flipped-out member onto its replacement. Runs at the top of each
+// flush cycle (cheap no-op when nothing matches), so late entries from
+// evictions that raced the flip are caught before the ship. Caller holds
+// flushMu.
+func (e *evictor) applyMovesLocked() int {
+	if len(e.moves) == 0 {
+		return 0
+	}
+	moved := 0
+	for _, mv := range e.moves {
 		e.nodeMu.RLock()
 		src := e.nodes[mv.oldKey]
 		e.nodeMu.RUnlock()
@@ -976,6 +1083,31 @@ func (e *evictor) remap(moves []replicaMove) int {
 		e.m.remapped.Add(uint64(moved))
 	}
 	return moved
+}
+
+// settleMovesLocked clears the suspect flag of every repaired replica
+// whose catch-up has drained: no entries remain keyed by the dead member
+// (pendingBytes covers shard-buffered and retained alike) and the
+// replacement's merge batch — where the remapped entries were rebased —
+// has shipped. Fresh entries buffered for the replacement after the flip
+// don't gate readability: they belong to pages still marked pending, and
+// the ordinary write-before-read flush covers those. Runs after each
+// flush cycle; clearing an already-clear key is a no-op. Caller holds
+// flushMu.
+func (e *evictor) settleMovesLocked() {
+	for oldKey, mv := range e.moves {
+		e.nodeMu.RLock()
+		src := e.nodes[oldKey]
+		dst := e.nodes[mv.newLink.key()]
+		e.nodeMu.RUnlock()
+		if src != nil && (len(src.entries) > 0 || src.pendingBytes.Load() != 0) {
+			continue
+		}
+		if dst != nil && len(dst.entries) > 0 {
+			continue
+		}
+		e.rm.clearSuspect(mv.newLink.key())
+	}
 }
 
 // moveEntries filters *srcEntries in place, rebasing every entry inside

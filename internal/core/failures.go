@@ -50,6 +50,10 @@ type FailureStats struct {
 	// RemappedEntries counts retained eviction-log entries rebased onto a
 	// repaired replica.
 	RemappedEntries uint64
+	// SuspectMembers is the number of repaired replicas currently fenced
+	// from reads: their catch-up drain (retained entries re-shipped onto
+	// the new copy) has not completed. Zero in a settled rack.
+	SuspectMembers int
 }
 
 // ReadChecked is Read plus MCE detection: fetch latencies beyond
@@ -70,7 +74,10 @@ func (k *Kona) ReadChecked(now simclock.Duration, addr mem.Addr, buf []byte) (si
 // FailureStats returns the failure-path counters. Failovers are detected
 // by the Resource Manager when Translate skips a dead primary.
 func (k *Kona) FailureStats() FailureStats {
+	k.rm.mu.Lock()
 	k.failures.Failovers = k.rm.failovers
+	k.failures.SuspectMembers = len(k.rm.suspect)
+	k.rm.mu.Unlock()
 	k.failures.ShipFailureReports = k.evict.shipReports.Load()
 	k.failures.PlacementRefreshes = k.refreshes.Load()
 	k.failures.RemappedEntries = k.evict.remapped.Load()

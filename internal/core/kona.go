@@ -190,14 +190,17 @@ func (k *Kona) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock
 // it directly.
 func (k *Kona) RefreshPlacements() (bool, error) {
 	moves, changed, err := k.rm.refreshPlacements()
-	if err != nil {
-		return changed, err
+	// Register the moves even when the refresh failed partway: any group
+	// already installed has its repaired member marked suspect, and only
+	// the remap (plus the per-flush re-apply it arms) ships the retained
+	// entries that make that member readable again.
+	if len(moves) > 0 {
+		k.evict.remap(moves)
 	}
 	if changed {
 		k.refreshes.Add(1)
-		k.evict.remap(moves)
 	}
-	return changed, nil
+	return changed, err
 }
 
 // Sync flushes every cached page through the eviction path and drains the

@@ -31,6 +31,18 @@ type resourceManager struct {
 
 	// failovers counts translations that skipped a dead primary.
 	failovers uint64
+
+	// suspect holds the link keys of repaired replicas that are not yet
+	// readable: a repair flip copies a slab from a surviving member, but
+	// dirty lines retained for the dead member during the outage reach
+	// the replacement only when the evictor re-ships them. Until that
+	// drain completes (evictor.settleMovesLocked → clearSuspect), a read
+	// from the repaired copy could return pages missing acknowledged
+	// writes, so translation skips suspect members while another live
+	// replica exists. Marked in refreshPlacements, in the same critical
+	// section that installs the new membership — no translation can ever
+	// observe a repaired member without its suspect flag.
+	suspect map[uint64]struct{}
 }
 
 func newResourceManager(cfg Config, r rack) *resourceManager {
@@ -39,7 +51,16 @@ func newResourceManager(cfg Config, r rack) *resourceManager {
 		rack:     r,
 		alloc:    slab.NewAllocator(),
 		replicas: make(map[uint64][]Slab),
+		suspect:  make(map[uint64]struct{}),
 	}
+}
+
+// clearSuspect marks a repaired replica readable again, once the evictor
+// has drained every retained entry remapped onto it.
+func (rm *resourceManager) clearSuspect(key uint64) {
+	rm.mu.Lock()
+	delete(rm.suspect, key)
+	rm.mu.Unlock()
 }
 
 // growLocked requests one more slab (with replicas) from the controller.
@@ -97,23 +118,38 @@ func (b boundPage) ReadRange(now simclock.Duration, off uint64, buf []byte) (sim
 }
 
 // translateLocked resolves addr to its live read placement, preferring
-// the primary and failing over to a live replica. Caller holds rm.mu.
+// the primary and failing over to a live replica. A repaired member
+// stays unreadable (suspect) until the evictor has re-shipped the
+// retained entries remapped onto it — its copy would otherwise serve
+// pages missing acknowledged writes; only a double fault (no other live
+// member) falls back to reading a suspect copy. Caller holds rm.mu.
 func (rm *resourceManager) translateLocked(addr mem.Addr) (nodeLink, uint64, error) {
 	s, ok := rm.alloc.SlabFor(addr)
 	if !ok {
 		return nil, 0, fmt.Errorf("core: address %v not in any slab", addr)
 	}
-	for i, pl := range rm.replicas[s.ID] {
-		l, err := rm.rack.link(pl.Node, pl.Epoch)
-		if err != nil || !l.healthy() {
-			continue
+	allowSuspect := len(rm.suspect) == 0
+	for {
+		for i, pl := range rm.replicas[s.ID] {
+			if !allowSuspect {
+				if _, sus := rm.suspect[linkKeyFor(pl.Node, pl.Epoch)]; sus {
+					continue
+				}
+			}
+			l, err := rm.rack.link(pl.Node, pl.Epoch)
+			if err != nil || !l.healthy() {
+				continue
+			}
+			if i > 0 {
+				rm.failovers++
+			}
+			return l, pl.RemoteOff + uint64(addr-pl.Base), nil
 		}
-		if i > 0 {
-			rm.failovers++
+		if allowSuspect {
+			return nil, 0, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
 		}
-		return l, pl.RemoteOff + uint64(addr-pl.Base), nil
+		allowSuspect = true
 	}
-	return nil, 0, fmt.Errorf("%w (slab %d)", ErrRemoteUnavailable, s.ID)
 }
 
 // Translate implements fpga.Translator over the slab map, preferring the
@@ -273,6 +309,10 @@ func (rm *resourceManager) refreshPlacements() ([]replicaMove, bool, error) {
 			if err != nil {
 				return moves, changed, fmt.Errorf("core: link repaired placement node %d: %w", n.Node, err)
 			}
+			// The repaired copy is behind until the retained entries are
+			// re-shipped onto it; make it unreadable before the install
+			// below can route a fetch to it.
+			rm.suspect[linkKeyFor(n.Node, n.Epoch)] = struct{}{}
 			moves = append(moves, replicaMove{
 				oldKey:  linkKeyFor(o.Node, o.Epoch),
 				oldOff:  o.RemoteOff,

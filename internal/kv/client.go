@@ -1,0 +1,143 @@
+package kv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is one text-protocol connection to a kvd server. It is not
+// safe for concurrent use — the load engine gives each worker its own
+// client, like a real memcached client pool.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a kvd server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("kv: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 16<<10),
+		bw:   bufio.NewWriterSize(conn, 16<<10),
+	}
+}
+
+// Close sends quit and closes the connection.
+func (c *Client) Close() error {
+	c.bw.WriteString("quit\r\n")
+	c.bw.Flush()
+	return c.conn.Close()
+}
+
+// Set stores key=value and waits for the STORED acknowledgment.
+func (c *Client) Set(key string, flags uint32, value []byte) error {
+	fmt.Fprintf(c.bw, "set %s %d 0 %d\r\n", key, flags, len(value))
+	c.bw.Write(value)
+	c.bw.WriteString("\r\n")
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	line, err := readLine(c.br)
+	if err != nil {
+		return err
+	}
+	if line != "STORED" {
+		return fmt.Errorf("kv: set %q: server answered %q", key, line)
+	}
+	return nil
+}
+
+// Get fetches one key; ok reports presence.
+func (c *Client) Get(key string) (value []byte, flags uint32, ok bool, err error) {
+	fmt.Fprintf(c.bw, "get %s\r\n", key)
+	if err := c.bw.Flush(); err != nil {
+		return nil, 0, false, err
+	}
+	for {
+		line, err := readLine(c.br)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		switch {
+		case line == "END":
+			return value, flags, ok, nil
+		case strings.HasPrefix(line, "VALUE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != key {
+				return nil, 0, false, fmt.Errorf("kv: get %q: bad VALUE line %q", key, line)
+			}
+			f, ferr := strconv.ParseUint(fields[2], 10, 32)
+			n, nerr := strconv.Atoi(fields[3])
+			if ferr != nil || nerr != nil || n < 0 || n > maxValueLen {
+				return nil, 0, false, fmt.Errorf("kv: get %q: bad VALUE line %q", key, line)
+			}
+			value = make([]byte, n)
+			if _, err := io.ReadFull(c.br, value); err != nil {
+				return nil, 0, false, err
+			}
+			if err := expectCRLF(c.br); err != nil {
+				return nil, 0, false, err
+			}
+			flags, ok = uint32(f), true
+		default:
+			return nil, 0, false, fmt.Errorf("kv: get %q: server answered %q", key, line)
+		}
+	}
+}
+
+// Delete removes a key; ok reports whether it existed.
+func (c *Client) Delete(key string) (ok bool, err error) {
+	fmt.Fprintf(c.bw, "delete %s\r\n", key)
+	if err := c.bw.Flush(); err != nil {
+		return false, err
+	}
+	line, err := readLine(c.br)
+	if err != nil {
+		return false, err
+	}
+	switch line {
+	case "DELETED":
+		return true, nil
+	case "NOT_FOUND":
+		return false, nil
+	}
+	return false, fmt.Errorf("kv: delete %q: server answered %q", key, line)
+}
+
+// Stats fetches the server's stats map.
+func (c *Client) Stats() (map[string]string, error) {
+	c.bw.WriteString("stats\r\n")
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		line, err := readLine(c.br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		fields := strings.SplitN(line, " ", 3)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			return nil, fmt.Errorf("kv: stats: bad line %q", line)
+		}
+		out[fields[1]] = fields[2]
+	}
+}

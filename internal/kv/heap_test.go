@@ -1,0 +1,97 @@
+package kv
+
+import (
+	"testing"
+)
+
+func TestClassOfBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{1, 0}, {63, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{4096, 6}, {4097, 7}, {maxRecordLen, classOf(maxRecordLen)},
+	}
+	for _, c := range cases {
+		if got := classOf(c.n); got != c.want {
+			t.Errorf("classOf(%d) = %d, want %d", c.n, got, c.want)
+		}
+		if int(blockBytes(classOf(c.n))) < c.n {
+			t.Errorf("classOf(%d) block %d too small", c.n, blockBytes(classOf(c.n)))
+		}
+	}
+	// The largest record must fit the largest class.
+	if blockBytes(nClasses-1) < maxRecordLen {
+		t.Fatalf("class table tops out at %d, records reach %d", blockBytes(nClasses-1), maxRecordLen)
+	}
+}
+
+func TestHeapReuseAndAccounting(t *testing.T) {
+	h := newValueHeap(simRuntime(t, 1<<20), 64<<10)
+	a1, c1, err := h.alloc(100) // class 1 (128B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := h.alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Fatal("two live blocks share an address")
+	}
+	if h.liveBytes != 256 {
+		t.Fatalf("liveBytes = %d, want 256", h.liveBytes)
+	}
+	h.release(a1, c1)
+	if h.liveBytes != 128 {
+		t.Fatalf("liveBytes after release = %d, want 128", h.liveBytes)
+	}
+	// The freed block is recycled for the next same-class alloc.
+	a3, _, err := h.alloc(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 != a1 {
+		t.Fatalf("freed block not reused: got %#x, want %#x", a3, a1)
+	}
+	// Different class does not touch that free list.
+	if _, _, err := h.alloc(5000); err != nil {
+		t.Fatal(err)
+	}
+	if h.chunkCount == 0 {
+		t.Fatal("no chunks carved")
+	}
+	if _, _, err := h.alloc(maxRecordLen + 1); err == nil {
+		t.Fatal("oversized alloc accepted")
+	}
+}
+
+func TestRingRoutingStableAndSpread(t *testing.T) {
+	r := newRing(8)
+	// Stability: the same hash always routes to the same shard.
+	for i := 0; i < 100; i++ {
+		h := hashKey("stable-key")
+		if r.shardOf(h) != r.shardOf(h) {
+			t.Fatal("routing not deterministic")
+		}
+	}
+	// Spread: 10k distinct keys should touch every shard, with no shard
+	// hoarding more than half the keys (vnodes smooth the circle).
+	counts := make([]int, 8)
+	for i := 0; i < 10000; i++ {
+		counts[r.shardOf(hashKey("user:"+string(rune('a'+i%26))+string(rune(i))))]++
+	}
+	total := 0
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d got no keys", s)
+		}
+		if c > 5000 {
+			t.Errorf("shard %d hoards %d/10000 keys", s, c)
+		}
+		total += c
+	}
+	if total != 10000 {
+		t.Fatalf("routed %d/10000", total)
+	}
+}

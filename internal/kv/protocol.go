@@ -1,0 +1,202 @@
+package kv
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The wire protocol is memcached's text protocol (DESIGN.md §12 has the
+// grammar): newline-framed commands, byte-counted data blocks.
+//
+//	get <key> [<key> ...]\r\n
+//	set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//	delete <key> [noreply]\r\n
+//	stats\r\n
+//	version\r\n
+//	quit\r\n
+//
+// Responses: VALUE <key> <flags> <bytes>\r\n<data>\r\n ... END\r\n for
+// get; STORED / DELETED / NOT_FOUND; STAT <name> <value>\r\n ... END\r\n;
+// ERROR / CLIENT_ERROR <msg> / SERVER_ERROR <msg> on failure. flags are
+// stored verbatim per key (memcached's opaque 32-bit client cookie);
+// exptime is accepted and ignored (documented — the store's eviction is
+// capacity-driven, not TTL-driven).
+
+type command struct {
+	op      string // "get", "set", "delete", "stats", "version", "quit"
+	keys    []string
+	flags   uint32
+	noreply bool
+	data    []byte // set payload
+}
+
+var errQuit = errors.New("kv: client quit")
+
+// maxLineLen bounds a command line; memcached uses a fixed 2KB buffer.
+const maxLineLen = 2048
+
+// readCommand parses one command off the stream. Protocol errors that
+// leave the stream framed (bad arguments on a known verb) return a
+// *clientError so the server can answer CLIENT_ERROR and keep the
+// connection; framing-breaking errors (overlong line, short data block)
+// return ordinary errors and drop the connection, matching memcached.
+//
+// armed (optional) runs as soon as the command line has arrived —
+// before any data block is read. The server uses it to give an
+// in-flight command its own deadline, so a graceful drain (which wakes
+// readers blocked *between* commands with an immediate deadline) never
+// cuts a request off mid-payload.
+func readCommand(br *bufio.Reader, cmd *command, armed func()) error {
+	line, err := readLine(br)
+	if err != nil {
+		return err
+	}
+	if armed != nil {
+		armed()
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return &clientError{"empty command"}
+	}
+	*cmd = command{op: fields[0], keys: cmd.keys[:0], data: cmd.data[:0]}
+	switch cmd.op {
+	case "get", "gets":
+		if len(fields) < 2 {
+			return &clientError{"get needs at least one key"}
+		}
+		for _, k := range fields[1:] {
+			if len(k) > maxKeyLen {
+				return &clientError{"key too long"}
+			}
+			cmd.keys = append(cmd.keys, k)
+		}
+	case "set":
+		if len(fields) < 5 || len(fields) > 6 {
+			return &clientError{"set <key> <flags> <exptime> <bytes> [noreply]"}
+		}
+		if len(fields) == 6 {
+			if fields[5] != "noreply" {
+				return &clientError{"bad set option " + fields[5]}
+			}
+			cmd.noreply = true
+		}
+		key := fields[1]
+		flags, ferr := strconv.ParseUint(fields[2], 10, 32)
+		_, eerr := strconv.ParseInt(fields[3], 10, 64) // exptime: accepted, ignored
+		n, nerr := strconv.ParseInt(fields[4], 10, 64)
+		if nerr != nil || n < 0 || n > maxValueLen*2 {
+			// The length governs how many bytes of data block follow; if we
+			// can't trust it the stream is unframed — drop the connection.
+			return fmt.Errorf("kv: unframeable set length %q", fields[4])
+		}
+		if ferr != nil || eerr != nil || len(key) > maxKeyLen || n > maxValueLen {
+			// The command is bad but the data block is framed: drain it so
+			// the connection stays usable, then reject.
+			if derr := discardBlock(br, int(n)); derr != nil {
+				return derr
+			}
+			if n > maxValueLen {
+				return &clientError{"object too large for cache"}
+			}
+			return &clientError{"bad set arguments"}
+		}
+		cmd.keys = append(cmd.keys, key)
+		cmd.flags = uint32(flags)
+		if cap(cmd.data) < int(n) {
+			cmd.data = make([]byte, n)
+		}
+		cmd.data = cmd.data[:n]
+		if _, err := io.ReadFull(br, cmd.data); err != nil {
+			return fmt.Errorf("kv: short data block: %w", err)
+		}
+		if err := expectCRLF(br); err != nil {
+			return err
+		}
+	case "delete":
+		if len(fields) < 2 || len(fields) > 3 {
+			return &clientError{"delete <key> [noreply]"}
+		}
+		if len(fields) == 3 {
+			if fields[2] != "noreply" {
+				return &clientError{"bad delete option " + fields[2]}
+			}
+			cmd.noreply = true
+		}
+		cmd.keys = append(cmd.keys, fields[1])
+	case "stats", "version":
+		// no arguments
+	case "quit":
+		return errQuit
+	default:
+		return &clientError{""} // bare ERROR, memcached's unknown-verb answer
+	}
+	return nil
+}
+
+// clientError is a recoverable protocol error: answered on the wire,
+// connection kept.
+type clientError struct{ msg string }
+
+func (e *clientError) Error() string { return e.msg }
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLineLen {
+		return "", fmt.Errorf("kv: command line over %d bytes", maxLineLen)
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func expectCRLF(br *bufio.Reader) error {
+	b0, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b0 == '\r' {
+		if b0, err = br.ReadByte(); err != nil {
+			return err
+		}
+	}
+	if b0 != '\n' {
+		return errors.New("kv: data block not followed by CRLF")
+	}
+	return nil
+}
+
+func discardBlock(br *bufio.Reader, n int) error {
+	if _, err := br.Discard(n); err != nil {
+		return err
+	}
+	return expectCRLF(br)
+}
+
+// Response writers. All take the buffered writer; the caller flushes
+// once per command (multi-get answers in one flush).
+
+func writeValue(bw *bufio.Writer, key string, flags uint32, val []byte) {
+	bw.WriteString("VALUE ")
+	bw.WriteString(key)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(uint64(flags), 10))
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.Itoa(len(val)))
+	bw.WriteString("\r\n")
+	bw.Write(val)
+	bw.WriteString("\r\n")
+}
+
+func writeLine(bw *bufio.Writer, line string) {
+	bw.WriteString(line)
+	bw.WriteString("\r\n")
+}
+
+func writeStat(bw *bufio.Writer, name string, value any) {
+	fmt.Fprintf(bw, "STAT %s %v\r\n", name, value)
+}

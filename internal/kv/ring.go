@@ -1,0 +1,52 @@
+package kv
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"sort"
+)
+
+// ring is the consistent-hash key→shard table: each shard contributes
+// vnodesPerShard points on a 64-bit circle, a key routes to the first
+// point at or after its hash. Consistent hashing (vs hash%shards) means
+// a future shard-count change moves only ~1/shards of the keyspace —
+// the property that makes live resharding of a big cache tier feasible
+// — and spreads hot zipfian keys across shards independently of the
+// shard count.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+const vnodesPerShard = 64
+
+// newRing builds the table for n shards. The vnode hashes derive from
+// the process key seed so ring placement and key hashing share one hash
+// family.
+func newRing(n int) ring {
+	pts := make([]ringPoint, 0, n*vnodesPerShard)
+	var buf [16]byte
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			binary.LittleEndian.PutUint64(buf[0:], uint64(s))
+			binary.LittleEndian.PutUint64(buf[8:], uint64(v))
+			h := maphash.Bytes(keySeed, buf[:])
+			pts = append(pts, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].hash < pts[j].hash })
+	return ring{points: pts}
+}
+
+// shardOf routes a key hash to its shard.
+func (r ring) shardOf(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return r.points[i].shard
+}

@@ -1,0 +1,184 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+)
+
+// WorkloadConfig describes the synthetic user population the load
+// generator simulates: a keyspace of distinct users with zipfian
+// popularity (a small hot set, a long tail — the shape of every cache
+// tier in production), a read/write mix, a discrete value-size
+// distribution, and a Poisson open-loop arrival process whose rate does
+// not react to server latency — so queueing delay shows up in the
+// latencies instead of silently throttling the offered load.
+type WorkloadConfig struct {
+	// Keys is the number of distinct keys ("users"); key i is "user:i".
+	Keys uint64
+	// ZipfS is the zipf skew exponent (must be > 1; 1.1 ≈ production
+	// cache traffic, higher = hotter hot set).
+	ZipfS float64
+	// ReadFraction is the probability an op is a GET (rest are SETs).
+	ReadFraction float64
+	// ValueSizes is the discrete value-size distribution; nil defaults
+	// to a memcached-ish small-object mix.
+	ValueSizes []SizeClass
+	// RatePerSec is the Poisson arrival rate of the open-loop process.
+	RatePerSec float64
+	// Seed makes the op stream reproducible.
+	Seed int64
+}
+
+// SizeClass is one point of the value-size distribution.
+type SizeClass struct {
+	Bytes  int
+	Weight float64
+}
+
+// DefaultValueSizes mirrors the small-object-dominated distributions
+// published for production cache traffic: mostly sub-kilobyte values
+// with a thin tail of multi-kilobyte objects.
+func DefaultValueSizes() []SizeClass {
+	return []SizeClass{
+		{Bytes: 64, Weight: 30},
+		{Bytes: 128, Weight: 30},
+		{Bytes: 512, Weight: 25},
+		{Bytes: 2048, Weight: 10},
+		{Bytes: 8192, Weight: 5},
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	// Due is when the op arrives, relative to the run's start.
+	Due time.Duration
+	// Key is the target key.
+	Key string
+	// Read selects GET; otherwise SET.
+	Read bool
+	// Seq numbers SETs per key, starting at 1 (0 for reads); the value
+	// payload embeds it, so a later read can prove which acknowledged
+	// write it observed.
+	Seq uint64
+	// ValueLen is the SET payload length.
+	ValueLen int
+}
+
+// Generator produces the op stream. Not safe for concurrent use; the
+// load engine runs one generator and fans ops out to workers.
+type Generator struct {
+	cfg     WorkloadConfig
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	sizeCum []float64 // cumulative weights
+	clock   time.Duration
+	seqs    map[uint64]uint64 // key index -> last issued set seq
+}
+
+// NewGenerator validates the config and builds the generator.
+func NewGenerator(cfg WorkloadConfig) (*Generator, error) {
+	if cfg.Keys == 0 {
+		return nil, fmt.Errorf("kv: workload needs Keys > 0")
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("kv: zipf skew must be > 1, got %g", cfg.ZipfS)
+	}
+	if cfg.ReadFraction < 0 || cfg.ReadFraction > 1 {
+		return nil, fmt.Errorf("kv: read fraction %g out of [0,1]", cfg.ReadFraction)
+	}
+	if cfg.RatePerSec <= 0 {
+		return nil, fmt.Errorf("kv: arrival rate must be positive")
+	}
+	if len(cfg.ValueSizes) == 0 {
+		cfg.ValueSizes = DefaultValueSizes()
+	}
+	g := &Generator{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		seqs: make(map[uint64]uint64),
+	}
+	g.zipf = rand.NewZipf(g.rng, cfg.ZipfS, 1, cfg.Keys-1)
+	var cum float64
+	for _, sc := range cfg.ValueSizes {
+		// 16-byte minimum: the payload must hold its seq/length header
+		// for the verify pass.
+		if sc.Bytes < 16 || sc.Bytes > maxValueLen || sc.Weight < 0 {
+			return nil, fmt.Errorf("kv: bad size class %+v", sc)
+		}
+		cum += sc.Weight
+		g.sizeCum = append(g.sizeCum, cum)
+	}
+	if cum == 0 {
+		return nil, fmt.Errorf("kv: value-size weights sum to zero")
+	}
+	return g, nil
+}
+
+// Next produces the next op: the Poisson clock advances by an
+// exponential inter-arrival, the key draws from the zipf, the op kind
+// from the mix.
+func (g *Generator) Next() Op {
+	g.clock += time.Duration(g.rng.ExpFloat64() / g.cfg.RatePerSec * float64(time.Second))
+	ki := g.zipf.Uint64()
+	op := Op{
+		Due: g.clock,
+		Key: "user:" + strconv.FormatUint(ki, 10),
+	}
+	if g.rng.Float64() < g.cfg.ReadFraction {
+		op.Read = true
+		return op
+	}
+	g.seqs[ki]++
+	op.Seq = g.seqs[ki]
+	x := g.rng.Float64() * g.sizeCum[len(g.sizeCum)-1]
+	for i, c := range g.sizeCum {
+		if x <= c {
+			op.ValueLen = g.cfg.ValueSizes[i].Bytes
+			break
+		}
+	}
+	return op
+}
+
+// Value payloads are self-describing so the verify pass can prove which
+// acknowledged write a read observed: the first 16 bytes hold the set's
+// per-key seq and the value length, the rest is a seq-seeded pattern.
+// (Integrity against tearing is the store's CRC; this layer proves
+// *which* intact value we got.)
+
+// MakeValue fills buf (length = op.ValueLen, at least 16) with op's
+// payload.
+func MakeValue(buf []byte, op Op) []byte {
+	buf = buf[:op.ValueLen]
+	binary.LittleEndian.PutUint64(buf[0:], op.Seq)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(op.ValueLen))
+	pat := op.Seq*0x9E3779B97F4A7C15 + 1
+	for i := 16; i < len(buf); i++ {
+		buf[i] = byte(pat >> (8 * (i % 8)))
+	}
+	return buf
+}
+
+// ParseValue extracts the seq a value claims and verifies the pattern;
+// intact=false means the bytes do not form any value MakeValue produced
+// for this length (a torn or foreign value that nonetheless passed the
+// store's own checks — should never happen).
+func ParseValue(val []byte) (seq uint64, intact bool) {
+	if len(val) < 16 {
+		return 0, false
+	}
+	seq = binary.LittleEndian.Uint64(val[0:])
+	if binary.LittleEndian.Uint64(val[8:]) != uint64(len(val)) {
+		return seq, false
+	}
+	pat := seq*0x9E3779B97F4A7C15 + 1
+	for i := 16; i < len(val); i++ {
+		if val[i] != byte(pat>>(8*(i%8))) {
+			return seq, false
+		}
+	}
+	return seq, true
+}

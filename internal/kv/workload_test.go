@@ -1,0 +1,126 @@
+package kv
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWorkloadDeterminism(t *testing.T) {
+	cfg := WorkloadConfig{Keys: 10000, ZipfS: 1.1, ReadFraction: 0.8, RatePerSec: 10000, Seed: 42}
+	g1, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(cfg)
+	for i := 0; i < 5000; i++ {
+		if a, b := g1.Next(), g2.Next(); a != b {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	const n = 50000
+	g, err := NewGenerator(WorkloadConfig{
+		Keys: 1_000_000, ZipfS: 1.2, ReadFraction: 0.9, RatePerSec: 20000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads int
+	keyCount := map[string]int{}
+	seqs := map[string]uint64{}
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Due < last {
+			t.Fatal("arrival times went backwards")
+		}
+		last = op.Due
+		keyCount[op.Key]++
+		if op.Read {
+			reads++
+			if op.Seq != 0 {
+				t.Fatal("read carries a set seq")
+			}
+		} else {
+			seqs[op.Key]++
+			if op.Seq != seqs[op.Key] {
+				t.Fatalf("set seq for %s = %d, want %d (dense per-key numbering)", op.Key, op.Seq, seqs[op.Key])
+			}
+			if op.ValueLen < 16 {
+				t.Fatalf("value len %d below the verify-header minimum", op.ValueLen)
+			}
+		}
+	}
+	// Read mix: 90% ± 1%.
+	if f := float64(reads) / n; f < 0.88 || f > 0.92 {
+		t.Fatalf("read fraction %.3f, want ~0.9", f)
+	}
+	// Poisson rate: mean inter-arrival 50µs, so 50k ops ≈ 2.5s ± 10%.
+	if last < 2250*time.Millisecond || last > 2750*time.Millisecond {
+		t.Fatalf("horizon %s for 50k ops at 20k/s, want ~2.5s", last)
+	}
+	// Zipf skew: the single hottest key takes a meaningful slice of the
+	// traffic even against a million-key population...
+	hot := 0
+	for _, c := range keyCount {
+		if c > hot {
+			hot = c
+		}
+	}
+	if float64(hot)/n < 0.02 {
+		t.Fatalf("hottest key only %d/%d ops — not zipfian", hot, n)
+	}
+	// ...and yet the tail is long: many thousands of distinct keys appear.
+	if len(keyCount) < 5000 {
+		t.Fatalf("only %d distinct keys in 50k ops — tail too short", len(keyCount))
+	}
+}
+
+func TestWorkloadValueRoundTrip(t *testing.T) {
+	buf := make([]byte, maxValueLen)
+	for _, vl := range []int{16, 17, 64, 511, 8192} {
+		op := Op{Seq: 987654321, ValueLen: vl}
+		val := MakeValue(buf, op)
+		if len(val) != vl {
+			t.Fatalf("MakeValue length %d, want %d", len(val), vl)
+		}
+		seq, intact := ParseValue(val)
+		if !intact || seq != op.Seq {
+			t.Fatalf("roundtrip %d bytes: seq %d intact %t", vl, seq, intact)
+		}
+	}
+	// A single flipped byte is caught, wherever it lands.
+	op := Op{Seq: 11, ValueLen: 64}
+	for _, i := range []int{0, 8, 16, 40, 63} {
+		val := MakeValue(buf, op)
+		val[i] ^= 0x40
+		if seq, intact := ParseValue(val); intact {
+			t.Fatalf("flip at %d not caught (seq %d)", i, seq)
+		}
+	}
+	// Truncation is caught.
+	if _, intact := ParseValue(MakeValue(buf, op)[:40]); intact {
+		t.Fatal("truncated value passed")
+	}
+	if _, intact := ParseValue(nil); intact {
+		t.Fatal("nil value passed")
+	}
+}
+
+func TestWorkloadConfigValidation(t *testing.T) {
+	bad := []WorkloadConfig{
+		{Keys: 0, ZipfS: 1.1, RatePerSec: 1},
+		{Keys: 10, ZipfS: 1.0, RatePerSec: 1},
+		{Keys: 10, ZipfS: 1.1, RatePerSec: 0},
+		{Keys: 10, ZipfS: 1.1, RatePerSec: 1, ReadFraction: 1.5},
+		{Keys: 10, ZipfS: 1.1, RatePerSec: 1, ValueSizes: []SizeClass{{Bytes: 8, Weight: 1}}},
+		{Keys: 10, ZipfS: 1.1, RatePerSec: 1, ValueSizes: []SizeClass{{Bytes: 64, Weight: 0}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
