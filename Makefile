@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent bench-wire kv-bench kv-soak cover stress chaos verify
+.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent bench-wire bench-migrate kv-bench kv-soak cover stress chaos verify
 
 build:
 	$(GO) build ./...
@@ -76,7 +76,13 @@ stress:
 KONA_CHAOS_SEED ?= $(shell date +%s)
 chaos:
 	KONA_CHAOS_SEED=$(KONA_CHAOS_SEED) $(GO) test -race -count=1 \
-		-run 'Chaos|Rejoin|Repair|ByteBudget' ./internal/core ./internal/cluster ./internal/kv
+		-run 'Chaos|Rejoin|Repair|ByteBudget|Migrat' ./internal/core ./internal/cluster ./internal/kv
+
+# Migration starvation guard (DESIGN.md §13): a concurrent budgeted live
+# slab migration must not degrade the workload's virtual-time fetch p99
+# by 10% or more — the same discipline bench-evict applies to repair.
+bench-migrate:
+	$(GO) test -run 'TestMigrationDoesNotStarveFetchP99' -count=1 -v ./internal/core
 
 # KV service SLO guard (DESIGN.md §12): the fixed-seed open-loop zipfian
 # run against kona-kvd on a full TCP rack — the tail must hold under the
@@ -112,4 +118,4 @@ bench-concurrent:
 cover:
 	$(GO) test -cover ./internal/... | sort
 
-verify: vet build test race stress chaos bench-quick bench-telemetry bench-evict bench-concurrent bench-wire kv-bench kv-soak
+verify: vet build test race stress chaos bench-quick bench-telemetry bench-evict bench-concurrent bench-wire bench-migrate kv-bench kv-soak

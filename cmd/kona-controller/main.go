@@ -35,6 +35,10 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/events on this HTTP address (empty = telemetry disabled)")
 	sweepInterval := flag.Duration("sweep-interval", 500*time.Millisecond, "health-sweep + repair cadence (0 disables repair)")
 	repairBudget := flag.Float64("repair-budget", 64<<20, "re-replication copy budget in bytes/sec (0 = unlimited)")
+	placement := flag.String("placement", cluster.PolicyRR, "slab placement policy: rr (deterministic round-robin) or load (least-loaded with replica anti-affinity)")
+	migrateRatio := flag.Float64("migrate-threshold", 0, "hot/cold load ratio that triggers live slab migration (0 disables migration)")
+	migrateBudget := flag.Float64("migrate-budget", 64<<20, "migration copy budget in bytes/sec (0 = unlimited)")
+	migrateMaxMoves := flag.Int("migrate-max-moves", 1, "max slab migrations started per sweep")
 	grace := flag.Duration("drain-grace", 5*time.Second, "shutdown drain budget for in-flight RPCs")
 	var (
 		faultDrop    = flag.Float64("fault-drop", 0, "probability an I/O op drops the connection (chaos testing)")
@@ -70,6 +74,10 @@ func main() {
 	}
 
 	ctrl := cluster.NewController()
+	if err := ctrl.SetPlacementPolicy(*placement); err != nil {
+		fmt.Fprintf(os.Stderr, "kona-controller: %v\n", err)
+		os.Exit(1)
+	}
 	srv := cluster.ServeControllerOnWith(ctrl, l, reg)
 	defer srv.Close()
 
@@ -88,6 +96,24 @@ func main() {
 		go engine.Run(stopRepair)
 	}
 
+	// Live slab migration: sweep the load map (fed by memnode -load-interval
+	// pushes and compute-side Sync reports) and move slabs off hot nodes
+	// under a copy budget (DESIGN.md §13).
+	if *sweepInterval > 0 && *migrateRatio > 0 {
+		migTr := cluster.NewTCPMigrationTransport(srv.NodeAddr, cluster.DefaultTransport())
+		defer migTr.Close()
+		mig := cluster.NewMigrationEngine(ctrl, migTr, cluster.MigrationConfig{
+			BytesPerSec:      *migrateBudget,
+			Interval:         *sweepInterval,
+			HotRatio:         *migrateRatio,
+			MaxMovesPerSweep: *migrateMaxMoves,
+			Metrics:          reg,
+		})
+		stopMig := make(chan struct{})
+		defer close(stopMig)
+		go mig.Run(stopMig)
+	}
+
 	metrics := "off"
 	if reg != nil {
 		ms, err := telemetry.Serve(*metricsAddr, reg)
@@ -100,8 +126,8 @@ func main() {
 	}
 	// One structured line with the effective configuration, grep-able in
 	// deployment logs.
-	fmt.Printf("kona-controller: config listen=%s metrics=%s faults=%t fault-drop=%g fault-delay=%g fault-seed=%d\n",
-		srv.Addr(), metrics, faults, *faultDrop, *faultDelay, *faultSeed)
+	fmt.Printf("kona-controller: config listen=%s metrics=%s placement=%s migrate-threshold=%g faults=%t fault-drop=%g fault-delay=%g fault-seed=%d\n",
+		srv.Addr(), metrics, ctrl.PlacementPolicy(), *migrateRatio, faults, *faultDrop, *faultDelay, *faultSeed)
 	fmt.Printf("kona-controller: serving on %s\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)

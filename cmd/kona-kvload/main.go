@@ -17,9 +17,12 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -29,20 +32,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:11211", "kona-kvd address")
-		ops      = flag.Uint64("ops", 100000, "operations to issue (0 = run for -duration)")
-		duration = flag.Duration("duration", 0, "generated arrival-time horizon when -ops 0")
-		rate     = flag.Float64("rate", 5000, "Poisson arrival rate, ops/sec")
-		keys     = flag.Uint64("keys", 1_000_000, "distinct keys (simulated users)")
-		zipfS    = flag.Float64("zipf", 1.1, "zipf skew (>1; higher = hotter hot set)")
-		readFrac = flag.Float64("read-frac", 0.9, "fraction of ops that are GETs")
-		sizes    = flag.String("value-sizes", "", "value-size distribution as bytes:weight[,bytes:weight...] (default small-object mix)")
-		conns    = flag.Int("conns", 8, "client connections (keys hash-route to conns)")
-		seed     = flag.Int64("seed", 1, "workload RNG seed")
-		sloP99   = flag.Duration("slo-p99", 0, "p99 latency objective (0 = unchecked)")
-		sloP999  = flag.Duration("slo-p999", 0, "p999 latency objective (0 = unchecked)")
-		verify   = flag.Bool("verify", false, "after the run, re-read every acknowledged write and prove none was lost or torn")
-		progress = flag.Duration("progress", 5*time.Second, "progress report cadence (0 = quiet)")
+		addr        = flag.String("addr", "127.0.0.1:11211", "kona-kvd address")
+		ops         = flag.Uint64("ops", 100000, "operations to issue (0 = run for -duration)")
+		duration    = flag.Duration("duration", 0, "generated arrival-time horizon when -ops 0")
+		rate        = flag.Float64("rate", 5000, "Poisson arrival rate, ops/sec")
+		keys        = flag.Uint64("keys", 1_000_000, "distinct keys (simulated users)")
+		zipfS       = flag.Float64("zipf", 1.1, "zipf skew (>1; higher = hotter hot set)")
+		readFrac    = flag.Float64("read-frac", 0.9, "fraction of ops that are GETs")
+		sizes       = flag.String("value-sizes", "", "value-size distribution as bytes:weight[,bytes:weight...] (default small-object mix)")
+		conns       = flag.Int("conns", 8, "client connections (keys hash-route to conns)")
+		seed        = flag.Int64("seed", 1, "workload RNG seed")
+		sloP99      = flag.Duration("slo-p99", 0, "p99 latency objective (0 = unchecked)")
+		sloP999     = flag.Duration("slo-p999", 0, "p999 latency objective (0 = unchecked)")
+		verify      = flag.Bool("verify", false, "after the run, re-read every acknowledged write and prove none was lost or torn")
+		progress    = flag.Duration("progress", 5*time.Second, "progress report cadence (0 = quiet)")
+		ctrlMetrics = flag.String("ctrl-metrics", "", "rack controller metrics address (host:port); print the run's per-memnode op/byte distribution from its load map")
 	)
 	flag.Parse()
 
@@ -95,6 +99,18 @@ func main() {
 		}()
 	}
 
+	// Per-memnode distribution: snapshot the controller's load-map
+	// counters around the run so only this run's traffic shows in the
+	// deltas. Scrape failures are reported but never fail the run — the
+	// distribution is diagnostics, not a result.
+	var loadBefore map[int]map[string]uint64
+	if *ctrlMetrics != "" {
+		var serr error
+		if loadBefore, serr = scrapeNodeLoads(*ctrlMetrics); serr != nil {
+			fmt.Fprintf(os.Stderr, "kona-kvload: controller metrics scrape: %v\n", serr)
+		}
+	}
+
 	res, err := engine.Run(*addr)
 	close(stopProgress)
 	if err != nil {
@@ -127,6 +143,14 @@ func main() {
 		fmt.Printf("  verify: %d acknowledged keys checked, %d missing, %d torn, %d stale\n",
 			res.VerifiedKeys, res.Missing, res.Torn, res.Stale)
 	}
+	if *ctrlMetrics != "" {
+		loadAfter, serr := scrapeNodeLoads(*ctrlMetrics)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "kona-kvload: controller metrics scrape: %v\n", serr)
+		} else {
+			printNodeLoads(loadBefore, loadAfter)
+		}
+	}
 
 	switch {
 	case *verify && res.Missing+res.Torn+res.Stale > 0:
@@ -134,6 +158,89 @@ func main() {
 	case res.SLOViolated:
 		os.Exit(2)
 	}
+}
+
+// scrapeNodeLoads fetches the controller's /metrics text and returns the
+// cluster.load.node.<id>.<field> values keyed by node id, then field
+// (read_ops, write_ops, read_bytes, write_bytes, score, pending).
+func scrapeNodeLoads(addr string) (map[int]map[string]uint64, error) {
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	out := make(map[int]map[string]uint64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		rest, ok := strings.CutPrefix(sc.Text(), "cluster.load.node.")
+		if !ok {
+			continue
+		}
+		nameVal := strings.Fields(rest) // "<id>.<field> <value>"
+		if len(nameVal) != 2 {
+			continue
+		}
+		idField := strings.SplitN(nameVal[0], ".", 2)
+		if len(idField) != 2 {
+			continue
+		}
+		id, ierr := strconv.Atoi(idField[0])
+		v, verr := strconv.ParseUint(nameVal[1], 10, 64)
+		if ierr != nil || verr != nil {
+			continue
+		}
+		if out[id] == nil {
+			out[id] = make(map[string]uint64)
+		}
+		out[id][idField[1]] = v
+	}
+	return out, sc.Err()
+}
+
+// printNodeLoads prints the per-memnode op/byte distribution for the run:
+// the delta of each node's load-map counters across the run, with each
+// node's share of the total. An even rack shows near-equal shares; a
+// skewed one is the signal that load-aware placement or migration is
+// worth enabling.
+func printNodeLoads(before, after map[int]map[string]uint64) {
+	var ids []int
+	for id := range after {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if len(ids) == 0 {
+		fmt.Println("  memnode distribution: no cluster.load.node.* metrics (are memnodes pushing load reports?)")
+		return
+	}
+	delta := func(id int, field string) uint64 {
+		a := after[id][field]
+		if b := before[id][field]; b < a {
+			return a - b
+		}
+		return 0 // counter reset mid-run (node rejoin): show nothing rather than garbage
+	}
+	var totOps, totBytes uint64
+	for _, id := range ids {
+		totOps += delta(id, "read_ops") + delta(id, "write_ops")
+		totBytes += delta(id, "read_bytes") + delta(id, "write_bytes")
+	}
+	fmt.Println("\n  memnode distribution (this run):")
+	fmt.Println("  node   read_ops  write_ops   read_bytes  write_bytes  ops-share")
+	for _, id := range ids {
+		ops := delta(id, "read_ops") + delta(id, "write_ops")
+		share := 0.0
+		if totOps > 0 {
+			share = 100 * float64(ops) / float64(totOps)
+		}
+		fmt.Printf("  %4d %10d %10d %12d %12d     %5.1f%%\n",
+			id, delta(id, "read_ops"), delta(id, "write_ops"),
+			delta(id, "read_bytes"), delta(id, "write_bytes"), share)
+	}
+	fmt.Printf("  total %9d ops %26d bytes\n", totOps, totBytes)
 }
 
 func orDash(d time.Duration) string {

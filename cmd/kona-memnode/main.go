@@ -38,6 +38,8 @@ func main() {
 		ctrlAddr    = flag.String("controller", "", "controller address to register with (optional)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/events on this HTTP address (empty = telemetry disabled)")
 
+		loadInterval = flag.Duration("load-interval", 500*time.Millisecond, "cadence of load reports pushed to the controller (0 disables)")
+
 		dialTimeout = flag.Duration("dial-timeout", 2*time.Second, "TCP dial timeout")
 		reqTimeout  = flag.Duration("req-timeout", 5*time.Second, "per-attempt request deadline")
 		retries     = flag.Int("retries", 3, "retry budget for idempotent requests (-1 disables)")
@@ -115,6 +117,26 @@ func main() {
 		// incarnation (pre-crash placements) are now fenced off (§10).
 		node.SetIncarnation(epoch)
 		fmt.Printf("kona-memnode: registered with controller %s (incarnation %d)\n", *ctrlAddr, epoch)
+
+		// Push cumulative load counters to the controller's load map
+		// (DESIGN.md §13). Best-effort: a dropped report only delays the
+		// next load-map update, so errors are ignored.
+		if *loadInterval > 0 {
+			stopLoad := make(chan struct{})
+			defer close(stopLoad)
+			go func() {
+				t := time.NewTicker(*loadInterval)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopLoad:
+						return
+					case <-t.C:
+						_ = cc.ReportLoad(*id, node.LoadCounters())
+					}
+				}
+			}()
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 
@@ -66,6 +67,17 @@ func (c *ControllerClient) ReportFailure(node int) (bool, error) {
 		return false, err
 	}
 	return resp.Entries == 1, nil
+}
+
+// ReportLoad pushes one load sample for node into the controller's load
+// map (memnode daemons send their cumulative counters each interval;
+// compute runtimes send pending-byte gauges).
+func (c *ControllerClient) ReportLoad(node int, s LoadSample) error {
+	_, err := c.pool.roundTrip(&Request{
+		Kind: msgReportLoad, NodeID: node,
+		Data: appendLoadSample(make([]byte, 0, loadSampleWireSize), s),
+	})
+	return err
 }
 
 // Epoch returns the controller's placement epoch (advances on every
@@ -260,5 +272,62 @@ func (c *MemoryNodeClient) WriteLogVec(segs ...[]byte) (int, error) {
 // Ping checks liveness.
 func (c *MemoryNodeClient) Ping() error {
 	_, err := c.pool.roundTrip(&Request{Kind: msgPing})
+	return err
+}
+
+// CaptureStart begins dirty-page capture on [off, off+size) at pageLen
+// granularity (migration engine, DESIGN.md §13).
+func (c *MemoryNodeClient) CaptureStart(off, size, pageLen uint64) error {
+	_, err := c.pool.roundTrip(&Request{
+		Kind: msgCaptureStart, Offset: off, Size: size, Length: int(pageLen), Epoch: c.epoch.Load(),
+	})
+	return err
+}
+
+// CaptureDrain returns (and clears) the page offsets dirtied in the
+// captured extent since the capture started or was last drained. The
+// offsets travel as 8-byte big-endian values in the response payload.
+func (c *MemoryNodeClient) CaptureDrain(off, size uint64) ([]uint64, error) {
+	resp, err := c.pool.roundTrip(&Request{
+		Kind: msgCaptureDrain, Offset: off, Size: size, Epoch: c.epoch.Load(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Data)%8 != 0 {
+		return nil, fmt.Errorf("cluster: capture-drain payload of %d bytes", len(resp.Data))
+	}
+	if len(resp.Data) == 0 {
+		return nil, nil
+	}
+	offs := make([]uint64, len(resp.Data)/8)
+	for i := range offs {
+		offs[i] = binary.BigEndian.Uint64(resp.Data[i*8:])
+	}
+	return offs, nil
+}
+
+// CaptureStop discards the capture on [off, off+size).
+func (c *MemoryNodeClient) CaptureStop(off, size uint64) error {
+	_, err := c.pool.roundTrip(&Request{
+		Kind: msgCaptureStop, Offset: off, Size: size, Epoch: c.epoch.Load(),
+	})
+	return err
+}
+
+// Seal write-fences [off, off+size) on the node; writes and log batches
+// touching it fail with a sealed error until Unseal.
+func (c *MemoryNodeClient) Seal(off, size uint64) error {
+	_, err := c.pool.roundTrip(&Request{
+		Kind: msgSealExtent, Offset: off, Size: size, Epoch: c.epoch.Load(),
+	})
+	return err
+}
+
+// Unseal lifts the write fence on [off, off+size).
+func (c *MemoryNodeClient) Unseal(off, size uint64) error {
+	_, err := c.pool.roundTrip(&Request{
+		Kind: msgUnsealExtent, Offset: off, Size: size, Epoch: c.epoch.Load(),
+	})
 	return err
 }

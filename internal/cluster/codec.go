@@ -41,6 +41,12 @@ const (
 	kindPing
 	kindSlabPlacements
 	kindReportFailure
+	kindReportLoad
+	kindCaptureStart
+	kindCaptureDrain
+	kindCaptureStop
+	kindSealExtent
+	kindUnsealExtent
 
 	kindResponse byte = 0x80
 )
@@ -60,6 +66,12 @@ var kindBytes = map[string]byte{
 	msgPing:           kindPing,
 	msgSlabPlacements: kindSlabPlacements,
 	msgReportFailure:  kindReportFailure,
+	msgReportLoad:     kindReportLoad,
+	msgCaptureStart:   kindCaptureStart,
+	msgCaptureDrain:   kindCaptureDrain,
+	msgCaptureStop:    kindCaptureStop,
+	msgSealExtent:     kindSealExtent,
+	msgUnsealExtent:   kindUnsealExtent,
 }
 
 var kindNames = map[byte]string{
@@ -74,6 +86,12 @@ var kindNames = map[byte]string{
 	kindPing:           msgPing,
 	kindSlabPlacements: msgSlabPlacements,
 	kindReportFailure:  msgReportFailure,
+	kindReportLoad:     msgReportLoad,
+	kindCaptureStart:   msgCaptureStart,
+	kindCaptureDrain:   msgCaptureDrain,
+	kindCaptureStop:    msgCaptureStop,
+	kindSealExtent:     msgSealExtent,
+	kindUnsealExtent:   msgUnsealExtent,
 }
 
 // --- append-style encoders ---------------------------------------------

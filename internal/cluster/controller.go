@@ -57,6 +57,11 @@ type Controller struct {
 	// the TCP server can probe over the wire and tests can lie. The
 	// default trusts the in-process failure flag.
 	prober func(id int, n *MemoryNode) bool
+
+	// load is the per-node load map (loadmap.go); policy selects how new
+	// carves pick nodes ("" = PolicyRR).
+	load   map[int]*nodeLoad
+	policy string
 }
 
 type degradedKey struct {
@@ -223,7 +228,13 @@ func (c *Controller) PlacementEpoch() uint64 {
 }
 
 // Placements returns the current members of a placement group, replica
-// order preserved (index 0 is the primary).
+// order preserved (index 0 is the primary). Dead members are returned
+// too, deliberately: a member whose node was expelled stays in its group
+// (degraded) until repair flips it, and compute runtimes need the dead
+// descriptor to keep its (node, epoch) link key stable for the
+// retained-entry protocol — they substitute a deadLink stand-in locally.
+// Callers that need liveness resolved on the controller side use
+// PlacementsHealth.
 func (c *Controller) Placements(group uint64) ([]slab.Slab, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -234,6 +245,30 @@ func (c *Controller) Placements(group uint64) ([]slab.Slab, bool) {
 	out := make([]slab.Slab, len(members))
 	copy(out, members)
 	return out, true
+}
+
+// PlacementsHealth is Placements plus a per-member liveness flag,
+// computed under the same critical section the membership copy is taken
+// in — so a read racing removeLocked sees either the pre-removal state
+// (member live) or the post-removal state (member flagged dead), never a
+// torn mix. A member is live iff its node is currently registered at the
+// incarnation the member was carved under (Epoch 0 disables the
+// incarnation check, matching ReleaseSlab's convention).
+func (c *Controller) PlacementsHealth(group uint64) ([]slab.Slab, []bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	members, ok := c.groups[group]
+	if !ok {
+		return nil, nil, false
+	}
+	out := make([]slab.Slab, len(members))
+	copy(out, members)
+	live := make([]bool, len(members))
+	for i, m := range members {
+		_, reg := c.nodes[m.Node]
+		live[i] = reg && (m.Epoch == 0 || c.incarn[m.Node] == m.Epoch)
+	}
+	return out, live, true
 }
 
 // DegradedSlabs returns the outstanding repair work, deterministically
@@ -488,9 +523,20 @@ func (c *Controller) AllocSlab(size uint64) (slab.Slab, error) {
 	if len(c.rr) == 0 {
 		return slab.Slab{}, fmt.Errorf("controller: no memory nodes registered")
 	}
+	// PolicyLoad walks nodes coldest-first; the default rr rotation is
+	// untouched so fixed-seed runs stay byte-identical.
+	var order []int
+	if c.policy == PolicyLoad {
+		order = c.loadOrderLocked()
+	}
 	for tries := 0; tries < len(c.rr); tries++ {
-		id := c.rr[c.pos]
-		c.pos = (c.pos + 1) % len(c.rr)
+		var id int
+		if order != nil {
+			id = order[tries]
+		} else {
+			id = c.rr[c.pos]
+			c.pos = (c.pos + 1) % len(c.rr)
+		}
 		n := c.nodes[id]
 		off, err := n.CarveSlab(size)
 		if err != nil {
@@ -531,9 +577,18 @@ func (c *Controller) AllocReplicatedSlab(size uint64, replicas int) ([]slab.Slab
 	base := c.nextVA
 	gid := c.nextSlabID + 1
 	placed := map[int]bool{}
+	var order []int
+	if c.policy == PolicyLoad {
+		order = c.loadOrderLocked()
+	}
 	for tries := 0; tries < len(c.rr) && len(out) < replicas; tries++ {
-		id := c.rr[c.pos]
-		c.pos = (c.pos + 1) % len(c.rr)
+		var id int
+		if order != nil {
+			id = order[tries]
+		} else {
+			id = c.rr[c.pos]
+			c.pos = (c.pos + 1) % len(c.rr)
+		}
 		if placed[id] {
 			continue
 		}

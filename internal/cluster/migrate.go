@@ -1,0 +1,687 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"kona/internal/mem"
+	"kona/internal/slab"
+	"kona/internal/telemetry"
+)
+
+// Live slab migration (DESIGN.md §13). The migration engine generalizes
+// the repair engine's copy-then-flip: where repair copies a LOST member
+// from a surviving replica, migration copies a LIVE member off a hot
+// node while writers keep hitting it. Correctness against concurrent
+// writes comes from the memnode's dirty capture and extent seal:
+//
+//	CaptureStart        — source records pages dirtied from here on
+//	full copy           — budgeted, page-batched (repair's loop)
+//	drain+copy deltas   — bounded passes until the dirty set runs dry
+//	Seal                — writes to the old extent now fail loudly
+//	final drain+copy    — the image is exact; nothing can change it
+//	CommitMigration     — member flip + placement-epoch bump
+//	CaptureStop         — and the old extent retires after a hold-down
+//
+// A write that lands before the seal is captured and re-copied; a write
+// rejected by the seal comes back to the compute runtime as a sealed
+// error, which retains the entries and triggers a placement refresh —
+// the retained-entry remap then replays them onto the new extent under
+// the suspect read fence. Either way no acknowledged write is lost or
+// reordered. The old extent stays sealed for RetireSweeps sweeps before
+// its memory is released, so any straggler writer still holding the old
+// placement fails loudly instead of writing into a recycled window.
+
+// NodeIDs returns the registered node ids, ascending.
+func (c *Controller) NodeIDs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SlabsOnNode returns the group members hosted on node at its current
+// incarnation, ascending group id. Groups with any degraded member are
+// skipped — repair owns those until they settle.
+func (c *Controller) SlabsOnNode(node int) []slab.Slab {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inc := c.incarn[node]
+	degradedGroup := make(map[uint64]bool, len(c.degraded))
+	for k := range c.degraded {
+		degradedGroup[k.group] = true
+	}
+	var out []slab.Slab
+	for gid, members := range c.groups {
+		if degradedGroup[gid] {
+			continue
+		}
+		for _, m := range members {
+			if m.Node == node && m.Epoch == inc {
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CarveMigrationTarget picks the coldest node not already holding a
+// member of src's group and carves a same-size extent there. src must
+// still be a current member at its carved incarnation. Migration targets
+// always use load order — rebalancing onto a random node defeats the
+// point — with the id tie-break keeping the choice deterministic.
+func (c *Controller) CarveMigrationTarget(src slab.Slab) (slab.Slab, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	members := c.groups[src.ID]
+	found := false
+	occupied := make(map[int]bool, len(members))
+	for _, m := range members {
+		occupied[m.Node] = true
+		if m.Node == src.Node && m.RemoteOff == src.RemoteOff && m.Epoch == src.Epoch {
+			found = true
+		}
+	}
+	if !found {
+		return slab.Slab{}, fmt.Errorf("controller: group %d member on node %d vanished", src.ID, src.Node)
+	}
+	if _, deg := c.degraded[degradedKey{group: src.ID, node: src.Node}]; deg {
+		return slab.Slab{}, fmt.Errorf("controller: group %d/node %d is degraded; repair owns it", src.ID, src.Node)
+	}
+	for _, id := range c.loadOrderLocked() {
+		if occupied[id] {
+			continue
+		}
+		n := c.nodes[id]
+		if n.Failed() {
+			continue
+		}
+		off, err := n.CarveSlab(src.Size)
+		if err != nil {
+			continue
+		}
+		return slab.Slab{
+			ID:        src.ID,
+			Base:      src.Base,
+			Size:      src.Size,
+			Node:      id,
+			RemoteKey: n.PoolKey(),
+			RemoteOff: off,
+			Epoch:     c.incarn[id],
+		}, nil
+	}
+	return slab.Slab{}, fmt.Errorf("controller: no migration target for group %d (source node %d)", src.ID, src.Node)
+}
+
+// CommitMigration atomically flips the src member to the freshly copied
+// dst and bumps the placement epoch. It fails — and the caller must
+// AbandonMigration(dst) — if src is no longer a member (repair or a
+// racing migration got there first), src's node became degraded, or the
+// target died or changed incarnation during the copy.
+func (c *Controller) CommitMigration(src, dst slab.Slab) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, deg := c.degraded[degradedKey{group: src.ID, node: src.Node}]; deg {
+		return fmt.Errorf("controller: group %d/node %d degraded during migration", src.ID, src.Node)
+	}
+	n, ok := c.nodes[dst.Node]
+	if !ok || c.incarn[dst.Node] != dst.Epoch {
+		return fmt.Errorf("controller: migration target node %d (epoch %d) gone", dst.Node, dst.Epoch)
+	}
+	if n.Failed() {
+		return fmt.Errorf("controller: migration target node %d failed during copy", dst.Node)
+	}
+	members := c.groups[src.ID]
+	for i := range members {
+		m := &members[i]
+		if m.Node == src.Node && m.RemoteOff == src.RemoteOff && m.Epoch == src.Epoch {
+			*m = dst
+			c.epoch++
+			return nil
+		}
+	}
+	return fmt.Errorf("controller: group %d member on node %d vanished during migration", src.ID, src.Node)
+}
+
+// AbandonMigration returns a carved-but-unflipped target extent (or a
+// retired source extent) to its node, if that node is still around at
+// the same incarnation. Releasing through the node also clears any seal
+// or capture left on the extent.
+func (c *Controller) AbandonMigration(s slab.Slab) {
+	c.mu.Lock()
+	n, ok := c.nodes[s.Node]
+	live := ok && c.incarn[s.Node] == s.Epoch
+	c.mu.Unlock()
+	if live {
+		n.ReleaseSlab(s.RemoteOff, s.Size)
+	}
+}
+
+// MigrationTransport extends the repair transport with the source-side
+// capture and seal controls a live copy needs.
+type MigrationTransport interface {
+	RepairTransport
+	CaptureStart(node int, epoch uint64, off, size, pageLen uint64) error
+	CaptureDrain(node int, epoch uint64, off, size uint64) ([]uint64, error)
+	CaptureStop(node int, epoch uint64, off, size uint64) error
+	Seal(node int, epoch uint64, off, size uint64) error
+	Unseal(node int, epoch uint64, off, size uint64) error
+}
+
+// MigrationConfig tunes the load-driven rebalancer.
+type MigrationConfig struct {
+	// BytesPerSec caps migration copy traffic (<= 0: unlimited), sharing
+	// the same token-bucket discipline as repair.
+	BytesPerSec float64
+	// BatchPages is pages per ReadPages RPC (default 16).
+	BatchPages int
+	// PageSize is the copy/capture granularity (default mem.PageSize).
+	PageSize int
+	// Interval is the Run loop's sweep period (default 200ms).
+	Interval time.Duration
+	// HotRatio triggers a move when the hottest node's score exceeds
+	// HotRatio times the coldest's (default 2.0).
+	HotRatio float64
+	// MinScore is the hot-node score floor below which the rack is
+	// considered idle and nothing moves (default 1).
+	MinScore float64
+	// MaxMovesPerSweep bounds migrations per sweep (default 1).
+	MaxMovesPerSweep int
+	// MaxDrainPasses bounds pre-seal delta copies before sealing anyway
+	// (default 8) — a writer hotter than the copy budget must not stall
+	// the migration forever.
+	MaxDrainPasses int
+	// RetireSweeps is how many sweeps the old extent stays sealed before
+	// its memory is released (default 4).
+	RetireSweeps int
+	// PullLoads, when set, scrapes in-process node counters into the
+	// load map at each sweep — the sim-mode feed. TCP daemons leave it
+	// off and rely on memnode push reports.
+	PullLoads bool
+	// Metrics, if set, receives cluster.migrate.* counters and gauges.
+	Metrics *telemetry.Registry
+}
+
+func (c MigrationConfig) withDefaults() MigrationConfig {
+	if c.BatchPages <= 0 {
+		c.BatchPages = 16
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = int(mem.PageSize)
+	}
+	if c.Interval <= 0 {
+		c.Interval = 200 * time.Millisecond
+	}
+	if c.HotRatio <= 1 {
+		c.HotRatio = 2.0
+	}
+	if c.MinScore <= 0 {
+		c.MinScore = 1
+	}
+	if c.MaxMovesPerSweep <= 0 {
+		c.MaxMovesPerSweep = 1
+	}
+	if c.MaxDrainPasses <= 0 {
+		c.MaxDrainPasses = 8
+	}
+	if c.RetireSweeps <= 0 {
+		c.RetireSweeps = 4
+	}
+	return c
+}
+
+// MigrationStats is a snapshot of the engine's lifetime work.
+type MigrationStats struct {
+	// Moves counts committed migrations (member flipped).
+	Moves uint64
+	// Failures counts abandoned migration attempts.
+	Failures uint64
+	// BytesCopied is the total page payload moved (full copy + deltas).
+	BytesCopied uint64
+	// DeltaPages counts pages re-copied from capture drains.
+	DeltaPages uint64
+	// Retired counts old extents whose hold-down expired and whose
+	// memory was released.
+	Retired uint64
+}
+
+// retiringExtent is one flipped-out source extent in its sealed
+// hold-down.
+type retiringExtent struct {
+	s      slab.Slab
+	sweeps int
+}
+
+// MigrationEngine is the controller-side load-driven rebalancer: each
+// sweep it refreshes the load map, picks the hottest and coldest nodes,
+// and if the imbalance clears HotRatio, live-migrates one slab from hot
+// to cold under the byte budget.
+type MigrationEngine struct {
+	ctrl   *Controller
+	tr     MigrationTransport
+	cfg    MigrationConfig
+	budget *byteBudget
+
+	moves, failures, bytesCopied, deltaPages, retiredCount atomic.Uint64
+
+	retiring []retiringExtent
+
+	mMoves    *telemetry.Counter
+	mFailures *telemetry.Counter
+	mBytes    *telemetry.Counter
+	mDelta    *telemetry.Counter
+	mRetired  *telemetry.Counter
+	mRetiring *telemetry.Gauge
+}
+
+// NewMigrationEngine wires an engine to a controller and a transport.
+func NewMigrationEngine(ctrl *Controller, tr MigrationTransport, cfg MigrationConfig) *MigrationEngine {
+	cfg = cfg.withDefaults()
+	e := &MigrationEngine{
+		ctrl:   ctrl,
+		tr:     tr,
+		cfg:    cfg,
+		budget: newByteBudget(cfg.BytesPerSec, 0),
+	}
+	if cfg.Metrics != nil {
+		e.mMoves = cfg.Metrics.Counter("cluster.migrate.moves")
+		e.mFailures = cfg.Metrics.Counter("cluster.migrate.failures")
+		e.mBytes = cfg.Metrics.Counter("cluster.migrate.bytes_copied")
+		e.mDelta = cfg.Metrics.Counter("cluster.migrate.delta_pages")
+		e.mRetired = cfg.Metrics.Counter("cluster.migrate.retired")
+		e.mRetiring = cfg.Metrics.Gauge("cluster.migrate.retiring")
+	}
+	return e
+}
+
+// Stats returns the engine's lifetime counters.
+func (e *MigrationEngine) Stats() MigrationStats {
+	return MigrationStats{
+		Moves:       e.moves.Load(),
+		Failures:    e.failures.Load(),
+		BytesCopied: e.bytesCopied.Load(),
+		DeltaPages:  e.deltaPages.Load(),
+		Retired:     e.retiredCount.Load(),
+	}
+}
+
+// SweepOnce runs one rebalance pass: age retirements, then migrate up to
+// MaxMovesPerSweep slabs off the hottest node if the imbalance clears
+// the trigger. It returns the number of committed moves.
+func (e *MigrationEngine) SweepOnce() int {
+	if e.cfg.PullLoads {
+		e.ctrl.PullNodeLoads()
+	}
+	e.ageRetirements()
+	moves := 0
+	for i := 0; i < e.cfg.MaxMovesPerSweep; i++ {
+		src, ok := e.pickMove()
+		if !ok {
+			break
+		}
+		if err := e.migrateOne(src); err != nil {
+			break
+		}
+		moves++
+	}
+	if e.mRetiring != nil {
+		e.mRetiring.Set(int64(len(e.retiring)))
+	}
+	return moves
+}
+
+// pickMove selects the slab to migrate: the lowest-id group member on
+// the hottest node, when that node's score clears both the MinScore
+// floor and HotRatio times the coldest node's score.
+func (e *MigrationEngine) pickMove() (slab.Slab, bool) {
+	ids := e.ctrl.NodeIDs()
+	if len(ids) < 2 {
+		return slab.Slab{}, false
+	}
+	scores := make(map[int]float64, len(ids))
+	for _, nl := range e.ctrl.LoadMap() {
+		scores[nl.Node] = nl.Score + float64(nl.Pending)
+	}
+	hot, cold := ids[0], ids[0]
+	for _, id := range ids[1:] {
+		if scores[id] > scores[hot] {
+			hot = id
+		}
+		if scores[id] < scores[cold] {
+			cold = id
+		}
+	}
+	if hot == cold || scores[hot] < e.cfg.MinScore || scores[hot] < e.cfg.HotRatio*scores[cold] {
+		return slab.Slab{}, false
+	}
+	for _, s := range e.ctrl.SlabsOnNode(hot) {
+		return s, true
+	}
+	return slab.Slab{}, false
+}
+
+// migrateOne live-migrates one member: capture, copy, drain deltas,
+// seal, final drain, flip, retire.
+func (e *MigrationEngine) migrateOne(src slab.Slab) (err error) {
+	target, err := e.ctrl.CarveMigrationTarget(src)
+	if err != nil {
+		return err
+	}
+	pageLen := uint64(e.cfg.PageSize)
+	sealed := false
+	defer func() {
+		if err == nil {
+			return
+		}
+		// Unwind: lift the seal so writers resume against the still-
+		// current member, drop the capture, give the target back.
+		if sealed {
+			_ = e.tr.Unseal(src.Node, src.Epoch, src.RemoteOff, src.Size)
+		}
+		_ = e.tr.CaptureStop(src.Node, src.Epoch, src.RemoteOff, src.Size)
+		e.ctrl.AbandonMigration(target)
+		e.failures.Add(1)
+		if e.mFailures != nil {
+			e.mFailures.Inc()
+		}
+	}()
+	if err = e.tr.CaptureStart(src.Node, src.Epoch, src.RemoteOff, src.Size, pageLen); err != nil {
+		return err
+	}
+	onCopied := func(n uint64) {
+		e.bytesCopied.Add(n)
+		if e.mBytes != nil {
+			e.mBytes.Add(n)
+		}
+	}
+	if err = copyExtentBudgeted(e.tr, e.budget, e.cfg.BatchPages, pageLen, src, target, onCopied); err != nil {
+		return err
+	}
+	// Chase the dirty set down before sealing: each pass re-copies the
+	// pages written during the previous one. Bounded — a writer outrunning
+	// the budget converges at the seal instead.
+	for pass := 0; pass < e.cfg.MaxDrainPasses; pass++ {
+		var offs []uint64
+		if offs, err = e.tr.CaptureDrain(src.Node, src.Epoch, src.RemoteOff, src.Size); err != nil {
+			return err
+		}
+		if len(offs) == 0 {
+			break
+		}
+		if err = e.copyDelta(src, target, offs); err != nil {
+			return err
+		}
+	}
+	if err = e.tr.Seal(src.Node, src.Epoch, src.RemoteOff, src.Size); err != nil {
+		return err
+	}
+	sealed = true
+	// Final delta under the seal: nothing can dirty the extent now, so
+	// after this copy the target is an exact image.
+	var offs []uint64
+	if offs, err = e.tr.CaptureDrain(src.Node, src.Epoch, src.RemoteOff, src.Size); err != nil {
+		return err
+	}
+	if err = e.copyDelta(src, target, offs); err != nil {
+		return err
+	}
+	if err = e.ctrl.CommitMigration(src, target); err != nil {
+		return err
+	}
+	_ = e.tr.CaptureStop(src.Node, src.Epoch, src.RemoteOff, src.Size)
+	// The old extent stays sealed through its hold-down; release comes
+	// in a later sweep.
+	e.retiring = append(e.retiring, retiringExtent{s: src, sweeps: e.cfg.RetireSweeps})
+	e.moves.Add(1)
+	if e.mMoves != nil {
+		e.mMoves.Inc()
+	}
+	return nil
+}
+
+// copyDelta re-copies the captured dirty pages (absolute source-pool
+// offsets) onto their homes in the target extent.
+func (e *MigrationEngine) copyDelta(src, dst slab.Slab, offs []uint64) error {
+	pageLen := uint64(e.cfg.PageSize)
+	for start := 0; start < len(offs); start += e.cfg.BatchPages {
+		end := start + e.cfg.BatchPages
+		if end > len(offs) {
+			end = len(offs)
+		}
+		batch := offs[start:end]
+		e.budget.take(len(batch) * int(pageLen))
+		pages, err := e.tr.ReadPages(src.Node, src.Epoch, batch, int(pageLen))
+		if err != nil {
+			return fmt.Errorf("migrate: delta read from node %d: %w", src.Node, err)
+		}
+		for i, off := range batch {
+			page := pages[i]
+			// Clamp the tail page to the extent: capture is page-granular
+			// but the extent need not be page-aligned in length.
+			if rem := src.RemoteOff + src.Size - off; rem < uint64(len(page)) {
+				page = page[:rem]
+			}
+			dstOff := dst.RemoteOff + (off - src.RemoteOff)
+			if err := e.tr.Write(dst.Node, dst.Epoch, dstOff, [][]byte{page}); err != nil {
+				return fmt.Errorf("migrate: delta write to node %d: %w", dst.Node, err)
+			}
+		}
+		n := uint64(len(batch)) * pageLen
+		e.bytesCopied.Add(n)
+		e.deltaPages.Add(uint64(len(batch)))
+		if e.mBytes != nil {
+			e.mBytes.Add(n)
+		}
+		if e.mDelta != nil {
+			e.mDelta.Add(uint64(len(batch)))
+		}
+	}
+	return nil
+}
+
+// ageRetirements counts down each flipped-out extent's sealed hold-down
+// and releases the ones that expire: unseal on the daemon (straggler
+// writers have had RetireSweeps sweeps to refresh), then give the
+// memory back through the controller's node mirror.
+func (e *MigrationEngine) ageRetirements() {
+	kept := e.retiring[:0]
+	for _, r := range e.retiring {
+		r.sweeps--
+		if r.sweeps > 0 {
+			kept = append(kept, r)
+			continue
+		}
+		_ = e.tr.Unseal(r.s.Node, r.s.Epoch, r.s.RemoteOff, r.s.Size)
+		e.ctrl.AbandonMigration(r.s)
+		e.retiredCount.Add(1)
+		if e.mRetired != nil {
+			e.mRetired.Inc()
+		}
+	}
+	e.retiring = kept
+}
+
+// Run sweeps every Interval until stop closes — the daemon's background
+// rebalance loop.
+func (e *MigrationEngine) Run(stop <-chan struct{}) {
+	t := time.NewTicker(e.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			e.SweepOnce()
+		}
+	}
+}
+
+// copyExtentBudgeted streams [src.RemoteOff, +Size) onto dst in
+// rate-limited batches: full pages through the batched ReadPages RPC
+// plus one smaller read for a non-page-aligned tail. Shared by the
+// repair and migration engines.
+func copyExtentBudgeted(tr RepairTransport, budget *byteBudget, batchPages int, pageLen uint64, src, dst slab.Slab, onCopied func(uint64)) error {
+	copyBatch := func(start uint64, offs []uint64, spanLen int) error {
+		span := uint64(len(offs)-1)*pageLen + uint64(spanLen)
+		budget.take(int(span))
+		pages, err := tr.ReadPages(src.Node, src.Epoch, offs, spanLen)
+		if err != nil {
+			return fmt.Errorf("copy: read from node %d: %w", src.Node, err)
+		}
+		// The page buffers go to the transport as a scatter list; the TCP
+		// path writev's them straight onto the wire.
+		if err := tr.Write(dst.Node, dst.Epoch, dst.RemoteOff+start, pages); err != nil {
+			return fmt.Errorf("copy: write to node %d: %w", dst.Node, err)
+		}
+		if onCopied != nil {
+			onCopied(span)
+		}
+		return nil
+	}
+	fullPages := src.Size / pageLen
+	offs := make([]uint64, 0, batchPages)
+	for p := uint64(0); p < fullPages; {
+		offs = offs[:0]
+		start := p * pageLen
+		for len(offs) < batchPages && p < fullPages {
+			offs = append(offs, src.RemoteOff+p*pageLen)
+			p++
+		}
+		if err := copyBatch(start, offs, int(pageLen)); err != nil {
+			return err
+		}
+	}
+	if rem := src.Size % pageLen; rem > 0 {
+		start := fullPages * pageLen
+		if err := copyBatch(start, []uint64{src.RemoteOff + start}, int(rem)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LocalMigrationTransport drives in-process MemoryNodes directly — the
+// simulated fabric's migration path.
+type LocalMigrationTransport struct {
+	LocalRepairTransport
+}
+
+// NewLocalMigrationTransport returns a transport over ctrl's registered
+// nodes.
+func NewLocalMigrationTransport(ctrl *Controller) *LocalMigrationTransport {
+	return &LocalMigrationTransport{LocalRepairTransport{Ctrl: ctrl}}
+}
+
+func (t *LocalMigrationTransport) CaptureStart(node int, epoch uint64, off, size, pageLen uint64) error {
+	n, err := t.node(node, epoch)
+	if err != nil {
+		return err
+	}
+	n.StartCapture(off, size, pageLen)
+	return nil
+}
+
+func (t *LocalMigrationTransport) CaptureDrain(node int, epoch uint64, off, size uint64) ([]uint64, error) {
+	n, err := t.node(node, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return n.DrainCapture(off, size), nil
+}
+
+func (t *LocalMigrationTransport) CaptureStop(node int, epoch uint64, off, size uint64) error {
+	n, err := t.node(node, epoch)
+	if err != nil {
+		return err
+	}
+	n.StopCapture(off, size)
+	return nil
+}
+
+func (t *LocalMigrationTransport) Seal(node int, epoch uint64, off, size uint64) error {
+	n, err := t.node(node, epoch)
+	if err != nil {
+		return err
+	}
+	n.Seal(off, size)
+	return nil
+}
+
+func (t *LocalMigrationTransport) Unseal(node int, epoch uint64, off, size uint64) error {
+	n, err := t.node(node, epoch)
+	if err != nil {
+		return err
+	}
+	n.Unseal(off, size)
+	return nil
+}
+
+// TCPMigrationTransport drives memnode daemons over the wire protocol.
+// The controller's registered MemoryNode objects are only capacity
+// mirrors in TCP mode; seal and capture state must live on the daemon's
+// real node, so every control goes out as an RPC.
+type TCPMigrationTransport struct {
+	TCPRepairTransport
+}
+
+// NewTCPMigrationTransport returns a transport resolving node addresses
+// through addr (typically ControllerServer.NodeAddr).
+func NewTCPMigrationTransport(addr func(node int) (string, bool), tr Transport) *TCPMigrationTransport {
+	return &TCPMigrationTransport{TCPRepairTransport{Addr: addr, Transport: tr}}
+}
+
+func (t *TCPMigrationTransport) control(node int, epoch uint64) (*MemoryNodeClient, error) {
+	c, err := t.client(node)
+	if err != nil {
+		return nil, err
+	}
+	c.SetEpoch(epoch)
+	return c, nil
+}
+
+func (t *TCPMigrationTransport) CaptureStart(node int, epoch uint64, off, size, pageLen uint64) error {
+	c, err := t.control(node, epoch)
+	if err != nil {
+		return err
+	}
+	return c.CaptureStart(off, size, pageLen)
+}
+
+func (t *TCPMigrationTransport) CaptureDrain(node int, epoch uint64, off, size uint64) ([]uint64, error) {
+	c, err := t.control(node, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return c.CaptureDrain(off, size)
+}
+
+func (t *TCPMigrationTransport) CaptureStop(node int, epoch uint64, off, size uint64) error {
+	c, err := t.control(node, epoch)
+	if err != nil {
+		return err
+	}
+	return c.CaptureStop(off, size)
+}
+
+func (t *TCPMigrationTransport) Seal(node int, epoch uint64, off, size uint64) error {
+	c, err := t.control(node, epoch)
+	if err != nil {
+		return err
+	}
+	return c.Seal(off, size)
+}
+
+func (t *TCPMigrationTransport) Unseal(node int, epoch uint64, off, size uint64) error {
+	c, err := t.control(node, epoch)
+	if err != nil {
+		return err
+	}
+	return c.Unseal(off, size)
+}

@@ -1,0 +1,447 @@
+package cluster
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"kona/internal/cllog"
+	"kona/internal/mem"
+	"kona/internal/slab"
+)
+
+// writingMigrationTransport wraps the local transport and injects a
+// concurrent writer: every ReadPages call during the pre-seal phase
+// first mutates one page of the source extent (through the node, so
+// capture sees it), mirroring each write host-side. Once the engine
+// seals the extent the writer stops — exactly the behavior of a compute
+// runtime whose post-seal ships bounce.
+type writingMigrationTransport struct {
+	*LocalMigrationTransport
+	t      *testing.T
+	src    slab.Slab
+	node   *MemoryNode
+	mirror []byte
+
+	mu     sync.Mutex
+	sealed bool
+	writes int
+	next   uint64 // next page offset to dirty, rotated per call
+}
+
+func (w *writingMigrationTransport) ReadPages(node int, epoch uint64, offs []uint64, pageLen int) ([][]byte, error) {
+	w.mu.Lock()
+	if !w.sealed {
+		off := w.src.RemoteOff + (w.next%(w.src.Size/mem.PageSize))*mem.PageSize
+		w.next++
+		data := bytes.Repeat([]byte{byte(0xC0 + w.writes)}, 128)
+		if err := w.node.WriteAt(off, data); err != nil {
+			w.mu.Unlock()
+			w.t.Fatalf("concurrent write during copy: %v", err)
+		}
+		copy(w.mirror[off-w.src.RemoteOff:], data)
+		w.writes++
+	}
+	w.mu.Unlock()
+	return w.LocalMigrationTransport.ReadPages(node, epoch, offs, pageLen)
+}
+
+func (w *writingMigrationTransport) Seal(node int, epoch uint64, off, size uint64) error {
+	w.mu.Lock()
+	w.sealed = true
+	w.mu.Unlock()
+	return w.LocalMigrationTransport.Seal(node, epoch, off, size)
+}
+
+// TestMigrationPreservesBytesUnderConcurrentWrites live-migrates a slab
+// that a writer keeps dirtying throughout the copy and checks the
+// flipped member is byte-identical to the final source image: the
+// capture/drain/seal protocol must fold every pre-seal write into the
+// target, and the delta counters must show it actually happened.
+func TestMigrationPreservesBytesUnderConcurrentWrites(t *testing.T) {
+	c := repairRack(t, 2)
+	src, err := c.AllocSlab(256 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := fillMember(t, c, src, 9)
+	srcNode, _ := c.Node(src.Node)
+
+	tr := &writingMigrationTransport{
+		LocalMigrationTransport: NewLocalMigrationTransport(c),
+		t:                       t,
+		src:                     src,
+		node:                    srcNode,
+		mirror:                  mirror,
+	}
+	e := NewMigrationEngine(c, tr, MigrationConfig{RetireSweeps: 2})
+	epochBefore := c.PlacementEpoch()
+	if err := e.migrateOne(src); err != nil {
+		t.Fatalf("migrateOne: %v", err)
+	}
+	if tr.writes == 0 {
+		t.Fatalf("test harness never wrote during the copy")
+	}
+	st := e.Stats()
+	if st.Moves != 1 || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want 1 clean move", st)
+	}
+	if st.DeltaPages == 0 {
+		t.Fatalf("no delta pages re-copied despite %d concurrent writes", tr.writes)
+	}
+	if c.PlacementEpoch() <= epochBefore {
+		t.Fatalf("placement epoch did not advance across the flip")
+	}
+
+	members, ok := c.Placements(src.ID)
+	if !ok || len(members) != 1 {
+		t.Fatalf("placements = %+v", members)
+	}
+	dst := members[0]
+	if dst.Node == src.Node {
+		t.Fatalf("member did not move off node %d", src.Node)
+	}
+	if got := readMember(t, c, dst); !bytes.Equal(got, mirror) {
+		t.Fatalf("migrated member diverged from source image")
+	}
+
+	// The old extent stays sealed through its hold-down: a straggler
+	// writer still holding the pre-flip placement fails loudly instead of
+	// writing into a window that could be recycled.
+	if err := srcNode.WriteAt(src.RemoteOff, make([]byte, 64)); !IsSealedErr(err) {
+		t.Fatalf("straggler write to retired extent = %v, want sealed error", err)
+	}
+	// No load reports ever arrived, so SweepOnce only ages retirements.
+	for i := 0; i < 2; i++ {
+		if moves := e.SweepOnce(); moves != 0 {
+			t.Fatalf("idle sweep committed %d moves", moves)
+		}
+	}
+	if st := e.Stats(); st.Retired != 1 {
+		t.Fatalf("retired = %d, want 1 after hold-down", st.Retired)
+	}
+	if err := srcNode.WriteAt(src.RemoteOff, make([]byte, 64)); err != nil {
+		t.Fatalf("write to released window still fenced: %v", err)
+	}
+	// The vacated window is back on the free list: the next same-size
+	// carve reuses it, fence-free.
+	if off, err := srcNode.CarveSlab(src.Size); err != nil || off != src.RemoteOff {
+		t.Fatalf("retired window not reusable: off=%d err=%v, want %d", off, err, src.RemoteOff)
+	}
+}
+
+// TestSealRejectsWritesAndWholeLogBatches pins the memnode-side fence: a
+// sealed extent rejects direct writes, and a log batch touching it is
+// rejected as a whole BEFORE any entry is applied — a half-applied batch
+// racing the flip would tear the migrated image.
+func TestSealRejectsWritesAndWholeLogBatches(t *testing.T) {
+	n := NewMemoryNode(0, 1<<20)
+	n.Seal(8192, 4096)
+
+	if err := n.WriteAt(8192, make([]byte, 64)); !IsSealedErr(err) {
+		t.Fatalf("write into sealed extent = %v, want sealed error", err)
+	}
+	// Writes outside the sealed range proceed.
+	if err := n.WriteAt(0, make([]byte, 64)); err != nil {
+		t.Fatalf("write outside seal rejected: %v", err)
+	}
+
+	// Batch with one clean entry and one sealed entry: all-or-nothing.
+	entries := []cllog.Entry{
+		{RemoteOff: 0, Data: bytes.Repeat([]byte{0xEE}, mem.CacheLineSize)},
+		{RemoteOff: 8192, Data: bytes.Repeat([]byte{0xEE}, mem.CacheLineSize)},
+	}
+	packed, err := cllog.Pack(entries, n.logMR.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, _, err := n.UnpackLog(packed)
+	if !IsSealedErr(err) {
+		t.Fatalf("UnpackLog into sealed extent = %v, want sealed error", err)
+	}
+	if applied != 0 {
+		t.Fatalf("%d entries applied from a rejected batch", applied)
+	}
+	if n.PoolBytes()[0] == 0xEE {
+		t.Fatalf("clean entry applied before the batch was rejected (torn batch)")
+	}
+
+	// Unseal lifts the fence and the same batch lands whole.
+	n.Unseal(8192, 4096)
+	if applied, _, err = n.UnpackLog(packed); err != nil || applied != 2 {
+		t.Fatalf("post-unseal UnpackLog = %d, %v", applied, err)
+	}
+	if n.PoolBytes()[0] != 0xEE || n.PoolBytes()[8192] != 0xEE {
+		t.Fatalf("entries misplaced after unseal")
+	}
+}
+
+// failingWriteTransport fails every Write to a chosen node — the
+// migration target dying mid-copy.
+type failingWriteTransport struct {
+	*LocalMigrationTransport
+	failNode int
+}
+
+func (f *failingWriteTransport) Write(node int, epoch uint64, off uint64, bufs [][]byte) error {
+	if node == f.failNode {
+		nn, _ := f.Ctrl.Node(node)
+		if nn != nil {
+			nn.Fail()
+		}
+	}
+	return f.LocalMigrationTransport.Write(node, epoch, off, bufs)
+}
+
+// TestMigrationAbortUnwinds covers the two abort windows: the target
+// dying during the copy (before seal) and during the committed flip
+// (after seal). Both must leave the source placement untouched, the
+// source extent writable, and the carved target memory released.
+func TestMigrationAbortUnwinds(t *testing.T) {
+	// Target dies mid-copy: the first Write to it fails the node.
+	c := repairRack(t, 2)
+	src, err := c.AllocSlab(128 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillMember(t, c, src, 4)
+	target := 1 - src.Node
+	e := NewMigrationEngine(c, &failingWriteTransport{
+		LocalMigrationTransport: NewLocalMigrationTransport(c),
+		failNode:                target,
+	}, MigrationConfig{})
+	if err := e.migrateOne(src); err == nil {
+		t.Fatalf("migration onto a dying target committed")
+	}
+	if st := e.Stats(); st.Failures != 1 || st.Moves != 0 {
+		t.Fatalf("stats = %+v, want 1 failure / 0 moves", st)
+	}
+	members, _ := c.Placements(src.ID)
+	if len(members) != 1 || members[0].Node != src.Node || members[0].RemoteOff != src.RemoteOff {
+		t.Fatalf("placement changed by an aborted migration: %+v", members)
+	}
+	srcNode, _ := c.Node(src.Node)
+	if err := srcNode.WriteAt(src.RemoteOff, make([]byte, 64)); err != nil {
+		t.Fatalf("source extent fenced after abort: %v", err)
+	}
+	if got := readMember(t, c, src); !bytes.Equal(got[64:], want[64:]) {
+		t.Fatalf("source bytes corrupted by aborted migration")
+	}
+
+	// Target dies between seal and flip: CommitMigration must refuse and
+	// the unwind must lift the seal so writers resume.
+	c2 := repairRack(t, 2)
+	src2, err := c2.AllocSlab(128 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillMember(t, c2, src2, 5)
+	tr := &sealKillTransport{LocalMigrationTransport: NewLocalMigrationTransport(c2), killNode: 1 - src2.Node}
+	e2 := NewMigrationEngine(c2, tr, MigrationConfig{})
+	if err := e2.migrateOne(src2); err == nil {
+		t.Fatalf("flip committed onto a node that died after seal")
+	}
+	members2, _ := c2.Placements(src2.ID)
+	if len(members2) != 1 || members2[0].Node != src2.Node {
+		t.Fatalf("placement changed by a post-seal abort: %+v", members2)
+	}
+	srcNode2, _ := c2.Node(src2.Node)
+	if err := srcNode2.WriteAt(src2.RemoteOff, make([]byte, 64)); err != nil {
+		t.Fatalf("seal not lifted by the unwind: %v", err)
+	}
+}
+
+// sealKillTransport fails the target node right after the source is
+// sealed, so the abort path runs with sealed=true.
+type sealKillTransport struct {
+	*LocalMigrationTransport
+	killNode int
+}
+
+func (s *sealKillTransport) Seal(node int, epoch uint64, off, size uint64) error {
+	if err := s.LocalMigrationTransport.Seal(node, epoch, off, size); err != nil {
+		return err
+	}
+	if n, ok := s.Ctrl.Node(s.killNode); ok {
+		n.Fail()
+	}
+	return nil
+}
+
+// TestLoadMapScoresAndPolicy unit-tests the load map: EWMA over
+// cumulative-counter deltas, counter-reset tolerance, the pending gauge,
+// and the placement policy switch it drives.
+func TestLoadMapScoresAndPolicy(t *testing.T) {
+	c := repairRack(t, 2)
+
+	// First report: delta is the absolute counters, halved by alpha.
+	c.ReportLoad(0, LoadSample{ReadBytes: 1000})
+	lm := c.LoadMap()
+	if len(lm) != 1 || lm[0].Node != 0 || lm[0].Score != 500 {
+		t.Fatalf("load map after first report = %+v", lm)
+	}
+	// Steady counters: delta 0 decays the score.
+	c.ReportLoad(0, LoadSample{ReadBytes: 1000})
+	if got := c.LoadMap()[0].Score; got != 250 {
+		t.Fatalf("score after idle report = %g, want 250", got)
+	}
+	// Counter reset (node restart): the lower absolute IS the delta, not
+	// a giant unsigned wraparound.
+	c.ReportLoad(0, LoadSample{ReadBytes: 100})
+	if got := c.LoadMap()[0].Score; got != 175 {
+		t.Fatalf("score after counter reset = %g, want 175", got)
+	}
+	// A pending-only sample is a gauge update: EWMA untouched.
+	c.ReportLoad(1, LoadSample{PendingBytes: 5000})
+	lm = c.LoadMap()
+	if lm[1].Score != 0 || lm[1].Pending != 5000 {
+		t.Fatalf("pending-only report = %+v", lm[1])
+	}
+
+	if err := c.SetPlacementPolicy("bogus"); err == nil {
+		t.Fatalf("unknown policy accepted")
+	}
+	if err := c.SetPlacementPolicy(PolicyLoad); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 now carries the bigger effective load (pending gauge), so a
+	// load-aware carve must land on node 0.
+	s, err := c.AllocSlab(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Node != 0 {
+		t.Fatalf("load-aware carve landed on the loaded node %d", s.Node)
+	}
+	// Anti-affinity: replicas of one group avoid sharing a node even when
+	// it is the coldest.
+	members, err := c.AllocReplicatedSlab(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if members[0].Node == members[1].Node {
+		t.Fatalf("replicas share node %d", members[0].Node)
+	}
+}
+
+// TestPlacementsHealthConsistentWithRemove is the regression test for
+// the Placements/removeLocked race: liveness must be computed under the
+// same critical section as the membership copy, so a reader racing a
+// node removal sees either the pre-removal state (all members live) or
+// the post-removal state (the victim flagged dead) — never a torn mix,
+// and never a vanished member. Run with -race this also proves the
+// locking.
+func TestPlacementsHealthConsistentWithRemove(t *testing.T) {
+	c := repairRack(t, 3)
+	members, err := c.AllocReplicatedSlab(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid := members[0].ID
+	victim := members[1].Node
+
+	ms, live, ok := c.PlacementsHealth(gid)
+	if !ok || len(ms) != 2 || !live[0] || !live[1] {
+		t.Fatalf("healthy rack health = %v %v %v", ms, live, ok)
+	}
+
+	stop := make(chan struct{})
+	bad := make(chan string, 1)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ms, live, ok := c.PlacementsHealth(gid)
+				if !ok || len(ms) != 2 {
+					select {
+					case bad <- "member vanished mid-remove":
+					default:
+					}
+					return
+				}
+				for i, m := range ms {
+					if m.Node != victim && !live[i] {
+						select {
+						case bad <- "surviving member flagged dead":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	c.Remove(victim)
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-bad:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Post-removal: the dead member stays in the group (the retained-entry
+	// protocol needs its link key stable) but is flagged dead.
+	ms, live, ok = c.PlacementsHealth(gid)
+	if !ok || len(ms) != 2 {
+		t.Fatalf("dead member pruned from group: %v", ms)
+	}
+	for i, m := range ms {
+		if m.Node == victim && live[i] {
+			t.Fatalf("removed node's member flagged live")
+		}
+		if m.Node != victim && !live[i] {
+			t.Fatalf("surviving member flagged dead")
+		}
+	}
+	if c.DegradedCount() != 1 {
+		t.Fatalf("degraded = %d, want 1", c.DegradedCount())
+	}
+}
+
+// TestCarveMigrationTargetRules pins the carve preconditions: the target
+// is the coldest unoccupied live node, a vanished source member is
+// refused, and a degraded source is left to the repair engine.
+func TestCarveMigrationTargetRules(t *testing.T) {
+	c := repairRack(t, 3)
+	members, err := c.AllocReplicatedSlab(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := members[0]
+
+	// The only non-member node is the target regardless of load order.
+	target, err := c.CarveMigrationTarget(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target.Node == members[0].Node || target.Node == members[1].Node {
+		t.Fatalf("migration target %d already holds a member (anti-affinity broken)", target.Node)
+	}
+	if target.Size != src.Size || target.ID != src.ID || target.Base != src.Base {
+		t.Fatalf("target descriptor mismatch: %+v vs src %+v", target, src)
+	}
+	c.AbandonMigration(target)
+
+	// A source that is no longer a member is refused.
+	gone := src
+	gone.RemoteOff += src.Size
+	if _, err := c.CarveMigrationTarget(gone); err == nil {
+		t.Fatalf("carved a target for a vanished member")
+	}
+
+	// A degraded source belongs to repair, not migration.
+	vn, _ := c.Node(members[1].Node)
+	vn.Fail()
+	c.HealthSweep()
+	if _, err := c.CarveMigrationTarget(members[1]); err == nil {
+		t.Fatalf("migration touched a degraded member")
+	}
+}

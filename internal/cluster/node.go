@@ -11,12 +11,27 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"kona/internal/cllog"
 	"kona/internal/rdma"
 	"kona/internal/simclock"
 )
+
+// sealedErrMark is the substring every sealed-extent rejection carries.
+// It survives the wire (server errors travel as strings inside
+// RemoteError), so IsSealedErr works identically for the in-process and
+// TCP transports.
+const sealedErrMark = "extent sealed for migration"
+
+// IsSealedErr reports whether err is (or wraps) a sealed-extent write
+// rejection — the signal a migration has flipped the slab away and the
+// writer must refresh its placements before retrying.
+func IsSealedErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), sealedErrMark)
+}
 
 // MemoryNode hosts a pool of disaggregated memory, exposed as one large
 // registered region carved into slabs, plus a log-receive region.
@@ -45,8 +60,53 @@ type MemoryNode struct {
 	// controller skip fencing entirely.
 	incarnation uint64
 
+	// seals are extents fenced against writes while a migration retires
+	// them: a write (or a whole log batch touching one) is rejected with
+	// a sealed error before any byte is applied, so the final migration
+	// delta copy sees a quiescent source. Reads stay allowed.
+	seals []sealRange
+
+	// captures track page offsets dirtied inside an extent while a
+	// migration copies it — the delta the engine re-copies before the
+	// flip.
+	captures []*captureState
+
 	linesUnpacked uint64
 	logsUnpacked  uint64
+
+	// Load counters (cumulative since node start): the per-node signal
+	// the controller's load map aggregates.
+	readOps, writeOps     uint64
+	readBytes, writeBytes uint64
+	logPayloadBytes       uint64
+}
+
+// sealRange is one write-fenced extent.
+type sealRange struct{ off, size uint64 }
+
+// captureState records dirtied pages inside one extent under migration.
+type captureState struct {
+	off, size uint64
+	pageLen   uint64
+	dirty     map[uint64]struct{} // page-aligned absolute pool offsets
+}
+
+// note records that [off, off+n) was written, page-granular.
+func (c *captureState) note(off uint64, n int) {
+	end := off + uint64(n)
+	if end <= c.off || off >= c.off+c.size {
+		return
+	}
+	if off < c.off {
+		off = c.off
+	}
+	if end > c.off+c.size {
+		end = c.off + c.size
+	}
+	first := c.off + (off-c.off)/c.pageLen*c.pageLen
+	for p := first; p < end; p += c.pageLen {
+		c.dirty[p] = struct{}{}
+	}
 }
 
 // freedExtent is a released slab awaiting reuse.
@@ -109,11 +169,136 @@ func (n *MemoryNode) CarveSlab(size uint64) (offset uint64, err error) {
 	return offset, nil
 }
 
-// ReleaseSlab returns a carved extent to the node for reuse.
+// ReleaseSlab returns a carved extent to the node for reuse. Any seal or
+// capture overlapping the extent dies with it — the window may be
+// re-carved for an unrelated slab and must not inherit a stale fence.
 func (n *MemoryNode) ReleaseSlab(offset, size uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.freed = append(n.freed, freedExtent{off: offset, size: size})
+	n.dropSealsLocked(offset, size)
+	n.dropCapturesLocked(offset, size)
+}
+
+func overlaps(aOff, aSize, bOff, bSize uint64) bool {
+	return aOff < bOff+bSize && bOff < aOff+aSize
+}
+
+func (n *MemoryNode) dropSealsLocked(off, size uint64) {
+	kept := n.seals[:0]
+	for _, s := range n.seals {
+		if !overlaps(s.off, s.size, off, size) {
+			kept = append(kept, s)
+		}
+	}
+	n.seals = kept
+}
+
+func (n *MemoryNode) dropCapturesLocked(off, size uint64) {
+	kept := n.captures[:0]
+	for _, c := range n.captures {
+		if !overlaps(c.off, c.size, off, size) {
+			kept = append(kept, c)
+		}
+	}
+	n.captures = kept
+}
+
+// sealedLocked reports whether [off, off+n) intersects a sealed extent.
+func (n *MemoryNode) sealedLocked(off uint64, size int) bool {
+	for _, s := range n.seals {
+		if overlaps(s.off, s.size, off, uint64(size)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Seal fences [off, off+size) against writes: subsequent WriteAt calls
+// (and whole UnpackLog batches) touching the extent are rejected with a
+// sealed error. Sealing an already-sealed extent is a no-op.
+func (n *MemoryNode) Seal(off, size uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range n.seals {
+		if s.off == off && s.size == size {
+			return
+		}
+	}
+	n.seals = append(n.seals, sealRange{off: off, size: size})
+}
+
+// Unseal lifts the fence on [off, off+size). Unknown extents are a
+// no-op.
+func (n *MemoryNode) Unseal(off, size uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.seals[:0]
+	for _, s := range n.seals {
+		if s.off == off && s.size == size {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	n.seals = kept
+}
+
+// StartCapture begins recording page-granular writes landing inside
+// [off, off+size). Restarting an existing capture resets its dirty set.
+func (n *MemoryNode) StartCapture(off, size, pageLen uint64) {
+	if pageLen == 0 {
+		pageLen = 4096
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range n.captures {
+		if c.off == off && c.size == size {
+			c.pageLen = pageLen
+			c.dirty = make(map[uint64]struct{})
+			return
+		}
+	}
+	n.captures = append(n.captures, &captureState{
+		off: off, size: size, pageLen: pageLen, dirty: make(map[uint64]struct{}),
+	})
+}
+
+// DrainCapture returns (and clears) the sorted page offsets dirtied in
+// the captured extent since StartCapture or the previous drain. A nil
+// return means no capture exists or nothing was dirtied.
+func (n *MemoryNode) DrainCapture(off, size uint64) []uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range n.captures {
+		if c.off != off || c.size != size {
+			continue
+		}
+		if len(c.dirty) == 0 {
+			return nil
+		}
+		out := make([]uint64, 0, len(c.dirty))
+		for p := range c.dirty {
+			out = append(out, p)
+		}
+		c.dirty = make(map[uint64]struct{})
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	return nil
+}
+
+// StopCapture discards the capture on [off, off+size).
+func (n *MemoryNode) StopCapture(off, size uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.captures[:0]
+	for _, c := range n.captures {
+		if c.off == off && c.size == size {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	n.captures = kept
 }
 
 // Fail marks the node crashed; subsequent operations error. Used by the
@@ -171,10 +356,13 @@ func (n *MemoryNode) ReadAt(off uint64, buf []byte) error {
 		return fmt.Errorf("memnode %d: read [%d,+%d) overruns pool", n.id, off, len(buf))
 	}
 	copy(buf, pool[off:])
+	n.readOps++
+	n.readBytes += uint64(len(buf))
 	return nil
 }
 
 // WriteAt stores data into the pool at off, synchronized like ReadAt.
+// Writes into a sealed extent are rejected before touching the pool.
 func (n *MemoryNode) WriteAt(off uint64, data []byte) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -185,7 +373,15 @@ func (n *MemoryNode) WriteAt(off uint64, data []byte) error {
 	if off+uint64(len(data)) > uint64(len(pool)) {
 		return fmt.Errorf("memnode %d: write [%d,+%d) overruns pool", n.id, off, len(data))
 	}
+	if n.sealedLocked(off, len(data)) {
+		return fmt.Errorf("memnode %d: write [%d,+%d): %s", n.id, off, len(data), sealedErrMark)
+	}
 	copy(pool[off:], data)
+	for _, c := range n.captures {
+		c.note(off, len(data))
+	}
+	n.writeOps++
+	n.writeBytes += uint64(len(data))
 	return nil
 }
 
@@ -205,12 +401,29 @@ func (n *MemoryNode) UnpackLog(logBytes int) (entries int, service simclock.Dura
 		return 0, 0, fmt.Errorf("memnode %d: log of %d bytes exceeds region", n.id, logBytes)
 	}
 	pool := n.pool.Bytes()
+	// Pre-scan against sealed extents BEFORE applying anything: a log
+	// batch is all-or-nothing, and a partially applied batch racing a
+	// migration flip would tear the slab image. The sender retains the
+	// whole batch and replays it after refreshing placements.
+	if len(n.seals) > 0 {
+		if _, serr := cllog.Unpack(n.logMR.Bytes()[:logBytes], func(e cllog.Entry) error {
+			if n.sealedLocked(e.RemoteOff, len(e.Data)) {
+				return fmt.Errorf("memnode %d: log entry at %d: %s", n.id, e.RemoteOff, sealedErrMark)
+			}
+			return nil
+		}); serr != nil {
+			return 0, 0, serr
+		}
+	}
 	var payload int
 	entries, err = cllog.Unpack(n.logMR.Bytes()[:logBytes], func(e cllog.Entry) error {
 		if e.RemoteOff+uint64(len(e.Data)) > uint64(len(pool)) {
 			return fmt.Errorf("memnode %d: entry at %d overruns pool", n.id, e.RemoteOff)
 		}
 		copy(pool[e.RemoteOff:], e.Data)
+		for _, c := range n.captures {
+			c.note(e.RemoteOff, len(e.Data))
+		}
 		payload += len(e.Data)
 		return nil
 	})
@@ -221,7 +434,35 @@ func (n *MemoryNode) UnpackLog(logBytes int) (entries int, service simclock.Dura
 	service = simclock.Memcpy(payload) + simclock.Duration(entries)*20
 	n.linesUnpacked += uint64(entries)
 	n.logsUnpacked++
+	n.writeOps++
+	n.writeBytes += uint64(payload)
+	n.logPayloadBytes += uint64(payload)
 	return entries, service, nil
+}
+
+// LoadSample is one node's cumulative traffic counters plus a pending
+// gauge — the per-node signal the controller's load map scores. All
+// counter fields are monotone since node start; PendingBytes is a gauge
+// (compute-side buffered eviction bytes destined for this node).
+type LoadSample struct {
+	ReadOps, WriteOps     uint64
+	ReadBytes, WriteBytes uint64
+	LogBytes, LogEntries  uint64
+	PendingBytes          uint64
+}
+
+// LoadCounters snapshots the node's cumulative traffic counters.
+func (n *MemoryNode) LoadCounters() LoadSample {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return LoadSample{
+		ReadOps:    n.readOps,
+		WriteOps:   n.writeOps,
+		ReadBytes:  n.readBytes,
+		WriteBytes: n.writeBytes,
+		LogBytes:   n.logPayloadBytes,
+		LogEntries: n.linesUnpacked,
+	}
 }
 
 // ReceiverStats returns logs and entries processed by the log receiver.

@@ -36,7 +36,54 @@ const (
 	// expel them.
 	msgSlabPlacements = "slab-placements"
 	msgReportFailure  = "report-failure"
+	// Capacity-management RPCs (DESIGN.md §13): memnode daemons push
+	// their cumulative load counters to the controller, and the
+	// migration engine drives the memnode's dirty capture and extent
+	// seal over the wire. The load sample travels in the request payload
+	// (7 big-endian u64 fields) — the kw v2 header layout is fixed and
+	// append-only, so new RPCs carry structured data in the frame
+	// payload instead of new header fields.
+	msgReportLoad   = "report-load"
+	msgCaptureStart = "capture-start"
+	msgCaptureDrain = "capture-drain"
+	msgCaptureStop  = "capture-stop"
+	msgSealExtent   = "seal-extent"
+	msgUnsealExtent = "unseal-extent"
 )
+
+// loadSampleWireSize is the report-load payload: ReadOps, WriteOps,
+// ReadBytes, WriteBytes, LogBytes, LogEntries, PendingBytes.
+const loadSampleWireSize = 7 * 8
+
+// appendLoadSample encodes s as the report-load request payload.
+func appendLoadSample(b []byte, s LoadSample) []byte {
+	b = appendU64(b, s.ReadOps)
+	b = appendU64(b, s.WriteOps)
+	b = appendU64(b, s.ReadBytes)
+	b = appendU64(b, s.WriteBytes)
+	b = appendU64(b, s.LogBytes)
+	b = appendU64(b, s.LogEntries)
+	b = appendU64(b, s.PendingBytes)
+	return b
+}
+
+// decodeLoadSample parses a report-load payload.
+func decodeLoadSample(b []byte) (LoadSample, error) {
+	if len(b) != loadSampleWireSize {
+		return LoadSample{}, fmt.Errorf("cluster: load sample payload is %d bytes, want %d", len(b), loadSampleWireSize)
+	}
+	r := wireReader{b: b}
+	s := LoadSample{
+		ReadOps:      r.u64(),
+		WriteOps:     r.u64(),
+		ReadBytes:    r.u64(),
+		WriteBytes:   r.u64(),
+		LogBytes:     r.u64(),
+		LogEntries:   r.u64(),
+		PendingBytes: r.u64(),
+	}
+	return s, r.done("load sample")
+}
 
 // Request is the single envelope for every RPC. Data is the frame
 // payload: it never passes through the header codec — the sender ships

@@ -160,51 +160,16 @@ func (e *RepairEngine) repairOne(d DegradedSlab) error {
 	return nil
 }
 
-// copySlab streams the slab's pages source→target in rate-limited
-// batches: full pages through the batched ReadPages RPC, plus one
-// smaller read for a non-page-aligned tail (never reading past the
-// slab's extent).
+// copySlab streams the slab's pages source→target through the shared
+// budgeted extent copy (copyExtentBudgeted, migrate.go).
 func (e *RepairEngine) copySlab(src, target slab.Slab) error {
-	pageLen := uint64(e.cfg.PageSize)
-	copyBatch := func(start uint64, offs []uint64, spanLen int) error {
-		span := uint64(len(offs)-1)*pageLen + uint64(spanLen)
-		e.budget.take(int(span))
-		pages, err := e.tr.ReadPages(src.Node, src.Epoch, offs, spanLen)
-		if err != nil {
-			return fmt.Errorf("repair: read from node %d: %w", src.Node, err)
-		}
-		// The page buffers go to the transport as a scatter list; the TCP
-		// path writev's them straight onto the wire, so the old
-		// concatenate-into-one-buffer copy is gone.
-		if err := e.tr.Write(target.Node, target.Epoch, target.RemoteOff+start, pages); err != nil {
-			return fmt.Errorf("repair: write to node %d: %w", target.Node, err)
-		}
-		e.bytesCopied.Add(span)
-		if e.mBytes != nil {
-			e.mBytes.Add(span)
-		}
-		return nil
-	}
-	fullPages := src.Size / pageLen
-	offs := make([]uint64, 0, e.cfg.BatchPages)
-	for p := uint64(0); p < fullPages; {
-		offs = offs[:0]
-		start := p * pageLen
-		for len(offs) < e.cfg.BatchPages && p < fullPages {
-			offs = append(offs, src.RemoteOff+p*pageLen)
-			p++
-		}
-		if err := copyBatch(start, offs, int(pageLen)); err != nil {
-			return err
-		}
-	}
-	if rem := src.Size % pageLen; rem > 0 {
-		start := fullPages * pageLen
-		if err := copyBatch(start, []uint64{src.RemoteOff + start}, int(rem)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return copyExtentBudgeted(e.tr, e.budget, e.cfg.BatchPages, uint64(e.cfg.PageSize), src, target,
+		func(span uint64) {
+			e.bytesCopied.Add(span)
+			if e.mBytes != nil {
+				e.mBytes.Add(span)
+			}
+		})
 }
 
 // Run sweeps for dead nodes and repairs degraded slabs every Interval

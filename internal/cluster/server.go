@@ -124,6 +124,10 @@ type ControllerServer struct {
 	dedup *dedupCache
 	m     *serverMetrics
 	nodes *telemetry.Gauge
+	// reg backs the per-node cluster.load.node.<id>.* metrics; the
+	// node-id set is open, so handles resolve lazily per report (load
+	// reports are control-path, one per node per interval).
+	reg *telemetry.Registry
 
 	mu    sync.Mutex
 	addrs map[int]string // node id -> TCP address
@@ -157,6 +161,7 @@ func ServeControllerOnWith(ctrl *Controller, l net.Listener, reg *telemetry.Regi
 		dedup: newDedupCache(4096),
 		m:     newServerMetrics(reg, "controller"),
 		nodes: reg.Gauge("cluster.controller.nodes"),
+		reg:   reg,
 		addrs: make(map[int]string),
 	}
 	// Arbitrate rejoins and failure reports by pinging the node's daemon
@@ -321,10 +326,41 @@ func (s *ControllerServer) dispatch(req *Request) *Response {
 			resp.Entries = 1
 		}
 		return resp
+	case msgReportLoad:
+		sample, err := decodeLoadSample(req.Data)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		s.ctrl.ReportLoad(req.NodeID, sample)
+		s.publishLoad(req.NodeID)
+		return &Response{}
 	case msgPing:
 		return &Response{Epoch: s.ctrl.PlacementEpoch()}
 	default:
 		return &Response{Err: fmt.Sprintf("controller: unknown request %q", req.Kind)}
+	}
+}
+
+// publishLoad surfaces one node's load-map entry through /metrics:
+// cluster.load.node.<id>.score and .pending gauges plus absolute
+// traffic counters — what kona-kvload scrapes to print the per-memnode
+// op/byte distribution.
+func (s *ControllerServer) publishLoad(node int) {
+	if s.reg == nil {
+		return
+	}
+	for _, nl := range s.ctrl.LoadMap() {
+		if nl.Node != node {
+			continue
+		}
+		prefix := fmt.Sprintf("cluster.load.node.%d.", nl.Node)
+		s.reg.Gauge(prefix + "score").Set(int64(nl.Score))
+		s.reg.Gauge(prefix + "pending").Set(int64(nl.Pending))
+		s.reg.Counter(prefix + "read_ops").Store(nl.Totals.ReadOps)
+		s.reg.Counter(prefix + "write_ops").Store(nl.Totals.WriteOps)
+		s.reg.Counter(prefix + "read_bytes").Store(nl.Totals.ReadBytes)
+		s.reg.Counter(prefix + "write_bytes").Store(nl.Totals.WriteBytes)
+		return
 	}
 }
 
@@ -446,7 +482,9 @@ func (s *MemoryNodeServer) dispatch(req *Request) (*Response, func()) {
 	// processed, never retried — so the stale peer refreshes instead of
 	// corrupting the new incarnation's pool.
 	switch req.Kind {
-	case msgRead, msgReadPages, msgWrite, msgWriteLog:
+	case msgRead, msgReadPages, msgWrite, msgWriteLog,
+		msgCaptureStart, msgCaptureDrain, msgCaptureStop,
+		msgSealExtent, msgUnsealExtent:
 		if req.Epoch != 0 {
 			if inc := s.node.Incarnation(); inc != 0 && inc != req.Epoch {
 				return &Response{Err: fmt.Sprintf(
@@ -515,6 +553,29 @@ func (s *MemoryNodeServer) dispatch(req *Request) (*Response, func()) {
 				fmt.Sprintf("node=%d entries=%d bytes=%d", s.node.ID(), entries, len(req.Data)))
 		}
 		return &Response{Entries: entries}, nil
+	case msgCaptureStart:
+		pageLen := uint64(req.Length)
+		s.node.StartCapture(req.Offset, req.Size, pageLen)
+		return &Response{}, nil
+	case msgCaptureDrain:
+		offs := s.node.DrainCapture(req.Offset, req.Size)
+		if len(offs) == 0 {
+			return &Response{}, nil
+		}
+		data := make([]byte, 0, len(offs)*8)
+		for _, off := range offs {
+			data = appendU64(data, off)
+		}
+		return &Response{Data: data, Entries: len(offs)}, nil
+	case msgCaptureStop:
+		s.node.StopCapture(req.Offset, req.Size)
+		return &Response{}, nil
+	case msgSealExtent:
+		s.node.Seal(req.Offset, req.Size)
+		return &Response{}, nil
+	case msgUnsealExtent:
+		s.node.Unseal(req.Offset, req.Size)
+		return &Response{}, nil
 	case msgPing:
 		return &Response{}, nil
 	default:

@@ -86,10 +86,16 @@ func nextReqID() uint64 { return reqID.Add(1) }
 // stateless, Write is a pure overwrite of the same bytes, and AllocSlab
 // carries a request ID the server deduplicates on. RegisterNode,
 // ReleaseSlab and WriteLog are not safe to replay.
+// Of the capacity-management RPCs, everything but CaptureDrain is safe
+// to replay (load reports are absorbed idempotently by the EWMA,
+// seal/unseal and capture start/stop are level-triggered); a drain
+// CLEARS the dirty set it returns, so a replay after a lost response
+// would silently drop delta pages.
 func retryable(kind string) bool {
 	switch kind {
 	case msgRead, msgReadPages, msgPing, msgNodeAddr, msgWrite, msgAllocSlab,
-		msgSlabPlacements, msgReportFailure:
+		msgSlabPlacements, msgReportFailure, msgReportLoad,
+		msgCaptureStart, msgCaptureStop, msgSealExtent, msgUnsealExtent:
 		return true
 	}
 	return false
@@ -101,7 +107,9 @@ func retryable(kind string) bool {
 var rpcKinds = []string{
 	msgRegisterNode, msgAllocSlab, msgNodeAddr, msgRead, msgReadPages,
 	msgWrite, msgWriteLog, msgReleaseSlab, msgPing,
-	msgSlabPlacements, msgReportFailure,
+	msgSlabPlacements, msgReportFailure, msgReportLoad,
+	msgCaptureStart, msgCaptureDrain, msgCaptureStop,
+	msgSealExtent, msgUnsealExtent,
 }
 
 // poolMetrics is one pool's pre-resolved telemetry handles. A nil

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"kona/internal/cllog"
+	"kona/internal/cluster"
 	"kona/internal/fpga"
 	"kona/internal/mem"
 	"kona/internal/simclock"
@@ -20,8 +21,9 @@ type evictMetrics struct {
 	dirtyPages, silent, lines, payloadBytes *telemetry.Counter
 	wireBytes, flushes, remoteEntries       *telemetry.Counter
 	// shipFailures counts outages reported to the controller; remapped
-	// counts retained entries rebased onto a repaired replica.
-	shipFailures, remapped *telemetry.Counter
+	// counts retained entries rebased onto a repaired replica;
+	// sealedRetains counts ships rejected by a migration seal.
+	shipFailures, remapped, sealedRetains *telemetry.Counter
 	// inflight tracks ships currently on the wire during a concurrent
 	// fan-out (always 0..1 on the serial path).
 	inflight *telemetry.Gauge
@@ -39,6 +41,7 @@ func newEvictMetrics(reg *telemetry.Registry) evictMetrics {
 		remoteEntries: reg.Counter("core.evict.remote_entries"),
 		shipFailures:  reg.Counter("core.evict.ship_failure_reports"),
 		remapped:      reg.Counter("core.evict.remapped_entries"),
+		sealedRetains: reg.Counter("core.evict.sealed_retains"),
 		inflight:      reg.Gauge("core.evict.inflight"),
 		trace:         reg.Trace(),
 	}
@@ -197,9 +200,11 @@ type evictor struct {
 	// keep wait-for-recovery semantics: the ship is attempted and its
 	// error surfaces, because no other copy of the dirty lines exists.
 	replicated bool
-	// shipReports/remapped are fault-tolerance counters (FailureStats).
-	shipReports atomic.Uint64
-	remapped    atomic.Uint64
+	// shipReports/remapped/sealedRetains are fault-tolerance counters
+	// (FailureStats).
+	shipReports   atomic.Uint64
+	remapped      atomic.Uint64
+	sealedRetains atomic.Uint64
 
 	// nodeMu guards membership of nodes/order. order remembers
 	// first-touch sequence so flushes walk the nodes deterministically —
@@ -485,7 +490,7 @@ func (e *evictor) EvictPage(now simclock.Duration, v fpga.Victim) (simclock.Dura
 		}
 		now, err = e.flushNodeLocked(now, nb)
 		if err != nil {
-			if e.retainAfterErrLocked(nb) {
+			if e.retainAfterErrLocked(nb, err) {
 				continue
 			}
 			return now, err
@@ -509,11 +514,27 @@ func (e *evictor) skipUnhealthyLocked(nb *nodeBatch) bool {
 	return true
 }
 
-// retainAfterErrLocked handles a ship attempt that failed: with
-// replication the entries stay retained and the flush continues (the
-// outage is reported once); without it the caller must surface the
-// error. Caller holds flushMu.
-func (e *evictor) retainAfterErrLocked(nb *nodeBatch) bool {
+// retainAfterErrLocked handles a ship attempt that failed. Three cases:
+//
+//   - The destination's extent is sealed for migration: retain even
+//     without replication — the flip is imminent, and the retained
+//     entries rebase onto the migration target at the next placement
+//     refresh. noteSealed fences reads of the (now behind) sealed copy
+//     and latches the fetch-path seal notice; a seal is not an outage,
+//     so no failure report.
+//   - A replicated outage: entries stay retained and the flush
+//     continues (the outage is reported once).
+//   - An unreplicated failure: the caller must surface the error — no
+//     other copy of the dirty lines exists.
+//
+// Caller holds flushMu.
+func (e *evictor) retainAfterErrLocked(nb *nodeBatch, err error) bool {
+	if cluster.IsSealedErr(err) {
+		e.rm.noteSealed(nb.link.key())
+		e.sealedRetains.Add(1)
+		e.m.sealedRetains.Inc()
+		return true
+	}
 	if !e.replicated {
 		return false
 	}
@@ -708,7 +729,7 @@ func (e *evictor) FlushIfPending(now simclock.Duration, base mem.Addr) (simclock
 			var err error
 			now, err = e.flushNodeLocked(now, nb)
 			if err != nil {
-				if e.retainAfterErrLocked(nb) {
+				if e.retainAfterErrLocked(nb, err) {
 					retained = true
 					continue
 				}
@@ -761,7 +782,7 @@ func (e *evictor) Flush(now simclock.Duration) (simclock.Duration, error) {
 		}
 		done, err := e.flushNodeLocked(now, nb)
 		if err != nil {
-			if e.retainAfterErrLocked(nb) {
+			if e.retainAfterErrLocked(nb, err) {
 				retained = true
 				continue
 			}
@@ -883,7 +904,7 @@ func (e *evictor) fanoutShipLocked(now simclock.Duration, onlyFull bool) (simclo
 			continue
 		}
 		if res.err != nil {
-			if e.retainAfterErrLocked(nb) {
+			if e.retainAfterErrLocked(nb, res.err) {
 				res.skipped = true
 				skipped = true
 				continue
@@ -1107,6 +1128,17 @@ func (e *evictor) settleMovesLocked() {
 			continue
 		}
 		e.rm.clearSuspect(mv.newLink.key())
+		// A migration move retires once settled: its source (node,
+		// incarnation) is still alive and the controller will reuse the
+		// vacated pool window for a fresh carve — keeping the move would
+		// silently rewrite entries bound for the window's next tenant.
+		// Repair moves stay for the life of the runtime: the dead
+		// incarnation's key can never carry traffic again, and late
+		// evictions that resolved placements before the flip must keep
+		// rebasing onto the replacement.
+		if mv.retire {
+			delete(e.moves, oldKey)
+		}
 	}
 }
 
@@ -1129,6 +1161,51 @@ func moveEntries(srcEntries, dstEntries *[]cllog.Entry, mv replicaMove, account 
 	}
 	*srcEntries = kept
 	return moved
+}
+
+// nodePending is one destination node's unshipped eviction backlog.
+type nodePending struct {
+	node  int
+	bytes uint64
+}
+
+// pendingLoads returns each destination node's unshipped log bytes
+// (buffered in shards plus harvested-but-retained), aggregated across
+// incarnations, appended into a caller-owned scratch. Sync feeds this to
+// the controller's load map as the compute-side pressure signal.
+func (e *evictor) pendingLoads(dst []nodePending) []nodePending {
+	dst = dst[:0]
+	for _, nb := range e.orderSnapshot() {
+		p := nb.pendingBytes.Load()
+		if p <= 0 {
+			continue
+		}
+		id := nb.link.id()
+		found := false
+		for i := range dst {
+			if dst[i].node == id {
+				dst[i].bytes += uint64(p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, nodePending{node: id, bytes: uint64(p)})
+		}
+	}
+	return dst
+}
+
+// totalPendingBytes sums every destination's unshipped log bytes — the
+// write-path admission-control signal.
+func (e *evictor) totalPendingBytes() uint64 {
+	var total int64
+	for _, nb := range e.orderSnapshot() {
+		if p := nb.pendingBytes.Load(); p > 0 {
+			total += p
+		}
+	}
+	return uint64(total)
 }
 
 // release returns pooled resources at runtime shutdown. The evictor must

@@ -54,6 +54,13 @@ type FailureStats struct {
 	// from reads: their catch-up drain (retained entries re-shipped onto
 	// the new copy) has not completed. Zero in a settled rack.
 	SuspectMembers int
+	// SealedRetains counts ships rejected by an extent sealed for
+	// migration, with the entries retained until the flip was picked up
+	// (DESIGN.md §13).
+	SealedRetains uint64
+	// BackpressureStalls counts writes delayed by admission control when
+	// the ship-pending backlog exceeded Config.BackpressureBytes.
+	BackpressureStalls uint64
 }
 
 // ReadChecked is Read plus MCE detection: fetch latencies beyond
@@ -81,6 +88,8 @@ func (k *Kona) FailureStats() FailureStats {
 	k.failures.ShipFailureReports = k.evict.shipReports.Load()
 	k.failures.PlacementRefreshes = k.refreshes.Load()
 	k.failures.RemappedEntries = k.evict.remapped.Load()
+	k.failures.SealedRetains = k.evict.sealedRetains.Load()
+	k.failures.BackpressureStalls = k.backpressureStalls.Load()
 	return k.failures
 }
 

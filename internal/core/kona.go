@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kona/internal/cluster"
 	"kona/internal/fpga"
@@ -21,6 +22,10 @@ type coreMetrics struct {
 	evictions      *telemetry.Counter
 	dirtyEvictions *telemetry.Counter
 	syncs          *telemetry.Counter
+	// backpressureStalls/backpressureDelay count writes delayed by
+	// admission control and the total virtual time charged (DESIGN.md
+	// §13).
+	backpressureStalls, backpressureDelay *telemetry.Counter
 	// Published absolute values of the FPGA's own counters (Store-synced
 	// at Sync/Close and on PublishTelemetry).
 	lineFills, fmemHits, writebacks, prefetches, bytesFetched *telemetry.Counter
@@ -29,16 +34,18 @@ type coreMetrics struct {
 
 func newCoreMetrics(reg *telemetry.Registry) coreMetrics {
 	return coreMetrics{
-		fetches:        reg.Counter("core.fetches"),
-		evictions:      reg.Counter("core.evictions"),
-		dirtyEvictions: reg.Counter("core.dirty_evictions"),
-		syncs:          reg.Counter("core.syncs"),
-		lineFills:      reg.Counter("core.fpga.line_fills"),
-		fmemHits:       reg.Counter("core.fpga.fmem_hits"),
-		writebacks:     reg.Counter("core.fpga.writebacks"),
-		prefetches:     reg.Counter("core.fpga.prefetches"),
-		bytesFetched:   reg.Counter("core.fpga.bytes_fetched"),
-		trace:          reg.Trace(),
+		fetches:            reg.Counter("core.fetches"),
+		evictions:          reg.Counter("core.evictions"),
+		dirtyEvictions:     reg.Counter("core.dirty_evictions"),
+		syncs:              reg.Counter("core.syncs"),
+		backpressureStalls: reg.Counter("core.backpressure.stalls"),
+		backpressureDelay:  reg.Counter("core.backpressure.delay_ns"),
+		lineFills:          reg.Counter("core.fpga.line_fills"),
+		fmemHits:           reg.Counter("core.fpga.fmem_hits"),
+		writebacks:         reg.Counter("core.fpga.writebacks"),
+		prefetches:         reg.Counter("core.fpga.prefetches"),
+		bytesFetched:       reg.Counter("core.fpga.bytes_fetched"),
+		trace:              reg.Trace(),
 	}
 }
 
@@ -68,6 +75,15 @@ type Kona struct {
 	placementEpoch atomic.Uint64
 	// refreshes counts completed placement refreshes (FailureStats).
 	refreshes atomic.Uint64
+
+	// backpressureStalls counts writes delayed by admission control
+	// (Config.BackpressureBytes).
+	backpressureStalls atomic.Uint64
+
+	// loadMu guards loadScratch, the reusable per-Sync scratch for
+	// reporting ship-pending backlog to the controller's load map.
+	loadMu      sync.Mutex
+	loadScratch []nodePending
 
 	failures FailureStats
 }
@@ -143,6 +159,19 @@ func newKona(cfg Config, r rack) *Kona {
 		}
 		done, err := k.evict.FlushIfPending(now, base)
 		k.noteEvictErr(err)
+		if k.rm.takeSealNotice() {
+			// A ship was rejected by an extent sealed for migration; the
+			// retained entries can only drain once the flip is picked up.
+			// Refresh placements and re-flush before this fetch reads
+			// remote memory — without it, an unreplicated slab could
+			// serve a page missing acknowledged writes in the window
+			// between the seal and the next Sync.
+			if _, rerr := k.RefreshPlacements(); rerr != nil {
+				k.noteEvictErr(rerr)
+			}
+			done, err = k.evict.FlushIfPending(done, base)
+			k.noteEvictErr(err)
+		}
 		return done
 	})
 	return k
@@ -177,9 +206,40 @@ func (k *Kona) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.
 }
 
 // Write stores buf to remote memory through FMem, tracking dirty lines,
-// and returns the completion time.
+// and returns the completion time. With Config.BackpressureBytes set,
+// writes issued while the ship-pending backlog exceeds the bound are
+// charged a bounded admission-control delay (DESIGN.md §13): the backlog
+// means dirty bytes are being produced faster than eviction bandwidth
+// drains them, and an unbounded backlog turns into unbounded retained
+// memory and unbounded catch-up flushes.
 func (k *Kona) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	if limit := k.cfg.BackpressureBytes; limit > 0 {
+		if p := k.evict.totalPendingBytes(); p > limit {
+			d := backpressureDelay(p, limit)
+			now += d
+			k.backpressureStalls.Add(1)
+			k.m.backpressureStalls.Inc()
+			k.m.backpressureDelay.Add(uint64(d))
+		}
+	}
 	return k.fpga.Write(now, addr, buf)
+}
+
+// backpressureMaxDelay caps one write's admission-control stall: the
+// delay slows the writer to eviction speed, it does not block it.
+const backpressureMaxDelay = 50 * time.Microsecond
+
+// backpressureDelay converts pending-byte overshoot into a bounded
+// virtual-time stall, modeling a ~64 B/ns drain of the excess.
+func backpressureDelay(pending, limit uint64) simclock.Duration {
+	d := simclock.Duration((pending - limit) / 64)
+	if d > backpressureMaxDelay {
+		d = backpressureMaxDelay
+	}
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
 }
 
 // RefreshPlacements re-fetches every placement group from the controller
@@ -210,6 +270,17 @@ func (k *Kona) RefreshPlacements() (bool, error) {
 // them to the replacement node — so Sync succeeds while an outage is
 // in progress; unreplicated outages surface as errors.
 func (k *Kona) Sync(now simclock.Duration) (simclock.Duration, error) {
+	// Report the per-destination ship-pending backlog into the
+	// controller's load map before draining it: the controller folds this
+	// compute-side pressure signal into load-aware placement and
+	// migration decisions (DESIGN.md §13). Best-effort and free of
+	// virtual-time cost, so fixed-seed results are unchanged.
+	k.loadMu.Lock()
+	k.loadScratch = k.evict.pendingLoads(k.loadScratch)
+	for _, np := range k.loadScratch {
+		_ = k.rm.rack.reportLoad(np.node, np.bytes)
+	}
+	k.loadMu.Unlock()
 	// Pick up repair flips before flushing so retained entries land on the
 	// repaired replica in this drain, not the next. The epoch check is one
 	// control-path lookup; in a healthy steady state the epoch never moves

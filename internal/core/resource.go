@@ -43,6 +43,24 @@ type resourceManager struct {
 	// section that installs the new membership — no translation can ever
 	// observe a repaired member without its suspect flag.
 	suspect map[uint64]struct{}
+
+	// sealed holds the link keys of members whose extent a migration has
+	// sealed: the evictor's last ship was rejected and the dirty lines are
+	// retained locally, so the sealed copy is missing acknowledged writes
+	// until a placement refresh flips it away and the retained entries
+	// drain onto the migration target. Translation skips sealed members
+	// like suspect ones while another live replica exists. Cleared
+	// wholesale on every placement refresh — if an extent is still sealed
+	// afterwards, the next rejected ship re-marks it.
+	sealed map[uint64]struct{}
+
+	// sealNotice latches "a ship was rejected by a sealed extent" for the
+	// fetch path: Kona's fetch hook sees it (takeSealNotice), refreshes
+	// placements to pick up the migration flip, and re-flushes so the
+	// retained entries land before the fetch reads remote memory. Without
+	// the notice, an unreplicated slab could serve a stale page between
+	// the seal and the next Sync.
+	sealNotice bool
 }
 
 func newResourceManager(cfg Config, r rack) *resourceManager {
@@ -52,7 +70,28 @@ func newResourceManager(cfg Config, r rack) *resourceManager {
 		alloc:    slab.NewAllocator(),
 		replicas: make(map[uint64][]Slab),
 		suspect:  make(map[uint64]struct{}),
+		sealed:   make(map[uint64]struct{}),
 	}
+}
+
+// noteSealed records that a ship to the given link was rejected because
+// its extent is sealed for migration, and latches the seal notice for the
+// fetch path.
+func (rm *resourceManager) noteSealed(key uint64) {
+	rm.mu.Lock()
+	rm.sealed[key] = struct{}{}
+	rm.sealNotice = true
+	rm.mu.Unlock()
+}
+
+// takeSealNotice consumes the latched seal notice, returning whether any
+// ship was rejected by a sealed extent since the last call.
+func (rm *resourceManager) takeSealNotice() bool {
+	rm.mu.Lock()
+	n := rm.sealNotice
+	rm.sealNotice = false
+	rm.mu.Unlock()
+	return n
 }
 
 // clearSuspect marks a repaired replica readable again, once the evictor
@@ -128,11 +167,18 @@ func (rm *resourceManager) translateLocked(addr mem.Addr) (nodeLink, uint64, err
 	if !ok {
 		return nil, 0, fmt.Errorf("core: address %v not in any slab", addr)
 	}
-	allowSuspect := len(rm.suspect) == 0
+	allowSuspect := len(rm.suspect) == 0 && len(rm.sealed) == 0
 	for {
 		for i, pl := range rm.replicas[s.ID] {
 			if !allowSuspect {
-				if _, sus := rm.suspect[linkKeyFor(pl.Node, pl.Epoch)]; sus {
+				k := linkKeyFor(pl.Node, pl.Epoch)
+				if _, sus := rm.suspect[k]; sus {
+					continue
+				}
+				// A sealed member is missing the dirty lines retained
+				// since its extent was sealed for migration; prefer a
+				// replica that took the ship.
+				if _, sl := rm.sealed[k]; sl {
 					continue
 				}
 			}
@@ -269,6 +315,15 @@ type replicaMove struct {
 	size    uint64
 	newLink nodeLink
 	newOff  uint64 // new member's pool base offset
+	// retire marks a move whose old member is still alive (a migration
+	// flip, not a repair flip). A repair move must outlive the settle —
+	// the dead incarnation's key can never carry traffic again, and new
+	// evictions for the window must keep rebasing onto the replacement.
+	// A migration source, by contrast, stays registered and its pool
+	// window is eventually reused by a fresh carve; once the retained
+	// entries have drained, the move must be deleted or it would silently
+	// rewrite entries bound for the window's next tenant.
+	retire bool
 }
 
 // refreshPlacements re-fetches every placement group from the controller
@@ -278,6 +333,12 @@ type replicaMove struct {
 func (rm *resourceManager) refreshPlacements() ([]replicaMove, bool, error) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
+	// Drop the seal fences: any member still sealed after the refresh gets
+	// re-marked by the next rejected ship, and a flipped-away member's
+	// fence is obsolete.
+	for k := range rm.sealed {
+		delete(rm.sealed, k)
+	}
 	var moves []replicaMove
 	changed := false
 	for gid, old := range rm.replicas {
@@ -313,12 +374,17 @@ func (rm *resourceManager) refreshPlacements() ([]replicaMove, bool, error) {
 			// re-shipped onto it; make it unreadable before the install
 			// below can route a fetch to it.
 			rm.suspect[linkKeyFor(n.Node, n.Epoch)] = struct{}{}
+			// If the old member's link still resolves, its node is alive:
+			// this is a migration flip, and the move must retire once the
+			// retained entries drain (the source window will be reused).
+			_, oldLinkErr := rm.rack.link(o.Node, o.Epoch)
 			moves = append(moves, replicaMove{
 				oldKey:  linkKeyFor(o.Node, o.Epoch),
 				oldOff:  o.RemoteOff,
 				size:    o.Size,
 				newLink: nl,
 				newOff:  n.RemoteOff,
+				retire:  oldLinkErr == nil,
 			})
 		}
 		rm.replicas[gid] = cur

@@ -65,6 +65,10 @@ type rack interface {
 	// reportShipFailure tells the controller a node's log ships keep
 	// failing so it can probe and expel the node (DESIGN.md §10).
 	reportShipFailure(node int) error
+	// reportLoad pushes this runtime's ship-pending backlog toward one
+	// node into the controller's load map (DESIGN.md §13). Best-effort:
+	// a lost report only delays the next load-map update.
+	reportLoad(node int, pending uint64) error
 	// slabPlacements returns a placement group's current members.
 	slabPlacements(group uint64) ([]Slab, error)
 	// placementEpoch returns the controller's placement epoch; a change
@@ -152,6 +156,11 @@ func (r *simRack) pipelined() bool { return false }
 
 func (r *simRack) reportShipFailure(node int) error {
 	r.ctrl.ReportNodeFailure(node)
+	return nil
+}
+
+func (r *simRack) reportLoad(node int, pending uint64) error {
+	r.ctrl.ReportLoad(node, cluster.LoadSample{PendingBytes: pending})
 	return nil
 }
 
@@ -375,6 +384,10 @@ func (r *tcpRack) pipelined() bool { return true }
 func (r *tcpRack) reportShipFailure(node int) error {
 	_, err := r.client.ReportFailure(node)
 	return err
+}
+
+func (r *tcpRack) reportLoad(node int, pending uint64) error {
+	return r.client.ReportLoad(node, cluster.LoadSample{PendingBytes: pending})
 }
 
 func (r *tcpRack) slabPlacements(group uint64) ([]Slab, error) {
