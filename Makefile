@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent bench-wire bench-migrate kv-bench kv-soak cover stress chaos verify
+.PHONY: build vet test quick race fuzz bench bench-quick bench-telemetry bench-evict bench-concurrent bench-wire bench-migrate bench-lease kv-bench kv-soak cover stress chaos verify
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,13 @@ chaos:
 bench-migrate:
 	$(GO) test -run 'TestMigrationDoesNotStarveFetchP99' -count=1 -v ./internal/core
 
+# Sharing-overhead guard (DESIGN.md §14): idle reader attachments must
+# not put lease machinery on the writer's flush path — the per-Sync
+# virtual-time p99 with 4 attached readers must stay within 10% of the
+# unshared baseline.
+bench-lease:
+	$(GO) test -run 'TestLeaseIdleReadersDoNotDegradeWriterFlushP99' -count=1 -v ./internal/core
+
 # KV service SLO guard (DESIGN.md §12): the fixed-seed open-loop zipfian
 # run against kona-kvd on a full TCP rack — the tail must hold under the
 # SLO, every acknowledged write must verify intact, and the fetch/evict
@@ -118,4 +125,4 @@ bench-concurrent:
 cover:
 	$(GO) test -cover ./internal/... | sort
 
-verify: vet build test race stress chaos bench-quick bench-telemetry bench-evict bench-concurrent bench-wire bench-migrate kv-bench kv-soak
+verify: vet build test race stress chaos bench-quick bench-telemetry bench-evict bench-concurrent bench-wire bench-migrate bench-lease kv-bench kv-soak

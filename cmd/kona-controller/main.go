@@ -39,6 +39,7 @@ func main() {
 	migrateRatio := flag.Float64("migrate-threshold", 0, "hot/cold load ratio that triggers live slab migration (0 disables migration)")
 	migrateBudget := flag.Float64("migrate-budget", 64<<20, "migration copy budget in bytes/sec (0 = unlimited)")
 	migrateMaxMoves := flag.Int("migrate-max-moves", 1, "max slab migrations started per sweep")
+	leaseTTL := flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "default TTL for slab ownership leases (DESIGN.md §14)")
 	grace := flag.Duration("drain-grace", 5*time.Second, "shutdown drain budget for in-flight RPCs")
 	var (
 		faultDrop    = flag.Float64("fault-drop", 0, "probability an I/O op drops the connection (chaos testing)")
@@ -78,6 +79,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kona-controller: %v\n", err)
 		os.Exit(1)
 	}
+	ctrl.SetLeaseTTL(*leaseTTL)
 	srv := cluster.ServeControllerOnWith(ctrl, l, reg)
 	defer srv.Close()
 
@@ -126,8 +128,8 @@ func main() {
 	}
 	// One structured line with the effective configuration, grep-able in
 	// deployment logs.
-	fmt.Printf("kona-controller: config listen=%s metrics=%s placement=%s migrate-threshold=%g faults=%t fault-drop=%g fault-delay=%g fault-seed=%d\n",
-		srv.Addr(), metrics, ctrl.PlacementPolicy(), *migrateRatio, faults, *faultDrop, *faultDelay, *faultSeed)
+	fmt.Printf("kona-controller: config listen=%s metrics=%s placement=%s migrate-threshold=%g lease-ttl=%s faults=%t fault-drop=%g fault-delay=%g fault-seed=%d\n",
+		srv.Addr(), metrics, ctrl.PlacementPolicy(), *migrateRatio, *leaseTTL, faults, *faultDrop, *faultDelay, *faultSeed)
 	fmt.Printf("kona-controller: serving on %s\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -99,14 +99,15 @@ func main() {
 		}()
 	}
 
-	// Per-memnode distribution: snapshot the controller's load-map
-	// counters around the run so only this run's traffic shows in the
-	// deltas. Scrape failures are reported but never fail the run — the
-	// distribution is diagnostics, not a result.
+	// Per-memnode distribution: snapshot the controller's load-map (and
+	// lease-directory) counters around the run so only this run's traffic
+	// shows in the deltas. Scrape failures are reported but never fail the
+	// run — the distribution is diagnostics, not a result.
 	var loadBefore map[int]map[string]uint64
+	var leaseBefore map[string]uint64
 	if *ctrlMetrics != "" {
 		var serr error
-		if loadBefore, serr = scrapeNodeLoads(*ctrlMetrics); serr != nil {
+		if loadBefore, leaseBefore, serr = scrapeNodeLoads(*ctrlMetrics); serr != nil {
 			fmt.Fprintf(os.Stderr, "kona-kvload: controller metrics scrape: %v\n", serr)
 		}
 	}
@@ -144,11 +145,12 @@ func main() {
 			res.VerifiedKeys, res.Missing, res.Torn, res.Stale)
 	}
 	if *ctrlMetrics != "" {
-		loadAfter, serr := scrapeNodeLoads(*ctrlMetrics)
+		loadAfter, leaseAfter, serr := scrapeNodeLoads(*ctrlMetrics)
 		if serr != nil {
 			fmt.Fprintf(os.Stderr, "kona-kvload: controller metrics scrape: %v\n", serr)
 		} else {
 			printNodeLoads(loadBefore, loadAfter)
+			printLeaseActivity(leaseBefore, leaseAfter)
 		}
 	}
 
@@ -162,20 +164,33 @@ func main() {
 
 // scrapeNodeLoads fetches the controller's /metrics text and returns the
 // cluster.load.node.<id>.<field> values keyed by node id, then field
-// (read_ops, write_ops, read_bytes, write_bytes, score, pending).
-func scrapeNodeLoads(addr string) (map[int]map[string]uint64, error) {
+// (read_ops, write_ops, read_bytes, write_bytes, score, pending), plus
+// the cluster.lease.<field> ownership-directory counters keyed by field
+// (grants, publishes, takeovers, ...; DESIGN.md §14).
+func scrapeNodeLoads(addr string) (map[int]map[string]uint64, map[string]uint64, error) {
 	c := http.Client{Timeout: 5 * time.Second}
 	resp, err := c.Get("http://" + addr + "/metrics")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+		return nil, nil, fmt.Errorf("GET /metrics: %s", resp.Status)
 	}
 	out := make(map[int]map[string]uint64)
+	leases := make(map[string]uint64)
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "cluster.lease."); ok {
+			nameVal := strings.Fields(rest) // "<field> <value>"
+			if len(nameVal) != 2 {
+				continue
+			}
+			if v, verr := strconv.ParseUint(nameVal[1], 10, 64); verr == nil {
+				leases[nameVal[0]] = v
+			}
+			continue
+		}
 		rest, ok := strings.CutPrefix(sc.Text(), "cluster.load.node.")
 		if !ok {
 			continue
@@ -198,7 +213,7 @@ func scrapeNodeLoads(addr string) (map[int]map[string]uint64, error) {
 		}
 		out[id][idField[1]] = v
 	}
-	return out, sc.Err()
+	return out, leases, sc.Err()
 }
 
 // printNodeLoads prints the per-memnode op/byte distribution for the run:
@@ -241,6 +256,27 @@ func printNodeLoads(before, after map[int]map[string]uint64) {
 			delta(id, "read_bytes"), delta(id, "write_bytes"), share)
 	}
 	fmt.Printf("  total %9d ops %26d bytes\n", totOps, totBytes)
+}
+
+// printLeaseActivity prints the lease-directory counter deltas for the
+// run (slab-sharing traffic: grants, publishes, takeovers; DESIGN.md
+// §14). The writers/readers gauges print as absolute values — they are
+// occupancy, not counters. Quiet when the controller exposes no lease
+// metrics at all (pre-lease daemon).
+func printLeaseActivity(before, after map[string]uint64) {
+	if len(after) == 0 {
+		return
+	}
+	delta := func(field string) uint64 {
+		a := after[field]
+		if b := before[field]; b < a {
+			return a - b
+		}
+		return 0
+	}
+	fmt.Printf("  lease activity (this run): grants=%d publishes=%d takeovers=%d expirations=%d rejects=%d fence_errors=%d (now writers=%d readers=%d)\n",
+		delta("grants"), delta("publishes"), delta("takeovers"), delta("expirations"),
+		delta("rejects"), delta("fence_errors"), after["writers"], after["readers"])
 }
 
 func orDash(d time.Duration) string {

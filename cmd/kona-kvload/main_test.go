@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// metricsPayload is a realistic controller /metrics page: load-map
+// counters for two memnodes, the lease directory's counters, and noise
+// (unrelated metrics, malformed lines) the scraper must skip.
+const metricsPayload = `cluster.slabs.allocated 12
+cluster.load.node.0.read_ops 1000
+cluster.load.node.0.write_ops 200
+cluster.load.node.0.read_bytes 4096000
+cluster.load.node.0.write_bytes 819200
+cluster.load.node.1.read_ops 3000
+cluster.load.node.1.write_ops 600
+cluster.load.node.1.read_bytes 12288000
+cluster.load.node.1.write_bytes 2457600
+cluster.load.node.bogus.read_ops 7
+cluster.load.node.2.read_ops not-a-number
+cluster.lease.grants 42
+cluster.lease.publishes 17
+cluster.lease.takeovers 1
+cluster.lease.expirations 2
+cluster.lease.rejects 3
+cluster.lease.fence_errors 0
+cluster.lease.writers 1
+cluster.lease.readers 4
+cluster.lease.garbage one two
+rpc.requests 9999
+`
+
+// serveMetrics returns the host:port of a test server answering GET
+// /metrics with the canned payload (the form -ctrl-metrics takes).
+func serveMetrics(t *testing.T, payload string) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, payload)
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestScrapeNodeLoads(t *testing.T) {
+	addr := serveMetrics(t, metricsPayload)
+	loads, leases, err := scrapeNodeLoads(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 2 {
+		t.Fatalf("parsed %d nodes, want 2 (malformed ids must be skipped): %v", len(loads), loads)
+	}
+	if got := loads[0]["read_ops"]; got != 1000 {
+		t.Errorf("node 0 read_ops = %d, want 1000", got)
+	}
+	if got := loads[1]["write_bytes"]; got != 2457600 {
+		t.Errorf("node 1 write_bytes = %d, want 2457600", got)
+	}
+	for field, want := range map[string]uint64{
+		"grants": 42, "publishes": 17, "takeovers": 1,
+		"expirations": 2, "rejects": 3, "writers": 1, "readers": 4,
+	} {
+		if got := leases[field]; got != want {
+			t.Errorf("lease %s = %d, want %d", field, got, want)
+		}
+	}
+	if _, ok := leases["garbage"]; ok {
+		t.Error("malformed lease line parsed")
+	}
+
+	if _, _, err := scrapeNodeLoads("127.0.0.1:1"); err == nil {
+		t.Error("scrape of unreachable controller succeeded")
+	}
+}
+
+// TestPrintNodeLoads pins the per-memnode distribution report: per-run
+// deltas (not absolutes), ops shares summing the rack, and a counter
+// reset (node rejoin mid-run) showing zero rather than garbage.
+func TestPrintNodeLoads(t *testing.T) {
+	before := map[int]map[string]uint64{
+		0: {"read_ops": 1000, "write_ops": 200, "read_bytes": 4096000, "write_bytes": 819200},
+		1: {"read_ops": 9000, "write_ops": 600, "read_bytes": 12288000, "write_bytes": 2457600},
+	}
+	after := map[int]map[string]uint64{
+		0: {"read_ops": 1600, "write_ops": 400, "read_bytes": 8192000, "write_bytes": 1638400},
+		1: {"read_ops": 100, "write_ops": 700, "read_bytes": 12288001, "write_bytes": 2457600},
+	}
+	out := captureStdout(t, func() { printNodeLoads(before, after) })
+	// Node 0 did 600+200=800 delta ops; node 1's read counter reset
+	// (9000→100, shows 0) leaving 100 write-delta ops: 800/900 ≈ 88.9%.
+	if !strings.Contains(out, "88.9%") {
+		t.Errorf("node 0 ops share missing from report:\n%s", out)
+	}
+	if !strings.Contains(out, "total       900 ops") {
+		t.Errorf("total delta ops missing (counter reset must clamp to 0):\n%s", out)
+	}
+
+	empty := captureStdout(t, func() { printNodeLoads(nil, nil) })
+	if !strings.Contains(empty, "no cluster.load.node") {
+		t.Errorf("empty scrape must say why the table is missing:\n%s", empty)
+	}
+}
+
+func TestPrintLeaseActivity(t *testing.T) {
+	before := map[string]uint64{"grants": 40, "publishes": 10, "takeovers": 1, "rejects": 3}
+	after := map[string]uint64{
+		"grants": 100, "publishes": 17, "takeovers": 1, "expirations": 2,
+		"rejects": 2, // reset mid-run → delta clamps to 0
+		"writers": 1, "readers": 4,
+	}
+	out := captureStdout(t, func() { printLeaseActivity(before, after) })
+	want := "lease activity (this run): grants=60 publishes=7 takeovers=0 expirations=2 rejects=0 fence_errors=0 (now writers=1 readers=4)"
+	if !strings.Contains(out, want) {
+		t.Errorf("lease report = %q, want containing %q", strings.TrimSpace(out), want)
+	}
+
+	// A pre-lease controller exposes no cluster.lease.* metrics: stay quiet.
+	if out := captureStdout(t, func() { printLeaseActivity(nil, map[string]uint64{}) }); out != "" {
+		t.Errorf("printed lease activity with no lease metrics: %q", out)
+	}
+}

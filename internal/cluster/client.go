@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"kona/internal/slab"
 )
@@ -137,6 +138,61 @@ func (c *ControllerClient) Ping() error {
 	return err
 }
 
+// decodeLeaseGrant unpacks a lease response: Epoch in the envelope,
+// [version][ttl ns] in the payload.
+func decodeLeaseGrant(resp *Response) (LeaseGrant, error) {
+	if len(resp.Data) != 16 {
+		return LeaseGrant{}, fmt.Errorf("cluster: lease response payload is %d bytes, want 16", len(resp.Data))
+	}
+	return LeaseGrant{
+		Epoch:   resp.Epoch,
+		Version: binary.BigEndian.Uint64(resp.Data),
+		TTL:     time.Duration(binary.BigEndian.Uint64(resp.Data[8:])),
+	}, nil
+}
+
+// AcquireLease requests a reader (LeaseReader) or writer (LeaseWriter)
+// lease on a placement group for the given runtime identity. ttl 0 asks
+// for the controller's default. A conflicting writer acquire fails with
+// an error matching IsLeaseConflictErr.
+func (c *ControllerClient) AcquireLease(group, runtime uint64, mode int, ttl time.Duration) (LeaseGrant, error) {
+	resp, err := c.pool.roundTrip(&Request{
+		Kind: msgLeaseAcquire, SlabID: group, Runtime: runtime, Length: mode, Size: uint64(ttl),
+	})
+	if err != nil {
+		return LeaseGrant{}, err
+	}
+	return decodeLeaseGrant(resp)
+}
+
+// RenewLease extends an existing lease; a reader renew's returned Version
+// is the invalidation signal (drop cached pages when it advances).
+func (c *ControllerClient) RenewLease(group, runtime uint64, mode int, ttl time.Duration) (LeaseGrant, error) {
+	resp, err := c.pool.roundTrip(&Request{
+		Kind: msgLeaseRenew, SlabID: group, Runtime: runtime, Length: mode, Size: uint64(ttl),
+	})
+	if err != nil {
+		return LeaseGrant{}, err
+	}
+	return decodeLeaseGrant(resp)
+}
+
+// ReleaseLease drops every lease the runtime holds on the group.
+func (c *ControllerClient) ReleaseLease(group, runtime uint64) error {
+	_, err := c.pool.roundTrip(&Request{Kind: msgLeaseRelease, SlabID: group, Runtime: runtime})
+	return err
+}
+
+// PublishLease bumps the group's version after the writer has flushed —
+// the invalidation readers observe on their next renew.
+func (c *ControllerClient) PublishLease(group, runtime uint64) (LeaseGrant, error) {
+	resp, err := c.pool.roundTrip(&Request{Kind: msgLeaseInvalidate, SlabID: group, Runtime: runtime})
+	if err != nil {
+		return LeaseGrant{}, err
+	}
+	return decodeLeaseGrant(resp)
+}
+
 // MemoryNodeClient talks to a remote memory-node daemon over pooled
 // persistent connections. Safe for concurrent use.
 type MemoryNodeClient struct {
@@ -145,11 +201,19 @@ type MemoryNodeClient struct {
 	// incarnation the client believes it is talking to; a restarted node
 	// rejects mismatches (epoch fencing, DESIGN.md §10).
 	epoch atomic.Uint64
+	// runtime, when nonzero, stamps writes with the calling runtime's
+	// lease identity; a lease-fenced extent rejects writes from anyone
+	// but the fence holder (§14).
+	runtime atomic.Uint64
 }
 
 // SetEpoch sets the incarnation stamp for subsequent data RPCs (0
 // disables fencing).
 func (c *MemoryNodeClient) SetEpoch(epoch uint64) { c.epoch.Store(epoch) }
+
+// SetRuntime sets the lease-identity stamp for subsequent writes (0
+// means no identity — fenced extents reject such writes).
+func (c *MemoryNodeClient) SetRuntime(id uint64) { c.runtime.Store(id) }
 
 // DialMemoryNode returns a client for the node at addr with the default
 // transport policy.
@@ -243,7 +307,7 @@ func (c *MemoryNodeClient) Write(offset uint64, data []byte) error {
 // images without first gluing them into one contiguous allocation.
 func (c *MemoryNodeClient) WriteVec(offset uint64, segs ...[]byte) error {
 	_, err := c.pool.roundTripIO(
-		&Request{Kind: msgWrite, Offset: offset, Epoch: c.epoch.Load()},
+		&Request{Kind: msgWrite, Offset: offset, Epoch: c.epoch.Load(), Runtime: c.runtime.Load()},
 		segs, nil)
 	return err
 }
@@ -262,7 +326,7 @@ func (c *MemoryNodeClient) WriteLog(packed []byte) (int, error) {
 // zero copies on either side of the wire.
 func (c *MemoryNodeClient) WriteLogVec(segs ...[]byte) (int, error) {
 	resp, err := c.pool.roundTripIO(
-		&Request{Kind: msgWriteLog, Epoch: c.epoch.Load()}, segs, nil)
+		&Request{Kind: msgWriteLog, Epoch: c.epoch.Load(), Runtime: c.runtime.Load()}, segs, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -328,6 +392,16 @@ func (c *MemoryNodeClient) Seal(off, size uint64) error {
 func (c *MemoryNodeClient) Unseal(off, size uint64) error {
 	_, err := c.pool.roundTrip(&Request{
 		Kind: msgUnsealExtent, Offset: off, Size: size, Epoch: c.epoch.Load(),
+	})
+	return err
+}
+
+// LeaseFence restricts writes to [off, off+size) to the runtime holding
+// the writer lease; holder 0 clears the fence. The controller pushes
+// these when a group's writer changes.
+func (c *MemoryNodeClient) LeaseFence(off, size, holder uint64) error {
+	_, err := c.pool.roundTrip(&Request{
+		Kind: msgLeaseFence, Offset: off, Size: size, Runtime: holder, Epoch: c.epoch.Load(),
 	})
 	return err
 }

@@ -47,6 +47,11 @@ const (
 	kindCaptureStop
 	kindSealExtent
 	kindUnsealExtent
+	kindLeaseAcquire
+	kindLeaseRenew
+	kindLeaseRelease
+	kindLeaseInvalidate
+	kindLeaseFence
 
 	kindResponse byte = 0x80
 )
@@ -55,43 +60,53 @@ const (
 // back. The string tags stay the package's internal currency (telemetry
 // counter names, retryable(), dispatch) — only the wire sees bytes.
 var kindBytes = map[string]byte{
-	msgRegisterNode:   kindRegisterNode,
-	msgAllocSlab:      kindAllocSlab,
-	msgNodeAddr:       kindNodeAddr,
-	msgRead:           kindRead,
-	msgReadPages:      kindReadPages,
-	msgWrite:          kindWrite,
-	msgWriteLog:       kindWriteLog,
-	msgReleaseSlab:    kindReleaseSlab,
-	msgPing:           kindPing,
-	msgSlabPlacements: kindSlabPlacements,
-	msgReportFailure:  kindReportFailure,
-	msgReportLoad:     kindReportLoad,
-	msgCaptureStart:   kindCaptureStart,
-	msgCaptureDrain:   kindCaptureDrain,
-	msgCaptureStop:    kindCaptureStop,
-	msgSealExtent:     kindSealExtent,
-	msgUnsealExtent:   kindUnsealExtent,
+	msgRegisterNode:    kindRegisterNode,
+	msgAllocSlab:       kindAllocSlab,
+	msgNodeAddr:        kindNodeAddr,
+	msgRead:            kindRead,
+	msgReadPages:       kindReadPages,
+	msgWrite:           kindWrite,
+	msgWriteLog:        kindWriteLog,
+	msgReleaseSlab:     kindReleaseSlab,
+	msgPing:            kindPing,
+	msgSlabPlacements:  kindSlabPlacements,
+	msgReportFailure:   kindReportFailure,
+	msgReportLoad:      kindReportLoad,
+	msgCaptureStart:    kindCaptureStart,
+	msgCaptureDrain:    kindCaptureDrain,
+	msgCaptureStop:     kindCaptureStop,
+	msgSealExtent:      kindSealExtent,
+	msgUnsealExtent:    kindUnsealExtent,
+	msgLeaseAcquire:    kindLeaseAcquire,
+	msgLeaseRenew:      kindLeaseRenew,
+	msgLeaseRelease:    kindLeaseRelease,
+	msgLeaseInvalidate: kindLeaseInvalidate,
+	msgLeaseFence:      kindLeaseFence,
 }
 
 var kindNames = map[byte]string{
-	kindRegisterNode:   msgRegisterNode,
-	kindAllocSlab:      msgAllocSlab,
-	kindNodeAddr:       msgNodeAddr,
-	kindRead:           msgRead,
-	kindReadPages:      msgReadPages,
-	kindWrite:          msgWrite,
-	kindWriteLog:       msgWriteLog,
-	kindReleaseSlab:    msgReleaseSlab,
-	kindPing:           msgPing,
-	kindSlabPlacements: msgSlabPlacements,
-	kindReportFailure:  msgReportFailure,
-	kindReportLoad:     msgReportLoad,
-	kindCaptureStart:   msgCaptureStart,
-	kindCaptureDrain:   msgCaptureDrain,
-	kindCaptureStop:    msgCaptureStop,
-	kindSealExtent:     msgSealExtent,
-	kindUnsealExtent:   msgUnsealExtent,
+	kindRegisterNode:    msgRegisterNode,
+	kindAllocSlab:       msgAllocSlab,
+	kindNodeAddr:        msgNodeAddr,
+	kindRead:            msgRead,
+	kindReadPages:       msgReadPages,
+	kindWrite:           msgWrite,
+	kindWriteLog:        msgWriteLog,
+	kindReleaseSlab:     msgReleaseSlab,
+	kindPing:            msgPing,
+	kindSlabPlacements:  msgSlabPlacements,
+	kindReportFailure:   msgReportFailure,
+	kindReportLoad:      msgReportLoad,
+	kindCaptureStart:    msgCaptureStart,
+	kindCaptureDrain:    msgCaptureDrain,
+	kindCaptureStop:     msgCaptureStop,
+	kindSealExtent:      msgSealExtent,
+	kindUnsealExtent:    msgUnsealExtent,
+	kindLeaseAcquire:    msgLeaseAcquire,
+	kindLeaseRenew:      msgLeaseRenew,
+	kindLeaseRelease:    msgLeaseRelease,
+	kindLeaseInvalidate: msgLeaseInvalidate,
+	kindLeaseFence:      msgLeaseFence,
 }
 
 // --- append-style encoders ---------------------------------------------
@@ -132,6 +147,9 @@ func appendRequestHeader(b []byte, req *Request) []byte {
 	for _, off := range req.Offsets {
 		b = appendU64(b, off)
 	}
+	// Appended in kw v2 rev 3 (lease protocol); the layout is append-only,
+	// so Runtime travels last.
+	b = appendU64(b, req.Runtime)
 	return b
 }
 
@@ -263,6 +281,7 @@ func decodeRequestHeader(kind byte, hdr []byte, req *Request) error {
 	} else {
 		req.Offsets = nil
 	}
+	req.Runtime = r.u64()
 	return r.done("request")
 }
 

@@ -62,6 +62,12 @@ type Controller struct {
 	// carves pick nodes ("" = PolicyRR).
 	load   map[int]*nodeLoad
 	policy string
+
+	// leaseDir is the per-group ownership directory (lease.go, §14). Its
+	// leaseMu is ordered OUTSIDE c.mu: lease operations take leaseMu and
+	// may then take c.mu (membership snapshots, the in-process fencer);
+	// nothing takes leaseMu while holding c.mu.
+	leaseDir
 }
 
 type degradedKey struct {
@@ -94,6 +100,7 @@ func NewController() *Controller {
 		groups:   make(map[uint64][]slab.Slab),
 		incarn:   make(map[int]uint64),
 		degraded: make(map[degradedKey]DegradedSlab),
+		leaseDir: leaseDir{leases: make(map[uint64]*leaseState)},
 	}
 }
 
@@ -303,6 +310,7 @@ func (c *Controller) DegradedCount() int {
 func (c *Controller) ReleaseSlab(s slab.Slab) error {
 	c.mu.Lock()
 	grouped := false
+	emptied := false
 	if members, ok := c.groups[s.ID]; ok {
 		kept := members[:0]
 		for _, m := range members {
@@ -315,6 +323,7 @@ func (c *Controller) ReleaseSlab(s slab.Slab) error {
 		}
 		if len(kept) == 0 {
 			delete(c.groups, s.ID)
+			emptied = true
 		} else {
 			c.groups[s.ID] = kept
 		}
@@ -322,6 +331,11 @@ func (c *Controller) ReleaseSlab(s slab.Slab) error {
 	n, ok := c.nodes[s.Node]
 	live := ok && (s.Epoch == 0 || c.incarn[s.Node] == s.Epoch)
 	c.mu.Unlock()
+	if emptied {
+		// The group is gone; its lease history (and version counter) dies
+		// with it. Taken outside c.mu — leaseMu is the outer lock.
+		c.dropLeaseState(s.ID)
+	}
 	if !ok {
 		if grouped || s.Epoch > 0 {
 			// The hosting node is gone; its memory went with it.
@@ -456,29 +470,42 @@ func (c *Controller) CarveRepairTarget(d DegradedSlab) (slab.Slab, error) {
 // degraded entry was already resolved or the target node changed
 // incarnation or died during the copy.
 func (c *Controller) CommitRepair(d DegradedSlab, repaired slab.Slab) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := degradedKey{group: d.Group, node: d.LostNode}
-	if _, ok := c.degraded[k]; !ok {
-		return fmt.Errorf("controller: group %d/node %d no longer degraded", d.Group, d.LostNode)
-	}
-	n, ok := c.nodes[repaired.Node]
-	if !ok || c.incarn[repaired.Node] != repaired.Epoch {
-		return fmt.Errorf("controller: repair target node %d (epoch %d) gone", repaired.Node, repaired.Epoch)
-	}
-	if n.Failed() {
-		return fmt.Errorf("controller: repair target node %d failed during copy", repaired.Node)
-	}
-	members := c.groups[d.Group]
-	for i := range members {
-		if members[i].Node == d.LostNode && members[i].Epoch == d.LostEpoch {
-			members[i] = repaired
-			delete(c.degraded, k)
-			c.epoch++
-			return nil
+	err := func() error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		k := degradedKey{group: d.Group, node: d.LostNode}
+		if _, ok := c.degraded[k]; !ok {
+			return fmt.Errorf("controller: group %d/node %d no longer degraded", d.Group, d.LostNode)
 		}
+		n, ok := c.nodes[repaired.Node]
+		if !ok || c.incarn[repaired.Node] != repaired.Epoch {
+			return fmt.Errorf("controller: repair target node %d (epoch %d) gone", repaired.Node, repaired.Epoch)
+		}
+		if n.Failed() {
+			return fmt.Errorf("controller: repair target node %d failed during copy", repaired.Node)
+		}
+		members := c.groups[d.Group]
+		for i := range members {
+			if members[i].Node == d.LostNode && members[i].Epoch == d.LostEpoch {
+				members[i] = repaired
+				delete(c.degraded, k)
+				c.epoch++
+				return nil
+			}
+		}
+		return fmt.Errorf("controller: group %d lost member on node %d vanished", d.Group, d.LostNode)
+	}()
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("controller: group %d lost member on node %d vanished", d.Group, d.LostNode)
+	// The lease table survives the flip: if the group has a live writer,
+	// the fresh extent must fence the same stale writers the lost one did.
+	// Outside c.mu — leaseMu is the outer lock. The window between the
+	// flip and the refence is safe: the repair copy targeted a fresh
+	// extent nobody else had placements for, and a zombie writer cannot
+	// have cached the new placement before this epoch bump propagates.
+	c.refenceMember(repaired)
+	return nil
 }
 
 // AbandonRepair returns a carved-but-uncommitted repair extent to its

@@ -72,6 +72,19 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(legacy.Bytes())
 	f.Add([]byte{frameMagic0, frameMagic1, 0x01, kindPing, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte("not a frame"))
+	// Lease-protocol seeds: a well-formed acquire, the same frame cut off
+	// mid-header (a runtime dying mid-send), and a fence push carrying a
+	// stale max epoch from a zombie controller.
+	lease := encodeRequest(f, &Request{
+		Kind: msgLeaseAcquire, ID: 7, SlabID: 3, Runtime: 99,
+		Length: int(LeaseWriter), Size: uint64(DefaultLeaseTTL),
+	})
+	f.Add(lease)
+	f.Add(lease[:len(lease)-3])
+	f.Add(encodeRequest(f, &Request{
+		Kind: msgLeaseFence, Offset: 1 << 20, Size: 4096,
+		Runtime: ^uint64(0), Epoch: ^uint64(0),
+	}))
 	var resp bytes.Buffer
 	if _, err := writeResponseFrame(&resp, &Response{Entries: 3, Epoch: 9}); err != nil {
 		f.Fatal(err)
@@ -111,6 +124,7 @@ func FuzzRequestRoundTrip(f *testing.F) {
 			ID:   id, NodeID: nodeID, Capacity: size ^ offset, Addr: addr,
 			Size: size, Replicas: nodeID >> 1, Offset: offset, Length: length,
 			SlabID: id ^ epoch, Epoch: epoch, Data: data,
+			Runtime: id ^ size, // lease/fence holder identity must survive the trip
 		}
 		for i := 0; i < int(offsCount%17); i++ {
 			in.Offsets = append(in.Offsets, offset+uint64(i)*7919)

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kona/internal/cllog"
+	"kona/internal/mem"
+)
+
+// Lease directory unit tests (DESIGN.md §14): the single-writer /
+// multi-reader state machine, injectable-clock TTL expiry, takeover
+// epoch bumps, and the memnode-side fences that reject a zombie
+// writer's WriteLog batch all-or-nothing.
+
+// leaseRack is a controller with n registered 8MB in-process nodes and
+// an injectable lease clock starting at t0.
+func leaseRack(t *testing.T, n int) (*Controller, *time.Time) {
+	t.Helper()
+	c := NewController()
+	for i := 0; i < n; i++ {
+		if err := c.Register(NewMemoryNode(i, 8<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := time.Unix(1000, 0)
+	c.SetLeaseClock(func() time.Time { return now })
+	return c, &now
+}
+
+func TestLeaseDirectoryStateMachine(t *testing.T) {
+	c, _ := leaseRack(t, 1)
+	s, err := c.AllocSlab(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alice, bob, carol = 11, 22, 33
+
+	// First writer acquire opens epoch 1.
+	g, err := c.AcquireLease(s.ID, alice, LeaseWriter, 0)
+	if err != nil {
+		t.Fatalf("writer acquire: %v", err)
+	}
+	if g.Epoch != 1 || g.Version != 0 {
+		t.Fatalf("first grant epoch=%d version=%d, want 1/0", g.Epoch, g.Version)
+	}
+	// Re-acquire by the holder renews, no epoch bump.
+	if g, err = c.AcquireLease(s.ID, alice, LeaseWriter, 0); err != nil || g.Epoch != 1 {
+		t.Fatalf("idempotent re-acquire: %v epoch=%d", err, g.Epoch)
+	}
+	// A conflicting writer acquire is rejected with the conflict mark.
+	if _, err = c.AcquireLease(s.ID, bob, LeaseWriter, 0); !IsLeaseConflictErr(err) {
+		t.Fatalf("conflicting acquire: got %v, want lease conflict", err)
+	}
+	// Readers coexist with the writer (invalidation is their protection).
+	if _, err = c.AcquireLease(s.ID, bob, LeaseReader, 0); err != nil {
+		t.Fatalf("reader acquire: %v", err)
+	}
+	if _, err = c.AcquireLease(s.ID, carol, LeaseReader, 0); err != nil {
+		t.Fatalf("second reader acquire: %v", err)
+	}
+	// A reader's upgrade attempt conflicts while the writer lease is held.
+	if _, err = c.AcquireLease(s.ID, bob, LeaseWriter, 0); !IsLeaseConflictErr(err) {
+		t.Fatalf("upgrade under live writer: got %v, want lease conflict", err)
+	}
+	// Publish bumps the version; readers see it on renew.
+	if _, err = c.PublishLease(s.ID, alice); err != nil {
+		t.Fatal(err)
+	}
+	if g, err = c.RenewLease(s.ID, bob, LeaseReader, 0); err != nil || g.Version != 1 {
+		t.Fatalf("reader renew after publish: %v version=%d, want 1", err, g.Version)
+	}
+	// Publishing without the writer lease is rejected.
+	if _, err = c.PublishLease(s.ID, bob); !IsLeaseConflictErr(err) {
+		t.Fatalf("publish by reader: got %v, want lease conflict", err)
+	}
+	// Clean release opens the slot; bob's upgrade drops his reader entry
+	// and bumps the epoch (handover).
+	if err = c.ReleaseLease(s.ID, alice); err != nil {
+		t.Fatal(err)
+	}
+	if g, err = c.AcquireLease(s.ID, bob, LeaseWriter, 0); err != nil || g.Epoch != 2 {
+		t.Fatalf("upgrade after release: %v epoch=%d, want 2", err, g.Epoch)
+	}
+	st := c.LeaseSnapshot()
+	if st.Writers != 1 || st.Readers != 1 { // carol still reads
+		t.Fatalf("snapshot writers=%d readers=%d, want 1/1", st.Writers, st.Readers)
+	}
+	if st.Rejects < 3 {
+		t.Fatalf("snapshot rejects=%d, want >=3", st.Rejects)
+	}
+
+	// Unknown group and zero runtime id are rejected outright.
+	if _, err = c.AcquireLease(s.ID+999, alice, LeaseWriter, 0); err == nil {
+		t.Fatal("acquire on unknown group succeeded")
+	}
+	if _, err = c.AcquireLease(s.ID, 0, LeaseWriter, 0); err == nil {
+		t.Fatal("acquire with runtime id 0 succeeded")
+	}
+}
+
+func TestLeaseTTLExpiryAndTakeover(t *testing.T) {
+	c, now := leaseRack(t, 1)
+	c.SetLeaseTTL(time.Second)
+	s, err := c.AllocSlab(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alice, bob = 1, 2
+
+	if _, err = c.AcquireLease(s.ID, alice, LeaseWriter, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL a rival acquire still conflicts.
+	*now = now.Add(900 * time.Millisecond)
+	if _, err = c.AcquireLease(s.ID, bob, LeaseWriter, 0); !IsLeaseConflictErr(err) {
+		t.Fatalf("pre-expiry acquire: got %v, want conflict", err)
+	}
+	// Past the TTL the takeover succeeds and bumps the epoch.
+	*now = now.Add(200 * time.Millisecond)
+	g, err := c.AcquireLease(s.ID, bob, LeaseWriter, 0)
+	if err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	if g.Epoch != 2 {
+		t.Fatalf("takeover epoch=%d, want 2", g.Epoch)
+	}
+	// The zombie's renew is the stop-writing signal.
+	if _, err = c.RenewLease(s.ID, alice, LeaseWriter, 0); !IsLeaseConflictErr(err) {
+		t.Fatalf("zombie renew: got %v, want conflict", err)
+	}
+	st := c.LeaseSnapshot()
+	if st.Expirations != 1 || st.Takeovers != 1 {
+		t.Fatalf("expirations=%d takeovers=%d, want 1/1", st.Expirations, st.Takeovers)
+	}
+
+	// Reader leases expire silently: an expired reader just re-grants.
+	if _, err = c.AcquireLease(s.ID, alice, LeaseReader, 0); err != nil {
+		t.Fatal(err)
+	}
+	*now = now.Add(2 * time.Second)
+	if snap := c.LeaseSnapshot(); snap.Readers != 1 {
+		t.Fatalf("pre-sweep reader gauge=%d, want 1 (lazy expiry)", snap.Readers)
+	}
+	if _, err = c.RenewLease(s.ID, alice, LeaseReader, 0); err != nil {
+		t.Fatalf("reader renew after lapse: %v", err)
+	}
+}
+
+// packInto packs entries into node n's log region and returns the byte
+// count, mimicking what a compute runtime's log ship RDMA-writes.
+func packInto(t *testing.T, n *MemoryNode, entries []cllog.Entry) int {
+	t.Helper()
+	packed, err := cllog.Pack(entries, n.logMR.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return packed
+}
+
+func TestZombieWriterWriteLogFencedWholeBatch(t *testing.T) {
+	c, now := leaseRack(t, 1)
+	c.SetLeaseTTL(time.Second)
+	s, err := c.AllocSlab(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := c.Node(s.Node)
+	const alice, bob = 7, 8
+
+	if _, err = c.AcquireLease(s.ID, alice, LeaseWriter, 0); err != nil {
+		t.Fatal(err)
+	}
+	line := bytes.Repeat([]byte{0xAA}, mem.CacheLineSize)
+	entries := []cllog.Entry{
+		{RemoteOff: s.RemoteOff, Data: line},
+		{RemoteOff: s.RemoteOff + 4096, Data: line},
+	}
+	// The lease holder's batch applies.
+	if _, _, err := n.UnpackLogFrom(alice, packInto(t, n, entries)); err != nil {
+		t.Fatalf("holder's batch rejected: %v", err)
+	}
+	// An identified foreign writer is fenced; so is an unidentified
+	// legacy writer (runtime 0).
+	for _, zombie := range []uint64{bob, 0} {
+		if _, _, err := n.UnpackLogFrom(zombie, packInto(t, n, entries)); !IsLeaseFencedErr(err) {
+			t.Fatalf("runtime %d batch: got %v, want lease-fenced", zombie, err)
+		}
+	}
+	// Plain writes are fenced identically.
+	if err := n.WriteAtFrom(bob, s.RemoteOff, line); !IsLeaseFencedErr(err) {
+		t.Fatalf("foreign WriteAt: got %v, want lease-fenced", err)
+	}
+
+	// Expire alice and let bob take over: the fences flip to bob, and the
+	// zombie's batch — even one with a single fenced entry among clean
+	// ones — is rejected with NO byte applied (all-or-nothing).
+	*now = now.Add(2 * time.Second)
+	if _, err = c.AcquireLease(s.ID, bob, LeaseWriter, 0); err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	marker := bytes.Repeat([]byte{0x5B}, mem.CacheLineSize)
+	if _, _, err := n.UnpackLogFrom(bob, packInto(t, n, []cllog.Entry{{RemoteOff: s.RemoteOff, Data: marker}})); err != nil {
+		t.Fatalf("successor's batch rejected: %v", err)
+	}
+	zombieLine := bytes.Repeat([]byte{0xEE}, mem.CacheLineSize)
+	batch := []cllog.Entry{
+		{RemoteOff: s.RemoteOff + 8192, Data: zombieLine}, // fenced extent
+		{RemoteOff: s.RemoteOff, Data: zombieLine},        // would clobber bob's marker
+	}
+	if _, _, err := n.UnpackLogFrom(alice, packInto(t, n, batch)); !IsLeaseFencedErr(err) {
+		t.Fatalf("zombie batch after takeover: got %v, want lease-fenced", err)
+	}
+	got := make([]byte, mem.CacheLineSize)
+	if err := n.ReadAt(s.RemoteOff, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, marker) {
+		t.Fatal("zombie batch partially applied: successor's bytes clobbered")
+	}
+	got2 := make([]byte, mem.CacheLineSize)
+	if err := n.ReadAt(s.RemoteOff+8192, got2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got2, zombieLine) {
+		t.Fatal("zombie batch partially applied: fenced entry landed")
+	}
+
+	// Releasing the group's slab drops its fences and directory entry.
+	if err := c.ReleaseSlab(s); err != nil {
+		t.Fatal(err)
+	}
+	if snap := c.LeaseSnapshot(); snap.Writers != 0 {
+		t.Fatalf("writer gauge=%d after group release, want 0", snap.Writers)
+	}
+}
+
+// TestLeaseSurvivesRepairFlip pins the lease-table × repair interaction:
+// a repair flip replaces a leased group's dead member, and the repaired
+// extent must reject the same stale writers the old one did.
+func TestLeaseSurvivesRepairFlip(t *testing.T) {
+	c, _ := leaseRack(t, 3)
+	members, err := c.AllocReplicatedSlab(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := members[0].ID
+	const alice, bob = 5, 6
+	if _, err = c.AcquireLease(group, alice, LeaseWriter, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the secondary member's node and repair onto the spare.
+	victim := members[1].Node
+	vn, _ := c.Node(victim)
+	vn.Fail()
+	if !c.ReportNodeFailure(victim) {
+		t.Fatal("victim not expelled")
+	}
+	degraded := c.DegradedSlabs()
+	if len(degraded) != 1 {
+		t.Fatalf("degraded slabs = %d, want 1", len(degraded))
+	}
+	target, err := c.CarveRepairTarget(degraded[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CommitRepair(degraded[0], target); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repaired member's fresh extent carries alice's fence.
+	tn, _ := c.Node(target.Node)
+	line := bytes.Repeat([]byte{1}, mem.CacheLineSize)
+	if err := tn.WriteAtFrom(bob, target.RemoteOff, line); !IsLeaseFencedErr(err) {
+		t.Fatalf("foreign write to repaired member: got %v, want lease-fenced", err)
+	}
+	if err := tn.WriteAtFrom(alice, target.RemoteOff, line); err != nil {
+		t.Fatalf("holder write to repaired member: %v", err)
+	}
+}
+
+// TestLeaseSurvivesMigrationFlip is the migration twin: CommitMigration
+// re-arms the writer's fence on the migration target.
+func TestLeaseSurvivesMigrationFlip(t *testing.T) {
+	c, _ := leaseRack(t, 2)
+	s, err := c.AllocSlab(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alice, bob = 3, 4
+	if _, err = c.AcquireLease(s.ID, alice, LeaseWriter, 0); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := c.CarveMigrationTarget(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CommitMigration(s, dst); err != nil {
+		t.Fatal(err)
+	}
+	dn, _ := c.Node(dst.Node)
+	line := bytes.Repeat([]byte{2}, mem.CacheLineSize)
+	if err := dn.WriteAtFrom(bob, dst.RemoteOff, line); !IsLeaseFencedErr(err) {
+		t.Fatalf("foreign write to migrated member: got %v, want lease-fenced", err)
+	}
+	if err := dn.WriteAtFrom(alice, dst.RemoteOff, line); err != nil {
+		t.Fatalf("holder write to migrated member: %v", err)
+	}
+}

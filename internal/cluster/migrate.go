@@ -126,28 +126,38 @@ func (c *Controller) CarveMigrationTarget(src slab.Slab) (slab.Slab, error) {
 // racing migration got there first), src's node became degraded, or the
 // target died or changed incarnation during the copy.
 func (c *Controller) CommitMigration(src, dst slab.Slab) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, deg := c.degraded[degradedKey{group: src.ID, node: src.Node}]; deg {
-		return fmt.Errorf("controller: group %d/node %d degraded during migration", src.ID, src.Node)
-	}
-	n, ok := c.nodes[dst.Node]
-	if !ok || c.incarn[dst.Node] != dst.Epoch {
-		return fmt.Errorf("controller: migration target node %d (epoch %d) gone", dst.Node, dst.Epoch)
-	}
-	if n.Failed() {
-		return fmt.Errorf("controller: migration target node %d failed during copy", dst.Node)
-	}
-	members := c.groups[src.ID]
-	for i := range members {
-		m := &members[i]
-		if m.Node == src.Node && m.RemoteOff == src.RemoteOff && m.Epoch == src.Epoch {
-			*m = dst
-			c.epoch++
-			return nil
+	err := func() error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if _, deg := c.degraded[degradedKey{group: src.ID, node: src.Node}]; deg {
+			return fmt.Errorf("controller: group %d/node %d degraded during migration", src.ID, src.Node)
 		}
+		n, ok := c.nodes[dst.Node]
+		if !ok || c.incarn[dst.Node] != dst.Epoch {
+			return fmt.Errorf("controller: migration target node %d (epoch %d) gone", dst.Node, dst.Epoch)
+		}
+		if n.Failed() {
+			return fmt.Errorf("controller: migration target node %d failed during copy", dst.Node)
+		}
+		members := c.groups[src.ID]
+		for i := range members {
+			m := &members[i]
+			if m.Node == src.Node && m.RemoteOff == src.RemoteOff && m.Epoch == src.Epoch {
+				*m = dst
+				c.epoch++
+				return nil
+			}
+		}
+		return fmt.Errorf("controller: group %d member on node %d vanished during migration", src.ID, src.Node)
+	}()
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("controller: group %d member on node %d vanished during migration", src.ID, src.Node)
+	// Leases survive the flip: re-arm the writer fence on the new extent
+	// (the retired source keeps its seal through the hold-down, which
+	// fences everyone anyway). Outside c.mu — leaseMu is the outer lock.
+	c.refenceMember(dst)
+	return nil
 }
 
 // AbandonMigration returns a carved-but-unflipped target extent (or a

@@ -33,6 +33,19 @@ func IsSealedErr(err error) bool {
 	return err != nil && strings.Contains(err.Error(), sealedErrMark)
 }
 
+// leaseErrMark is the substring every lease-fence rejection carries; like
+// sealedErrMark it survives the wire, so IsLeaseFencedErr works for both
+// transports.
+const leaseErrMark = "extent lease-fenced"
+
+// IsLeaseFencedErr reports whether err is (or wraps) a lease-fence write
+// rejection — the signal the caller's writer lease expired and another
+// runtime took over the slab. Unlike a seal, this is not transient: the
+// stale writer must stop, not retry.
+func IsLeaseFencedErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), leaseErrMark)
+}
+
 // MemoryNode hosts a pool of disaggregated memory, exposed as one large
 // registered region carved into slabs, plus a log-receive region.
 type MemoryNode struct {
@@ -71,6 +84,12 @@ type MemoryNode struct {
 	// flip.
 	captures []*captureState
 
+	// fences are extents owned by a writer lease (DESIGN.md §14): writes
+	// carrying a different runtime identity — a reader, or a fenced-out
+	// stale writer after a lease takeover — are rejected before any byte
+	// lands, whole log batches all-or-nothing. Reads stay allowed.
+	fences []leaseFence
+
 	linesUnpacked uint64
 	logsUnpacked  uint64
 
@@ -83,6 +102,9 @@ type MemoryNode struct {
 
 // sealRange is one write-fenced extent.
 type sealRange struct{ off, size uint64 }
+
+// leaseFence is one extent whose writes are restricted to a lease holder.
+type leaseFence struct{ off, size, holder uint64 }
 
 // captureState records dirtied pages inside one extent under migration.
 type captureState struct {
@@ -178,6 +200,7 @@ func (n *MemoryNode) ReleaseSlab(offset, size uint64) {
 	n.freed = append(n.freed, freedExtent{off: offset, size: size})
 	n.dropSealsLocked(offset, size)
 	n.dropCapturesLocked(offset, size)
+	n.dropFencesLocked(offset, size)
 }
 
 func overlaps(aOff, aSize, bOff, bSize uint64) bool {
@@ -192,6 +215,16 @@ func (n *MemoryNode) dropSealsLocked(off, size uint64) {
 		}
 	}
 	n.seals = kept
+}
+
+func (n *MemoryNode) dropFencesLocked(off, size uint64) {
+	kept := n.fences[:0]
+	for _, f := range n.fences {
+		if !overlaps(f.off, f.size, off, size) {
+			kept = append(kept, f)
+		}
+	}
+	n.fences = kept
 }
 
 func (n *MemoryNode) dropCapturesLocked(off, size uint64) {
@@ -212,6 +245,40 @@ func (n *MemoryNode) sealedLocked(off uint64, size int) bool {
 		}
 	}
 	return false
+}
+
+// leaseFencedLocked reports whether a write of size bytes at off by the
+// given runtime intersects a fence held by someone else. writer 0 ("no
+// runtime identity" — legacy callers, repair/migration copies before a
+// refence) is only rejected when a real holder exists, which is exactly
+// the stale-writer case the fence exists for.
+func (n *MemoryNode) leaseFencedLocked(off uint64, size int, writer uint64) bool {
+	for _, f := range n.fences {
+		if f.holder != writer && overlaps(f.off, f.size, off, uint64(size)) {
+			return true
+		}
+	}
+	return false
+}
+
+// LeaseFence restricts writes to [off, off+size) to the runtime holding
+// the writer lease. holder 0 clears the fence (writer released); a
+// fence on the same extent is replaced (lease takeover re-arms with the
+// new holder).
+func (n *MemoryNode) LeaseFence(off, size, holder uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.fences[:0]
+	for _, f := range n.fences {
+		if f.off == off && f.size == size {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	n.fences = kept
+	if holder != 0 {
+		n.fences = append(n.fences, leaseFence{off: off, size: size, holder: holder})
+	}
 }
 
 // Seal fences [off, off+size) against writes: subsequent WriteAt calls
@@ -364,6 +431,13 @@ func (n *MemoryNode) ReadAt(off uint64, buf []byte) error {
 // WriteAt stores data into the pool at off, synchronized like ReadAt.
 // Writes into a sealed extent are rejected before touching the pool.
 func (n *MemoryNode) WriteAt(off uint64, data []byte) error {
+	return n.WriteAtFrom(0, off, data)
+}
+
+// WriteAtFrom is WriteAt carrying the calling runtime's identity: writes
+// into a lease-fenced extent by anyone but the fence holder are rejected
+// before touching the pool.
+func (n *MemoryNode) WriteAtFrom(writer, off uint64, data []byte) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.failed {
@@ -375,6 +449,9 @@ func (n *MemoryNode) WriteAt(off uint64, data []byte) error {
 	}
 	if n.sealedLocked(off, len(data)) {
 		return fmt.Errorf("memnode %d: write [%d,+%d): %s", n.id, off, len(data), sealedErrMark)
+	}
+	if n.leaseFencedLocked(off, len(data), writer) {
+		return fmt.Errorf("memnode %d: write [%d,+%d) by runtime %d: %s", n.id, off, len(data), writer, leaseErrMark)
 	}
 	copy(pool[off:], data)
 	for _, c := range n.captures {
@@ -392,6 +469,14 @@ func (n *MemoryNode) WriteAt(off uint64, data []byte) error {
 // reads and writes per line — "the overhead of the remote thread is
 // small").
 func (n *MemoryNode) UnpackLog(logBytes int) (entries int, service simclock.Duration, err error) {
+	return n.UnpackLogFrom(0, logBytes)
+}
+
+// UnpackLogFrom is UnpackLog carrying the sending runtime's identity:
+// the pre-scan also rejects the whole batch when any entry lands in an
+// extent lease-fenced to a different holder — a zombie writer's flush
+// after a lease takeover applies no byte at all.
+func (n *MemoryNode) UnpackLogFrom(writer uint64, logBytes int) (entries int, service simclock.Duration, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.failed {
@@ -401,14 +486,18 @@ func (n *MemoryNode) UnpackLog(logBytes int) (entries int, service simclock.Dura
 		return 0, 0, fmt.Errorf("memnode %d: log of %d bytes exceeds region", n.id, logBytes)
 	}
 	pool := n.pool.Bytes()
-	// Pre-scan against sealed extents BEFORE applying anything: a log
-	// batch is all-or-nothing, and a partially applied batch racing a
-	// migration flip would tear the slab image. The sender retains the
-	// whole batch and replays it after refreshing placements.
-	if len(n.seals) > 0 {
+	// Pre-scan against sealed and lease-fenced extents BEFORE applying
+	// anything: a log batch is all-or-nothing, and a partially applied
+	// batch racing a migration flip (or a lease takeover) would tear the
+	// slab image. The sender retains the whole batch on a seal; a fenced
+	// batch must be dropped, not replayed.
+	if len(n.seals) > 0 || len(n.fences) > 0 {
 		if _, serr := cllog.Unpack(n.logMR.Bytes()[:logBytes], func(e cllog.Entry) error {
 			if n.sealedLocked(e.RemoteOff, len(e.Data)) {
 				return fmt.Errorf("memnode %d: log entry at %d: %s", n.id, e.RemoteOff, sealedErrMark)
+			}
+			if n.leaseFencedLocked(e.RemoteOff, len(e.Data), writer) {
+				return fmt.Errorf("memnode %d: log entry at %d from runtime %d: %s", n.id, e.RemoteOff, writer, leaseErrMark)
 			}
 			return nil
 		}); serr != nil {

@@ -49,6 +49,16 @@ const (
 	msgCaptureStop  = "capture-stop"
 	msgSealExtent   = "seal-extent"
 	msgUnsealExtent = "unseal-extent"
+	// Lease RPCs (DESIGN.md §14): runtimes acquire/renew/release per-group
+	// reader or writer leases at the controller; lease-invalidate is the
+	// writer's publish (version bump) that readers observe on their next
+	// renew; lease-fence is controller→memnode, arming the extent fence
+	// that rejects a stale writer's WriteLog batches.
+	msgLeaseAcquire    = "lease-acquire"
+	msgLeaseRenew      = "lease-renew"
+	msgLeaseRelease    = "lease-release"
+	msgLeaseInvalidate = "lease-invalidate"
+	msgLeaseFence      = "lease-fence"
 )
 
 // loadSampleWireSize is the report-load payload: ReadOps, WriteOps,
@@ -121,6 +131,13 @@ type Request struct {
 	// sender believes it is talking to; a restarted node rejects
 	// mismatches (epoch fencing, §10). Zero disables the fence.
 	Epoch uint64
+
+	// Runtime identifies the calling compute runtime for the lease
+	// protocol (§14): it names the lease holder on Acquire/Renew/Release,
+	// the fence holder on LeaseFence, and stamps Write/WriteLog so a
+	// memnode can reject batches from a fenced-out stale writer. Zero
+	// means "no runtime identity" and is never fenced against itself.
+	Runtime uint64
 }
 
 // Response is the single envelope for every reply. Data is the frame

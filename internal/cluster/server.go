@@ -168,8 +168,32 @@ func ServeControllerOnWith(ctrl *Controller, l net.Listener, reg *telemetry.Regi
 	// over the wire (falling back to the in-process flag when no address
 	// is known — e.g. tests registering nodes directly).
 	ctrl.SetProber(s.probeNode)
+	// Lease fences must land on the real memnode daemons, not the
+	// controller's bookkeeping mirrors (in TCP mode c.nodes are capacity
+	// shadows): push them over the wire like the prober does.
+	ctrl.SetLeaseFencer(s.fenceMember)
 	go serve(l, s.conns, s)
 	return s
+}
+
+// fenceMember pushes one lease fence to the daemon hosting m. A member
+// whose address is unknown (test-registered in-process node) falls back
+// to the controller's node mirror.
+func (s *ControllerServer) fenceMember(m slab.Slab, holder uint64) error {
+	s.mu.Lock()
+	addr, ok := s.addrs[m.Node]
+	s.mu.Unlock()
+	if !ok {
+		return s.ctrl.fenceLocal(m, holder)
+	}
+	_, err := roundTrip(addr, &Request{
+		Kind:    msgLeaseFence,
+		Offset:  m.RemoteOff,
+		Size:    m.Size,
+		Epoch:   m.Epoch,
+		Runtime: holder,
+	})
+	return err
 }
 
 // probeNode is the TCP liveness check: ping the daemon address the node
@@ -334,11 +358,54 @@ func (s *ControllerServer) dispatch(req *Request) *Response {
 		s.ctrl.ReportLoad(req.NodeID, sample)
 		s.publishLoad(req.NodeID)
 		return &Response{}
+	case msgLeaseAcquire:
+		g, err := s.ctrl.AcquireLease(req.SlabID, req.Runtime, req.Length, time.Duration(req.Size))
+		return s.leaseResponse(g, err)
+	case msgLeaseRenew:
+		g, err := s.ctrl.RenewLease(req.SlabID, req.Runtime, req.Length, time.Duration(req.Size))
+		return s.leaseResponse(g, err)
+	case msgLeaseRelease:
+		if err := s.ctrl.ReleaseLease(req.SlabID, req.Runtime); err != nil {
+			return &Response{Err: err.Error()}
+		}
+		s.publishLeases()
+		return &Response{}
+	case msgLeaseInvalidate:
+		g, err := s.ctrl.PublishLease(req.SlabID, req.Runtime)
+		return s.leaseResponse(g, err)
 	case msgPing:
 		return &Response{Epoch: s.ctrl.PlacementEpoch()}
 	default:
 		return &Response{Err: fmt.Sprintf("controller: unknown request %q", req.Kind)}
 	}
+}
+
+// leaseResponse packs a lease grant: Epoch carries the lease epoch, and
+// the payload is [version u64][granted TTL ns u64].
+func (s *ControllerServer) leaseResponse(g LeaseGrant, err error) *Response {
+	s.publishLeases()
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	data := appendU64(make([]byte, 0, 16), g.Version)
+	data = appendU64(data, uint64(g.TTL))
+	return &Response{Epoch: g.Epoch, Data: data}
+}
+
+// publishLeases surfaces the lease directory's counters on /metrics.
+func (s *ControllerServer) publishLeases() {
+	if s.reg == nil {
+		return
+	}
+	ls := s.ctrl.LeaseSnapshot()
+	s.reg.Counter("cluster.lease.grants").Store(ls.Grants)
+	s.reg.Counter("cluster.lease.rejects").Store(ls.Rejects)
+	s.reg.Counter("cluster.lease.expirations").Store(ls.Expirations)
+	s.reg.Counter("cluster.lease.takeovers").Store(ls.Takeovers)
+	s.reg.Counter("cluster.lease.publishes").Store(ls.Publishes)
+	s.reg.Counter("cluster.lease.fence_errors").Store(ls.FenceErrors)
+	s.reg.Gauge("cluster.lease.writers").Set(int64(ls.Writers))
+	s.reg.Gauge("cluster.lease.readers").Set(int64(ls.Readers))
 }
 
 // publishLoad surfaces one node's load-map entry through /metrics:
@@ -484,7 +551,7 @@ func (s *MemoryNodeServer) dispatch(req *Request) (*Response, func()) {
 	switch req.Kind {
 	case msgRead, msgReadPages, msgWrite, msgWriteLog,
 		msgCaptureStart, msgCaptureDrain, msgCaptureStop,
-		msgSealExtent, msgUnsealExtent:
+		msgSealExtent, msgUnsealExtent, msgLeaseFence:
 		if req.Epoch != 0 {
 			if inc := s.node.Incarnation(); inc != 0 && inc != req.Epoch {
 				return &Response{Err: fmt.Sprintf(
@@ -532,7 +599,7 @@ func (s *MemoryNodeServer) dispatch(req *Request) (*Response, func()) {
 		s.readPagesBytes.Add(uint64(total))
 		return &Response{Data: data}, func() { putPayloadBuf(bp) }
 	case msgWrite:
-		if err := s.node.WriteAt(req.Offset, req.Data); err != nil {
+		if err := s.node.WriteAtFrom(req.Runtime, req.Offset, req.Data); err != nil {
 			return &Response{Err: err.Error()}, nil
 		}
 		s.m.countCopies(len(req.Data))
@@ -542,7 +609,7 @@ func (s *MemoryNodeServer) dispatch(req *Request) (*Response, func()) {
 		// The payload already sits in the log region (payloadSink holds
 		// logMu until this handler returns); all that is left is to run
 		// the receiver over it.
-		entries, _, err := s.node.UnpackLog(len(req.Data))
+		entries, _, err := s.node.UnpackLogFrom(req.Runtime, len(req.Data))
 		if err != nil {
 			return &Response{Err: err.Error()}, nil
 		}
@@ -575,6 +642,9 @@ func (s *MemoryNodeServer) dispatch(req *Request) (*Response, func()) {
 		return &Response{}, nil
 	case msgUnsealExtent:
 		s.node.Unseal(req.Offset, req.Size)
+		return &Response{}, nil
+	case msgLeaseFence:
+		s.node.LeaseFence(req.Offset, req.Size, req.Runtime)
 		return &Response{}, nil
 	case msgPing:
 		return &Response{}, nil

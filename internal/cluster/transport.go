@@ -95,7 +95,13 @@ func retryable(kind string) bool {
 	switch kind {
 	case msgRead, msgReadPages, msgPing, msgNodeAddr, msgWrite, msgAllocSlab,
 		msgSlabPlacements, msgReportFailure, msgReportLoad,
-		msgCaptureStart, msgCaptureStop, msgSealExtent, msgUnsealExtent:
+		msgCaptureStart, msgCaptureStop, msgSealExtent, msgUnsealExtent,
+		msgLeaseAcquire, msgLeaseRenew, msgLeaseRelease,
+		msgLeaseInvalidate, msgLeaseFence:
+		// Lease RPCs replay safely: acquire/renew re-grant to the same
+		// holder, release of a non-held lease is a no-op, invalidate
+		// (publish) is keyed by holder so a replay cannot double-bump past
+		// another writer, and fence is level-triggered.
 		return true
 	}
 	return false
@@ -110,6 +116,8 @@ var rpcKinds = []string{
 	msgSlabPlacements, msgReportFailure, msgReportLoad,
 	msgCaptureStart, msgCaptureDrain, msgCaptureStop,
 	msgSealExtent, msgUnsealExtent,
+	msgLeaseAcquire, msgLeaseRenew, msgLeaseRelease,
+	msgLeaseInvalidate, msgLeaseFence,
 }
 
 // poolMetrics is one pool's pre-resolved telemetry handles. A nil

@@ -22,8 +22,10 @@ type evictMetrics struct {
 	wireBytes, flushes, remoteEntries       *telemetry.Counter
 	// shipFailures counts outages reported to the controller; remapped
 	// counts retained entries rebased onto a repaired replica;
-	// sealedRetains counts ships rejected by a migration seal.
-	shipFailures, remapped, sealedRetains *telemetry.Counter
+	// sealedRetains counts ships rejected by a migration seal;
+	// leaseFenced counts ships rejected by a lease fence (this runtime's
+	// writer lease was taken over).
+	shipFailures, remapped, sealedRetains, leaseFenced *telemetry.Counter
 	// inflight tracks ships currently on the wire during a concurrent
 	// fan-out (always 0..1 on the serial path).
 	inflight *telemetry.Gauge
@@ -42,6 +44,7 @@ func newEvictMetrics(reg *telemetry.Registry) evictMetrics {
 		shipFailures:  reg.Counter("core.evict.ship_failure_reports"),
 		remapped:      reg.Counter("core.evict.remapped_entries"),
 		sealedRetains: reg.Counter("core.evict.sealed_retains"),
+		leaseFenced:   reg.Counter("core.evict.lease_fenced"),
 		inflight:      reg.Gauge("core.evict.inflight"),
 		trace:         reg.Trace(),
 	}
@@ -200,11 +203,12 @@ type evictor struct {
 	// keep wait-for-recovery semantics: the ship is attempted and its
 	// error surfaces, because no other copy of the dirty lines exists.
 	replicated bool
-	// shipReports/remapped/sealedRetains are fault-tolerance counters
-	// (FailureStats).
+	// shipReports/remapped/sealedRetains/leaseFenced are fault-tolerance
+	// counters (FailureStats).
 	shipReports   atomic.Uint64
 	remapped      atomic.Uint64
 	sealedRetains atomic.Uint64
+	leaseFenced   atomic.Uint64
 
 	// nodeMu guards membership of nodes/order. order remembers
 	// first-touch sequence so flushes walk the nodes deterministically —
@@ -514,7 +518,7 @@ func (e *evictor) skipUnhealthyLocked(nb *nodeBatch) bool {
 	return true
 }
 
-// retainAfterErrLocked handles a ship attempt that failed. Three cases:
+// retainAfterErrLocked handles a ship attempt that failed. Four cases:
 //
 //   - The destination's extent is sealed for migration: retain even
 //     without replication — the flip is imminent, and the retained
@@ -522,6 +526,9 @@ func (e *evictor) skipUnhealthyLocked(nb *nodeBatch) bool {
 //     refresh. noteSealed fences reads of the (now behind) sealed copy
 //     and latches the fetch-path seal notice; a seal is not an outage,
 //     so no failure report.
+//   - The ship was rejected by a lease fence (writer-lease takeover):
+//     surface the error — the successor owns the region and the zombie
+//     writer's bytes must not be retried or retained.
 //   - A replicated outage: entries stay retained and the flush
 //     continues (the outage is reported once).
 //   - An unreplicated failure: the caller must surface the error — no
@@ -534,6 +541,16 @@ func (e *evictor) retainAfterErrLocked(nb *nodeBatch, err error) bool {
 		e.sealedRetains.Add(1)
 		e.m.sealedRetains.Inc()
 		return true
+	}
+	if cluster.IsLeaseFencedErr(err) {
+		// A lease fence rejected the whole ship: this runtime's writer
+		// lease was taken over and a successor owns the region. The node is
+		// healthy and retrying would fail forever against the fence, so the
+		// error surfaces to the application instead of being retained — the
+		// zombie writer must find out it was fenced, not buffer silently.
+		e.leaseFenced.Add(1)
+		e.m.leaseFenced.Inc()
+		return false
 	}
 	if !e.replicated {
 		return false

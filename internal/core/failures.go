@@ -61,6 +61,10 @@ type FailureStats struct {
 	// BackpressureStalls counts writes delayed by admission control when
 	// the ship-pending backlog exceeded Config.BackpressureBytes.
 	BackpressureStalls uint64
+	// LeaseFencedShips counts eviction-log ships rejected whole by a
+	// memnode lease fence: this runtime's writer lease was taken over and
+	// a successor's fence rejected the zombie batch (DESIGN.md §14).
+	LeaseFencedShips uint64
 }
 
 // ReadChecked is Read plus MCE detection: fetch latencies beyond
@@ -90,6 +94,7 @@ func (k *Kona) FailureStats() FailureStats {
 	k.failures.RemappedEntries = k.evict.remapped.Load()
 	k.failures.SealedRetains = k.evict.sealedRetains.Load()
 	k.failures.BackpressureStalls = k.backpressureStalls.Load()
+	k.failures.LeaseFencedShips = k.evict.leaseFenced.Load()
 	return k.failures
 }
 

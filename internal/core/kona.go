@@ -85,6 +85,16 @@ type Kona struct {
 	loadMu      sync.Mutex
 	loadScratch []nodePending
 
+	// runtimeID is this runtime's lease/fence identity (share.go). The
+	// sharing state below is guarded by shareMu; readerCount mirrors
+	// len(readerGroups) so the hot Read path can skip the lock entirely
+	// when nothing is attached.
+	runtimeID    uint64
+	shareMu      sync.Mutex
+	writerGroups map[uint64]struct{}
+	readerGroups map[uint64]*readerShare
+	readerCount  atomic.Int64
+
 	failures FailureStats
 }
 
@@ -131,7 +141,15 @@ func NewKonaTCPWith(cfg Config, controllerAddr string, tr cluster.Transport) *Ko
 
 func newKona(cfg Config, r rack) *Kona {
 	rm := newResourceManager(cfg, r)
-	k := &Kona{cfg: cfg, rm: rm, m: newCoreMetrics(cfg.Metrics)}
+	k := &Kona{
+		cfg: cfg, rm: rm, m: newCoreMetrics(cfg.Metrics),
+		runtimeID:    nextRuntimeID(),
+		writerGroups: make(map[uint64]struct{}),
+		readerGroups: make(map[uint64]*readerShare),
+	}
+	// Stamp the identity before any link exists so every data-path write
+	// carries it for lease fencing.
+	r.setRuntime(k.runtimeID)
 	k.evict = newEvictor(rm, cfg)
 	k.fpga = fpga.New(fpga.Config{
 		FMemSize:      cfg.LocalCacheBytes,
@@ -202,6 +220,7 @@ func (k *Kona) Free(addr mem.Addr) error { return k.rm.Free(addr) }
 // Read copies remote memory into buf, fetching pages into FMem as needed,
 // and returns the completion time.
 func (k *Kona) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	k.checkReaderLease(addr)
 	return k.fpga.Read(now, addr, buf)
 }
 
@@ -213,6 +232,13 @@ func (k *Kona) Read(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.
 // drains them, and an unbounded backlog turns into unbounded retained
 // memory and unbounded catch-up flushes.
 func (k *Kona) Write(now simclock.Duration, addr mem.Addr, buf []byte) (simclock.Duration, error) {
+	if k.readerCount.Load() != 0 {
+		// A store into a reader-mode shared region must first win the
+		// writer lease (share.go); on conflict the write faults here.
+		if err := k.upgradeIfReader(addr); err != nil {
+			return now, err
+		}
+	}
 	if limit := k.cfg.BackpressureBytes; limit > 0 {
 		if p := k.evict.totalPendingBytes(); p > limit {
 			d := backpressureDelay(p, limit)
@@ -297,6 +323,12 @@ func (k *Kona) Sync(now simclock.Duration) (simclock.Duration, error) {
 	if err == nil {
 		err = k.takeEvictErr()
 	}
+	if err == nil {
+		// The flush reached remote memory; bump the publish version on
+		// every writer-leased shared group so readers invalidate and
+		// refetch the new bytes (share.go).
+		err = k.publishShared()
+	}
 	k.m.syncs.Inc()
 	k.PublishTelemetry()
 	return done, err
@@ -325,6 +357,7 @@ func (k *Kona) Close(now simclock.Duration) error {
 	if _, err := k.Sync(now); err != nil {
 		return err
 	}
+	k.releaseShares()
 	k.evict.release()
 	return k.rm.releaseAll()
 }

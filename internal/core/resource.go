@@ -61,6 +61,12 @@ type resourceManager struct {
 	// the notice, an unreplicated slab could serve a stale page between
 	// the seal and the next Sync.
 	sealNotice bool
+
+	// attached holds placement groups mapped from another runtime
+	// (reader-mode shares, DESIGN.md §14). Their slabs translate like any
+	// other, but the space is never allocated from and releaseAll must
+	// not return them to the rack — the owning writer does that.
+	attached map[uint64]struct{}
 }
 
 func newResourceManager(cfg Config, r rack) *resourceManager {
@@ -71,6 +77,7 @@ func newResourceManager(cfg Config, r rack) *resourceManager {
 		replicas: make(map[uint64][]Slab),
 		suspect:  make(map[uint64]struct{}),
 		sealed:   make(map[uint64]struct{}),
+		attached: make(map[uint64]struct{}),
 	}
 }
 
@@ -393,6 +400,74 @@ func (rm *resourceManager) refreshPlacements() ([]replicaMove, bool, error) {
 	return moves, changed, nil
 }
 
+// attachGroup maps another runtime's placement group into this address
+// space in reader mode: the primary slab registers for translation at
+// the writer's base address (same VA, so shared pointers stay valid)
+// without joining the free list, and the full membership installs for
+// replica failover. Returns the primary slab.
+func (rm *resourceManager) attachGroup(members []Slab) (Slab, error) {
+	if len(members) == 0 {
+		return Slab{}, fmt.Errorf("core: attach of empty placement group")
+	}
+	primary := members[0]
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if _, dup := rm.replicas[primary.ID]; dup {
+		return Slab{}, fmt.Errorf("core: placement group %d already mapped", primary.ID)
+	}
+	if err := rm.alloc.Attach(primary); err != nil {
+		return Slab{}, err
+	}
+	rm.replicas[primary.ID] = members
+	rm.attached[primary.ID] = struct{}{}
+	return primary, nil
+}
+
+// detachGroup unmaps a reader-mode group installed by attachGroup.
+func (rm *resourceManager) detachGroup(group uint64) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if _, ok := rm.attached[group]; !ok {
+		return
+	}
+	rm.alloc.Detach(group)
+	delete(rm.replicas, group)
+	delete(rm.attached, group)
+}
+
+// groupFor resolves addr to its placement group and primary slab.
+func (rm *resourceManager) groupFor(addr mem.Addr) (Slab, bool) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	s, ok := rm.alloc.SlabFor(addr)
+	return s, ok
+}
+
+// attachedGroup reports whether group is a reader-mode attachment and
+// returns its primary slab.
+func (rm *resourceManager) attachedGroup(group uint64) (Slab, bool) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if _, ok := rm.attached[group]; !ok {
+		return Slab{}, false
+	}
+	return rm.replicas[group][0], true
+}
+
+// attachedGroupFor resolves addr to a reader-mode attachment, if any.
+func (rm *resourceManager) attachedGroupFor(addr mem.Addr) (Slab, bool) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	s, ok := rm.alloc.SlabFor(addr)
+	if !ok {
+		return Slab{}, false
+	}
+	if _, at := rm.attached[s.ID]; !at {
+		return Slab{}, false
+	}
+	return s, true
+}
+
 // Malloc allocates size bytes of disaggregated memory, growing the slab
 // pool as needed.
 func (rm *resourceManager) Malloc(size uint64) (mem.Addr, error) {
@@ -429,12 +504,17 @@ func (rm *resourceManager) releaseAll() error {
 	defer rm.mu.Unlock()
 	var firstErr error
 	for id, placements := range rm.replicas {
-		for _, s := range placements {
-			if err := rm.rack.release(s); err != nil && firstErr == nil {
-				firstErr = err
+		// Reader-mode attachments are not ours to release: the owning
+		// writer returns them to the rack.
+		if _, att := rm.attached[id]; !att {
+			for _, s := range placements {
+				if err := rm.rack.release(s); err != nil && firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
 		delete(rm.replicas, id)
+		delete(rm.attached, id)
 	}
 	rm.alloc = slab.NewAllocator()
 	return firstErr

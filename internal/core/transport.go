@@ -71,6 +71,17 @@ type rack interface {
 	reportLoad(node int, pending uint64) error
 	// slabPlacements returns a placement group's current members.
 	slabPlacements(group uint64) ([]Slab, error)
+	// Lease verbs drive the controller's per-group ownership directory
+	// (DESIGN.md §14): one writer or N readers per placement group, with
+	// epoch fencing on handover.
+	acquireLease(group, runtime uint64, mode int, ttl time.Duration) (cluster.LeaseGrant, error)
+	renewLease(group, runtime uint64, mode int, ttl time.Duration) (cluster.LeaseGrant, error)
+	releaseLease(group, runtime uint64) error
+	publishLease(group, runtime uint64) (cluster.LeaseGrant, error)
+	// setRuntime stamps this runtime's identity onto data-path writes so
+	// memnode lease fences can tell holders apart. Must be called before
+	// the first link is constructed.
+	setRuntime(id uint64)
 	// placementEpoch returns the controller's placement epoch; a change
 	// means cached placements may be stale.
 	placementEpoch() (uint64, error)
@@ -133,6 +144,7 @@ type simRack struct {
 	ctrl    *cluster.Controller
 	localEP *rdma.Endpoint
 	mu      sync.Mutex
+	runtime uint64               // writer identity stamped on log ships
 	links   map[uint64]*rdmaLink // keyed by linkKeyFor(node, incarnation)
 }
 
@@ -176,6 +188,28 @@ func (r *simRack) placementEpoch() (uint64, error) {
 	return r.ctrl.PlacementEpoch(), nil
 }
 
+func (r *simRack) acquireLease(group, runtime uint64, mode int, ttl time.Duration) (cluster.LeaseGrant, error) {
+	return r.ctrl.AcquireLease(group, runtime, mode, ttl)
+}
+
+func (r *simRack) renewLease(group, runtime uint64, mode int, ttl time.Duration) (cluster.LeaseGrant, error) {
+	return r.ctrl.RenewLease(group, runtime, mode, ttl)
+}
+
+func (r *simRack) releaseLease(group, runtime uint64) error {
+	return r.ctrl.ReleaseLease(group, runtime)
+}
+
+func (r *simRack) publishLease(group, runtime uint64) (cluster.LeaseGrant, error) {
+	return r.ctrl.PublishLease(group, runtime)
+}
+
+func (r *simRack) setRuntime(id uint64) {
+	r.mu.Lock()
+	r.runtime = id
+	r.mu.Unlock()
+}
+
 func (r *simRack) link(node int, epoch uint64) (nodeLink, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -200,6 +234,7 @@ func (r *simRack) link(node int, epoch uint64) (nodeLink, error) {
 	l := &rdmaLink{
 		lkey:    k,
 		node:    n,
+		writer:  r.runtime,
 		qp:      rdma.Connect(r.localEP, n.Endpoint(), rdma.DefaultCostModel()),
 		staging: r.localEP.RegisterMR(mem.PageSize),
 		logBuf:  r.localEP.RegisterMR(cluster.LogRegionSize),
@@ -215,8 +250,9 @@ func (r *simRack) link(node int, epoch uint64) (nodeLink, error) {
 // hardware (one QP has one send queue) and keeps the virtual-time NIC
 // model's serialization assumption intact under concurrent callers.
 type rdmaLink struct {
-	node *cluster.MemoryNode
-	lkey uint64
+	node   *cluster.MemoryNode
+	lkey   uint64
+	writer uint64 // runtime identity checked by the node's lease fences
 
 	mu      sync.Mutex
 	qp      *rdma.QP
@@ -297,7 +333,7 @@ func (l *rdmaLink) shipLog(now simclock.Duration, packed [][]byte) (simclock.Dur
 		return now, now, 0, err
 	}
 	l.qp.PollCQ()
-	entries, service, err := l.node.UnpackLog(total)
+	entries, service, err := l.node.UnpackLogFrom(l.writer, total)
 	if err != nil {
 		return done, done, 0, err
 	}
@@ -318,10 +354,11 @@ func (l *rdmaLink) injectDelay(d simclock.Duration) error {
 // retry budget, pool size) it is built with applies to the controller
 // client and to every node link it constructs.
 type tcpRack struct {
-	mu     sync.Mutex
-	tr     cluster.Transport
-	client *cluster.ControllerClient
-	addrs  map[int]string
+	mu      sync.Mutex
+	tr      cluster.Transport
+	client  *cluster.ControllerClient
+	runtime uint64 // writer identity stamped on node-link writes
+	addrs   map[int]string
 	// epochs is the last incarnation learned for each node (from slab
 	// epochs and placement refreshes); link(node, 0) resolves through it.
 	epochs map[int]uint64
@@ -408,6 +445,28 @@ func (r *tcpRack) slabPlacements(group uint64) ([]Slab, error) {
 
 func (r *tcpRack) placementEpoch() (uint64, error) { return r.client.Epoch() }
 
+func (r *tcpRack) acquireLease(group, runtime uint64, mode int, ttl time.Duration) (cluster.LeaseGrant, error) {
+	return r.client.AcquireLease(group, runtime, mode, ttl)
+}
+
+func (r *tcpRack) renewLease(group, runtime uint64, mode int, ttl time.Duration) (cluster.LeaseGrant, error) {
+	return r.client.RenewLease(group, runtime, mode, ttl)
+}
+
+func (r *tcpRack) releaseLease(group, runtime uint64) error {
+	return r.client.ReleaseLease(group, runtime)
+}
+
+func (r *tcpRack) publishLease(group, runtime uint64) (cluster.LeaseGrant, error) {
+	return r.client.PublishLease(group, runtime)
+}
+
+func (r *tcpRack) setRuntime(id uint64) {
+	r.mu.Lock()
+	r.runtime = id
+	r.mu.Unlock()
+}
+
 func (r *tcpRack) link(node int, epoch uint64) (nodeLink, error) {
 	r.mu.Lock()
 	if epoch == 0 {
@@ -419,6 +478,7 @@ func (r *tcpRack) link(node int, epoch uint64) (nodeLink, error) {
 		return l, nil
 	}
 	addr, ok := r.addrs[node]
+	runtime := r.runtime
 	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no address known for memory node %d", node)
@@ -429,6 +489,7 @@ func (r *tcpRack) link(node int, epoch uint64) (nodeLink, error) {
 	// would serialize them behind connection setup.
 	l := &tcpLink{nodeID: node, epoch: epoch, client: cluster.DialMemoryNodeTransport(addr, r.tr)}
 	l.client.SetEpoch(epoch)
+	l.client.SetRuntime(runtime)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if existing, ok := r.links[k]; ok {

@@ -39,7 +39,7 @@ func seriesY(t *testing.T, res *Result, name string, x float64) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"abl-assoc", "abl-fetchgran", "abl-flush", "abl-hugepages", "abl-hwprefetch", "abl-prefetch", "abl-replicas", "abl-sg", "abl-tracking", "ext-amat", "ext-bw", "ext-e2e", "ext-leap", "ext-overhead", "ext-placement",
+		"abl-assoc", "abl-fetchgran", "abl-flush", "abl-hugepages", "abl-hwprefetch", "abl-prefetch", "abl-replicas", "abl-sg", "abl-tracking", "ext-amat", "ext-bw", "ext-e2e", "ext-leap", "ext-overhead", "ext-placement", "ext-readshare",
 		"fig10", "fig11a", "fig11b", "fig11c", "fig2", "fig3",
 		"fig7", "fig8a", "fig8b", "fig8c", "fig8d", "fig9", "sec21", "table2"}
 	got := IDs()

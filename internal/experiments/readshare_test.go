@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtReadShare(t *testing.T) {
+	res := runID(t, "ext-readshare", quickCfg())
+	t.Log("\n" + res.Text)
+	if !containsAll(res.Text, "unshared baseline", "1 writer + 1 reader", "1 writer + 2 readers", "1 writer + 4 readers") {
+		t.Fatalf("missing regime rows:\n%s", res.Text)
+	}
+	// The driver fails hard on any stale or torn read; here pin that the
+	// shared rows actually published (the coherence machinery ran at all).
+	if strings.Contains(res.Text, " 0          188") {
+		t.Fatalf("shared regime reports refresh cost without publishes:\n%s", res.Text)
+	}
+}

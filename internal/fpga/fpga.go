@@ -953,6 +953,35 @@ func (f *FPGA) FlushAll(now simclock.Duration) {
 	}
 }
 
+// DropRange invalidates every resident page whose base lies in
+// [base, base+size) WITHOUT running the Eviction Handler: the cached
+// data and dirty bits are discarded, so the next access refetches from
+// remote memory. This is the reader-side invalidation shootdown for
+// cross-runtime shared regions (DESIGN.md §14) — a reader holds no
+// writer lease, so its frames carry no writes worth shipping. Walks one
+// shard lock at a time, like FlushAll. Returns the frames dropped.
+func (f *FPGA) DropRange(base mem.Addr, size uint64) int {
+	end := base + mem.Addr(size)
+	dropped := 0
+	for si := uint64(0); si < f.nsets; si++ {
+		sh := &f.shards[si&f.shardMask]
+		sh.mu.Lock()
+		set := f.sets[si]
+		for wi := range set {
+			fr := &set[wi]
+			if fr.valid && fr.base >= base && fr.base < end {
+				sh.epoch.Add(1)
+				fr.valid = false
+				fr.dirty = 0
+				fr.filled = 0
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
 // Occupancy returns the number of resident pages.
 func (f *FPGA) Occupancy() int {
 	n := 0

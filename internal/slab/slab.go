@@ -85,6 +85,33 @@ func (a *Allocator) Grant(s Slab) error {
 	return nil
 }
 
+// Attach registers a slab for SlabFor translation WITHOUT adding its
+// space to the free list. A runtime attaching another runtime's region
+// in reader mode shares the writer's addresses (same Base VA) but must
+// never allocate out of them; the space belongs to the writer's
+// allocator.
+func (a *Allocator) Attach(s Slab) error {
+	if s.Size == 0 {
+		return fmt.Errorf("slab: zero-size attach")
+	}
+	if _, dup := a.slabs[s.ID]; dup {
+		return fmt.Errorf("slab: duplicate slab id %d", s.ID)
+	}
+	for _, other := range a.slabs {
+		if s.Range().Overlaps(other.Range()) {
+			return fmt.Errorf("slab: attach %v overlaps slab %d", s.Range(), other.ID)
+		}
+	}
+	a.slabs[s.ID] = s
+	return nil
+}
+
+// Detach removes a slab registered via Attach. It must not be used on
+// granted slabs (their space is threaded through the free list).
+func (a *Allocator) Detach(id uint64) {
+	delete(a.slabs, id)
+}
+
 // SlabFor returns the slab containing addr, for remote-translation
 // lookups (the hashmap of §4.4).
 func (a *Allocator) SlabFor(addr mem.Addr) (Slab, bool) {
